@@ -1,0 +1,342 @@
+package flowpulse
+
+// Benchmark harness: one benchmark per paper table/figure (see
+// DESIGN.md §3 for the experiment index) plus design-choice ablations
+// and substrate micro-benchmarks. Benchmarks run scaled-down
+// configurations so `go test -bench=.` completes in minutes on one
+// core; the flowpulse-eval CLI runs the full-scale versions and
+// EXPERIMENTS.md records their output.
+
+import (
+	"testing"
+
+	"flowpulse/internal/core"
+	"flowpulse/internal/experiments"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/spray"
+	"flowpulse/internal/topology"
+)
+
+// BenchmarkFig2AnalyticalVsSim regenerates Figure 2: analytical
+// per-port prediction vs simulated observation for a single flow.
+func BenchmarkFig2AnalyticalVsSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(experiments.Fig2Config{
+			Leaves: 16, Spines: 8, FlowBytes: 8 << 20, Iterations: 2, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxRelErr > 0.05 {
+			b.Fatalf("prediction diverged: %v", res.MaxRelErr)
+		}
+	}
+}
+
+// BenchmarkFig3LearnedRebaseline regenerates Figure 3: the learned
+// model replacing its baseline after a transient fault heals.
+func BenchmarkFig3LearnedRebaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(experiments.Fig3Config{
+			Leaves: 8, Spines: 4, BytesPerRank: 4 << 20,
+			Iterations: 12, HealAfter: 5,
+			Fault: core.LeafSpineLink{LeafOrd: 2, SpineOrd: 1},
+			Seed:  uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RebaselinedAtIter == 0 {
+			b.Fatal("no rebaseline")
+		}
+	}
+}
+
+// BenchmarkFig4Localization regenerates Figure 4: local vs remote link
+// attribution under all-to-all.
+func BenchmarkFig4Localization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(experiments.Fig4Config{
+			Leaves: 8, Spines: 4, BytesPerRank: 16 << 20,
+			Trials: 1, Iterations: 2, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Downstream.Local == 0 {
+			b.Fatal("downstream case produced no local verdicts")
+		}
+	}
+}
+
+// BenchmarkFig5aROC regenerates Figure 5(a): the threshold ROC across
+// drop rates.
+func BenchmarkFig5aROC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Fig5aConfig{
+			DropRates: []float64{0.008, 0.03},
+			Trials:    1, CleanIters: 2, FaultIters: 2,
+		}
+		cfg.Scenario = core.Scenario{Leaves: 8, Spines: 4, BytesPerRank: 4 << 20, Seed: uint64(i)}
+		if _, err := experiments.Fig5a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5bRadixSweep regenerates Figure 5(b): FPR/FNR across
+// switch radixes at a fixed drop rate.
+func BenchmarkFig5bRadixSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5b(experiments.Fig5bConfig{
+			Radixes:      []int{8, 16},
+			BytesPerRank: 4 << 20,
+			Trials:       1, CleanIters: 2, FaultIters: 2,
+			Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5cSizeSweep regenerates Figure 5(c): FPR/FNR across
+// collective sizes.
+func BenchmarkFig5cSizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5c(experiments.Fig5cConfig{
+			Leaves: 8, Spines: 4,
+			Sizes:     []int64{1 << 20, 8 << 20},
+			DropRates: []float64{0.025},
+			Trials:    1, CleanIters: 2, FaultIters: 2,
+			Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreExistingFaults regenerates the §6 pre-existing-faults
+// table: new-fault classification with known disconnections present.
+func BenchmarkPreExistingFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PreExisting(experiments.PreExistingConfig{
+			Leaves: 8, Spines: 4, BytesPerRank: 8 << 20,
+			Counts:    []int{0, 2},
+			DropRates: []float64{0.03},
+			Trials:    1, CleanIters: 2, FaultIters: 2,
+			Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadlineDetection regenerates the abstract's headline: a
+// 1.5% faulty link caught on the 32-leaf fat tree during
+// Ring-AllReduce.
+func BenchmarkHeadlineDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Headline(experiments.HeadlineConfig{
+			BytesPerRank: 16 << 20,
+			CleanIters:   1, FaultIters: 2,
+			Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkAblationSprayPolicy quantifies DESIGN.md decision 2: the
+// clean-network noise floor under each load-balancing policy, which
+// bounds the usable detection threshold.
+func BenchmarkAblationSprayPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablation(experiments.AblationConfig{
+			Policies: []spray.Kind{spray.LeastLoaded, spray.Random},
+			Leaves:   8, Spines: 4, BytesPerRank: 4 << 20,
+			CleanIters: 2, FaultIters: 2,
+			Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPredictors compares the three §5.2 load models on
+// the same faulty scenario (detection quality aside, this measures the
+// cost of each pipeline, including the simulation model's reference
+// run).
+func BenchmarkAblationPredictors(b *testing.B) {
+	for _, kind := range []core.PredictorKind{core.AnalyticalModel, core.SimulationModel, core.LearnedModel} {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := experiments.Trial{
+					Scenario:   core.Scenario{Leaves: 8, Spines: 4, BytesPerRank: 4 << 20, Seed: uint64(i)},
+					Kind:       kind,
+					Fault:      core.LeafSpineLink{LeafOrd: 3, SpineOrd: 1},
+					DropRate:   0.05,
+					CleanIters: 3, FaultIters: 2,
+				}
+				if _, err := tr.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrainingIteration measures the simulator's cost for one
+// full Ring-AllReduce iteration on the paper topology (the unit every
+// experiment above is built from).
+func BenchmarkTrainingIteration(b *testing.B) {
+	cluster, err := New(Scenario{Leaves: 32, Spines: 16, BytesPerRank: 4 << 20, Iterations: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm one run to size the pools, then measure fresh clusters.
+	cluster.Train(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := New(Scenario{Leaves: 32, Spines: 16, BytesPerRank: 4 << 20, Iterations: 1, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Train(nil)
+	}
+}
+
+// BenchmarkEngineEvents measures the raw discrete-event scheduler.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := sim.NewEngine()
+	count := 0
+	var tick func(now sim.Time)
+	tick = func(now sim.Time) {
+		count++
+		if count < b.N {
+			eng.After(10, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.After(10, tick)
+	eng.Run()
+}
+
+// BenchmarkFabricForwarding measures raw packet forwarding through the
+// fat tree (no transport, no monitoring).
+func BenchmarkFabricForwarding(b *testing.B) {
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 8, Spines: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	net := fabric.MustNew(fabric.Config{Topo: topo, Engine: eng, Seed: 1})
+	delivered := 0
+	net.SetReceiver(topology.HostID(3), func(sim.Time, *fabric.Packet) { delivered++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(fabric.SendSpec{Src: 0, Dst: 3, Size: 4096, Msg: uint64(i)})
+		if i%1024 == 1023 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	b.ReportMetric(float64(delivered)/float64(b.N), "delivered/op")
+}
+
+// BenchmarkMonitorOverhead measures the telemetry + detection pipeline
+// cost per iteration relative to an unmonitored run — the paper's
+// "low-overhead" claim, in simulator terms.
+func BenchmarkMonitorOverhead(b *testing.B) {
+	run := func(b *testing.B, monitored bool) {
+		for i := 0; i < b.N; i++ {
+			c, err := New(Scenario{Leaves: 8, Spines: 4, BytesPerRank: 4 << 20, Iterations: 2, Seed: uint64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if monitored {
+				if _, err := c.Monitor(MonitorConfig{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			c.Train(nil)
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("monitored", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkFaultTypes regenerates the §7 fault-type table: Bernoulli,
+// black-hole, Gilbert-Elliott, and bit-error faults all detected via
+// their drop signature.
+func BenchmarkFaultTypes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FaultTypes(experiments.FaultTypesConfig{
+			Leaves: 8, Spines: 4, BytesPerRank: 8 << 20,
+			Trials: 1, CleanIters: 2, FaultIters: 2,
+			Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJitterSweep regenerates the §7 jitter-sensitivity table.
+func BenchmarkJitterSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Jitter(experiments.JitterConfig{
+			Leaves: 8, Spines: 4, BytesPerRank: 8 << 20,
+			JitterMaxes: []sim.Duration{0, 10 * sim.Microsecond},
+			Trials:      1, CleanIters: 2, FaultIters: 2,
+			Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrunkFault regenerates the §7 parallel-links table.
+func BenchmarkTrunkFault(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Trunks(experiments.TrunkConfig{
+			Leaves: 8, Spines: 4, Trunk: 2, BytesPerRank: 8 << 20,
+			Trials: 1, CleanIters: 2, FaultIters: 2,
+			Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClos3DualLevel regenerates the §7 three-level-Clos
+// experiment: dual-level monitoring catching spine-leaf and core-spine
+// faults.
+func BenchmarkClos3DualLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Clos3(experiments.Clos3Config{
+			Pods: 2, LeavesPerPod: 4, SpinesPerPod: 2, CoresPerGroup: 2,
+			BytesPerRank: 8 << 20,
+			Iterations:   8, InjectAt: 4,
+			Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockingNetwork regenerates the §7 blocking-network
+// experiment: oversubscription plus saturating background, with the
+// prioritized collective still cleanly measurable.
+func BenchmarkBlockingNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Blocking(experiments.BlockingConfig{
+			Leaves: 8, Spines: 4, HostsPerLeaf: 2, BytesPerRank: 8 << 20,
+			Trials: 1, CleanIters: 2, FaultIters: 2,
+			Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Command flowpulse-eval regenerates the paper's evaluation (§6):
+// every figure and table, printed as the rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	flowpulse-eval                  # run everything at default scale
+//	flowpulse-eval -exp fig5a       # one experiment
+//	flowpulse-eval -exp headline -size 64 -drop 0.015
+//	flowpulse-eval -quick           # scaled-down smoke run
+//
+// Experiments: fig2, fig3, fig4, fig5a, fig5b, fig5c, preexisting,
+// headline, faulttypes, jitter, trunks, clos3, blocking, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"flowpulse/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5a|fig5b|fig5c|preexisting|headline|faulttypes|jitter|trunks|clos3|blocking|ablation|all)")
+		quick  = flag.Bool("quick", false, "scaled-down configuration (smaller fabric and collectives)")
+		sizeMB = flag.Int64("size", 0, "override collective size per rank in MiB")
+		drop   = flag.Float64("drop", 0, "override injected drop rate (headline)")
+		trials = flag.Int("trials", 0, "override trials per configuration")
+		seed   = flag.Uint64("seed", 1, "root random seed")
+		csvDir = flag.String("csv", "", "also write plottable results as CSV files into this directory")
+	)
+	flag.Parse()
+
+	runs := map[string]func() (fmt.Stringer, error){
+		"fig2": func() (fmt.Stringer, error) {
+			cfg := experiments.Fig2Config{Seed: *seed}
+			if *quick {
+				cfg.Leaves, cfg.Spines, cfg.FlowBytes = 8, 4, 4<<20
+			}
+			if *sizeMB > 0 {
+				cfg.FlowBytes = *sizeMB << 20
+			}
+			return experiments.Fig2(cfg)
+		},
+		"fig3": func() (fmt.Stringer, error) {
+			cfg := experiments.Fig3Config{Seed: *seed}
+			if *quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank = 8, 4, 4<<20
+			}
+			if *sizeMB > 0 {
+				cfg.BytesPerRank = *sizeMB << 20
+			}
+			return experiments.Fig3(cfg)
+		},
+		"fig4": func() (fmt.Stringer, error) {
+			cfg := experiments.Fig4Config{Seed: *seed, Trials: *trials}
+			if *quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 16<<20, 1
+			}
+			return experiments.Fig4(cfg)
+		},
+		"fig5a": func() (fmt.Stringer, error) {
+			cfg := experiments.Fig5aConfig{Trials: *trials}
+			cfg.Scenario.Seed = *seed
+			if *quick {
+				cfg.Scenario.Leaves, cfg.Scenario.Spines = 8, 4
+				cfg.Scenario.BytesPerRank = 4 << 20
+				cfg.Trials = 1
+			}
+			if *sizeMB > 0 {
+				cfg.Scenario.BytesPerRank = *sizeMB << 20
+			}
+			return experiments.Fig5a(cfg)
+		},
+		"fig5b": func() (fmt.Stringer, error) {
+			cfg := experiments.Fig5bConfig{Seed: *seed, Trials: *trials}
+			if *quick {
+				cfg.Radixes = []int{8, 16}
+				cfg.BytesPerRank = 4 << 20
+				cfg.Trials = 1
+			}
+			if *sizeMB > 0 {
+				cfg.BytesPerRank = *sizeMB << 20
+			}
+			return experiments.Fig5b(cfg)
+		},
+		"fig5c": func() (fmt.Stringer, error) {
+			cfg := experiments.Fig5cConfig{Seed: *seed, Trials: *trials}
+			if *quick {
+				cfg.Leaves, cfg.Spines = 8, 4
+				cfg.Sizes = []int64{1 << 20, 8 << 20}
+				cfg.Trials = 1
+			}
+			return experiments.Fig5c(cfg)
+		},
+		"preexisting": func() (fmt.Stringer, error) {
+			cfg := experiments.PreExistingConfig{Seed: *seed, Trials: *trials}
+			if *quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank = 8, 4, 8<<20
+				cfg.Counts = []int{0, 2, 4}
+				cfg.Trials = 1
+			}
+			return experiments.PreExisting(cfg)
+		},
+		"headline": func() (fmt.Stringer, error) {
+			cfg := experiments.HeadlineConfig{Seed: *seed, DropRate: *drop}
+			if *quick {
+				cfg.BytesPerRank = 16 << 20
+			}
+			if *sizeMB > 0 {
+				cfg.BytesPerRank = *sizeMB << 20
+			}
+			return experiments.Headline(cfg)
+		},
+		"faulttypes": func() (fmt.Stringer, error) {
+			cfg := experiments.FaultTypesConfig{Seed: *seed, Trials: *trials}
+			if *quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
+			}
+			if *sizeMB > 0 {
+				cfg.BytesPerRank = *sizeMB << 20
+			}
+			return experiments.FaultTypes(cfg)
+		},
+		"jitter": func() (fmt.Stringer, error) {
+			cfg := experiments.JitterConfig{Seed: *seed, Trials: *trials}
+			if *quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
+			}
+			if *sizeMB > 0 {
+				cfg.BytesPerRank = *sizeMB << 20
+			}
+			return experiments.Jitter(cfg)
+		},
+		"trunks": func() (fmt.Stringer, error) {
+			cfg := experiments.TrunkConfig{Seed: *seed, Trials: *trials}
+			if *quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
+			}
+			if *sizeMB > 0 {
+				cfg.BytesPerRank = *sizeMB << 20
+			}
+			return experiments.Trunks(cfg)
+		},
+		"clos3": func() (fmt.Stringer, error) {
+			cfg := experiments.Clos3Config{Seed: *seed}
+			if *quick {
+				cfg.Pods, cfg.LeavesPerPod, cfg.SpinesPerPod, cfg.CoresPerGroup = 2, 4, 2, 2
+				cfg.Iterations, cfg.InjectAt = 8, 4
+			}
+			if *sizeMB > 0 {
+				cfg.BytesPerRank = *sizeMB << 20
+			}
+			return experiments.Clos3(cfg)
+		},
+		"blocking": func() (fmt.Stringer, error) {
+			cfg := experiments.BlockingConfig{Seed: *seed, Trials: *trials}
+			if *quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
+			}
+			if *sizeMB > 0 {
+				cfg.BytesPerRank = *sizeMB << 20
+			}
+			return experiments.Blocking(cfg)
+		},
+		"ablation": func() (fmt.Stringer, error) {
+			cfg := experiments.AblationConfig{Seed: *seed}
+			if *quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank = 8, 4, 4<<20
+			}
+			if *sizeMB > 0 {
+				cfg.BytesPerRank = *sizeMB << 20
+			}
+			return experiments.Ablation(cfg)
+		},
+	}
+	order := []string{"fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "preexisting", "headline", "faulttypes", "jitter", "trunks", "clos3", "blocking", "ablation"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		if _, ok := runs[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n", *exp, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		selected = []string{*exp}
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		res, err := runs[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Print(res.String())
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if c, ok := res.(interface{ CSV() string }); ok {
+				path := filepath.Join(*csvDir, name+".csv")
+				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+}

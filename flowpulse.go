@@ -1,0 +1,256 @@
+// Package flowpulse is a library reproduction of "FlowPulse: Catching
+// Network Failures in ML Clusters" (HotNets '25): rapid, low-overhead
+// detection of silent network faults in per-packet-spraying training
+// fabrics, by checking the temporal symmetry of per-port traffic
+// volumes during repeated collectives.
+//
+// The package bundles a packet-level simulator of a lossless Ethernet
+// fat tree (the evaluation substrate), NCCL-style ring collectives, a
+// RoCE-like transport, and the FlowPulse system itself: in-switch
+// telemetry, three load-prediction models, threshold detection, and
+// link localization.
+//
+// Quick start:
+//
+//	cluster, _ := flowpulse.New(flowpulse.Scenario{
+//		Leaves: 32, Spines: 16, BytesPerRank: 16 << 20, Iterations: 6,
+//	})
+//	mon, _ := cluster.Monitor(flowpulse.MonitorConfig{})
+//	cluster.BreakLink(flowpulse.Link{LeafOrd: 3, SpineOrd: 1}, 0.015)
+//	cluster.Train(nil)
+//	for _, e := range mon.Events() {
+//		fmt.Println(e.Alert, e.Verdict)
+//	}
+package flowpulse
+
+import (
+	"fmt"
+
+	"flowpulse/internal/core"
+	"flowpulse/internal/detect"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/localize"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/transport"
+)
+
+// Scenario describes the simulated cluster and training workload; see
+// the field documentation on core.Scenario. The zero value is the
+// paper's evaluation setup: a 32-leaf × 16-spine non-blocking fat
+// tree, one GPU host per leaf, Ring-AllReduce over all hosts,
+// adaptive per-packet spraying, lossless PFC Ethernet at 400 Gb/s.
+type Scenario = core.Scenario
+
+// Link names a leaf-spine link by (leaf ordinal, spine ordinal, trunk).
+type Link = core.LeafSpineLink
+
+// Event is one fault detection with its localization verdict.
+type Event = core.Event
+
+// Alert is a single port's deviation beyond the detection threshold.
+type Alert = detect.Alert
+
+// Verdict is the localizer's attribution of an alert to link(s).
+type Verdict = localize.Verdict
+
+// Window is one leaf's measurement of one collective iteration.
+type Window = telemetry.Window
+
+// Duration is simulated time (picoseconds); use the sim constants
+// re-exported below.
+type Duration = sim.Duration
+
+// Convenient duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// CollectiveKind names a workload pattern for Scenario.Collective.
+type CollectiveKind = core.CollectiveKind
+
+// Collective kinds for Scenario.Collective.
+const (
+	RingAllReduce = core.RingAllReduce
+	ReduceScatter = core.ReduceScatter
+	AllGather     = core.AllGatherKind
+	AllToAll      = core.AllToAllKind
+)
+
+// PredictorKind selects the load model (§5.2).
+type PredictorKind = core.PredictorKind
+
+// The three load models of §5.2.
+const (
+	Analytical PredictorKind = core.AnalyticalModel
+	Simulation PredictorKind = core.SimulationModel
+	Learned    PredictorKind = core.LearnedModel
+)
+
+// MonitorConfig tunes the FlowPulse deployment on a cluster.
+type MonitorConfig struct {
+	// Predictor selects the load model; defaults to Analytical (the
+	// paper's evaluation choice).
+	Predictor PredictorKind
+	// Threshold is the detection threshold; defaults to the paper's 1%.
+	Threshold float64
+	// ReferenceIterations sizes the reference run for the Simulation
+	// model (default 3).
+	ReferenceIterations int
+	// OnEvent streams detections as they happen.
+	OnEvent func(e Event)
+}
+
+// Cluster is a simulated training cluster: fabric, transport,
+// collective workload, and (optionally) a FlowPulse monitor.
+type Cluster struct {
+	rt  *core.Runtime
+	sys *core.System
+}
+
+// New builds a cluster from a scenario.
+func New(sc Scenario) (*Cluster, error) {
+	rt, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{rt: rt}, nil
+}
+
+// Monitor deploys FlowPulse on every leaf switch. Call it before
+// Train. Deploying twice is an error.
+func (c *Cluster) Monitor(cfg MonitorConfig) (*Monitor, error) {
+	if c.sys != nil {
+		return nil, fmt.Errorf("flowpulse: monitor already attached")
+	}
+	coreCfg := core.Config{
+		Net:    c.rt.Net,
+		Stack:  c.rt.Stack,
+		Demand: c.rt.Coll.Demand(),
+		Kind:   cfg.Predictor,
+		Job:    int(c.rt.Scenario.Job),
+		Detect: detect.Config{Threshold: cfg.Threshold},
+		OnEvent: func(e Event) {
+			if cfg.OnEvent != nil {
+				cfg.OnEvent(e)
+			}
+		},
+	}
+	if coreCfg.Kind == "" {
+		coreCfg.Kind = core.AnalyticalModel
+	}
+	if coreCfg.Kind == core.SimulationModel {
+		iters := cfg.ReferenceIterations
+		if iters == 0 {
+			iters = 3
+		}
+		ref, err := core.ReferenceRun(c.rt.Scenario, iters)
+		if err != nil {
+			return nil, err
+		}
+		coreCfg.ReferenceWindows = ref
+	}
+	sys, err := core.Attach(coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	c.sys = sys
+	return &Monitor{sys: sys}, nil
+}
+
+// BreakLink injects a silent Bernoulli packet-drop fault on the
+// downstream (spine→leaf) direction of a link. Routing does not react:
+// the fault is silent.
+func (c *Cluster) BreakLink(l Link, dropRate float64) { c.rt.InjectSilentDrop(l, dropRate) }
+
+// BreakLinkUpstream faults the leaf→spine direction instead.
+func (c *Cluster) BreakLinkUpstream(l Link, dropRate float64) {
+	c.rt.InjectSilentDropUpstream(l, dropRate)
+}
+
+// HealLink removes silent faults from a link.
+func (c *Cluster) HealLink(l Link) { c.rt.ClearSilent(l) }
+
+// DisconnectLink administratively removes a link: routing reconverges
+// around it, exactly like a switch OS disabling a detected-faulty
+// port. FlowPulse's analytical model reads the updated routing state
+// only if the monitor is attached afterwards (known faults at job
+// start, as in §6).
+func (c *Cluster) DisconnectLink(l Link) { c.rt.Net.SetLinkAdmin(c.rt.Link(l), false) }
+
+// Train runs the scenario's training job to completion. onIteration
+// (optional) fires after each iteration with the simulated time and
+// iteration number — inject or heal faults from it to script
+// mid-training events.
+func (c *Cluster) Train(onIteration func(now Duration, iter uint32)) {
+	var cb func(sim.Time, uint32)
+	if onIteration != nil {
+		cb = func(now sim.Time, iter uint32) { onIteration(Duration(now), iter) }
+	}
+	c.rt.StartTraining(cb, nil)
+	c.rt.Engine.Run()
+	if c.sys != nil {
+		c.sys.Flush(c.rt.Engine.Now())
+	}
+}
+
+// Now returns the current simulated time.
+func (c *Cluster) Now() Duration { return Duration(c.rt.Engine.Now()) }
+
+// NetworkStats returns fabric-level packet counters.
+func (c *Cluster) NetworkStats() fabric.Stats { return c.rt.Net.Stats() }
+
+// TransportStats returns transport-level counters.
+func (c *Cluster) TransportStats() transport.Stats { return c.rt.Stack.Stats() }
+
+// Scenario returns the (defaulted) scenario the cluster was built from.
+func (c *Cluster) Scenario() Scenario { return c.rt.Scenario }
+
+// Runtime exposes the underlying simulation objects for advanced use
+// (direct fault models, custom telemetry, 3-level fabrics).
+func (c *Cluster) Runtime() *core.Runtime { return c.rt }
+
+// Monitor is a deployed FlowPulse system.
+type Monitor struct {
+	sys *core.System
+}
+
+// Events returns every detection so far, in order.
+func (m *Monitor) Events() []Event { return m.sys.Events }
+
+// Windows returns the number of measurement windows processed.
+func (m *Monitor) Windows() int { return m.sys.Windows }
+
+// IterationScores returns, per iteration, the maximum absolute
+// relative deviation observed across all leaves and ports — the
+// statistic the paper's classifier thresholds.
+func (m *Monitor) IterationScores() map[uint32]float64 { return m.sys.IterationScores() }
+
+// DetectorStats returns detector counters.
+func (m *Monitor) DetectorStats() detect.Stats { return m.sys.Detector().Stats() }
+
+// Rebaselines reports how many times the learned model replaced its
+// baseline (0 for other predictors).
+func (m *Monitor) Rebaselines() int {
+	if l := m.sys.Learned(); l != nil {
+		return l.Rebaselines
+	}
+	return 0
+}
+
+// PredictorName reports the active load model.
+func (m *Monitor) PredictorName() string { return m.sys.Predictor().Name() }
+
+// PortPrediction returns the model's expected per-uplink volume for a
+// leaf (nil while a learned model warms up).
+func (m *Monitor) PortPrediction(leafOrdinal int) []float64 {
+	if !m.sys.Predictor().Ready(leafOrdinal) {
+		return nil
+	}
+	return m.sys.Predictor().PortLoad(leafOrdinal)
+}
+
+// System exposes the underlying core.System for advanced use.
+func (m *Monitor) System() *core.System { return m.sys }

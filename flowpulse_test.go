@@ -1,0 +1,224 @@
+package flowpulse
+
+import (
+	"testing"
+)
+
+// fastScenario keeps facade tests quick: 8 leaves, 4 spines, 4 MiB.
+func fastScenario(seed uint64) Scenario {
+	return Scenario{Leaves: 8, Spines: 4, BytesPerRank: 4 << 20, Iterations: 4, Seed: seed}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	cluster, err := New(fastScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := cluster.Monitor(MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.BreakLink(Link{LeafOrd: 3, SpineOrd: 1}, 0.05)
+	cluster.Train(nil)
+
+	if len(mon.Events()) == 0 {
+		t.Fatal("no detections")
+	}
+	// Deficit alerts (negative deviation) name the faulty port;
+	// retransmit spillover may also raise surplus alerts elsewhere.
+	foundDeficit := false
+	for _, e := range mon.Events() {
+		if e.Alert.Deviation >= 0 {
+			continue
+		}
+		foundDeficit = true
+		if e.Alert.LeafOrdinal != 3 || e.Alert.Uplink != 1 {
+			t.Fatalf("deficit alert at wrong port: %v", e.Alert)
+		}
+	}
+	if !foundDeficit {
+		t.Fatal("no deficit alert at the faulty port")
+	}
+	if mon.PredictorName() != "analytical" {
+		t.Fatalf("predictor = %q", mon.PredictorName())
+	}
+	if mon.Windows() != 8*4 {
+		t.Fatalf("windows = %d", mon.Windows())
+	}
+}
+
+func TestCleanClusterSilent(t *testing.T) {
+	cluster, err := New(fastScenario(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := cluster.Monitor(MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Train(nil)
+	if len(mon.Events()) != 0 {
+		t.Fatalf("clean cluster alerted: %v", mon.Events()[0].Alert)
+	}
+	st := cluster.NetworkStats()
+	if st.Sent == 0 || st.Sent != st.Delivered {
+		t.Fatalf("traffic accounting: %+v", st)
+	}
+}
+
+func TestMidTrainingInjection(t *testing.T) {
+	cluster, err := New(fastScenario(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := cluster.Monitor(MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Train(func(_ Duration, iter uint32) {
+		if iter == 2 {
+			cluster.BreakLink(Link{LeafOrd: 5, SpineOrd: 0}, 0.05)
+		}
+	})
+	events := mon.Events()
+	if len(events) == 0 {
+		t.Fatal("mid-training fault not detected")
+	}
+	if events[0].Alert.Iter != 3 {
+		t.Fatalf("first alert in iteration %d, want 3", events[0].Alert.Iter)
+	}
+}
+
+func TestHealLink(t *testing.T) {
+	cluster, err := New(Scenario{Leaves: 8, Spines: 4, BytesPerRank: 4 << 20, Iterations: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := cluster.Monitor(MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Link{LeafOrd: 2, SpineOrd: 3}
+	cluster.BreakLink(target, 0.05)
+	cluster.Train(func(_ Duration, iter uint32) {
+		if iter == 3 {
+			cluster.HealLink(target)
+		}
+	})
+	sawLate := false
+	for _, e := range mon.Events() {
+		if e.Alert.Iter > 4 {
+			sawLate = true
+		}
+	}
+	if sawLate {
+		t.Fatal("alerts continued after the fault healed")
+	}
+	if len(mon.Events()) == 0 {
+		t.Fatal("fault phase never alerted")
+	}
+}
+
+func TestDisconnectKnownFault(t *testing.T) {
+	cluster, err := New(fastScenario(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known fault BEFORE monitoring: the model must absorb it.
+	cluster.DisconnectLink(Link{LeafOrd: 1, SpineOrd: 2})
+	mon, err := cluster.Monitor(MonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Train(nil)
+	if len(mon.Events()) != 0 {
+		t.Fatalf("known fault raised alerts: %v", mon.Events()[0].Alert)
+	}
+	// The model predicts zero on the disconnected port.
+	pred := mon.PortPrediction(1)
+	if pred == nil || pred[2] != 0 {
+		t.Fatalf("prediction does not reflect the known fault: %v", pred)
+	}
+}
+
+func TestSimulationPredictorFacade(t *testing.T) {
+	cluster, err := New(fastScenario(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := cluster.Monitor(MonitorConfig{Predictor: Simulation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.BreakLink(Link{LeafOrd: 4, SpineOrd: 2}, 0.05)
+	cluster.Train(nil)
+	if len(mon.Events()) == 0 {
+		t.Fatal("simulation predictor missed the fault")
+	}
+	if mon.PredictorName() != "simulation" {
+		t.Fatalf("predictor = %q", mon.PredictorName())
+	}
+}
+
+func TestLearnedPredictorFacade(t *testing.T) {
+	sc := fastScenario(7)
+	sc.Iterations = 10
+	cluster, err := New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := cluster.Monitor(MonitorConfig{Predictor: Learned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Link{LeafOrd: 6, SpineOrd: 1}
+	cluster.BreakLink(target, 0.2) // transient, present during warmup
+	cluster.Train(func(_ Duration, iter uint32) {
+		if iter == 5 {
+			cluster.HealLink(target)
+		}
+	})
+	if mon.Rebaselines() == 0 {
+		t.Fatal("learned model never re-baselined")
+	}
+}
+
+func TestMonitorTwiceFails(t *testing.T) {
+	cluster, err := New(fastScenario(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Monitor(MonitorConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Monitor(MonitorConfig{}); err == nil {
+		t.Fatal("second Monitor call succeeded")
+	}
+}
+
+func TestCustomThreshold(t *testing.T) {
+	cluster, err := New(fastScenario(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A huge threshold suppresses detection of a modest fault.
+	mon, err := cluster.Monitor(MonitorConfig{Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.BreakLink(Link{LeafOrd: 3, SpineOrd: 1}, 0.05)
+	cluster.Train(nil)
+	if len(mon.Events()) != 0 {
+		t.Fatal("50% threshold still alerted on a 5% fault")
+	}
+	// But the scores still show it.
+	found := false
+	for _, s := range mon.IterationScores() {
+		if s > 0.01 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("iteration scores lost the deviation")
+	}
+}

@@ -1,0 +1,3 @@
+module flowpulse
+
+go 1.24

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"flowpulse/internal/collective"
+	"flowpulse/internal/detect"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/fault"
+	"flowpulse/internal/predict"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
+	"flowpulse/internal/transport"
+	"flowpulse/internal/workload"
+)
+
+// Clos3Scenario describes a three-level Clos experiment — the §7
+// "Network Topology" extension: FlowPulse deployed at both leaf and
+// spine levels to monitor spine→leaf and core→spine links.
+type Clos3Scenario struct {
+	// Pods, LeavesPerPod, SpinesPerPod, CoresPerGroup shape the fabric
+	// (defaults 4 pods × 4 leaves × 2 spines, 4 cores per group).
+	Pods, LeavesPerPod, SpinesPerPod, CoresPerGroup int
+	// BytesPerRank is the Ring-AllReduce size per rank (default 8 MiB).
+	BytesPerRank int64
+	// Iterations (default 10 — the learned model needs warm-up).
+	Iterations int
+	// ComputeGap and JitterMax as in Scenario.
+	ComputeGap, JitterMax sim.Duration
+	// Job id.
+	Job uint16
+	// Seed roots the randomness.
+	Seed uint64
+}
+
+func (sc *Clos3Scenario) setDefaults() {
+	if sc.Pods == 0 {
+		sc.Pods = 4
+	}
+	if sc.LeavesPerPod == 0 {
+		sc.LeavesPerPod = 4
+	}
+	if sc.SpinesPerPod == 0 {
+		sc.SpinesPerPod = 2
+	}
+	if sc.CoresPerGroup == 0 {
+		sc.CoresPerGroup = 4
+	}
+	if sc.BytesPerRank == 0 {
+		sc.BytesPerRank = 8 << 20
+	}
+	if sc.Iterations == 0 {
+		sc.Iterations = 10
+	}
+}
+
+// Clos3Runtime is a built three-level scenario.
+type Clos3Runtime struct {
+	Scenario Clos3Scenario
+	Topo     *topology.Topology
+	Engine   *sim.Engine
+	Net      *fabric.Network
+	Stack    *transport.Stack
+	Group    []topology.HostID
+	Coll     collective.Collective
+}
+
+// Build constructs the three-level fabric and workload.
+func (sc Clos3Scenario) Build() (*Clos3Runtime, error) {
+	sc.setDefaults()
+	topo, err := topology.NewClos3(topology.Clos3Config{
+		Pods: sc.Pods, LeavesPerPod: sc.LeavesPerPod,
+		SpinesPerPod: sc.SpinesPerPod, CoresPerGroup: sc.CoresPerGroup,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	net, err := fabric.New(fabric.Config{Topo: topo, Engine: eng, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	stack := transport.NewStack(net, transport.Config{})
+	group := make([]topology.HostID, len(topo.Hosts))
+	for i := range group {
+		group[i] = topology.HostID(i)
+	}
+	coll := &collective.RingAllReduce{Group: group, BytesPerRank: sc.BytesPerRank}
+	return &Clos3Runtime{Scenario: sc, Topo: topo, Engine: eng, Net: net, Stack: stack, Group: group, Coll: coll}, nil
+}
+
+// InjectSpineLeafDrop silently faults a spine→leaf link (detected by
+// the LEAF monitors).
+func (rt *Clos3Runtime) InjectSpineLeafDrop(pod, leafInPod, spineInPod int, rate float64) topology.LinkID {
+	leaf := rt.Topo.LeavesOfPod(pod)[leafInPod]
+	spine := rt.Topo.SpinesOfPod(pod)[spineInPod]
+	link := rt.Topo.TrunkLinks(spine, leaf)[0]
+	rt.Net.InjectFault(link, rt.Net.DirToward(link, leaf),
+		fault.NewBernoulliDrop(rate, sim.NewRNG(rt.Scenario.Seed, fmt.Sprintf("c3sl/%d", link))))
+	return link
+}
+
+// InjectCoreSpineDrop silently faults a core→spine link (detected by
+// the SPINE monitors — the level a two-level deployment cannot see).
+func (rt *Clos3Runtime) InjectCoreSpineDrop(pod, spineInPod, coreInGroup int, rate float64) topology.LinkID {
+	spine := rt.Topo.SpinesOfPod(pod)[spineInPod]
+	spineOrd := -1
+	for i, s := range rt.Topo.SpinesOfPod(pod) {
+		if s == spine {
+			spineOrd = i
+		}
+	}
+	core := rt.Topo.Cores()[spineOrd*rt.Scenario.CoresPerGroup+coreInGroup]
+	link := rt.Topo.TrunkLinks(spine, core)[0]
+	rt.Net.InjectFault(link, rt.Net.DirToward(link, spine),
+		fault.NewBernoulliDrop(rate, sim.NewRNG(rt.Scenario.Seed, fmt.Sprintf("c3cs/%d", link))))
+	return link
+}
+
+// StartTraining launches the ring job.
+func (rt *Clos3Runtime) StartTraining(onIter func(now sim.Time, iter uint32)) *workload.Job {
+	return workload.StartJob(rt.Stack, workload.JobConfig{
+		Job:        rt.Scenario.Job,
+		Collective: rt.Coll,
+		Iterations: rt.Scenario.Iterations,
+		ComputeGap: rt.Scenario.ComputeGap,
+		JitterMax:  rt.Scenario.JitterMax,
+		Priority:   fabric.High,
+		Sentinel:   true,
+		Seed:       rt.Scenario.Seed,
+		OnIteration: func(now sim.Time, iter uint32, _ *collective.Result) {
+			if onIter != nil {
+				onIter(now, iter)
+			}
+		},
+	})
+}
+
+// Clos3System is FlowPulse deployed at both levels of a three-level
+// Clos. Both levels use the learned load model: §5.2's analytical
+// model is specific to the two-level spray geometry, while the
+// measurement-based baseline works at any level unchanged.
+type Clos3System struct {
+	collector *telemetry.Clos3Collector
+
+	leafPred  *predict.Learned
+	spinePred *predict.Learned
+	leafDet   *detect.Detector
+	spineDet  *detect.Detector
+
+	// LeafEvents and SpineEvents accumulate detections per level.
+	LeafEvents  []detect.Alert
+	SpineEvents []detect.Alert
+	// Windows counts processed windows across both levels.
+	Windows int
+}
+
+// AttachClos3 deploys both monitor levels with learned baselines.
+func AttachClos3(rt *Clos3Runtime, det detect.Config, learned predict.LearnedConfig) *Clos3System {
+	s := &Clos3System{
+		leafPred:  predict.NewLearned(len(rt.Topo.Leaves()), learned),
+		spinePred: predict.NewLearned(len(rt.Topo.Spines()), learned),
+	}
+	s.leafDet = detect.New(rt.Topo, s.leafPred, det)
+	s.spineDet = detect.New(rt.Topo, s.spinePred, det)
+	s.collector = telemetry.AttachClos3(rt.Net, int(rt.Scenario.Job), s.onWindow)
+	return s
+}
+
+func (s *Clos3System) onWindow(w *telemetry.Window) {
+	s.Windows++
+	wc := w.Clone()
+	if wc.SwitchKind == topology.Spine {
+		s.SpineEvents = append(s.SpineEvents, s.spineDet.Check(wc)...)
+		s.spinePred.Observe(wc)
+		return
+	}
+	s.LeafEvents = append(s.LeafEvents, s.leafDet.Check(wc)...)
+	s.leafPred.Observe(wc)
+}
+
+// Flush closes all open windows.
+func (s *Clos3System) Flush(now sim.Time) { s.collector.FlushAll(now) }
+
+// LeafDetector and SpineDetector expose the per-level detectors.
+func (s *Clos3System) LeafDetector() *detect.Detector  { return s.leafDet }
+func (s *Clos3System) SpineDetector() *detect.Detector { return s.spineDet }

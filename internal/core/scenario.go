@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"flowpulse/internal/collective"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/fault"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/spray"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
+	"flowpulse/internal/transport"
+	"flowpulse/internal/workload"
+)
+
+// CollectiveKind names the workload patterns a Scenario can run.
+type CollectiveKind string
+
+// Supported collective kinds.
+const (
+	RingAllReduce CollectiveKind = "ring-allreduce"
+	ReduceScatter CollectiveKind = "reduce-scatter"
+	AllGatherKind CollectiveKind = "all-gather"
+	AllToAllKind  CollectiveKind = "all-to-all"
+)
+
+// LeafSpineLink names a leaf-spine link by ordinals (stable across
+// rebuilds of the same scenario, unlike raw LinkIDs).
+type LeafSpineLink struct {
+	LeafOrd, SpineOrd, Trunk int
+}
+
+// Scenario is a complete, reproducible experiment description: build
+// the same Scenario twice and the fabrics are identical (the
+// simulation-based predictor depends on this).
+type Scenario struct {
+	// Leaves, Spines, HostsPerLeaf, Trunk shape the fat tree.
+	// Defaults: the paper's 32×16, one host per leaf, single links.
+	Leaves, Spines, HostsPerLeaf, Trunk int
+	// LinkRateBPS defaults to 400 Gb/s.
+	LinkRateBPS int64
+	// Spray selects the load-balancing policy (default least-loaded).
+	Spray spray.Kind
+	// Transport tunes the RoCE-like transport.
+	Transport transport.Config
+	// Collective selects the workload (default RingAllReduce).
+	Collective CollectiveKind
+	// BytesPerRank is the collective size D (default 4 MiB).
+	BytesPerRank int64
+	// Iterations is the training length (default 8).
+	Iterations int
+	// ComputeGap and JitterMax shape the iteration timing.
+	ComputeGap, JitterMax sim.Duration
+	// PreExisting lists disconnected (known-faulty) links.
+	PreExisting []LeafSpineLink
+	// Background, when positive, runs a Low-priority random-pair
+	// traffic generator with this mean inter-message gap. Background
+	// load does not enter the measurement (it is untagged and
+	// deprioritized, §5.1) but it does perturb the spray decisions the
+	// collective's packets see — the realistic noise source behind
+	// nonzero false-positive rates at low thresholds.
+	Background sim.Duration
+	// BackgroundBytes is the background message payload (default 64 KiB).
+	BackgroundBytes int
+	// Job is the training job id.
+	Job uint16
+	// Seed roots every random stream in the scenario.
+	Seed uint64
+}
+
+func (sc *Scenario) setDefaults() {
+	if sc.Leaves == 0 {
+		sc.Leaves = 32
+	}
+	if sc.Spines == 0 {
+		sc.Spines = 16
+	}
+	if sc.HostsPerLeaf == 0 {
+		sc.HostsPerLeaf = 1
+	}
+	if sc.Trunk == 0 {
+		sc.Trunk = 1
+	}
+	if sc.Collective == "" {
+		sc.Collective = RingAllReduce
+	}
+	if sc.BytesPerRank == 0 {
+		sc.BytesPerRank = 4 << 20
+	}
+	if sc.Iterations == 0 {
+		sc.Iterations = 8
+	}
+	// The paper's 5 µs retransmission timeout assumes the ring's
+	// single-sender-per-leaf property (§5.1): no fan-in, so queueing
+	// never approaches the timeout. All-to-all concentrates several
+	// senders on one downlink, where tens of microseconds of
+	// legitimate queueing would otherwise read as loss and flood the
+	// fabric with duplicates (the paper defers congestion control and
+	// dynamic-demand collectives to future work, §7).
+	if sc.Transport.RTO == 0 && sc.Collective == AllToAllKind {
+		sc.Transport.RTO = 100 * sim.Microsecond
+	}
+}
+
+// Runtime is a built scenario: the live simulation objects.
+type Runtime struct {
+	Scenario Scenario
+	Topo     *topology.Topology
+	Engine   *sim.Engine
+	Net      *fabric.Network
+	Stack    *transport.Stack
+	Group    []topology.HostID
+	Coll     collective.Collective
+
+	bg *workload.Background
+}
+
+// Build constructs the fabric, transport, and collective for a
+// scenario, applying pre-existing faults as administrative
+// disconnections (routing converges around them before training
+// starts, as in §6).
+func (sc Scenario) Build() (*Runtime, error) {
+	sc.setDefaults()
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{
+		Leaves: sc.Leaves, Spines: sc.Spines, HostsPerLeaf: sc.HostsPerLeaf,
+		Trunk: sc.Trunk, LinkRateBPS: sc.LinkRateBPS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	net, err := fabric.New(fabric.Config{Topo: topo, Engine: eng, Spray: sc.Spray, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	for _, pf := range sc.PreExisting {
+		link, err := resolveLink(topo, pf)
+		if err != nil {
+			return nil, err
+		}
+		net.SetLinkAdmin(link, false)
+	}
+	stack := transport.NewStack(net, sc.Transport)
+
+	group := make([]topology.HostID, len(topo.Hosts))
+	for i := range group {
+		group[i] = topology.HostID(i)
+	}
+	var coll collective.Collective
+	switch sc.Collective {
+	case RingAllReduce:
+		coll = &collective.RingAllReduce{Group: group, BytesPerRank: sc.BytesPerRank}
+	case ReduceScatter:
+		coll = &collective.ReduceScatter{Group: group, BytesPerRank: sc.BytesPerRank}
+	case AllGatherKind:
+		coll = &collective.AllGather{Group: group, BytesPerRank: sc.BytesPerRank}
+	case AllToAllKind:
+		coll = &collective.AllToAll{Group: group, BytesPerPair: sc.BytesPerRank / int64(len(group)-1)}
+	default:
+		return nil, fmt.Errorf("core: unknown collective %q", sc.Collective)
+	}
+	return &Runtime{Scenario: sc, Topo: topo, Engine: eng, Net: net, Stack: stack, Group: group, Coll: coll}, nil
+}
+
+func resolveLink(topo *topology.Topology, ref LeafSpineLink) (topology.LinkID, error) {
+	if ref.LeafOrd < 0 || ref.LeafOrd >= len(topo.Leaves()) ||
+		ref.SpineOrd < 0 || ref.SpineOrd >= len(topo.Spines()) {
+		return 0, fmt.Errorf("core: link %+v outside topology", ref)
+	}
+	trunks := topo.TrunkLinks(topo.Leaves()[ref.LeafOrd], topo.Spines()[ref.SpineOrd])
+	if ref.Trunk < 0 || ref.Trunk >= len(trunks) {
+		return 0, fmt.Errorf("core: trunk %d of %+v outside range", ref.Trunk, ref)
+	}
+	return trunks[ref.Trunk], nil
+}
+
+// Link resolves a leaf-spine link reference against this runtime.
+func (rt *Runtime) Link(ref LeafSpineLink) topology.LinkID {
+	link, err := resolveLink(rt.Topo, ref)
+	if err != nil {
+		panic(err)
+	}
+	return link
+}
+
+// InjectSilentDrop attaches a Bernoulli drop process to the downstream
+// (spine→leaf) direction of the referenced link — §6's "configure a
+// single leaf-spine link to drop packets at a set rate".
+func (rt *Runtime) InjectSilentDrop(ref LeafSpineLink, rate float64) {
+	link := rt.Link(ref)
+	leaf := rt.Topo.Leaves()[ref.LeafOrd]
+	rt.Net.InjectFault(link, rt.Net.DirToward(link, leaf),
+		fault.NewBernoulliDrop(rate, sim.NewRNG(rt.Scenario.Seed, fmt.Sprintf("silent/%d", link))))
+}
+
+// InjectSilentDropUpstream faults the leaf→spine direction instead —
+// the "remote link" case of Fig 4 as seen by downstream receivers.
+func (rt *Runtime) InjectSilentDropUpstream(ref LeafSpineLink, rate float64) {
+	link := rt.Link(ref)
+	spine := rt.Topo.Spines()[ref.SpineOrd]
+	rt.Net.InjectFault(link, rt.Net.DirToward(link, spine),
+		fault.NewBernoulliDrop(rate, sim.NewRNG(rt.Scenario.Seed, fmt.Sprintf("silentup/%d", link))))
+}
+
+// ClearSilent removes silent faults from the referenced link.
+func (rt *Runtime) ClearSilent(ref LeafSpineLink) { rt.Net.ClearFault(rt.Link(ref)) }
+
+// StartTraining launches the scenario's training job (plus the
+// background generator when the scenario asks for one).
+func (rt *Runtime) StartTraining(onIter func(now sim.Time, iter uint32), onDone func(now sim.Time)) *workload.Job {
+	if rt.Scenario.Background > 0 && rt.bg == nil {
+		rt.bg = workload.StartBackground(rt.Stack, workload.BackgroundConfig{
+			Hosts:        rt.Group,
+			MessageBytes: rt.Scenario.BackgroundBytes,
+			MeanGap:      rt.Scenario.Background,
+			Seed:         rt.Scenario.Seed + 1,
+		})
+	}
+	job := workload.StartJob(rt.Stack, workload.JobConfig{
+		Job:        rt.Scenario.Job,
+		Collective: rt.Coll,
+		Iterations: rt.Scenario.Iterations,
+		ComputeGap: rt.Scenario.ComputeGap,
+		JitterMax:  rt.Scenario.JitterMax,
+		Priority:   fabric.High,
+		Sentinel:   true,
+		Seed:       rt.Scenario.Seed,
+		OnIteration: func(now sim.Time, iter uint32, _ *collective.Result) {
+			if onIter != nil {
+				onIter(now, iter)
+			}
+		},
+		OnDone: func(now sim.Time) {
+			if rt.bg != nil {
+				rt.bg.Stop()
+			}
+			if onDone != nil {
+				onDone(now)
+			}
+		},
+	})
+	return job
+}
+
+// ReferenceRun produces the simulation-based predictor's input: it
+// rebuilds the scenario from scratch — same topology, same known
+// faults, same seed, NO silent faults — runs the given number of
+// iterations, and returns every closed telemetry window. This is the
+// paper's "simulation before every training job" (§5.2).
+func ReferenceRun(sc Scenario, iterations int) ([]*telemetry.Window, error) {
+	sc.setDefaults()
+	if iterations > 0 {
+		sc.Iterations = iterations
+	}
+	rt, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	var windows []*telemetry.Window
+	coll := telemetry.AttachAll(rt.Net, int(sc.Job), func(w *telemetry.Window) {
+		windows = append(windows, w.Clone())
+	})
+	rt.StartTraining(nil, nil)
+	rt.Engine.Run()
+	coll.FlushAll(rt.Engine.Now()) // close the final iteration's windows
+	return windows, nil
+}

@@ -1,0 +1,196 @@
+// Package core assembles FlowPulse (§5, Fig 1): per-leaf telemetry
+// monitors feeding a load model, a deviation detector, and a
+// localizer — continuous, in-switch, coordination-free monitoring of a
+// training job for silent network faults.
+package core
+
+import (
+	"fmt"
+
+	"flowpulse/internal/collective"
+	"flowpulse/internal/detect"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/localize"
+	"flowpulse/internal/predict"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/transport"
+)
+
+// PredictorKind selects one of §5.2's load models.
+type PredictorKind string
+
+// The three prediction methods of §5.2.
+const (
+	// AnalyticalModel is the closed-form d/(s−f) model.
+	AnalyticalModel PredictorKind = "analytical"
+	// SimulationModel replays a reference simulation with known faults
+	// only.
+	SimulationModel PredictorKind = "simulation"
+	// LearnedModel measures the first iterations and re-baselines
+	// after transient faults heal.
+	LearnedModel PredictorKind = "learned"
+)
+
+// Event is one detection, optionally localized.
+type Event struct {
+	Alert   detect.Alert
+	Verdict localize.Verdict
+}
+
+// Config assembles a System.
+type Config struct {
+	// Net and Stack are the fabric and transport under observation.
+	Net   *fabric.Network
+	Stack *transport.Stack
+	// Demand is the measured collective's demand matrix (required for
+	// the analytical model; used by all for localization references).
+	Demand *collective.DemandMatrix
+	// Kind selects the load model. Defaults to AnalyticalModel.
+	Kind PredictorKind
+	// ReferenceWindows feed the simulation model (see ReferenceRun).
+	ReferenceWindows []*telemetry.Window
+	// Learned tunes the learned model.
+	Learned predict.LearnedConfig
+	// Detect tunes the detector (threshold defaults to the paper's 1%).
+	Detect detect.Config
+	// Job filters measurement to one job id; telemetry.JobAny measures
+	// all sentinel-tagged traffic.
+	Job int
+	// OnEvent receives every localized detection as it happens.
+	OnEvent func(e Event)
+	// OnWindow receives every closed window after scoring but before
+	// the learned model observes it — the hook experiment harnesses use
+	// to snapshot the baseline in effect when the window was checked.
+	OnWindow func(ws WindowScore)
+}
+
+// System is a running FlowPulse deployment over one network.
+type System struct {
+	cfg       Config
+	collector *telemetry.Collector
+	detector  *detect.Detector
+	localizer *localize.Localizer
+	learned   *predict.Learned // nil unless Kind == LearnedModel
+	pred      predict.Predictor
+
+	// Events accumulates every detection with its localization.
+	Events []Event
+	// Windows counts closed windows processed.
+	Windows int
+	// Scores holds (per closed window, in arrival order) the max
+	// absolute deviation and the window itself — the ROC analysis
+	// input.
+	Scores []WindowScore
+}
+
+// WindowScore pairs a window with its detector score.
+type WindowScore struct {
+	Window *telemetry.Window
+	Score  float64
+	// Scored is false while the model is warming up.
+	Scored bool
+}
+
+// Attach deploys FlowPulse on a network. It registers telemetry hooks
+// on every leaf; the caller then runs the workload and reads Events.
+func Attach(cfg Config) (*System, error) {
+	if cfg.Net == nil || cfg.Stack == nil {
+		return nil, fmt.Errorf("core: Config.Net and Config.Stack are required")
+	}
+	if cfg.Kind == "" {
+		cfg.Kind = AnalyticalModel
+	}
+	topo := cfg.Net.Topology()
+
+	s := &System{cfg: cfg}
+	switch cfg.Kind {
+	case AnalyticalModel:
+		if cfg.Demand == nil {
+			return nil, fmt.Errorf("core: analytical model needs Config.Demand")
+		}
+		s.pred = predict.NewAnalytical(topo, cfg.Net, cfg.Stack, cfg.Demand)
+	case SimulationModel:
+		sp, err := predict.NewSimulation(len(topo.Leaves()), cfg.ReferenceWindows)
+		if err != nil {
+			return nil, fmt.Errorf("core: simulation model: %w", err)
+		}
+		s.pred = sp
+	case LearnedModel:
+		s.learned = predict.NewLearned(len(topo.Leaves()), cfg.Learned)
+		s.pred = s.learned
+	default:
+		return nil, fmt.Errorf("core: unknown predictor kind %q", cfg.Kind)
+	}
+
+	s.detector = detect.New(topo, s.pred, cfg.Detect)
+	s.localizer = localize.New(topo, s.detector.Threshold(), 0)
+	s.collector = telemetry.AttachAll(cfg.Net, cfg.Job, s.onWindow)
+	return s, nil
+}
+
+// MustAttach is Attach for statically valid configurations.
+func MustAttach(cfg Config) *System {
+	s, err := Attach(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Predictor returns the active load model.
+func (s *System) Predictor() predict.Predictor { return s.pred }
+
+// Detector returns the deviation detector.
+func (s *System) Detector() *detect.Detector { return s.detector }
+
+// Learned returns the learned model, or nil for other kinds.
+func (s *System) Learned() *predict.Learned { return s.learned }
+
+// Flush closes all open telemetry windows (end of training).
+func (s *System) Flush(now sim.Time) { s.collector.FlushAll(now) }
+
+// onWindow is the per-leaf window-close path: score, detect, localize,
+// then let the learned model observe.
+func (s *System) onWindow(w *telemetry.Window) {
+	s.Windows++
+	wc := w.Clone()
+	score, ok := s.detector.Score(wc)
+	ws := WindowScore{Window: wc, Score: score, Scored: ok}
+	s.Scores = append(s.Scores, ws)
+	if s.cfg.OnWindow != nil {
+		s.cfg.OnWindow(ws)
+	}
+
+	alerts := s.detector.Check(wc)
+	for _, a := range alerts {
+		e := Event{Alert: a}
+		if s.pred.Ready(a.LeafOrdinal) {
+			e.Verdict = s.localizer.Localize(a, wc, s.pred.SenderLoad(a.LeafOrdinal))
+		}
+		s.Events = append(s.Events, e)
+		if s.cfg.OnEvent != nil {
+			s.cfg.OnEvent(e)
+		}
+	}
+
+	if s.learned != nil {
+		s.learned.Observe(wc)
+	}
+}
+
+// IterationScores aggregates window scores per iteration across all
+// leaves: the system-level statistic "was any port on any leaf
+// deviant during iteration k" (the classifier the evaluation rates).
+func (s *System) IterationScores() map[uint32]float64 {
+	out := map[uint32]float64{}
+	for _, ws := range s.Scores {
+		if !ws.Scored {
+			continue
+		}
+		if ws.Score > out[ws.Window.Iter] {
+			out[ws.Window.Iter] = ws.Score
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package detect implements §5.3's fault identification: at the close
+// of every iteration window, each leaf switch compares the observed
+// per-port volume with the load model's prediction and declares a
+// fault when the relative discrepancy exceeds a threshold (1% in the
+// paper).
+package detect
+
+import (
+	"fmt"
+	"math"
+
+	"flowpulse/internal/predict"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// Threshold is the relative deviation that declares a fault.
+	// Defaults to 0.01 (the paper's 1%).
+	Threshold float64
+	// MinPredicted ignores ports whose prediction is below this many
+	// bytes — a port no model expects traffic on cannot produce a
+	// meaningful relative deviation. Observed traffic above
+	// MinPredicted on such a port still alerts (ghost traffic).
+	// Defaults to 4160 (one default-MTU packet).
+	MinPredicted float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 0.01
+	}
+	if c.MinPredicted == 0 {
+		c.MinPredicted = 4160
+	}
+}
+
+// Alert is one port's deviation beyond the threshold.
+type Alert struct {
+	// Leaf and LeafOrdinal identify the reporting switch (for
+	// spine-level monitors — the §7 three-level extension — they hold
+	// the spine's id and ordinal, with Level set to topology.Spine).
+	Leaf        topology.SwitchID
+	LeafOrdinal int
+	// Level is the reporting switch's layer (zero value: leaf).
+	Level topology.SwitchKind
+	// Uplink is the deviating ingress port (uplink index).
+	Uplink int
+	// Job and Iter identify the measured collective iteration.
+	Job  uint16
+	Iter uint32
+	// Predicted and Observed are wire-byte volumes for the window.
+	Predicted, Observed float64
+	// Deviation is the signed relative deviation
+	// (Observed−Predicted)/Predicted; ±Inf when Predicted ≈ 0.
+	Deviation float64
+	// At is the window close time.
+	At sim.Time
+}
+
+// String formats the alert for operator logs.
+func (a Alert) String() string {
+	return fmt.Sprintf("%s %d uplink %d iter %d: observed %.0fB vs predicted %.0fB (%+.2f%%)",
+		a.Level, a.LeafOrdinal, a.Uplink, a.Iter, a.Observed, a.Predicted, 100*a.Deviation)
+}
+
+// Stats counts detector activity.
+type Stats struct {
+	// WindowsChecked counts windows with an available prediction.
+	WindowsChecked uint64
+	// WindowsSkipped counts windows dropped because the predictor was
+	// not ready (learned-model warm-up).
+	WindowsSkipped uint64
+	// Alerts counts threshold crossings.
+	Alerts uint64
+}
+
+// Detector checks telemetry windows against a load model. One
+// Detector serves all leaves (state is per call; the comparison is
+// in-switch and coordination-free, exactly as each leaf would run it).
+type Detector struct {
+	cfg   Config
+	pred  predict.Predictor
+	topo  *topology.Topology
+	stats Stats
+
+	// OnAlert, when set, receives every alert as it is raised.
+	OnAlert func(a Alert)
+}
+
+// New builds a detector over a prediction model.
+func New(topo *topology.Topology, pred predict.Predictor, cfg Config) *Detector {
+	cfg.setDefaults()
+	return &Detector{cfg: cfg, pred: pred, topo: topo}
+}
+
+// Threshold returns the active detection threshold.
+func (d *Detector) Threshold() float64 { return d.cfg.Threshold }
+
+// Predictor returns the underlying load model.
+func (d *Detector) Predictor() predict.Predictor { return d.pred }
+
+// Stats returns a snapshot of detector counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// Check compares one closed window against the model and returns the
+// alerts (nil if the window is clean or the model is not ready).
+func (d *Detector) Check(w *telemetry.Window) []Alert {
+	if !d.pred.Ready(w.LeafOrdinal) {
+		d.stats.WindowsSkipped++
+		return nil
+	}
+	d.stats.WindowsChecked++
+	pred := d.pred.PortLoad(w.LeafOrdinal)
+	var alerts []Alert
+	for u, obs := range w.PortBytes {
+		dev, ok := Deviation(float64(obs), pred[u], d.cfg.MinPredicted)
+		if !ok || math.Abs(dev) <= d.cfg.Threshold {
+			continue
+		}
+		a := Alert{
+			Leaf:        w.Leaf,
+			LeafOrdinal: w.LeafOrdinal,
+			Level:       w.SwitchKind,
+			Uplink:      u,
+			Job:         w.Job,
+			Iter:        w.Iter,
+			Predicted:   pred[u],
+			Observed:    float64(obs),
+			Deviation:   dev,
+			At:          w.ClosedAt,
+		}
+		alerts = append(alerts, a)
+		d.stats.Alerts++
+		if d.OnAlert != nil {
+			d.OnAlert(a)
+		}
+	}
+	return alerts
+}
+
+// Score returns the window's maximum absolute relative deviation
+// across ports — the statistic the ROC analysis thresholds (Fig 5a).
+// ok is false when the model is not ready for the leaf.
+func (d *Detector) Score(w *telemetry.Window) (score float64, ok bool) {
+	if !d.pred.Ready(w.LeafOrdinal) {
+		return 0, false
+	}
+	pred := d.pred.PortLoad(w.LeafOrdinal)
+	for u, obs := range w.PortBytes {
+		dev, valid := Deviation(float64(obs), pred[u], d.cfg.MinPredicted)
+		if valid && math.Abs(dev) > score {
+			score = math.Abs(dev)
+		}
+	}
+	return score, true
+}
+
+// Deviation computes the signed relative deviation of observed from
+// predicted. When predicted is below minPredicted the relative measure
+// is meaningless: the port is unexpectedly loaded only if observed
+// itself exceeds minPredicted (deviation +Inf); otherwise ok is false.
+func Deviation(observed, predicted, minPredicted float64) (dev float64, ok bool) {
+	if predicted < minPredicted {
+		if observed > minPredicted {
+			return math.Inf(1), true
+		}
+		return 0, false
+	}
+	return (observed - predicted) / predicted, true
+}

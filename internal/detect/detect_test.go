@@ -1,0 +1,144 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
+)
+
+// stubPred is a fixed prediction table.
+type stubPred struct {
+	ports [][]float64
+	ready []bool
+}
+
+func (s *stubPred) Name() string                  { return "stub" }
+func (s *stubPred) Ready(lo int) bool             { return s.ready[lo] }
+func (s *stubPred) PortLoad(lo int) []float64     { return s.ports[lo] }
+func (s *stubPred) SenderLoad(lo int) [][]float64 { return nil }
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func window(lo int, iter uint32, ports []int64) *telemetry.Window {
+	return &telemetry.Window{LeafOrdinal: lo, Iter: iter, PortBytes: ports, ClosedAt: 1000}
+}
+
+func TestDetectorFlagsDeficitAndSurplus(t *testing.T) {
+	topo := testTopo(t)
+	pred := &stubPred{ports: [][]float64{{1e6, 1e6, 1e6, 1e6}}, ready: []bool{true}}
+	d := New(topo, pred, Config{Threshold: 0.01})
+
+	var seen []Alert
+	d.OnAlert = func(a Alert) { seen = append(seen, a) }
+
+	// Port 1 down 2%, port 3 up 5%, others within threshold.
+	alerts := d.Check(window(0, 7, []int64{1_000_000, 980_000, 1_005_000, 1_050_000}))
+	if len(alerts) != 2 || len(seen) != 2 {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	if alerts[0].Uplink != 1 || math.Abs(alerts[0].Deviation+0.02) > 1e-9 {
+		t.Fatalf("first alert: %+v", alerts[0])
+	}
+	if alerts[1].Uplink != 3 || math.Abs(alerts[1].Deviation-0.05) > 1e-9 {
+		t.Fatalf("second alert: %+v", alerts[1])
+	}
+	if alerts[0].Iter != 7 || alerts[0].At != 1000 {
+		t.Fatalf("alert metadata: %+v", alerts[0])
+	}
+	st := d.Stats()
+	if st.WindowsChecked != 1 || st.Alerts != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDetectorCleanWindowSilent(t *testing.T) {
+	topo := testTopo(t)
+	pred := &stubPred{ports: [][]float64{{1e6, 1e6, 1e6, 1e6}}, ready: []bool{true}}
+	d := New(topo, pred, Config{Threshold: 0.01})
+	// All within 1%.
+	if alerts := d.Check(window(0, 1, []int64{995_000, 1_004_000, 1_000_000, 999_999})); alerts != nil {
+		t.Fatalf("false alerts: %v", alerts)
+	}
+}
+
+func TestDetectorExactThresholdNotCrossed(t *testing.T) {
+	topo := testTopo(t)
+	pred := &stubPred{ports: [][]float64{{1e6}}, ready: []bool{true}}
+	d := New(topo, pred, Config{Threshold: 0.01})
+	// Exactly 1% is NOT beyond the threshold.
+	if alerts := d.Check(window(0, 1, []int64{990_000})); alerts != nil {
+		t.Fatalf("boundary crossed: %v", alerts)
+	}
+	if alerts := d.Check(window(0, 2, []int64{989_999})); len(alerts) != 1 {
+		t.Fatal("just beyond boundary not flagged")
+	}
+}
+
+func TestDetectorNotReadySkips(t *testing.T) {
+	topo := testTopo(t)
+	pred := &stubPred{ports: [][]float64{nil}, ready: []bool{false}}
+	d := New(topo, pred, Config{})
+	if alerts := d.Check(window(0, 1, []int64{123})); alerts != nil {
+		t.Fatal("unready predictor produced alerts")
+	}
+	if d.Stats().WindowsSkipped != 1 {
+		t.Fatal("skip not counted")
+	}
+}
+
+func TestDetectorGhostTraffic(t *testing.T) {
+	topo := testTopo(t)
+	pred := &stubPred{ports: [][]float64{{0, 1e6}}, ready: []bool{true}}
+	d := New(topo, pred, Config{Threshold: 0.01})
+	// Port 0 expects nothing but carries a megabyte: +Inf deviation.
+	alerts := d.Check(window(0, 1, []int64{1_000_000, 1_000_000}))
+	if len(alerts) != 1 || !math.IsInf(alerts[0].Deviation, 1) {
+		t.Fatalf("ghost traffic: %v", alerts)
+	}
+	// Port 0 expecting nothing and carrying nothing is fine.
+	if alerts := d.Check(window(0, 2, []int64{0, 1_000_000})); alerts != nil {
+		t.Fatalf("empty idle port alerted: %v", alerts)
+	}
+}
+
+func TestScoreIsMaxAbsDeviation(t *testing.T) {
+	topo := testTopo(t)
+	pred := &stubPred{ports: [][]float64{{1e6, 1e6, 1e6, 1e6}}, ready: []bool{true}}
+	d := New(topo, pred, Config{})
+	score, ok := d.Score(window(0, 1, []int64{970_000, 1_010_000, 1_000_000, 1_000_000}))
+	if !ok || math.Abs(score-0.03) > 1e-9 {
+		t.Fatalf("score = %v ok=%v, want 0.03", score, ok)
+	}
+	pred.ready[0] = false
+	if _, ok := d.Score(window(0, 1, []int64{1})); ok {
+		t.Fatal("score ok despite unready predictor")
+	}
+}
+
+func TestDeviationHelper(t *testing.T) {
+	if dev, ok := Deviation(98, 100, 1); !ok || math.Abs(dev+0.02) > 1e-12 {
+		t.Fatalf("basic deviation wrong: %v %v", dev, ok)
+	}
+	if _, ok := Deviation(0.5, 0.2, 10); ok {
+		t.Fatal("sub-floor prediction should be not-ok for tiny observed")
+	}
+	if dev, ok := Deviation(100, 0.2, 10); !ok || !math.IsInf(dev, 1) {
+		t.Fatal("ghost traffic should be +Inf")
+	}
+}
+
+func TestAlertString(t *testing.T) {
+	a := Alert{LeafOrdinal: 3, Uplink: 5, Iter: 9, Predicted: 1000, Observed: 900, Deviation: -0.1}
+	if s := a.String(); s == "" {
+		t.Fatal("empty alert string")
+	}
+}

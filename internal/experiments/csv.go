@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders Figure 5(a) as drop_rate,threshold,fpr,fnr rows for
+// plotting.
+func (r *Fig5aResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("drop_rate,threshold,fpr,fnr\n")
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "%g,%g,%g,%g\n", c.DropRate, p.Threshold, p.FPR, p.FNR)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Figure 5(b) as radix,threshold,fpr,fnr rows.
+func (r *Fig5bResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("radix,leaves,spines,threshold,fpr,fnr\n")
+	for _, row := range r.Rows {
+		for i, th := range r.Config.Thresholds {
+			fmt.Fprintf(&b, "%d,%d,%d,%g,%g,%g\n", row.Radix, row.Leaves, row.Spines, th, row.FPR[i], row.FNR[i])
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Figure 5(c) as size_bytes,drop_rate,fpr,fnr rows.
+func (r *Fig5cResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("size_bytes,drop_rate,fpr,fnr\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%d,%g,%g,%g\n", c.Bytes, c.DropRate, c.FPR, c.FNR)
+	}
+	return b.String()
+}
+
+// CSV renders Figure 2 as uplink,predicted,observed rows.
+func (r *Fig2Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("uplink,predicted_bytes,observed_bytes,rel_err\n")
+	for _, p := range r.Ports {
+		fmt.Fprintf(&b, "%d,%g,%g,%g\n", p.Uplink, p.Predicted, p.Observed, p.RelErr)
+	}
+	return b.String()
+}
+
+// CSV renders Figure 3 as iter,observed,baseline,alert rows.
+func (r *Fig3Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("iter,observed_bytes,baseline_bytes,alert\n")
+	for _, pt := range r.Series {
+		alert := 0
+		if pt.Alerted {
+			alert = 1
+		}
+		fmt.Fprintf(&b, "%d,%g,%g,%d\n", pt.Iter, pt.Observed, pt.Baseline, alert)
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flowpulse/internal/core"
+	"flowpulse/internal/metrics"
+	"flowpulse/internal/sim"
+)
+
+// PreExistingConfig reproduces §6 "Effect of pre-existing faults":
+// with known disconnected links already in the network, FlowPulse's
+// model accounts for them, and new silent faults dropping ≥ 2.5% of
+// packets are classified perfectly.
+type PreExistingConfig struct {
+	// Counts of pre-existing disconnected links to sweep.
+	Counts []int
+	// DropRates of the new silent fault.
+	DropRates []float64
+	// Threshold is the operating point (default 1%).
+	Threshold float64
+	// Leaves, Spines, BytesPerRank as usual (defaults 32×16, 16 MiB).
+	Leaves, Spines int
+	BytesPerRank   int64
+	// Trials per cell.
+	Trials int
+	// CleanIters and FaultIters per trial.
+	CleanIters, FaultIters int
+	// Seed roots the randomness.
+	Seed uint64
+}
+
+func (c *PreExistingConfig) setDefaults() {
+	if c.Counts == nil {
+		c.Counts = []int{0, 1, 2, 4, 8}
+	}
+	if c.DropRates == nil {
+		c.DropRates = []float64{0.015, 0.025}
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.01
+	}
+	if c.Leaves == 0 {
+		c.Leaves = 32
+	}
+	if c.Spines == 0 {
+		c.Spines = 16
+	}
+	if c.BytesPerRank == 0 {
+		c.BytesPerRank = 16 << 20
+	}
+	if c.Trials == 0 {
+		c.Trials = 2
+	}
+	if c.CleanIters == 0 {
+		c.CleanIters = 3
+	}
+	if c.FaultIters == 0 {
+		c.FaultIters = 3
+	}
+}
+
+// PreExistingCell is one (count, drop rate) operating point.
+type PreExistingCell struct {
+	PreExisting int
+	DropRate    float64
+	FPR, FNR    float64
+	Perfect     bool
+}
+
+// PreExistingResult is the reproduced table.
+type PreExistingResult struct {
+	Config PreExistingConfig
+	Cells  []PreExistingCell
+}
+
+// preExistingLinks picks count distinct leaf-spine links to
+// disconnect, avoiding the new-fault link and never removing a leaf's
+// last uplink.
+func preExistingLinks(count, leaves, spines int, avoid core.LeafSpineLink, seed uint64) []core.LeafSpineLink {
+	rng := sim.NewRNG(seed, "preexisting")
+	used := map[[2]int]bool{{avoid.LeafOrd, avoid.SpineOrd}: true}
+	perLeaf := map[int]int{}
+	var out []core.LeafSpineLink
+	for len(out) < count {
+		l, s := rng.PickN(leaves), rng.PickN(spines)
+		if used[[2]int{l, s}] || perLeaf[l] >= spines-2 {
+			continue
+		}
+		used[[2]int{l, s}] = true
+		perLeaf[l]++
+		out = append(out, core.LeafSpineLink{LeafOrd: l, SpineOrd: s})
+	}
+	return out
+}
+
+// PreExisting runs the experiment.
+func PreExisting(cfg PreExistingConfig) (*PreExistingResult, error) {
+	cfg.setDefaults()
+	res := &PreExistingResult{Config: cfg}
+	for _, count := range cfg.Counts {
+		for _, rate := range cfg.DropRates {
+			var trials []Trial
+			for tr := 0; tr < cfg.Trials; tr++ {
+				sc := core.Scenario{
+					Leaves: cfg.Leaves, Spines: cfg.Spines,
+					BytesPerRank: cfg.BytesPerRank,
+					Seed:         cfg.Seed + uint64(count*100+tr) + uint64(rate*1e5),
+				}
+				fault := faultLinkFor(sc, tr)
+				sc.PreExisting = preExistingLinks(count, cfg.Leaves, cfg.Spines, fault, sc.Seed)
+				trials = append(trials, Trial{
+					Scenario:   withNoise(sc),
+					Fault:      fault,
+					DropRate:   rate,
+					CleanIters: cfg.CleanIters,
+					FaultIters: cfg.FaultIters,
+				})
+			}
+			results, err := RunAll(trials)
+			if err != nil {
+				return nil, err
+			}
+			samples := gatherSamples(results)
+			fpr, fnr := metrics.RatesAt(samples, cfg.Threshold)
+			res.Cells = append(res.Cells, PreExistingCell{
+				PreExisting: count, DropRate: rate, FPR: fpr, FNR: fnr,
+				Perfect: fpr == 0 && fnr == 0,
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *PreExistingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pre-existing faults — new-fault classification at %s threshold, %dx%d fat tree, %d MiB per rank\n",
+		pct(r.Config.Threshold), r.Config.Leaves, r.Config.Spines, r.Config.BytesPerRank>>20)
+	fmt.Fprintf(&b, "%-14s %-10s %8s %8s %8s\n", "pre-existing", "drop", "FPR", "FNR", "perfect")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-14d %-10s %8s %8s %8v\n", c.PreExisting, pct(c.DropRate), pct(c.FPR), pct(c.FNR), c.Perfect)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// Property: in a 3-level Clos with a few random admin-down links,
+// every host pair that the FIB considers reachable actually delivers,
+// and pairs are only unreachable when a cut truly exists.
+func TestClos3DeliveryUnderRandomAdminFaults(t *testing.T) {
+	f := func(seed uint64, faults uint8) bool {
+		topo, err := topology.NewClos3(topology.Clos3Config{
+			Pods: 3, LeavesPerPod: 2, SpinesPerPod: 2, CoresPerGroup: 2,
+		})
+		if err != nil {
+			return false
+		}
+		eng := sim.NewEngine()
+		n := MustNew(Config{Topo: topo, Engine: eng, Seed: seed})
+		rng := sim.NewRNG(seed, "downs")
+		// Down up to 3 random switch-switch links.
+		for k := 0; k < int(faults%4); k++ {
+			l := topology.LinkID(rng.PickN(len(topo.Links)))
+			if topo.Link(l).A.Kind == topology.HostEnd || topo.Link(l).B.Kind == topology.HostEnd {
+				continue
+			}
+			n.SetLinkAdmin(l, false)
+		}
+		// Probe a handful of cross-pod pairs.
+		type probe struct{ src, dst topology.HostID }
+		var probes []probe
+		for i := 0; i < 4; i++ {
+			src := topology.HostID(rng.PickN(len(topo.Hosts)))
+			dst := topology.HostID(rng.PickN(len(topo.Hosts)))
+			if src != dst {
+				probes = append(probes, probe{src, dst})
+			}
+		}
+		delivered := map[topology.HostID]int{}
+		for _, p := range probes {
+			p := p
+			n.SetReceiver(p.dst, func(sim.Time, *Packet) { delivered[p.dst]++ })
+		}
+		sent := map[topology.HostID]int{}
+		for _, p := range probes {
+			reachable := len(n.LeafUplinkCandidates(topo.LeafOf(p.src), topo.LeafOf(p.dst))) > 0 ||
+				topo.LeafOf(p.src) == topo.LeafOf(p.dst)
+			for i := 0; i < 16; i++ {
+				n.Send(SendSpec{Src: p.src, Dst: p.dst, Size: 4096, Msg: uint64(i)})
+			}
+			if reachable {
+				sent[p.dst] += 16
+			}
+		}
+		eng.Run()
+		st := n.Stats()
+		// Conservation always.
+		if st.Sent != st.Delivered+st.RouteDropped+st.AdminDropped+st.FaultDropped {
+			return false
+		}
+		// FIB-reachable probes must be fully delivered.
+		for dst, want := range sent {
+			if delivered[dst] < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

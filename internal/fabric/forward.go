@@ -1,0 +1,237 @@
+package fabric
+
+import (
+	"fmt"
+
+	"flowpulse/internal/fault"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/spray"
+	"flowpulse/internal/topology"
+)
+
+// SendSpec describes one packet to inject at its source host's NIC.
+type SendSpec struct {
+	Src, Dst topology.HostID
+	Size     int
+	Priority Priority
+	Kind     PacketKind
+	Tag      FlowTag
+	Msg      uint64
+	Seq      int
+	Retx     bool
+}
+
+// Send injects a packet at the source host's NIC queue. The NIC
+// serializes onto the host-leaf link at line rate and honours PFC
+// pauses from the leaf, so injection is asynchronous: delivery (or
+// loss) is observed via the destination's Receiver and the transport's
+// timers.
+func (n *Network) Send(spec SendSpec) {
+	if spec.Size <= 0 {
+		panic(fmt.Sprintf("fabric: non-positive packet size %d", spec.Size))
+	}
+	p := n.allocPacket()
+	p.Src, p.Dst = spec.Src, spec.Dst
+	p.Size = spec.Size
+	p.Priority = spec.Priority
+	p.Kind = spec.Kind
+	p.Tag = spec.Tag
+	p.Msg, p.Seq, p.Retx = spec.Msg, spec.Seq, spec.Retx
+
+	n.stats.Sent++
+	n.stats.SentBytes += uint64(spec.Size)
+	if TracePacket != nil {
+		TracePacket(n.engine.Now(), "inject", topology.Endpoint{Kind: topology.HostEnd, Host: spec.Src}, p)
+	}
+
+	hs := &n.hosts[spec.Src]
+	hs.egress.queues[p.Priority].push(p)
+	n.kick(hs.egress)
+}
+
+// kick starts the transmitter of a link direction if it is idle and
+// has eligible work. Strict priority: High drains before Low; a paused
+// priority is skipped (that is PFC).
+func (n *Network) kick(ld *linkDir) {
+	if ld.busy {
+		return
+	}
+	var p *Packet
+	for prio := 0; prio < numPriorities; prio++ {
+		if ld.paused[prio] {
+			continue
+		}
+		if q := &ld.queues[prio]; q.len() > 0 {
+			p = q.pop()
+			break
+		}
+	}
+	if p == nil {
+		return
+	}
+
+	// The packet has left the sender's buffer: release PFC credit, or
+	// tell the owning NIC its frame hit the wire (transports time
+	// retransmission from this instant, as NIC hardware does).
+	if p.inSwitch {
+		n.releaseCredit(p)
+	} else if ld.sender.Kind == topology.HostEnd {
+		if TracePacket != nil {
+			TracePacket(n.engine.Now(), "wireout", ld.sender, p)
+		}
+		if cb := n.hosts[ld.sender.Host].onDequeue; cb != nil {
+			cb(n.engine.Now(), p)
+		}
+	}
+
+	ld.busy = true
+	prio := int(p.Priority)
+	ld.inflight[prio] = int64(p.Size)
+	ld.inflightPrio = prio
+	size := p.Size
+	ser := sim.SerializationDelay(p.Size, ld.rate)
+	n.engine.After(ser, func(now sim.Time) {
+		ld.busy = false
+		ld.inflight[prio] = 0
+		ld.addRecent(now, size, prio, n.tau)
+		n.kick(ld)
+	})
+	n.engine.After(ser+ld.prop, func(now sim.Time) {
+		n.arrive(ld, p, now)
+	})
+}
+
+// arrive lands a packet at the far end of a link direction, applying
+// the direction's silent fault process. A faulted packet vanishes
+// without touching any counter a switch OS could see — only FlowPulse's
+// volume accounting can notice the deficit.
+func (n *Network) arrive(ld *linkDir, p *Packet, now sim.Time) {
+	if TracePacket != nil {
+		TracePacket(now, "arrive", ld.receiver, p)
+	}
+	if !ld.link.adminUp {
+		n.stats.AdminDropped++
+		n.freePacket(p)
+		return
+	}
+	if ld.flt != nil && ld.flt.Apply(now, p.Size) == fault.Drop {
+		n.stats.FaultDropped++
+		ld.faultDropped++
+		n.freePacket(p)
+		return
+	}
+	ld.delivered++
+	ld.deliveredBytes += uint64(p.Size)
+
+	switch ld.receiver.Kind {
+	case topology.HostEnd:
+		n.deliver(ld.receiver.Host, p, now)
+	case topology.SwitchEnd:
+		n.switchReceive(ld.receiver.Switch, ld.receiver.Port, p, now)
+	}
+}
+
+func (n *Network) deliver(h topology.HostID, p *Packet, now sim.Time) {
+	n.stats.Delivered++
+	n.stats.DeliveredBytes += uint64(p.Size)
+	if recv := n.hosts[h].recv; recv != nil {
+		recv(now, p)
+	}
+	n.freePacket(p)
+}
+
+// switchReceive runs the switch pipeline: PFC ingress accounting, the
+// telemetry hook, the forwarding decision, and egress enqueue.
+func (n *Network) switchReceive(sw topology.SwitchID, port int, p *Packet, now sim.Time) {
+	ss := &n.switches[sw]
+
+	// PFC ingress accounting: the packet holds buffer credit on its
+	// ingress port until it is dequeued for transmission.
+	p.ingressSwitch, p.ingressPort, p.inSwitch = sw, port, true
+	prio := int(p.Priority)
+	ss.occ[port][prio] += int64(p.Size)
+	if ss.occ[port][prio] > n.cfg.XoffBytes && !ss.pausedUp[port][prio] {
+		ss.pausedUp[port][prio] = true
+		n.pauseUpstream(ss, port, prio, true)
+	}
+
+	if hook := n.ingressHooks[sw]; hook != nil {
+		hook(now, port, p)
+	}
+
+	// Local delivery: destination host hangs off this switch.
+	dstLeafOrd := n.fib.hostDstLeaf[p.Dst]
+	if ss.kind == topology.Leaf && ss.ord == dstLeafOrd {
+		hp := n.topo.Host(p.Dst).LeafPort
+		eg := ss.egress[hp]
+		eg.queues[prio].push(p)
+		n.kick(eg)
+		return
+	}
+
+	cands := n.fib.candidates(ss, dstLeafOrd)
+	if len(cands) == 0 {
+		n.stats.RouteDropped++
+		n.releaseCredit(p)
+		n.freePacket(p)
+		return
+	}
+
+	var egressPort int
+	if len(cands) == 1 {
+		egressPort = int(cands[0])
+	} else {
+		ss.cands = ss.cands[:0]
+		for _, c := range cands {
+			ss.cands = append(ss.cands, spray.Candidate{Port: int(c), QueueBytes: ss.egress[c].load(now, n.tau, prio)})
+		}
+		pick := ss.policy.Pick(ss.cands, p.FlowKey())
+		egressPort = ss.cands[pick].Port
+	}
+
+	eg := ss.egress[egressPort]
+	eg.queues[prio].push(p)
+	if MaxQueueObserver != nil {
+		MaxQueueObserver(now, eg.sender, eg.queuedBytes())
+	}
+	n.kick(eg)
+}
+
+// releaseCredit returns a packet's PFC buffer credit to its ingress
+// port, resuming the upstream transmitter if occupancy fell below Xon.
+func (n *Network) releaseCredit(p *Packet) {
+	if !p.inSwitch {
+		return
+	}
+	ss := &n.switches[p.ingressSwitch]
+	prio := int(p.Priority)
+	ss.occ[p.ingressPort][prio] -= int64(p.Size)
+	p.inSwitch = false
+	if ss.pausedUp[p.ingressPort][prio] && ss.occ[p.ingressPort][prio] < n.cfg.XonBytes {
+		ss.pausedUp[p.ingressPort][prio] = false
+		n.pauseUpstream(ss, p.ingressPort, prio, false)
+	}
+}
+
+// pauseUpstream delivers a PFC pause or resume frame to the
+// transmitter feeding the given ingress port. The frame crosses the
+// link, so it takes one propagation delay to act.
+func (n *Network) pauseUpstream(ss *switchState, port, prio int, pause bool) {
+	down := ss.egress[port] // our egress on the same cable
+	upstream := &down.link.dirs[0]
+	if upstream == down {
+		upstream = &down.link.dirs[1]
+	}
+	if pause {
+		n.stats.PFCPauses++
+	}
+	if TracePause != nil {
+		TracePause(n.engine.Now(), upstream.sender, prio, pause, ss.occ[port][prio])
+	}
+	n.engine.After(down.prop, func(sim.Time) {
+		upstream.paused[prio] = pause
+		if !pause {
+			n.kick(upstream)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"flowpulse/internal/fault"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// Direction selects one or both directions of a bidirectional link.
+type Direction uint8
+
+const (
+	// DirAtoB is the direction from the link's A endpoint to its B
+	// endpoint (topology.Link field order).
+	DirAtoB Direction = iota
+	// DirBtoA is the reverse direction.
+	DirBtoA
+	// DirBoth selects both directions.
+	DirBoth
+)
+
+// linkDir is one direction of a link: the sender-side transmitter
+// (priority queues, serialization, PFC pause state) plus the fault
+// process and delivery stats for that direction.
+type linkDir struct {
+	link     *linkState
+	sender   topology.Endpoint
+	receiver topology.Endpoint
+	rate     int64
+	prop     sim.Duration
+
+	flt fault.Model // nil when healthy
+
+	queues [numPriorities]fifo
+	busy   bool
+	paused [numPriorities]bool
+
+	// Adaptive-routing load estimate: bytes of the frame on the wire
+	// plus an exponentially decaying count of recently transmitted
+	// bytes. Hardware APS grades ports by utilization, not just
+	// instantaneous queue depth; without this memory, back-to-back
+	// packets always see empty queues and "least loaded" degenerates
+	// to uniform random spraying (see spray package ablation).
+	//
+	// The estimate is kept per priority class, and a packet's spray
+	// decision sees only its own and higher classes. This is what
+	// makes §5.1's prioritization actually isolate the measured
+	// collective: without class separation, background load that is
+	// asymmetric across ports (e.g. because a known fault removes a
+	// port from some destinations' spray sets) systematically pushes
+	// the collective's packets the other way, breaking the load model.
+	inflight     [numPriorities]int64
+	inflightPrio int
+	recent       [numPriorities]float64
+	recentAt     [numPriorities]sim.Time
+
+	delivered      uint64
+	deliveredBytes uint64
+	faultDropped   uint64
+}
+
+func (ld *linkDir) queuedBytes() int64 {
+	var total int64
+	for i := range ld.queues {
+		total += ld.queues[i].byteLen()
+	}
+	return total
+}
+
+// load returns the spray metric this port shows to a packet of the
+// given priority: queued + in-flight + decayed recent bytes of that
+// class and every stricter class. tau <= 0 disables the memory term.
+func (ld *linkDir) load(now sim.Time, tau float64, prio int) int64 {
+	var total int64
+	for p := 0; p <= prio; p++ {
+		if ld.recent[p] > 0 {
+			if tau <= 0 {
+				ld.recent[p] = 0
+			} else if now > ld.recentAt[p] {
+				ld.recent[p] *= decayFactor(float64(now-ld.recentAt[p]), tau)
+				ld.recentAt[p] = now
+				if ld.recent[p] < 1 {
+					ld.recent[p] = 0
+				}
+			}
+		}
+		total += ld.queues[p].byteLen() + ld.inflight[p] + int64(ld.recent[p])
+	}
+	return total
+}
+
+func (ld *linkDir) addRecent(now sim.Time, size, prio int, tau float64) {
+	if tau <= 0 {
+		return
+	}
+	if ld.recent[prio] > 0 && now > ld.recentAt[prio] {
+		ld.recent[prio] *= decayFactor(float64(now-ld.recentAt[prio]), tau)
+	}
+	ld.recent[prio] += float64(size)
+	ld.recentAt[prio] = now
+}
+
+// linkState is the dynamic state of one cable.
+type linkState struct {
+	topo    *topology.Link
+	adminUp bool
+	dirs    [2]linkDir // index by DirAtoB / DirBtoA
+}
+
+// LinkDirStats reports per-direction delivery counters, used by tests
+// and by the simulation-based predictor.
+type LinkDirStats struct {
+	Delivered      uint64
+	DeliveredBytes uint64
+	FaultDropped   uint64
+}
+
+// DirToward resolves the Direction of a link whose receiver is the
+// given switch. It panics if the switch is not an endpoint of the
+// link.
+func (n *Network) DirToward(link topology.LinkID, receiver topology.SwitchID) Direction {
+	l := n.topo.Link(link)
+	if l.B.Kind == topology.SwitchEnd && l.B.Switch == receiver {
+		return DirAtoB
+	}
+	if l.A.Kind == topology.SwitchEnd && l.A.Switch == receiver {
+		return DirBtoA
+	}
+	panic(fmt.Sprintf("fabric: switch %d not on link %d", receiver, link))
+}
+
+// DirTowardHost resolves the Direction of a link whose receiver is the
+// given host.
+func (n *Network) DirTowardHost(link topology.LinkID, receiver topology.HostID) Direction {
+	l := n.topo.Link(link)
+	if l.B.Kind == topology.HostEnd && l.B.Host == receiver {
+		return DirAtoB
+	}
+	if l.A.Kind == topology.HostEnd && l.A.Host == receiver {
+		return DirBtoA
+	}
+	panic(fmt.Sprintf("fabric: host %d not on link %d", receiver, link))
+}
+
+// InjectFault attaches a silent fault process to the given direction(s)
+// of a link. The FIB is deliberately NOT updated: the fault is silent,
+// so routing keeps using the link. Passing nil clears the fault.
+func (n *Network) InjectFault(link topology.LinkID, dir Direction, m fault.Model) {
+	ls := &n.links[link]
+	switch dir {
+	case DirAtoB:
+		ls.dirs[0].flt = m
+	case DirBtoA:
+		ls.dirs[1].flt = m
+	case DirBoth:
+		ls.dirs[0].flt = m
+		ls.dirs[1].flt = m
+	}
+}
+
+// ClearFault removes any silent fault from both directions of a link.
+func (n *Network) ClearFault(link topology.LinkID) {
+	n.InjectFault(link, DirBoth, nil)
+}
+
+// SetLinkAdmin marks a link administratively up or down and reconverges
+// every FIB, exactly as a switch OS removing a *detected* faulty link
+// from routing (§1). Packets already in flight on a downed link are
+// dropped and counted as AdminDropped.
+func (n *Network) SetLinkAdmin(link topology.LinkID, up bool) {
+	if n.links[link].adminUp == up {
+		return
+	}
+	n.links[link].adminUp = up
+	n.recomputeFIBs()
+}
+
+// LinkAdminUp reports the administrative state of a link.
+func (n *Network) LinkAdminUp(link topology.LinkID) bool { return n.links[link].adminUp }
+
+// LinkStats returns delivery counters for one direction of a link.
+func (n *Network) LinkStats(link topology.LinkID, dir Direction) LinkDirStats {
+	if dir == DirBoth {
+		panic("fabric: LinkStats needs a single direction")
+	}
+	ld := &n.links[link].dirs[dir]
+	return LinkDirStats{Delivered: ld.delivered, DeliveredBytes: ld.deliveredBytes, FaultDropped: ld.faultDropped}
+}
+
+// decayFactor computes exp(-dt/tau) for the load estimator.
+func decayFactor(dt, tau float64) float64 { return math.Exp(-dt / tau) }

@@ -1,0 +1,270 @@
+package fabric
+
+import (
+	"fmt"
+
+	"flowpulse/internal/sim"
+	"flowpulse/internal/spray"
+	"flowpulse/internal/topology"
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Topo is the wiring to simulate. Required.
+	Topo *topology.Topology
+	// Engine drives the simulation. Required.
+	Engine *sim.Engine
+	// Spray selects the upstream load-balancing policy. Defaults to
+	// spray.LeastLoaded, the paper's APS.
+	Spray spray.Kind
+	// Seed roots all of the fabric's random streams.
+	Seed uint64
+	// XoffBytes and XonBytes are the PFC pause/resume thresholds per
+	// ingress port and priority. Defaults: 1 MiB / 512 KiB.
+	XoffBytes, XonBytes int64
+	// SprayMemory is the time constant of the per-port utilization
+	// estimator that adaptive policies grade ports by (queued +
+	// in-flight + exponentially decayed recent bytes). Zero means the
+	// 5 µs default; negative disables the memory term, reducing
+	// adaptive spraying to instantaneous queue depth.
+	SprayMemory sim.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.Spray == "" {
+		c.Spray = spray.LeastLoaded
+	}
+	if c.XoffBytes == 0 {
+		c.XoffBytes = 1 << 20
+	}
+	if c.XonBytes == 0 {
+		c.XonBytes = c.XoffBytes / 2
+	}
+	if c.SprayMemory == 0 {
+		c.SprayMemory = 5 * sim.Microsecond
+	}
+}
+
+// Stats are network-wide packet accounting counters. In an idle
+// network, Sent = Delivered + FaultDropped + RouteDropped +
+// AdminDropped (packet conservation).
+type Stats struct {
+	// Sent counts packets injected by hosts.
+	Sent uint64
+	// SentBytes counts injected bytes.
+	SentBytes uint64
+	// Delivered counts packets handed to a destination host.
+	Delivered uint64
+	// DeliveredBytes counts delivered bytes.
+	DeliveredBytes uint64
+	// FaultDropped counts packets silently dropped by fault models.
+	FaultDropped uint64
+	// RouteDropped counts packets with no eligible egress port.
+	RouteDropped uint64
+	// AdminDropped counts packets caught in flight on a link that went
+	// administratively down.
+	AdminDropped uint64
+	// PFCPauses counts pause events issued.
+	PFCPauses uint64
+}
+
+// IngressHook observes every packet accepted at a switch ingress port,
+// before forwarding. FlowPulse's leaf monitors attach here — this is
+// the programmable-switch counter program of §5.1.
+type IngressHook func(now sim.Time, port int, pkt *Packet)
+
+// Receiver accepts packets delivered to a host. The packet is freed
+// after the callback returns; receivers must copy retained data.
+type Receiver func(now sim.Time, pkt *Packet)
+
+// DequeueHook observes each packet at the instant the host NIC begins
+// serializing it onto the wire.
+type DequeueHook func(now sim.Time, pkt *Packet)
+
+type hostState struct {
+	id        topology.HostID
+	egress    *linkDir
+	recv      Receiver
+	onDequeue DequeueHook
+}
+
+type switchState struct {
+	id   topology.SwitchID
+	kind topology.SwitchKind
+	pod  int
+	ord  int // ordinal within its kind
+
+	egress     []*linkDir // per port
+	occ        [][numPriorities]int64
+	pausedUp   [][numPriorities]bool // pause issued to the upstream of this ingress port
+	portToHost []topology.HostID     // leaf only, -1 where not a host port
+
+	policy spray.Policy
+	cands  []spray.Candidate // scratch
+}
+
+// Network is the simulated fabric. It is single-threaded: all access
+// must happen from the owning engine's goroutine.
+type Network struct {
+	cfg    Config
+	topo   *topology.Topology
+	engine *sim.Engine
+
+	hosts    []hostState
+	switches []switchState
+	links    []linkState
+
+	fib *fibTable
+
+	ingressHooks []IngressHook // per switch, nil when absent
+
+	stats Stats
+
+	tau float64 // spray-memory time constant in picoseconds; <= 0 disables
+
+	freePackets  []*Packet
+	nextPacketID uint64
+}
+
+// New builds a Network over the given topology. All links start
+// administratively up and fault-free.
+func New(cfg Config) (*Network, error) {
+	if cfg.Topo == nil || cfg.Engine == nil {
+		return nil, fmt.Errorf("fabric: Config.Topo and Config.Engine are required")
+	}
+	cfg.setDefaults()
+
+	n := &Network{
+		cfg:          cfg,
+		topo:         cfg.Topo,
+		engine:       cfg.Engine,
+		hosts:        make([]hostState, len(cfg.Topo.Hosts)),
+		switches:     make([]switchState, len(cfg.Topo.Switches)),
+		links:        make([]linkState, len(cfg.Topo.Links)),
+		ingressHooks: make([]IngressHook, len(cfg.Topo.Switches)),
+		tau:          float64(cfg.SprayMemory),
+	}
+
+	for i := range n.links {
+		tl := n.topo.Link(topology.LinkID(i))
+		ls := &n.links[i]
+		ls.topo = tl
+		ls.adminUp = true
+		ls.dirs[DirAtoB] = linkDir{link: ls, sender: tl.A, receiver: tl.B, rate: tl.RateBPS, prop: tl.Propagation}
+		ls.dirs[DirBtoA] = linkDir{link: ls, sender: tl.B, receiver: tl.A, rate: tl.RateBPS, prop: tl.Propagation}
+	}
+
+	leafOrd, spineOrd, coreOrd := map[topology.SwitchID]int{}, map[topology.SwitchID]int{}, map[topology.SwitchID]int{}
+	for i, id := range n.topo.Leaves() {
+		leafOrd[id] = i
+	}
+	for i, id := range n.topo.Spines() {
+		spineOrd[id] = i
+	}
+	for i, id := range n.topo.Cores() {
+		coreOrd[id] = i
+	}
+
+	for i := range n.switches {
+		sd := n.topo.Switch(topology.SwitchID(i))
+		ss := &n.switches[i]
+		ss.id = sd.ID
+		ss.kind = sd.Kind
+		ss.pod = sd.Pod
+		switch sd.Kind {
+		case topology.Leaf:
+			ss.ord = leafOrd[sd.ID]
+		case topology.Spine:
+			ss.ord = spineOrd[sd.ID]
+		case topology.Core:
+			ss.ord = coreOrd[sd.ID]
+		}
+		ss.egress = make([]*linkDir, len(sd.Ports))
+		ss.occ = make([][numPriorities]int64, len(sd.Ports))
+		ss.pausedUp = make([][numPriorities]bool, len(sd.Ports))
+		ss.portToHost = make([]topology.HostID, len(sd.Ports))
+		for p, pd := range sd.Ports {
+			ss.portToHost[p] = -1
+			if pd.Peer.Kind == topology.HostEnd {
+				ss.portToHost[p] = pd.Peer.Host
+			}
+			ls := &n.links[pd.Link]
+			end := topology.Endpoint{Kind: topology.SwitchEnd, Switch: sd.ID, Port: p}
+			if ls.dirs[DirAtoB].sender == end {
+				ss.egress[p] = &ls.dirs[DirAtoB]
+			} else {
+				ss.egress[p] = &ls.dirs[DirBtoA]
+			}
+		}
+		ss.policy = spray.MustNew(cfg.Spray, sim.NewRNG(cfg.Seed, fmt.Sprintf("spray/%d", i)))
+		ss.cands = make([]spray.Candidate, 0, len(sd.Ports))
+	}
+
+	for i := range n.hosts {
+		hd := n.topo.Host(topology.HostID(i))
+		hs := &n.hosts[i]
+		hs.id = hd.ID
+		ls := &n.links[hd.Link]
+		end := topology.Endpoint{Kind: topology.HostEnd, Host: hd.ID}
+		if ls.dirs[DirAtoB].sender == end {
+			hs.egress = &ls.dirs[DirAtoB]
+		} else {
+			hs.egress = &ls.dirs[DirBtoA]
+		}
+	}
+
+	n.fib = newFIBTable(n.topo)
+	n.recomputeFIBs()
+	return n, nil
+}
+
+// MustNew is New but panics on error, for statically valid configs.
+func MustNew(cfg Config) *Network {
+	n, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Engine returns the driving event engine.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Topology returns the wiring the network was built over.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Stats returns a snapshot of the network-wide counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetReceiver registers the delivery callback for a host.
+func (n *Network) SetReceiver(h topology.HostID, r Receiver) { n.hosts[h].recv = r }
+
+// SetDequeueHook registers the NIC wire-out callback for a host.
+func (n *Network) SetDequeueHook(h topology.HostID, hook DequeueHook) {
+	n.hosts[h].onDequeue = hook
+}
+
+// SetIngressHook registers the per-switch ingress observer (nil to
+// remove).
+func (n *Network) SetIngressHook(sw topology.SwitchID, hook IngressHook) {
+	n.ingressHooks[sw] = hook
+}
+
+// SprayPolicyName reports the active load-balancing policy.
+func (n *Network) SprayPolicyName() string { return n.switches[0].policy.Name() }
+
+func (n *Network) recomputeFIBs() {
+	up := func(l topology.LinkID) bool { return n.links[l].adminUp }
+	n.fib.recompute(up)
+}
+
+// MaxQueueObserver, when non-nil, is called on every egress enqueue
+// with the queue's depth after the push (test/diagnostic hook).
+var MaxQueueObserver func(now sim.Time, sender topology.Endpoint, queuedBytes int64)
+
+// TracePacket, when non-nil, observes packet progress (test hook).
+var TracePacket func(now sim.Time, what string, at topology.Endpoint, p *Packet)
+
+// TracePause, when non-nil, observes PFC pause/resume decisions (test
+// hook).
+var TracePause func(now sim.Time, pausedSender topology.Endpoint, prio int, pause bool, occ int64)

@@ -1,0 +1,103 @@
+package fabric
+
+import (
+	"testing"
+
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// PFC fine-grained behavior: pause must halt the upstream, resume must
+// restart it, and the pause must be per priority class.
+func TestPFCPauseAndResumeCycle(t *testing.T) {
+	// 4:1 incast into one host through a single spine, with tight
+	// thresholds so PFC cycles several times.
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 1, HostsPerLeaf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	n := MustNew(Config{Topo: topo, Engine: eng, Seed: 1, XoffBytes: 32 << 10, XonBytes: 16 << 10})
+	dst := topo.HostsOf(topo.Leaves()[1])[0]
+	got := 0
+	n.SetReceiver(dst, func(sim.Time, *Packet) { got++ })
+	const perHost = 300
+	for _, src := range topo.HostsOf(topo.Leaves()[0]) {
+		for i := 0; i < perHost; i++ {
+			n.Send(SendSpec{Src: src, Dst: dst, Size: 4096, Priority: High, Msg: uint64(i)})
+		}
+	}
+	eng.Run()
+	if got != 4*perHost {
+		t.Fatalf("lossless violated under PFC cycling: %d/%d", got, 4*perHost)
+	}
+	st := n.Stats()
+	if st.PFCPauses < 2 {
+		t.Fatalf("expected repeated pause cycles, got %d", st.PFCPauses)
+	}
+	// Every queue must be fully drained at the end (no stuck pause).
+	for i := range n.links {
+		for d := 0; d < 2; d++ {
+			ld := &n.links[i].dirs[d]
+			if ld.queuedBytes() != 0 {
+				t.Fatalf("link %d dir %d still holds %d bytes after drain", i, d, ld.queuedBytes())
+			}
+		}
+	}
+}
+
+func TestPFCPausesOnlyTheOffendingClass(t *testing.T) {
+	// Saturate the Low class into one host; a concurrent High-class
+	// flow to the same host must keep flowing while Low is paused.
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 1, HostsPerLeaf: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	n := MustNew(Config{Topo: topo, Engine: eng, Seed: 2, XoffBytes: 16 << 10, XonBytes: 8 << 10})
+	hostsA := topo.HostsOf(topo.Leaves()[0])
+	dst := topo.HostsOf(topo.Leaves()[1])[0]
+
+	var lowDone, highDone sim.Time
+	lowLeft, highLeft := 600, 100
+	n.SetReceiver(dst, func(now sim.Time, p *Packet) {
+		if p.Priority == Low {
+			lowLeft--
+			if lowLeft == 0 {
+				lowDone = now
+			}
+		} else {
+			highLeft--
+			if highLeft == 0 {
+				highDone = now
+			}
+		}
+	})
+	// Two hosts blast Low traffic; the third sends a modest High flow.
+	for i := 0; i < 300; i++ {
+		n.Send(SendSpec{Src: hostsA[0], Dst: dst, Size: 4096, Priority: Low, Msg: uint64(i)})
+		n.Send(SendSpec{Src: hostsA[1], Dst: dst, Size: 4096, Priority: Low, Msg: uint64(i)})
+	}
+	for i := 0; i < 100; i++ {
+		n.Send(SendSpec{Src: hostsA[2], Dst: dst, Size: 4096, Priority: High, Msg: uint64(i)})
+	}
+	eng.Run()
+	if lowLeft != 0 || highLeft != 0 {
+		t.Fatalf("traffic lost: low=%d high=%d remaining", lowLeft, highLeft)
+	}
+	if highDone >= lowDone {
+		t.Fatalf("high class did not bypass the paused low class: high done %v, low done %v", highDone, lowDone)
+	}
+}
+
+func TestXonBelowXoffHysteresis(t *testing.T) {
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 1, HostsPerLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	n := MustNew(Config{Topo: topo, Engine: eng, Seed: 3, XoffBytes: 64 << 10})
+	if n.cfg.XonBytes != 32<<10 {
+		t.Fatalf("default Xon = %d, want Xoff/2", n.cfg.XonBytes)
+	}
+}

@@ -1,0 +1,54 @@
+package fabric
+
+// fifo is a byte-accounted FIFO of packets, implemented as a ring
+// buffer so steady-state forwarding does not allocate.
+type fifo struct {
+	buf   []*Packet
+	head  int
+	count int
+	bytes int64
+}
+
+func (q *fifo) len() int       { return q.count }
+func (q *fifo) byteLen() int64 { return q.bytes }
+
+func (q *fifo) push(p *Packet) {
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = p
+	q.count++
+	q.bytes += int64(p.Size)
+}
+
+func (q *fifo) pop() *Packet {
+	if q.count == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.bytes -= int64(p.Size)
+	return p
+}
+
+func (q *fifo) peek() *Packet {
+	if q.count == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *fifo) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	nb := make([]*Packet, size)
+	for i := 0; i < q.count; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}

@@ -1,0 +1,245 @@
+package fabric
+
+import (
+	"flowpulse/internal/topology"
+)
+
+// fibTable holds per-switch forwarding candidates keyed by destination
+// leaf. Candidates reflect *administrative* link state only: routing
+// converges around known faults (the switch OS removed the link) but
+// keeps forwarding onto silently faulty links — the asymmetry at the
+// heart of the paper (§1, §4).
+type fibTable struct {
+	topo *topology.Topology
+
+	// Static adjacency, built once.
+	leafUplinks  [][]portPeer          // [leafOrd] -> uplink (port, spine)
+	spineDownAdj [][]portPeer          // [spineOrd] -> (port, leaf) downlinks
+	spineUpAdj   [][]portPeer          // [spineOrd] -> (port, core) uplinks (3-level)
+	coreAdj      [][]portPeer          // [coreOrd] -> (port, spine)
+	corePodSpine [][]topology.SwitchID // [coreOrd][pod] -> spine reached
+	leafOrdOf    map[topology.SwitchID]int
+	spineOrdOf   map[topology.SwitchID]int
+	coreOrdOf    map[topology.SwitchID]int
+	hostDstLeaf  []int // [host] -> dst leaf ordinal
+
+	// Dynamic candidates, rebuilt by recompute.
+	leafUp    [][][]int32 // [leafOrd][dstLeafOrd] -> leaf port indexes
+	spineDown [][][]int32 // [spineOrd][dstLeafOrd] -> spine port indexes (same pod)
+	spineUp   [][][]int32 // [spineOrd][dstLeafOrd] -> core-facing ports (cross pod)
+	coreDown  [][][]int32 // [coreOrd][dstLeafOrd] -> pod-facing ports
+}
+
+type portPeer struct {
+	port int
+	peer topology.SwitchID
+	link topology.LinkID
+}
+
+func newFIBTable(topo *topology.Topology) *fibTable {
+	f := &fibTable{
+		topo:        topo,
+		leafOrdOf:   map[topology.SwitchID]int{},
+		spineOrdOf:  map[topology.SwitchID]int{},
+		coreOrdOf:   map[topology.SwitchID]int{},
+		hostDstLeaf: make([]int, len(topo.Hosts)),
+	}
+	for i, id := range topo.Leaves() {
+		f.leafOrdOf[id] = i
+	}
+	for i, id := range topo.Spines() {
+		f.spineOrdOf[id] = i
+	}
+	for i, id := range topo.Cores() {
+		f.coreOrdOf[id] = i
+	}
+	for h := range topo.Hosts {
+		f.hostDstLeaf[h] = f.leafOrdOf[topo.Hosts[h].Leaf]
+	}
+
+	f.leafUplinks = make([][]portPeer, len(topo.Leaves()))
+	for ord, id := range topo.Leaves() {
+		for p, pd := range topo.Switch(id).Ports {
+			if pd.Peer.Kind == topology.SwitchEnd {
+				f.leafUplinks[ord] = append(f.leafUplinks[ord], portPeer{p, pd.Peer.Switch, pd.Link})
+			}
+		}
+	}
+	f.spineDownAdj = make([][]portPeer, len(topo.Spines()))
+	f.spineUpAdj = make([][]portPeer, len(topo.Spines()))
+	for ord, id := range topo.Spines() {
+		for p, pd := range topo.Switch(id).Ports {
+			peer := pd.Peer.Switch
+			switch topo.Switch(peer).Kind {
+			case topology.Leaf:
+				f.spineDownAdj[ord] = append(f.spineDownAdj[ord], portPeer{p, peer, pd.Link})
+			case topology.Core:
+				f.spineUpAdj[ord] = append(f.spineUpAdj[ord], portPeer{p, peer, pd.Link})
+			}
+		}
+	}
+	pods := 0
+	for _, sw := range topo.Switches {
+		if sw.Pod+1 > pods {
+			pods = sw.Pod + 1
+		}
+	}
+	f.coreAdj = make([][]portPeer, len(topo.Cores()))
+	f.corePodSpine = make([][]topology.SwitchID, len(topo.Cores()))
+	for ord, id := range topo.Cores() {
+		f.corePodSpine[ord] = make([]topology.SwitchID, pods)
+		for i := range f.corePodSpine[ord] {
+			f.corePodSpine[ord][i] = -1
+		}
+		for p, pd := range topo.Switch(id).Ports {
+			spine := pd.Peer.Switch
+			f.coreAdj[ord] = append(f.coreAdj[ord], portPeer{p, spine, pd.Link})
+			f.corePodSpine[ord][topo.PodOf(spine)] = spine
+		}
+	}
+	return f
+}
+
+// recompute rebuilds every candidate table from the administrative
+// link predicate. Fabrics at paper scale have a few thousand entries,
+// so a full rebuild on every admin change is cheap and keeps the logic
+// obviously convergent.
+func (f *fibTable) recompute(up func(topology.LinkID) bool) {
+	topo := f.topo
+	nLeaf := len(topo.Leaves())
+
+	// anyUpTrunk reports whether a, b share at least one admin-up link.
+	anyUpTrunk := func(a, b topology.SwitchID) bool {
+		for _, l := range topo.TrunkLinks(a, b) {
+			if up(l) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// spineReaches reports whether a spine can deliver to a leaf using
+	// only admin-up links.
+	spineReaches := func(spineOrd int, dstLeaf topology.SwitchID) bool {
+		spine := topo.Spines()[spineOrd]
+		if topo.Levels == 2 || topo.PodOf(spine) == topo.PodOf(dstLeaf) {
+			return anyUpTrunk(spine, dstLeaf)
+		}
+		dstPod := topo.PodOf(dstLeaf)
+		for _, pp := range f.spineUpAdj[spineOrd] {
+			if !up(pp.link) {
+				continue
+			}
+			dstSpine := f.corePodSpine[f.coreOrdOf[pp.peer]][dstPod]
+			if dstSpine < 0 {
+				continue
+			}
+			if anyUpTrunk(pp.peer, dstSpine) && anyUpTrunk(dstSpine, dstLeaf) {
+				return true
+			}
+		}
+		return false
+	}
+
+	f.leafUp = make([][][]int32, nLeaf)
+	for lo := range f.leafUp {
+		f.leafUp[lo] = make([][]int32, nLeaf)
+		for dl := range f.leafUp[lo] {
+			if dl == lo {
+				continue
+			}
+			dstLeaf := topo.Leaves()[dl]
+			for _, pp := range f.leafUplinks[lo] {
+				if !up(pp.link) {
+					continue
+				}
+				if spineReaches(f.spineOrdOf[pp.peer], dstLeaf) {
+					f.leafUp[lo][dl] = append(f.leafUp[lo][dl], int32(pp.port))
+				}
+			}
+		}
+	}
+
+	f.spineDown = make([][][]int32, len(topo.Spines()))
+	f.spineUp = make([][][]int32, len(topo.Spines()))
+	for so := range f.spineDown {
+		spine := topo.Spines()[so]
+		f.spineDown[so] = make([][]int32, nLeaf)
+		f.spineUp[so] = make([][]int32, nLeaf)
+		for dl := 0; dl < nLeaf; dl++ {
+			dstLeaf := topo.Leaves()[dl]
+			if topo.Levels == 2 || topo.PodOf(spine) == topo.PodOf(dstLeaf) {
+				for _, pp := range f.spineDownAdj[so] {
+					if pp.peer == dstLeaf && up(pp.link) {
+						f.spineDown[so][dl] = append(f.spineDown[so][dl], int32(pp.port))
+					}
+				}
+				continue
+			}
+			dstPod := topo.PodOf(dstLeaf)
+			for _, pp := range f.spineUpAdj[so] {
+				if !up(pp.link) {
+					continue
+				}
+				dstSpine := f.corePodSpine[f.coreOrdOf[pp.peer]][dstPod]
+				if dstSpine < 0 {
+					continue
+				}
+				if anyUpTrunk(pp.peer, dstSpine) && anyUpTrunk(dstSpine, dstLeaf) {
+					f.spineUp[so][dl] = append(f.spineUp[so][dl], int32(pp.port))
+				}
+			}
+		}
+	}
+
+	f.coreDown = make([][][]int32, len(topo.Cores()))
+	for co := range f.coreDown {
+		f.coreDown[co] = make([][]int32, nLeaf)
+		for dl := 0; dl < nLeaf; dl++ {
+			dstLeaf := topo.Leaves()[dl]
+			dstPod := topo.PodOf(dstLeaf)
+			dstSpine := f.corePodSpine[co][dstPod]
+			if dstSpine < 0 {
+				continue
+			}
+			if !anyUpTrunk(dstSpine, dstLeaf) {
+				continue
+			}
+			for _, pp := range f.coreAdj[co] {
+				if pp.peer == dstSpine && up(pp.link) {
+					f.coreDown[co][dl] = append(f.coreDown[co][dl], int32(pp.port))
+				}
+			}
+		}
+	}
+}
+
+// candidates returns the eligible egress ports at a switch for a
+// destination leaf ordinal, or nil if unreachable.
+func (f *fibTable) candidates(ss *switchState, dstLeafOrd int) []int32 {
+	switch ss.kind {
+	case topology.Leaf:
+		return f.leafUp[ss.ord][dstLeafOrd]
+	case topology.Spine:
+		if c := f.spineDown[ss.ord][dstLeafOrd]; len(c) > 0 {
+			return c
+		}
+		return f.spineUp[ss.ord][dstLeafOrd]
+	case topology.Core:
+		return f.coreDown[ss.ord][dstLeafOrd]
+	}
+	return nil
+}
+
+// LeafUplinkCandidates exposes the current FIB spray set of a leaf for
+// a destination leaf — the analytical predictor reads this to learn f,
+// the number of spines excluded by known faults (§5.2).
+func (n *Network) LeafUplinkCandidates(leaf, dstLeaf topology.SwitchID) []int {
+	lo, dl := n.fib.leafOrdOf[leaf], n.fib.leafOrdOf[dstLeaf]
+	ports := n.fib.leafUp[lo][dl]
+	out := make([]int, len(ports))
+	for i, p := range ports {
+		out[i] = int(p)
+	}
+	return out
+}

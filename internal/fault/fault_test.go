@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flowpulse/internal/sim"
+)
+
+func TestNoneDeliversEverything(t *testing.T) {
+	var m None
+	for i := 0; i < 100; i++ {
+		if m.Apply(sim.Time(i), 4096) != Deliver {
+			t.Fatal("None dropped a packet")
+		}
+	}
+}
+
+func TestBlackHoleDropsEverything(t *testing.T) {
+	var m BlackHole
+	for i := 0; i < 100; i++ {
+		if m.Apply(sim.Time(i), 64) != Drop {
+			t.Fatal("BlackHole delivered a packet")
+		}
+	}
+}
+
+func TestBernoulliDropRate(t *testing.T) {
+	for _, rate := range []float64{0.008, 0.015, 0.05, 0.5} {
+		m := NewBernoulliDrop(rate, sim.NewRNG(3, "drop"))
+		const n = 100000
+		drops := 0
+		for i := 0; i < n; i++ {
+			if m.Apply(0, 4096) == Drop {
+				drops++
+			}
+		}
+		got := float64(drops) / n
+		// 5-sigma binomial bound.
+		tol := 5 * math.Sqrt(rate*(1-rate)/n)
+		if math.Abs(got-rate) > tol {
+			t.Errorf("rate %v: empirical %v (tol %v)", rate, got, tol)
+		}
+	}
+}
+
+func TestBernoulliDropValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for rate > 1")
+		}
+	}()
+	NewBernoulliDrop(1.5, sim.NewRNG(1, "x"))
+}
+
+func TestWindowActivation(t *testing.T) {
+	w := &Window{Start: 100, End: 200, Inner: BlackHole{}}
+	cases := []struct {
+		at   sim.Time
+		want Verdict
+	}{
+		{0, Deliver}, {99, Deliver}, {100, Drop}, {150, Drop}, {199, Drop}, {200, Deliver}, {500, Deliver},
+	}
+	for _, c := range cases {
+		if got := w.Apply(c.at, 100); got != c.want {
+			t.Errorf("Window at %v: got %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestBitErrorDropProbability(t *testing.T) {
+	b := NewBitError(1e-6, sim.NewRNG(5, "ber"))
+	// 4096-byte packet: 32768 bits; p = 1-(1-1e-6)^32768 ≈ 0.0322.
+	p := b.DropProbability(4096)
+	if math.Abs(p-0.03222) > 0.001 {
+		t.Fatalf("DropProbability(4096) = %v", p)
+	}
+	// Larger packets must be more likely to drop (the paper's point
+	// about probes vs large flows).
+	if b.DropProbability(64) >= b.DropProbability(4096) {
+		t.Fatal("small packet drop probability not lower than large packet's")
+	}
+}
+
+func TestBitErrorEmpirical(t *testing.T) {
+	b := NewBitError(1e-6, sim.NewRNG(6, "ber2"))
+	const n = 50000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if b.Apply(0, 4096) == Drop {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	want := b.DropProbability(4096)
+	if math.Abs(got-want) > 5*math.Sqrt(want*(1-want)/n) {
+		t.Fatalf("empirical %v, want %v", got, want)
+	}
+}
+
+func TestGilbertElliottSteadyState(t *testing.T) {
+	g := NewGilbertElliott(0.01, 0.1, 0.001, 0.3, sim.NewRNG(7, "ge"))
+	want := g.SteadyStateLoss()
+	const n = 500000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if g.Apply(0, 4096) == Drop {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-want) > 0.15*want {
+		t.Fatalf("steady-state loss: empirical %v, analytic %v", got, want)
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// With sticky states, losses must cluster: the conditional loss
+	// probability after a loss should exceed the marginal loss rate.
+	g := NewGilbertElliott(0.005, 0.05, 0.0, 0.5, sim.NewRNG(8, "ge2"))
+	const n = 300000
+	losses := make([]bool, n)
+	total := 0
+	for i := range losses {
+		losses[i] = g.Apply(0, 4096) == Drop
+		if losses[i] {
+			total++
+		}
+	}
+	afterLoss, afterLossDrop := 0, 0
+	for i := 1; i < n; i++ {
+		if losses[i-1] {
+			afterLoss++
+			if losses[i] {
+				afterLossDrop++
+			}
+		}
+	}
+	marginal := float64(total) / n
+	conditional := float64(afterLossDrop) / float64(afterLoss)
+	if conditional < 2*marginal {
+		t.Fatalf("losses not bursty: conditional %v vs marginal %v", conditional, marginal)
+	}
+}
+
+func TestChainDropsIfAnyDrops(t *testing.T) {
+	c := Chain{None{}, &Window{Start: 10, End: 20, Inner: BlackHole{}}, None{}}
+	if c.Apply(5, 100) != Deliver {
+		t.Fatal("chain dropped outside window")
+	}
+	if c.Apply(15, 100) != Drop {
+		t.Fatal("chain delivered inside blackhole window")
+	}
+}
+
+// Property: a Bernoulli model with rate 0 never drops and rate 1
+// always drops, regardless of packet size or time.
+func TestBernoulliEdgesProperty(t *testing.T) {
+	zero := NewBernoulliDrop(0, sim.NewRNG(9, "z"))
+	one := NewBernoulliDrop(1, sim.NewRNG(9, "o"))
+	f := func(at int64, size uint16) bool {
+		tm := sim.Time(at & 0x7fffffffffffffff)
+		return zero.Apply(tm, int(size)) == Deliver && one.Apply(tm, int(size)) == Drop
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	models := []Model{
+		None{}, BlackHole{},
+		NewBernoulliDrop(0.015, sim.NewRNG(1, "a")),
+		&Window{Start: 0, End: 10, Inner: BlackHole{}},
+		NewBitError(1e-7, sim.NewRNG(1, "b")),
+		NewGilbertElliott(0.1, 0.1, 0, 0.5, sim.NewRNG(1, "c")),
+		Chain{None{}, BlackHole{}},
+	}
+	for _, m := range models {
+		if m.String() == "" {
+			t.Errorf("%T has empty String()", m)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package localize implements §5.3's fault localization (Fig. 4):
+// once a leaf detects reduced traffic on an ingress port, it compares
+// the per-sender volumes on that port. If every sender is equally
+// affected, the local link (this leaf ↔ the port's spine) is at fault;
+// if only some senders are affected, the fault sits on the remote link
+// between each affected sender's leaf and the spine — in a two-level
+// fat tree, a sender's traffic can reach this port over exactly one
+// path, so the inference is unambiguous.
+package localize
+
+import (
+	"fmt"
+	"math"
+
+	"flowpulse/internal/detect"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
+)
+
+// Kind classifies a localization verdict.
+type Kind uint8
+
+const (
+	// Indeterminate means the port had too little expected traffic to
+	// attribute the deficit.
+	Indeterminate Kind = iota
+	// LocalLink blames the link between the detecting leaf and the
+	// port's spine.
+	LocalLink
+	// RemoteLink blames link(s) between sender leaves and the spine.
+	RemoteLink
+)
+
+// String names the verdict kind.
+func (k Kind) String() string {
+	switch k {
+	case LocalLink:
+		return "local-link"
+	case RemoteLink:
+		return "remote-link"
+	}
+	return "indeterminate"
+}
+
+// Verdict is the outcome of localizing one alert.
+type Verdict struct {
+	Kind Kind
+	// Links are the blamed cables (trunk groups are reported whole).
+	Links []topology.LinkID
+	// AffectedSenders lists the depressed senders' leaf ordinals.
+	AffectedSenders []int
+	// CleanSenders lists senders whose volume matched the model.
+	CleanSenders []int
+}
+
+// String formats the verdict for operator logs.
+func (v Verdict) String() string {
+	return fmt.Sprintf("%s links=%v affected=%v clean=%v", v.Kind, v.Links, v.AffectedSenders, v.CleanSenders)
+}
+
+// Localizer resolves alerts to links.
+type Localizer struct {
+	topo *topology.Topology
+	// Threshold for per-sender deviation; use the detector's.
+	threshold float64
+	// MinPredicted as in detect.Config.
+	minPredicted float64
+	// localFraction is the share of senders that must be affected for
+	// a local-link verdict. The paper's rule is "all senders equally
+	// affected"; a strict ALL is fragile against per-sender measurement
+	// noise (a sender contributing few packets to a port can sit under
+	// the cut by chance), so the default requires 60% — far above the
+	// 1-of-N signature of any remote fault, far below the all-of-N of
+	// a local one.
+	localFraction float64
+}
+
+// New builds a localizer. threshold and minPredicted should match the
+// detector's configuration.
+func New(topo *topology.Topology, threshold, minPredicted float64) *Localizer {
+	if threshold == 0 {
+		threshold = 0.01
+	}
+	if minPredicted == 0 {
+		minPredicted = 4160
+	}
+	return &Localizer{topo: topo, threshold: threshold, minPredicted: minPredicted, localFraction: 0.6}
+}
+
+// Localize attributes one alert using the window's per-sender volumes
+// and the model's per-sender expectations for the same port.
+func (l *Localizer) Localize(a detect.Alert, w *telemetry.Window, senderPred [][]float64) Verdict {
+	obs := w.SenderBytes[a.Uplink]
+	pred := senderPred[a.Uplink]
+
+	// The per-sender cut adapts to the alert's magnitude: when the
+	// port-level deviation is large, small per-sender wobbles (ACK
+	// interleaving perturbs per-destination spray splits when a leaf
+	// serves several flows, §5.1) must not implicate innocent senders.
+	cut := l.threshold
+	if adaptive := math.Abs(a.Deviation) / 2; adaptive > cut && !math.IsInf(adaptive, 0) {
+		cut = adaptive
+	}
+
+	var affected, clean []int
+	for s := range pred {
+		dev, ok := detect.Deviation(float64(obs[s]), pred[s], l.minPredicted)
+		if !ok {
+			continue
+		}
+		// A deficit implicates the sender's path; a surplus is the
+		// retransmission spillover of a fault elsewhere and is not
+		// counted against the sender.
+		if dev < -cut || math.IsInf(dev, 1) {
+			affected = append(affected, s)
+		} else {
+			clean = append(clean, s)
+		}
+	}
+
+	leaf := a.Leaf
+	hostPorts := len(l.topo.HostsOf(leaf))
+	spineOrd, _ := l.topo.SpineOrdinalOfLeafPort(leaf, a.Uplink+hostPorts)
+	spine := l.topo.Spines()[spineOrd]
+
+	frac := float64(len(affected)) / float64(len(affected)+len(clean))
+	switch {
+	case len(affected) == 0:
+		return Verdict{Kind: Indeterminate}
+	case frac >= l.localFraction:
+		// (Nearly) every sender equally affected: the only shared
+		// element is the local spine→leaf link.
+		return Verdict{
+			Kind:            LocalLink,
+			Links:           append([]topology.LinkID(nil), l.topo.TrunkLinks(spine, leaf)...),
+			AffectedSenders: affected,
+			CleanSenders:    clean,
+		}
+	default:
+		// Some senders unaffected: the local link is fine; blame each
+		// affected sender's leaf↔spine link.
+		v := Verdict{Kind: RemoteLink, AffectedSenders: affected, CleanSenders: clean}
+		for _, s := range affected {
+			senderLeaf := l.topo.Leaves()[s]
+			v.Links = append(v.Links, l.topo.TrunkLinks(senderLeaf, spine)...)
+		}
+		return v
+	}
+}

@@ -1,0 +1,150 @@
+package localize
+
+import (
+	"testing"
+
+	"flowpulse/internal/detect"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
+)
+
+// The Fig. 4 scenario: leaves L1, L2, L3 (ordinals 1, 2, 3); L2
+// receives from L1 and L3 through spine S1 (ordinal 1).
+func fig4Topo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 4, Spines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// fig4Window builds L2's window: per-uplink, per-sender bytes.
+func fig4Window(topo *topology.Topology, senderBytesOnS1 map[int]int64) *telemetry.Window {
+	w := &telemetry.Window{
+		Leaf:        topo.Leaves()[2],
+		LeafOrdinal: 2,
+		Iter:        5,
+		PortBytes:   make([]int64, 4),
+		SenderBytes: make([][]int64, 4),
+	}
+	for u := range w.SenderBytes {
+		w.SenderBytes[u] = make([]int64, 4)
+	}
+	for sender, b := range senderBytesOnS1 {
+		w.SenderBytes[1][sender] = b
+		w.PortBytes[1] += b
+	}
+	return w
+}
+
+// senderPred expects 1 MB from each of L1 and L3 on the S1 port.
+func fig4Pred() [][]float64 {
+	pred := make([][]float64, 4)
+	for u := range pred {
+		pred[u] = make([]float64, 4)
+	}
+	pred[1][1] = 1e6
+	pred[1][3] = 1e6
+	return pred
+}
+
+func alertOnS1(topo *topology.Topology) detect.Alert {
+	return detect.Alert{Leaf: topo.Leaves()[2], LeafOrdinal: 2, Uplink: 1, Iter: 5}
+}
+
+func TestLocalizeRemoteLink(t *testing.T) {
+	// L1's traffic through S1 is halved, L3's is intact: blame the
+	// remote L1-S1 link (the paper's Fig. 4 conclusion).
+	topo := fig4Topo(t)
+	l := New(topo, 0.01, 1000)
+	w := fig4Window(topo, map[int]int64{1: 500_000, 3: 1_000_000})
+	v := l.Localize(alertOnS1(topo), w, fig4Pred())
+	if v.Kind != RemoteLink {
+		t.Fatalf("verdict = %v, want remote-link", v)
+	}
+	wantLink := topo.TrunkLinks(topo.Leaves()[1], topo.Spines()[1])[0]
+	if len(v.Links) != 1 || v.Links[0] != wantLink {
+		t.Fatalf("blamed links %v, want [%d]", v.Links, wantLink)
+	}
+	if len(v.AffectedSenders) != 1 || v.AffectedSenders[0] != 1 {
+		t.Fatalf("affected = %v, want [1]", v.AffectedSenders)
+	}
+	if len(v.CleanSenders) != 1 || v.CleanSenders[0] != 3 {
+		t.Fatalf("clean = %v, want [3]", v.CleanSenders)
+	}
+}
+
+func TestLocalizeLocalLink(t *testing.T) {
+	// Both senders equally depressed: the shared local S1-L2 link.
+	topo := fig4Topo(t)
+	l := New(topo, 0.01, 1000)
+	w := fig4Window(topo, map[int]int64{1: 700_000, 3: 720_000})
+	v := l.Localize(alertOnS1(topo), w, fig4Pred())
+	if v.Kind != LocalLink {
+		t.Fatalf("verdict = %v, want local-link", v)
+	}
+	wantLink := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[2])[0]
+	if len(v.Links) != 1 || v.Links[0] != wantLink {
+		t.Fatalf("blamed links %v, want [%d]", v.Links, wantLink)
+	}
+}
+
+func TestLocalizeTotalRemoteOutage(t *testing.T) {
+	// One sender completely dark, the other clean: remote link, and the
+	// dead sender is detected via its zero volume.
+	topo := fig4Topo(t)
+	l := New(topo, 0.01, 1000)
+	w := fig4Window(topo, map[int]int64{1: 0, 3: 1_000_000})
+	v := l.Localize(alertOnS1(topo), w, fig4Pred())
+	if v.Kind != RemoteLink || len(v.AffectedSenders) != 1 || v.AffectedSenders[0] != 1 {
+		t.Fatalf("verdict: %v", v)
+	}
+}
+
+func TestLocalizeMultipleRemoteLinks(t *testing.T) {
+	// Two of four senders depressed (half — under the 60% local
+	// fraction): both remote links are blamed.
+	topo := fig4Topo(t)
+	l := New(topo, 0.01, 1000)
+	pred := fig4Pred()
+	pred[1][0] = 1e6 // L0 also sends
+	pred[1][2] = 1e6 // local host traffic arriving via spine (multi-host leaf)
+	w := fig4Window(topo, map[int]int64{0: 900_000, 1: 900_000, 2: 1_000_000, 3: 1_000_000})
+	v := l.Localize(alertOnS1(topo), w, pred)
+	if v.Kind != RemoteLink || len(v.Links) != 2 {
+		t.Fatalf("verdict: %v", v)
+	}
+}
+
+func TestLocalizeSurplusIsNotAffected(t *testing.T) {
+	// A sender 3% ABOVE prediction (retransmit spillover) must not be
+	// blamed; the depressed sender is.
+	topo := fig4Topo(t)
+	l := New(topo, 0.01, 1000)
+	w := fig4Window(topo, map[int]int64{1: 950_000, 3: 1_030_000})
+	v := l.Localize(alertOnS1(topo), w, fig4Pred())
+	if v.Kind != RemoteLink || len(v.AffectedSenders) != 1 || v.AffectedSenders[0] != 1 {
+		t.Fatalf("verdict: %v", v)
+	}
+}
+
+func TestLocalizeIndeterminateWhenNoExpectedTraffic(t *testing.T) {
+	topo := fig4Topo(t)
+	l := New(topo, 0.01, 1000)
+	pred := make([][]float64, 4)
+	for u := range pred {
+		pred[u] = make([]float64, 4)
+	}
+	w := fig4Window(topo, map[int]int64{})
+	v := l.Localize(alertOnS1(topo), w, pred)
+	if v.Kind != Indeterminate {
+		t.Fatalf("verdict: %v", v)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if LocalLink.String() != "local-link" || RemoteLink.String() != "remote-link" || Indeterminate.String() != "indeterminate" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -1,0 +1,160 @@
+// Package metrics computes the evaluation statistics of §6: ROC
+// curves over detection thresholds (Fig 5a), false-positive and
+// false-negative rates (Fig 5b/5c), and summary statistics used across
+// the experiment harness.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample is one classifier observation: the detector's score for one
+// iteration (max absolute port deviation) and whether a fault was
+// actually present.
+type Sample struct {
+	Score    float64
+	Positive bool
+}
+
+// ROCPoint is the classifier's operating point at one threshold.
+type ROCPoint struct {
+	Threshold float64
+	// TPR is the true-positive rate (1 − FNR).
+	TPR float64
+	// FPR is the false-positive rate.
+	FPR float64
+	// FNR is the false-negative rate.
+	FNR float64
+}
+
+// RatesAt evaluates the classifier "score > threshold ⇒ fault" on the
+// samples. Faultless sample sets return FPR; faulty ones FNR; both are
+// 0 when the corresponding class is absent.
+func RatesAt(samples []Sample, threshold float64) (fpr, fnr float64) {
+	var pos, neg, fp, fn int
+	for _, s := range samples {
+		if s.Positive {
+			pos++
+			if !(s.Score > threshold) {
+				fn++
+			}
+		} else {
+			neg++
+			if s.Score > threshold {
+				fp++
+			}
+		}
+	}
+	if neg > 0 {
+		fpr = float64(fp) / float64(neg)
+	}
+	if pos > 0 {
+		fnr = float64(fn) / float64(pos)
+	}
+	return fpr, fnr
+}
+
+// ROC evaluates the classifier at each threshold, returning points in
+// threshold order.
+func ROC(samples []Sample, thresholds []float64) []ROCPoint {
+	points := make([]ROCPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		fpr, fnr := RatesAt(samples, th)
+		points = append(points, ROCPoint{Threshold: th, FPR: fpr, FNR: fnr, TPR: 1 - fnr})
+	}
+	return points
+}
+
+// AUC integrates the ROC curve (trapezoidal over FPR-sorted points).
+// A perfect classifier scores 1, a random one 0.5.
+func AUC(points []ROCPoint) float64 {
+	pts := append([]ROCPoint(nil), points...)
+	// Anchor the curve at (0,0) and (1,1).
+	pts = append(pts, ROCPoint{FPR: 0, TPR: 0}, ROCPoint{FPR: 1, TPR: 1})
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].FPR != pts[j].FPR {
+			return pts[i].FPR < pts[j].FPR
+		}
+		return pts[i].TPR < pts[j].TPR
+	})
+	var auc float64
+	for i := 1; i < len(pts); i++ {
+		dx := pts[i].FPR - pts[i-1].FPR
+		auc += dx * (pts[i].TPR + pts[i-1].TPR) / 2
+	}
+	return auc
+}
+
+// PerfectThresholds returns the sub-range of thresholds at which the
+// classifier is perfect (FPR = FNR = 0), or nil. Fig 5a's claim is
+// that 1% lies in this range for drop rates ≥ 1.5%.
+func PerfectThresholds(samples []Sample, thresholds []float64) []float64 {
+	var out []float64
+	for _, th := range thresholds {
+		fpr, fnr := RatesAt(samples, th)
+		if fpr == 0 && fnr == 0 {
+			out = append(out, th)
+		}
+	}
+	return out
+}
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N             int
+	Mean, Std, CV float64
+	Min, Max, Sum float64
+}
+
+// Summarize computes descriptive statistics of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N))
+	if s.Mean != 0 {
+		s.CV = s.Std / s.Mean
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0..1) of xs by linear
+// interpolation. It panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: quantile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

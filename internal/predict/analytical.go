@@ -1,0 +1,126 @@
+package predict
+
+import (
+	"flowpulse/internal/collective"
+	"flowpulse/internal/topology"
+)
+
+// Analytical is §5.2's closed-form model: in a fault-free network the
+// traffic of each source-destination pair is evenly balanced across
+// all spines; a known fault between source (or destination) and a
+// spine removes that spine, so each of the surviving s−f spines
+// carries d/(s−f) of the pair's d bytes, which then lands on the
+// destination leaf's ingress port from that spine. Summing over the
+// pairs destined to each leaf yields the per-port prediction.
+//
+// With parallel links (§7), the spray set contains one entry per
+// admin-up (spine, trunk) pair on the source side, and each spine's
+// share splits evenly again over the admin-up trunks on the
+// destination side.
+type Analytical struct {
+	topo   *topology.Topology
+	fib    FIBView
+	wire   WireSizer
+	demand *collective.DemandMatrix
+
+	ports   [][]float64   // [leafOrd][uplink]
+	senders [][][]float64 // [leafOrd][uplink][senderLeafOrd]
+}
+
+// NewAnalytical computes the model once for a demand matrix against
+// the current routing state. Call it again after known faults change
+// (routing reconvergence invalidates the shares).
+//
+// The closed form is specific to the two-level spray geometry (§5.2);
+// three-level fabrics must use the simulation or learned models (see
+// core.AttachClos3), so NewAnalytical panics on them rather than
+// silently producing wrong shares.
+func NewAnalytical(topo *topology.Topology, fib FIBView, wire WireSizer, demand *collective.DemandMatrix) *Analytical {
+	if topo.Levels != 2 {
+		panic("predict: the analytical model covers two-level fabrics; use the simulation or learned model for multi-level Clos")
+	}
+	a := &Analytical{topo: topo, fib: fib, wire: wire, demand: demand}
+	nLeaf := len(topo.Leaves())
+	a.ports = make([][]float64, nLeaf)
+	a.senders = make([][][]float64, nLeaf)
+	for lo, leaf := range topo.Leaves() {
+		uplinks := len(topo.Switch(leaf).Ports) - len(topo.HostsOf(leaf))
+		a.ports[lo] = make([]float64, uplinks)
+		a.senders[lo] = make([][]float64, uplinks)
+		for u := range a.senders[lo] {
+			a.senders[lo][u] = make([]float64, nLeaf)
+		}
+	}
+
+	for i, srcHost := range demand.Hosts {
+		for j, dstHost := range demand.Hosts {
+			payload := demand.Bytes[i][j]
+			if payload == 0 {
+				continue
+			}
+			srcLeaf, dstLeaf := topo.LeafOf(srcHost), topo.LeafOf(dstHost)
+			if srcLeaf == dstLeaf {
+				continue // local traffic never reaches the spines
+			}
+			var wireBytes float64
+			for _, msg := range demand.Msgs[i][j] {
+				wireBytes += float64(wire.WireBytesFor(int(msg)))
+			}
+			a.spread(srcLeaf, dstLeaf, wireBytes)
+		}
+	}
+	return a
+}
+
+// spread distributes one pair's wire bytes over the destination leaf's
+// ingress ports according to the source leaf's spray set.
+func (a *Analytical) spread(srcLeaf, dstLeaf topology.SwitchID, wireBytes float64) {
+	topo := a.topo
+	srcPorts := a.fib.LeafUplinkCandidates(srcLeaf, dstLeaf)
+	if len(srcPorts) == 0 {
+		return // unreachable: nothing arrives
+	}
+	perSrcPort := wireBytes / float64(len(srcPorts))
+
+	srcLeafOrd := topo.LeafOrdinal(srcLeaf)
+	dstLeafOrd := topo.LeafOrdinal(dstLeaf)
+	hostPorts := len(topo.HostsOf(dstLeaf))
+
+	// Aggregate the source-side split per spine, then split each
+	// spine's share across its admin-up trunks to the destination.
+	perSpine := map[int]float64{}
+	for _, p := range srcPorts {
+		so, _ := topo.SpineOrdinalOfLeafPort(srcLeaf, p)
+		perSpine[so] += perSrcPort
+	}
+	for so, share := range perSpine {
+		spine := topo.Spines()[so]
+		var upTrunks []int
+		for k, link := range topo.TrunkLinks(spine, dstLeaf) {
+			if a.fib.LinkAdminUp(link) {
+				upTrunks = append(upTrunks, k)
+			}
+		}
+		if len(upTrunks) == 0 {
+			continue // FIB would not have sprayed here
+		}
+		perTrunk := share / float64(len(upTrunks))
+		for _, k := range upTrunks {
+			uplink := topo.LeafUpPort(dstLeaf, so, k) - hostPorts
+			a.ports[dstLeafOrd][uplink] += perTrunk
+			a.senders[dstLeafOrd][uplink][srcLeafOrd] += perTrunk
+		}
+	}
+}
+
+// Name implements Predictor.
+func (a *Analytical) Name() string { return "analytical" }
+
+// Ready implements Predictor; the analytical model is always ready.
+func (a *Analytical) Ready(int) bool { return true }
+
+// PortLoad implements Predictor.
+func (a *Analytical) PortLoad(leafOrdinal int) []float64 { return a.ports[leafOrdinal] }
+
+// SenderLoad implements Predictor.
+func (a *Analytical) SenderLoad(leafOrdinal int) [][]float64 { return a.senders[leafOrdinal] }

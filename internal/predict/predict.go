@@ -1,0 +1,44 @@
+// Package predict implements §5.2's per-link load models: the
+// analytical d/(s−f) model over the collective's demand matrix and the
+// switches' routing state, the simulation-based model (averaging a
+// reference run of the fault-free-except-known-faults network), and
+// the learned model (baseline from the first training iterations, with
+// transient-fault re-baselining, Fig. 3).
+//
+// All predictors answer the same question a leaf switch asks at the
+// end of each iteration window: how many tagged bytes should each of
+// my spine-facing ingress ports have seen?
+package predict
+
+import "flowpulse/internal/topology"
+
+// Predictor estimates per-uplink ingress volume for one collective
+// iteration at each leaf.
+type Predictor interface {
+	// Name identifies the prediction method.
+	Name() string
+	// Ready reports whether predictions for the leaf are available
+	// (the learned model needs warm-up iterations first).
+	Ready(leafOrdinal int) bool
+	// PortLoad returns the expected wire bytes per uplink ingress port
+	// (uplink index = spine ordinal × trunk + trunk index).
+	PortLoad(leafOrdinal int) []float64
+	// SenderLoad returns the expected wire bytes per uplink ingress
+	// port, broken down by the sender's leaf ordinal — the reference
+	// the localizer compares against (Fig. 4).
+	SenderLoad(leafOrdinal int) [][]float64
+}
+
+// WireSizer converts payload bytes to wire bytes (headers included).
+// *transport.Stack implements it.
+type WireSizer interface {
+	WireBytesFor(bytes int) int64
+}
+
+// FIBView exposes the routing state the analytical model reads: the
+// spray candidate set per (source leaf, destination leaf) and the
+// administrative state of links. *fabric.Network implements it.
+type FIBView interface {
+	LeafUplinkCandidates(leaf, dstLeaf topology.SwitchID) []int
+	LinkAdminUp(link topology.LinkID) bool
+}

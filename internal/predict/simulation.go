@@ -1,0 +1,88 @@
+package predict
+
+import (
+	"fmt"
+
+	"flowpulse/internal/telemetry"
+)
+
+// Simulation is §5.2's highest-fidelity model: the expected per-port
+// load is taken from a reference simulation of the network that
+// includes every *known* fault but no silent ones. The reference run
+// captures everything the analytical model approximates away —
+// adaptive spraying dynamics, transport overheads and retransmission
+// noise, jitter interactions.
+//
+// This package only averages the reference run's telemetry windows;
+// producing them (cloning the network and re-running the workload) is
+// the job of core.ReferenceRun, mirroring the paper's "significant
+// time and computation resources must be spent running the simulation
+// before every training job".
+type Simulation struct {
+	ports   [][]float64
+	senders [][][]float64
+	have    []bool
+}
+
+// NewSimulation averages reference-run windows into a predictor.
+// Windows from the same leaf are averaged element-wise; every leaf
+// that appears must contribute at least one window.
+func NewSimulation(nLeaves int, windows []*telemetry.Window) (*Simulation, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("predict: no reference windows")
+	}
+	s := &Simulation{
+		ports:   make([][]float64, nLeaves),
+		senders: make([][][]float64, nLeaves),
+		have:    make([]bool, nLeaves),
+	}
+	counts := make([]int, nLeaves)
+	for _, w := range windows {
+		lo := w.LeafOrdinal
+		if lo < 0 || lo >= nLeaves {
+			return nil, fmt.Errorf("predict: window from leaf ordinal %d outside [0,%d)", lo, nLeaves)
+		}
+		if s.ports[lo] == nil {
+			s.ports[lo] = make([]float64, len(w.PortBytes))
+			s.senders[lo] = make([][]float64, len(w.SenderBytes))
+			for u := range s.senders[lo] {
+				s.senders[lo][u] = make([]float64, len(w.SenderBytes[u]))
+			}
+		}
+		for u, b := range w.PortBytes {
+			s.ports[lo][u] += float64(b)
+		}
+		for u := range w.SenderBytes {
+			for l, b := range w.SenderBytes[u] {
+				s.senders[lo][u][l] += float64(b)
+			}
+		}
+		counts[lo]++
+		s.have[lo] = true
+	}
+	for lo := range s.ports {
+		if counts[lo] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[lo])
+		for u := range s.ports[lo] {
+			s.ports[lo][u] *= inv
+			for l := range s.senders[lo][u] {
+				s.senders[lo][u][l] *= inv
+			}
+		}
+	}
+	return s, nil
+}
+
+// Name implements Predictor.
+func (s *Simulation) Name() string { return "simulation" }
+
+// Ready implements Predictor.
+func (s *Simulation) Ready(leafOrdinal int) bool { return s.have[leafOrdinal] }
+
+// PortLoad implements Predictor.
+func (s *Simulation) PortLoad(leafOrdinal int) []float64 { return s.ports[leafOrdinal] }
+
+// SenderLoad implements Predictor.
+func (s *Simulation) SenderLoad(leafOrdinal int) [][]float64 { return s.senders[leafOrdinal] }

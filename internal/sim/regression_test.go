@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+// Regression: event structs are pooled, and EventRefs are generation-
+// stamped. A stale ref (to an event that already fired) must never
+// cancel the pooled struct's NEXT occupant. The original bug silently
+// killed unrelated events — in the full system, a transport RTO ref
+// cancelled a NIC transmit-complete event and wedged the simulation.
+func TestStaleEventRefCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	fired := map[string]bool{}
+
+	var stale EventRef
+	stale = e.After(1, func(Time) { fired["first"] = true })
+
+	e.Run() // "first" fires; its struct returns to the pool
+
+	// The next scheduled event reuses the pooled struct.
+	e.After(1, func(Time) { fired["second"] = true })
+	if e.Cancel(stale) {
+		t.Fatal("stale ref cancelled something")
+	}
+	e.Run()
+	if !fired["first"] || !fired["second"] {
+		t.Fatalf("fired = %v; stale ref killed the recycled event", fired)
+	}
+}
+
+func TestStaleRefAcrossManyRecycles(t *testing.T) {
+	e := NewEngine()
+	var refs []EventRef
+	count := 0
+	for round := 0; round < 50; round++ {
+		refs = append(refs, e.After(1, func(Time) { count++ }))
+		e.Run()
+		// Try every stale ref each round; none may cancel live events.
+		for _, r := range refs[:len(refs)-1] {
+			if e.Cancel(r) {
+				t.Fatal("stale ref cancelled a live event")
+			}
+		}
+	}
+	if count != 50 {
+		t.Fatalf("fired %d, want 50", count)
+	}
+}
+
+// A still-pending ref must remain cancellable even after OTHER events
+// recycled structs around it.
+func TestLiveRefSurvivesPoolChurn(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	long := e.After(1000, func(Time) { fired = true })
+	for i := 0; i < 20; i++ {
+		e.After(Duration(i+1), func(Time) {})
+	}
+	e.RunUntil(500)
+	if !e.Cancel(long) {
+		t.Fatal("live ref not cancellable after pool churn")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired anyway")
+	}
+}

@@ -1,0 +1,179 @@
+// Package spray implements the per-packet load-balancing policies of
+// an APS fabric (§2 "Link layer"): adaptive least-loaded spraying (the
+// deployment default the paper models), DRILL-style power-of-two-
+// choices, uniform random spraying, deterministic round-robin, and a
+// per-flow ECMP hash baseline (the traditional datacenter scheme the
+// paper contrasts against in §1).
+//
+// A Policy instance is owned by a single switch and may keep state
+// (DRILL memory, round-robin cursors); switches are simulated
+// single-threaded so no locking is needed.
+package spray
+
+import (
+	"fmt"
+
+	"flowpulse/internal/sim"
+)
+
+// Candidate is one eligible egress port for a packet, with its current
+// queue depth. Eligibility (FIB reachability, administratively-up) is
+// decided by the switch before calling the policy: a policy never
+// learns about ports the FIB has removed, which is what makes routing
+// converge around *known* faults only.
+type Candidate struct {
+	// Port is the switch-local egress port index.
+	Port int
+	// QueueBytes is the port's current egress queue occupancy.
+	QueueBytes int64
+}
+
+// Policy selects an egress port for each packet.
+type Policy interface {
+	// Pick returns an index into cands. flowKey identifies the packet's
+	// flow for policies that balance per flow rather than per packet.
+	// cands is non-empty and ordered by port index.
+	Pick(cands []Candidate, flowKey uint64) int
+	// Name identifies the policy in experiment records.
+	Name() string
+}
+
+// Kind names a built-in policy.
+type Kind string
+
+// Built-in policy kinds.
+const (
+	// LeastLoaded scans all candidates and picks the minimum queue,
+	// breaking ties uniformly at random. This is the "selecting the
+	// least congested port" adaptive strategy of §1 and the default
+	// everywhere in this repository.
+	LeastLoaded Kind = "least-loaded"
+	// DRILL samples two random candidates plus the best port from the
+	// previous decision and picks the least loaded of the three
+	// (Ghorbani et al., §1 [16]).
+	DRILL Kind = "drill"
+	// Random sprays uniformly at random per packet (§1 [12]).
+	Random Kind = "random"
+	// RoundRobin cycles deterministically through candidates.
+	RoundRobin Kind = "round-robin"
+	// ECMP hashes the flow key — per-flow load balancing, the
+	// traditional baseline that performs poorly for training traffic.
+	ECMP Kind = "ecmp"
+)
+
+// Kinds lists every built-in policy kind.
+func Kinds() []Kind { return []Kind{LeastLoaded, DRILL, Random, RoundRobin, ECMP} }
+
+// New builds a fresh policy instance of the given kind. Each switch
+// must own its own instance.
+func New(kind Kind, rng *sim.RNG) (Policy, error) {
+	switch kind {
+	case LeastLoaded:
+		return &leastLoaded{rng: rng}, nil
+	case DRILL:
+		return &drill{rng: rng, samples: 2, lastBest: -1}, nil
+	case Random:
+		return &random{rng: rng}, nil
+	case RoundRobin:
+		return &roundRobin{}, nil
+	case ECMP:
+		return ecmp{}, nil
+	default:
+		return nil, fmt.Errorf("spray: unknown policy kind %q", kind)
+	}
+}
+
+// MustNew is New for statically known kinds; it panics on error.
+func MustNew(kind Kind, rng *sim.RNG) Policy {
+	p, err := New(kind, rng)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type leastLoaded struct {
+	rng  *sim.RNG
+	ties []int // scratch, reused across calls
+}
+
+func (p *leastLoaded) Pick(cands []Candidate, _ uint64) int {
+	best := cands[0].QueueBytes
+	p.ties = p.ties[:0]
+	p.ties = append(p.ties, 0)
+	for i := 1; i < len(cands); i++ {
+		switch q := cands[i].QueueBytes; {
+		case q < best:
+			best = q
+			p.ties = p.ties[:0]
+			p.ties = append(p.ties, i)
+		case q == best:
+			p.ties = append(p.ties, i)
+		}
+	}
+	if len(p.ties) == 1 {
+		return p.ties[0]
+	}
+	return p.ties[p.rng.PickN(len(p.ties))]
+}
+
+func (p *leastLoaded) Name() string { return string(LeastLoaded) }
+
+type drill struct {
+	rng      *sim.RNG
+	samples  int
+	lastBest int // port index (not candidate index) remembered across decisions
+}
+
+func (p *drill) Pick(cands []Candidate, _ uint64) int {
+	bestIdx := -1
+	consider := func(i int) {
+		if bestIdx < 0 || cands[i].QueueBytes < cands[bestIdx].QueueBytes {
+			bestIdx = i
+		}
+	}
+	for s := 0; s < p.samples; s++ {
+		consider(p.rng.PickN(len(cands)))
+	}
+	// Include the remembered best port if it is still a candidate.
+	if p.lastBest >= 0 {
+		for i := range cands {
+			if cands[i].Port == p.lastBest {
+				consider(i)
+				break
+			}
+		}
+	}
+	if bestIdx < 0 {
+		bestIdx = 0
+	}
+	p.lastBest = cands[bestIdx].Port
+	return bestIdx
+}
+
+func (p *drill) Name() string { return string(DRILL) }
+
+type random struct{ rng *sim.RNG }
+
+func (p *random) Pick(cands []Candidate, _ uint64) int { return p.rng.PickN(len(cands)) }
+func (p *random) Name() string                         { return string(Random) }
+
+type roundRobin struct{ next int }
+
+func (p *roundRobin) Pick(cands []Candidate, _ uint64) int {
+	i := p.next % len(cands)
+	p.next++
+	return i
+}
+
+func (p *roundRobin) Name() string { return string(RoundRobin) }
+
+type ecmp struct{}
+
+func (ecmp) Pick(cands []Candidate, flowKey uint64) int {
+	// Fibonacci hashing spreads consecutive flow keys.
+	h := flowKey * 0x9e3779b97f4a7c15
+	return int(h % uint64(len(cands)))
+}
+
+func (ecmp) Name() string { return string(ECMP) }

@@ -1,0 +1,217 @@
+package spray
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flowpulse/internal/sim"
+)
+
+func equalCands(n int) []Candidate {
+	cands := make([]Candidate, n)
+	for i := range cands {
+		cands[i] = Candidate{Port: i}
+	}
+	return cands
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New(Kind("bogus"), sim.NewRNG(1, "x")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestAllKindsConstruct(t *testing.T) {
+	for _, k := range Kinds() {
+		p := MustNew(k, sim.NewRNG(1, string(k)))
+		if p.Name() != string(k) {
+			t.Errorf("kind %q: Name() = %q", k, p.Name())
+		}
+	}
+}
+
+func TestLeastLoadedPicksMinimum(t *testing.T) {
+	p := MustNew(LeastLoaded, sim.NewRNG(2, "ll"))
+	cands := []Candidate{{Port: 0, QueueBytes: 500}, {Port: 1, QueueBytes: 100}, {Port: 2, QueueBytes: 300}}
+	for i := 0; i < 50; i++ {
+		if got := p.Pick(cands, 0); got != 1 {
+			t.Fatalf("picked candidate %d, want 1 (least loaded)", got)
+		}
+	}
+}
+
+func TestLeastLoadedTieBreakUniform(t *testing.T) {
+	p := MustNew(LeastLoaded, sim.NewRNG(3, "ll"))
+	cands := []Candidate{
+		{Port: 0, QueueBytes: 100}, {Port: 1, QueueBytes: 100},
+		{Port: 2, QueueBytes: 999}, {Port: 3, QueueBytes: 100},
+	}
+	counts := map[int]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[p.Pick(cands, 0)]++
+	}
+	if counts[2] != 0 {
+		t.Fatal("picked a loaded port despite ties among unloaded ones")
+	}
+	for _, idx := range []int{0, 1, 3} {
+		frac := float64(counts[idx]) / n
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Errorf("tie-break not uniform: candidate %d got %v", idx, frac)
+		}
+	}
+}
+
+func TestRandomUniform(t *testing.T) {
+	p := MustNew(Random, sim.NewRNG(4, "r"))
+	cands := equalCands(16)
+	counts := make([]int, 16)
+	const n = 160000
+	for i := 0; i < n; i++ {
+		counts[p.Pick(cands, 0)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/16) > 0.005 {
+			t.Errorf("port %d frequency %v, want ~1/16", i, frac)
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := MustNew(RoundRobin, nil)
+	cands := equalCands(4)
+	for i := 0; i < 12; i++ {
+		if got := p.Pick(cands, 0); got != i%4 {
+			t.Fatalf("round robin pick %d = %d, want %d", i, got, i%4)
+		}
+	}
+}
+
+func TestECMPStablePerFlow(t *testing.T) {
+	p := MustNew(ECMP, nil)
+	cands := equalCands(8)
+	for flow := uint64(0); flow < 64; flow++ {
+		first := p.Pick(cands, flow)
+		for i := 0; i < 10; i++ {
+			if p.Pick(cands, flow) != first {
+				t.Fatalf("ECMP not stable for flow %d", flow)
+			}
+		}
+	}
+}
+
+func TestECMPSpreadsFlows(t *testing.T) {
+	p := MustNew(ECMP, nil)
+	cands := equalCands(8)
+	used := map[int]bool{}
+	for flow := uint64(0); flow < 1000; flow++ {
+		used[p.Pick(cands, flow)] = true
+	}
+	if len(used) != 8 {
+		t.Fatalf("ECMP used %d/8 ports across 1000 flows", len(used))
+	}
+}
+
+func TestDRILLPrefersLessLoaded(t *testing.T) {
+	p := MustNew(DRILL, sim.NewRNG(5, "d"))
+	cands := make([]Candidate, 16)
+	for i := range cands {
+		cands[i] = Candidate{Port: i, QueueBytes: 1000}
+	}
+	cands[7].QueueBytes = 0
+	// DRILL converges on the empty port via its memory: once sampled,
+	// port 7 stays in the consideration set.
+	hits := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if cands[p.Pick(cands, 0)].Port == 7 {
+			hits++
+		}
+	}
+	if float64(hits)/n < 0.5 {
+		t.Fatalf("DRILL picked the empty port only %d/%d times", hits, n)
+	}
+}
+
+func TestDRILLMemorySurvivesCandidateChanges(t *testing.T) {
+	p := MustNew(DRILL, sim.NewRNG(6, "d2"))
+	full := equalCands(8)
+	p.Pick(full, 0) // establishes some memory
+	// Shrink the candidate set; the remembered port may be gone.
+	small := []Candidate{{Port: 6}, {Port: 7}}
+	for i := 0; i < 100; i++ {
+		got := p.Pick(small, 0)
+		if got != 0 && got != 1 {
+			t.Fatalf("DRILL returned out-of-range index %d", got)
+		}
+	}
+}
+
+// Property: every policy returns a valid candidate index for arbitrary
+// queue depths.
+func TestPoliciesReturnValidIndexProperty(t *testing.T) {
+	policies := make([]Policy, 0, len(Kinds()))
+	for _, k := range Kinds() {
+		policies = append(policies, MustNew(k, sim.NewRNG(7, string(k))))
+	}
+	f := func(depths []uint32, flow uint64) bool {
+		if len(depths) == 0 {
+			depths = []uint32{0}
+		}
+		if len(depths) > 64 {
+			depths = depths[:64]
+		}
+		cands := make([]Candidate, len(depths))
+		for i, d := range depths {
+			cands[i] = Candidate{Port: i, QueueBytes: int64(d)}
+		}
+		for _, p := range policies {
+			got := p.Pick(cands, flow)
+			if got < 0 || got >= len(cands) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The per-port volume noise ordering underpins the paper's threshold
+// choice: adaptive spraying must balance far more tightly than random
+// spraying over a burst of equal-size packets.
+func TestAdaptiveBeatsRandomBalance(t *testing.T) {
+	const ports, packets = 16, 16000
+	imbalance := func(p Policy) float64 {
+		queues := make([]int64, ports)
+		cands := make([]Candidate, ports)
+		for i := 0; i < packets; i++ {
+			for j := range cands {
+				cands[j] = Candidate{Port: j, QueueBytes: queues[j]}
+			}
+			pick := p.Pick(cands, uint64(i))
+			queues[cands[pick].Port] += 4096
+		}
+		var min, max int64 = queues[0], queues[0]
+		for _, q := range queues {
+			if q < min {
+				min = q
+			}
+			if q > max {
+				max = q
+			}
+		}
+		return float64(max-min) / (float64(packets) * 4096 / ports)
+	}
+	adaptive := imbalance(MustNew(LeastLoaded, sim.NewRNG(8, "a")))
+	rnd := imbalance(MustNew(Random, sim.NewRNG(8, "r")))
+	if adaptive > 0.01 {
+		t.Errorf("least-loaded imbalance %v, want < 1%%", adaptive)
+	}
+	if rnd < 5*adaptive {
+		t.Errorf("random (%v) should be far worse than adaptive (%v)", rnd, adaptive)
+	}
+}

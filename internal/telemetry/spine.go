@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// SpineMonitor is the §7 "Network Topology" extension: in a three-
+// level Clos, leaf monitors cover spine→leaf links, and spine monitors
+// cover core→spine links, so every inter-switch level is watched. A
+// SpineMonitor counts tagged bytes per core-facing ingress port of one
+// spine switch, with the same iteration-window semantics as the leaf
+// program.
+type SpineMonitor struct {
+	topo         *topology.Topology
+	spine        topology.SwitchID
+	spineOrdinal int
+	job          int
+
+	// corePorts maps a switch port index to a dense "uplink" index
+	// (-1 for leaf-facing ports).
+	corePorts []int
+	nCore     int
+
+	current *Window
+
+	// LateBytes mirrors LeafMonitor.LateBytes.
+	LateBytes int64
+
+	onClose func(w *Window)
+
+	srcLeafOrd []int
+}
+
+// NewSpineMonitor builds the monitor for one spine switch of a
+// three-level fabric. onClose receives every completed window; the
+// window's LeafOrdinal field carries the SPINE ordinal and its
+// SwitchKind is topology.Spine.
+func NewSpineMonitor(topo *topology.Topology, spine topology.SwitchID, job int, onClose func(w *Window)) *SpineMonitor {
+	if topo.Switch(spine).Kind != topology.Spine {
+		panic(fmt.Sprintf("telemetry: switch %d is not a spine", spine))
+	}
+	m := &SpineMonitor{
+		topo:         topo,
+		spine:        spine,
+		spineOrdinal: topo.SpineOrdinal(spine),
+		job:          job,
+		onClose:      onClose,
+		srcLeafOrd:   make([]int, len(topo.Hosts)),
+	}
+	ports := topo.Switch(spine).Ports
+	m.corePorts = make([]int, len(ports))
+	for p, pd := range ports {
+		m.corePorts[p] = -1
+		if pd.Peer.Kind == topology.SwitchEnd && topo.Switch(pd.Peer.Switch).Kind == topology.Core {
+			m.corePorts[p] = m.nCore
+			m.nCore++
+		}
+	}
+	if m.nCore == 0 {
+		panic(fmt.Sprintf("telemetry: spine %d has no core-facing ports (two-level fabric?)", spine))
+	}
+	for h := range topo.Hosts {
+		m.srcLeafOrd[h] = topo.LeafOrdinal(topo.LeafOf(topology.HostID(h)))
+	}
+	return m
+}
+
+// CorePorts returns the number of monitored core-facing ports.
+func (m *SpineMonitor) CorePorts() int { return m.nCore }
+
+// OnPacket is the switch dataplane hook.
+func (m *SpineMonitor) OnPacket(now sim.Time, port int, pkt *fabric.Packet) {
+	u := m.corePorts[port]
+	if u < 0 {
+		return
+	}
+	if pkt.Kind != fabric.Data || !pkt.Tag.Sentinel {
+		return
+	}
+	if m.job != JobAny && int(pkt.Tag.Job) != m.job {
+		return
+	}
+
+	w := m.current
+	switch {
+	case w == nil:
+		w = m.open(now, pkt.Tag)
+	case pkt.Tag.Iter > w.Iter:
+		m.closeWindow(now)
+		w = m.open(now, pkt.Tag)
+	case pkt.Tag.Iter < w.Iter:
+		m.LateBytes += int64(pkt.Size)
+		return
+	}
+
+	w.PortBytes[u] += int64(pkt.Size)
+	w.SenderBytes[u][m.srcLeafOrd[pkt.Src]] += int64(pkt.Size)
+	w.Packets++
+}
+
+func (m *SpineMonitor) open(now sim.Time, tag fabric.FlowTag) *Window {
+	w := &Window{
+		Leaf:        m.spine, // the observing switch
+		LeafOrdinal: m.spineOrdinal,
+		SwitchKind:  topology.Spine,
+		Job:         tag.Job,
+		Iter:        tag.Iter,
+		PortBytes:   make([]int64, m.nCore),
+		SenderBytes: make([][]int64, m.nCore),
+		OpenedAt:    now,
+	}
+	for i := range w.SenderBytes {
+		w.SenderBytes[i] = make([]int64, len(m.topo.Leaves()))
+	}
+	m.current = w
+	return w
+}
+
+func (m *SpineMonitor) closeWindow(now sim.Time) {
+	w := m.current
+	m.current = nil
+	if w == nil {
+		return
+	}
+	w.ClosedAt = now
+	if m.onClose != nil {
+		m.onClose(w)
+	}
+}
+
+// Flush closes the open window, if any.
+func (m *SpineMonitor) Flush(now sim.Time) { m.closeWindow(now) }
+
+// Clos3Collector attaches monitors to every leaf AND every spine of a
+// three-level fabric, funnelling windows to one callback per level.
+type Clos3Collector struct {
+	Leaves []*LeafMonitor  // indexed by leaf ordinal
+	Spines []*SpineMonitor // indexed by spine ordinal
+}
+
+// AttachClos3 deploys both monitor levels. Leaf windows carry
+// SwitchKind == topology.Leaf, spine windows topology.Spine.
+func AttachClos3(net *fabric.Network, job int, onWindow func(w *Window)) *Clos3Collector {
+	topo := net.Topology()
+	c := &Clos3Collector{
+		Leaves: make([]*LeafMonitor, len(topo.Leaves())),
+		Spines: make([]*SpineMonitor, len(topo.Spines())),
+	}
+	for ord, leaf := range topo.Leaves() {
+		m := NewLeafMonitor(topo, leaf, job, onWindow)
+		c.Leaves[ord] = m
+		net.SetIngressHook(leaf, m.OnPacket)
+	}
+	for ord, spine := range topo.Spines() {
+		m := NewSpineMonitor(topo, spine, job, onWindow)
+		c.Spines[ord] = m
+		net.SetIngressHook(spine, m.OnPacket)
+	}
+	return c
+}
+
+// FlushAll closes every monitor's open window.
+func (c *Clos3Collector) FlushAll(now sim.Time) {
+	for _, m := range c.Leaves {
+		m.Flush(now)
+	}
+	for _, m := range c.Spines {
+		m.Flush(now)
+	}
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"testing"
+
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/topology"
+)
+
+func clos3Topo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewClos3(topology.Clos3Config{
+		Pods: 2, LeavesPerPod: 2, SpinesPerPod: 2, CoresPerGroup: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestSpineMonitorCountsCorePortsOnly(t *testing.T) {
+	topo := clos3Topo(t)
+	spine := topo.Spines()[0]
+	var closed []*Window
+	m := NewSpineMonitor(topo, spine, JobAny, func(w *Window) { closed = append(closed, w.Clone()) })
+	if m.CorePorts() != 2 {
+		t.Fatalf("core ports = %d, want 2", m.CorePorts())
+	}
+
+	tag := fabric.FlowTag{Sentinel: true, Iter: 1}
+	// Leaf-facing ports (0, 1) must be ignored; core-facing (2, 3)
+	// counted.
+	m.OnPacket(1, 0, pkt(0, 4096, tag, fabric.Data))
+	m.OnPacket(2, 2, pkt(0, 4096, tag, fabric.Data))
+	m.OnPacket(3, 3, pkt(3, 1000, tag, fabric.Data))
+
+	tag2 := tag
+	tag2.Iter = 2
+	m.OnPacket(9, 2, pkt(0, 64, tag2, fabric.Data))
+	if len(closed) != 1 {
+		t.Fatalf("windows = %d", len(closed))
+	}
+	w := closed[0]
+	if w.SwitchKind != topology.Spine {
+		t.Fatalf("window kind = %v", w.SwitchKind)
+	}
+	if w.PortBytes[0] != 4096 || w.PortBytes[1] != 1000 {
+		t.Fatalf("port bytes: %v", w.PortBytes)
+	}
+	// Sender attribution: hosts map one per leaf (4 leaves), so host 0
+	// is leaf ordinal 0 and host 3 leaf ordinal 3.
+	if w.SenderBytes[0][0] != 4096 || w.SenderBytes[1][3] != 1000 {
+		t.Fatalf("sender matrix: %v / %v", w.SenderBytes[0], w.SenderBytes[1])
+	}
+}
+
+func TestSpineMonitorFiltersLikeLeaf(t *testing.T) {
+	topo := clos3Topo(t)
+	m := NewSpineMonitor(topo, topo.Spines()[1], 5, nil)
+	tag := fabric.FlowTag{Sentinel: true, Job: 4, Iter: 1}
+	m.OnPacket(1, 2, pkt(0, 100, tag, fabric.Data))                     // wrong job
+	m.OnPacket(2, 2, pkt(0, 100, fabric.FlowTag{Iter: 1}, fabric.Data)) // no sentinel
+	m.OnPacket(3, 2, pkt(0, 64, fabric.FlowTag{Sentinel: true, Job: 5, Iter: 1}, fabric.Ack))
+	if m.current != nil {
+		t.Fatal("filtered packets opened a spine window")
+	}
+	m.OnPacket(4, 2, pkt(0, 100, fabric.FlowTag{Sentinel: true, Job: 5, Iter: 1}, fabric.Data))
+	if m.current == nil || m.current.PortBytes[0] != 100 {
+		t.Fatal("own job not measured")
+	}
+}
+
+func TestSpineMonitorLateAndFlush(t *testing.T) {
+	topo := clos3Topo(t)
+	var closed []*Window
+	m := NewSpineMonitor(topo, topo.Spines()[0], JobAny, func(w *Window) { closed = append(closed, w) })
+	m.OnPacket(1, 2, pkt(0, 100, fabric.FlowTag{Sentinel: true, Iter: 3}, fabric.Data))
+	m.OnPacket(2, 2, pkt(0, 70, fabric.FlowTag{Sentinel: true, Iter: 2}, fabric.Data))
+	if m.LateBytes != 70 {
+		t.Fatalf("LateBytes = %d", m.LateBytes)
+	}
+	m.Flush(50)
+	m.Flush(60)
+	if len(closed) != 1 || closed[0].Iter != 3 {
+		t.Fatalf("flush behavior: %v", closed)
+	}
+}
+
+func TestSpineMonitorRejectsNonSpine(t *testing.T) {
+	topo := clos3Topo(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted a leaf switch")
+		}
+	}()
+	NewSpineMonitor(topo, topo.Leaves()[0], JobAny, nil)
+}
+
+func TestSpineMonitorRejectsTwoLevel(t *testing.T) {
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted a two-level spine (no core ports)")
+		}
+	}()
+	NewSpineMonitor(topo, topo.Spines()[0], JobAny, nil)
+}
+
+func TestLeafWindowDefaultKind(t *testing.T) {
+	topo := clos3Topo(t)
+	m := NewLeafMonitor(topo, topo.Leaves()[0], JobAny, nil)
+	m.OnPacket(1, 1, pkt(0, 100, fabric.FlowTag{Sentinel: true, Iter: 1}, fabric.Data))
+	if m.current.SwitchKind != topology.Leaf {
+		t.Fatalf("leaf window kind = %v", m.current.SwitchKind)
+	}
+}

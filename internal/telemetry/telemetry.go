@@ -1,0 +1,220 @@
+// Package telemetry implements the in-switch measurement program of
+// §5.1: every leaf switch counts, per spine-facing ingress port, the
+// bytes of sentinel-tagged collective packets, closing the
+// per-iteration window when the first packet of the next iteration
+// appears. The window-close rule makes the measurement oblivious to
+// stragglers: synchronous data-parallel training guarantees iteration
+// k's traffic has fully drained before any node starts k+1.
+//
+// Monitors also keep a per-(port, source-leaf) byte matrix — the
+// information Fig. 4's localization compares across senders.
+package telemetry
+
+import (
+	"fmt"
+
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// Window is one closed measurement interval: the traffic of one
+// collective iteration as seen by one switch.
+type Window struct {
+	// Leaf is the observing switch; LeafOrdinal its ordinal within its
+	// level. (The fields keep their historical names: for spine
+	// windows — the §7 three-level extension — Leaf holds the spine's
+	// id and LeafOrdinal its spine ordinal, with SwitchKind set to
+	// topology.Spine.)
+	Leaf        topology.SwitchID
+	LeafOrdinal int
+	// SwitchKind is the observing switch's level; the zero value is
+	// topology.Leaf.
+	SwitchKind topology.SwitchKind
+	// Job and Iter identify the collective iteration measured.
+	Job  uint16
+	Iter uint32
+	// PortBytes[u] is the tagged byte count on uplink ingress port u
+	// (uplink index = switch port - host ports; one entry per
+	// spine×trunk).
+	PortBytes []int64
+	// SenderBytes[u][l] is the tagged byte count on uplink u from
+	// packets whose source host sits under leaf ordinal l.
+	SenderBytes [][]int64
+	// Packets is the tagged packet count across all uplinks.
+	Packets int64
+	// OpenedAt and ClosedAt bound the window in simulation time.
+	OpenedAt, ClosedAt sim.Time
+}
+
+// Total returns the window's byte sum across uplink ports.
+func (w *Window) Total() int64 {
+	var sum int64
+	for _, b := range w.PortBytes {
+		sum += b
+	}
+	return sum
+}
+
+// Clone deep-copies the window.
+func (w *Window) Clone() *Window {
+	cp := *w
+	cp.PortBytes = append([]int64(nil), w.PortBytes...)
+	cp.SenderBytes = make([][]int64, len(w.SenderBytes))
+	for i := range w.SenderBytes {
+		cp.SenderBytes[i] = append([]int64(nil), w.SenderBytes[i]...)
+	}
+	return &cp
+}
+
+// LeafMonitor is the per-leaf switch program. It must be registered as
+// the leaf's fabric ingress hook.
+type LeafMonitor struct {
+	topo        *topology.Topology
+	leaf        topology.SwitchID
+	leafOrdinal int
+	hostPorts   int
+	uplinks     int
+
+	// Job filters measurements to one training job; JobAny measures
+	// every sentinel-tagged packet.
+	job int
+
+	current *Window
+
+	// LateBytes counts tagged bytes that arrived for an iteration
+	// older than the open window (should stay zero in synchronous
+	// training; nonzero values indicate a workload violating the
+	// §5.1 assumptions).
+	LateBytes int64
+
+	onClose func(w *Window)
+
+	srcLeafOrd []int // host -> leaf ordinal, precomputed
+}
+
+// JobAny disables job filtering.
+const JobAny = -1
+
+// NewLeafMonitor builds the monitor for one leaf. onClose receives
+// every completed window (the detector attaches here). job restricts
+// measurement to one job id, or JobAny.
+func NewLeafMonitor(topo *topology.Topology, leaf topology.SwitchID, job int, onClose func(w *Window)) *LeafMonitor {
+	if topo.Switch(leaf).Kind != topology.Leaf {
+		panic(fmt.Sprintf("telemetry: switch %d is not a leaf", leaf))
+	}
+	hostPorts := len(topo.HostsOf(leaf))
+	m := &LeafMonitor{
+		topo:        topo,
+		leaf:        leaf,
+		leafOrdinal: topo.LeafOrdinal(leaf),
+		hostPorts:   hostPorts,
+		uplinks:     len(topo.Switch(leaf).Ports) - hostPorts,
+		job:         job,
+		onClose:     onClose,
+		srcLeafOrd:  make([]int, len(topo.Hosts)),
+	}
+	for h := range topo.Hosts {
+		m.srcLeafOrd[h] = topo.LeafOrdinal(topo.LeafOf(topology.HostID(h)))
+	}
+	return m
+}
+
+// Uplinks returns the number of monitored ingress ports.
+func (m *LeafMonitor) Uplinks() int { return m.uplinks }
+
+// OnPacket is the switch dataplane hook. It must see every packet
+// accepted at the leaf's ingress.
+func (m *LeafMonitor) OnPacket(now sim.Time, port int, pkt *fabric.Packet) {
+	// The measured quantity is downstream traffic arriving from the
+	// spines: only uplink ports, only tagged data packets.
+	if port < m.hostPorts {
+		return
+	}
+	if pkt.Kind != fabric.Data || !pkt.Tag.Sentinel {
+		return
+	}
+	if m.job != JobAny && int(pkt.Tag.Job) != m.job {
+		return
+	}
+
+	w := m.current
+	switch {
+	case w == nil:
+		w = m.open(now, pkt.Tag)
+	case pkt.Tag.Iter > w.Iter:
+		// First packet of the next iteration: the previous collective
+		// is complete by construction; close and report it.
+		m.closeWindow(now)
+		w = m.open(now, pkt.Tag)
+	case pkt.Tag.Iter < w.Iter:
+		m.LateBytes += int64(pkt.Size)
+		return
+	}
+
+	u := port - m.hostPorts
+	w.PortBytes[u] += int64(pkt.Size)
+	w.SenderBytes[u][m.srcLeafOrd[pkt.Src]] += int64(pkt.Size)
+	w.Packets++
+}
+
+func (m *LeafMonitor) open(now sim.Time, tag fabric.FlowTag) *Window {
+	w := &Window{
+		Leaf:        m.leaf,
+		LeafOrdinal: m.leafOrdinal,
+		Job:         tag.Job,
+		Iter:        tag.Iter,
+		PortBytes:   make([]int64, m.uplinks),
+		SenderBytes: make([][]int64, m.uplinks),
+		OpenedAt:    now,
+	}
+	for i := range w.SenderBytes {
+		w.SenderBytes[i] = make([]int64, len(m.topo.Leaves()))
+	}
+	m.current = w
+	return w
+}
+
+func (m *LeafMonitor) closeWindow(now sim.Time) {
+	w := m.current
+	m.current = nil
+	if w == nil {
+		return
+	}
+	w.ClosedAt = now
+	if m.onClose != nil {
+		m.onClose(w)
+	}
+}
+
+// Flush closes the open window, if any — the end-of-training path,
+// where no next iteration will ever arrive to close it.
+func (m *LeafMonitor) Flush(now sim.Time) { m.closeWindow(now) }
+
+// Collector attaches a LeafMonitor to every leaf of a network and
+// funnels closed windows to one callback. There is deliberately no
+// cross-switch state: each monitor is autonomous (§5, "in-switch,
+// coordination-free").
+type Collector struct {
+	Monitors []*LeafMonitor // indexed by leaf ordinal
+}
+
+// AttachAll registers monitors on all leaves. onWindow receives every
+// closed window from every leaf.
+func AttachAll(net *fabric.Network, job int, onWindow func(w *Window)) *Collector {
+	topo := net.Topology()
+	c := &Collector{Monitors: make([]*LeafMonitor, len(topo.Leaves()))}
+	for ord, leaf := range topo.Leaves() {
+		m := NewLeafMonitor(topo, leaf, job, onWindow)
+		c.Monitors[ord] = m
+		net.SetIngressHook(leaf, m.OnPacket)
+	}
+	return c
+}
+
+// FlushAll closes every monitor's open window.
+func (c *Collector) FlushAll(now sim.Time) {
+	for _, m := range c.Monitors {
+		m.Flush(now)
+	}
+}

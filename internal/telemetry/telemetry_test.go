@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"testing"
+
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 4, Spines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func pkt(src topology.HostID, size int, tag fabric.FlowTag, kind fabric.PacketKind) *fabric.Packet {
+	return &fabric.Packet{Src: src, Dst: 99, Size: size, Tag: tag, Kind: kind}
+}
+
+func TestMonitorCountsTaggedUplinkBytes(t *testing.T) {
+	topo := testTopo(t)
+	var closed []*Window
+	m := NewLeafMonitor(topo, topo.Leaves()[1], JobAny, func(w *Window) { closed = append(closed, w.Clone()) })
+
+	tag := fabric.FlowTag{Sentinel: true, Job: 0, Iter: 1}
+	// Uplink ports start at 1 (one host).
+	m.OnPacket(100, 1, pkt(0, 4096, tag, fabric.Data))
+	m.OnPacket(110, 2, pkt(0, 4096, tag, fabric.Data))
+	m.OnPacket(120, 2, pkt(0, 1000, tag, fabric.Data))
+
+	// Next iteration closes the window.
+	tag2 := tag
+	tag2.Iter = 2
+	m.OnPacket(200, 1, pkt(0, 64, tag2, fabric.Data))
+
+	if len(closed) != 1 {
+		t.Fatalf("closed %d windows, want 1", len(closed))
+	}
+	w := closed[0]
+	if w.Iter != 1 || w.PortBytes[0] != 4096 || w.PortBytes[1] != 5096 {
+		t.Fatalf("window: %+v", w)
+	}
+	if w.Total() != 9192 || w.Packets != 3 {
+		t.Fatalf("total=%d packets=%d", w.Total(), w.Packets)
+	}
+	if w.OpenedAt != 100 || w.ClosedAt != 200 {
+		t.Fatalf("window times: %v..%v", w.OpenedAt, w.ClosedAt)
+	}
+}
+
+func TestMonitorIgnoresUntaggedAcksAndHostPorts(t *testing.T) {
+	topo := testTopo(t)
+	m := NewLeafMonitor(topo, topo.Leaves()[0], JobAny, nil)
+	tag := fabric.FlowTag{Sentinel: true, Iter: 1}
+
+	m.OnPacket(1, 0, pkt(0, 4096, tag, fabric.Data))                     // host port
+	m.OnPacket(2, 1, pkt(0, 64, tag, fabric.Ack))                        // ack
+	m.OnPacket(3, 1, pkt(0, 4096, fabric.FlowTag{Iter: 1}, fabric.Data)) // no sentinel
+	if m.current != nil {
+		t.Fatal("filtered packets opened a window")
+	}
+}
+
+func TestMonitorJobFilter(t *testing.T) {
+	topo := testTopo(t)
+	m := NewLeafMonitor(topo, topo.Leaves()[0], 5, nil)
+	m.OnPacket(1, 1, pkt(0, 100, fabric.FlowTag{Sentinel: true, Job: 4, Iter: 1}, fabric.Data))
+	if m.current != nil {
+		t.Fatal("foreign job measured")
+	}
+	m.OnPacket(2, 1, pkt(0, 100, fabric.FlowTag{Sentinel: true, Job: 5, Iter: 1}, fabric.Data))
+	if m.current == nil || m.current.PortBytes[0] != 100 {
+		t.Fatal("own job not measured")
+	}
+}
+
+func TestMonitorLatePacketsCounted(t *testing.T) {
+	topo := testTopo(t)
+	m := NewLeafMonitor(topo, topo.Leaves()[0], JobAny, nil)
+	m.OnPacket(1, 1, pkt(0, 100, fabric.FlowTag{Sentinel: true, Iter: 5}, fabric.Data))
+	m.OnPacket(2, 1, pkt(0, 77, fabric.FlowTag{Sentinel: true, Iter: 4}, fabric.Data))
+	if m.LateBytes != 77 {
+		t.Fatalf("LateBytes = %d, want 77", m.LateBytes)
+	}
+	if m.current.Total() != 100 {
+		t.Fatal("late packet polluted the open window")
+	}
+}
+
+func TestMonitorSenderAttribution(t *testing.T) {
+	topo := testTopo(t)
+	m := NewLeafMonitor(topo, topo.Leaves()[3], JobAny, nil)
+	tag := fabric.FlowTag{Sentinel: true, Iter: 1}
+	m.OnPacket(1, 1, pkt(0, 1000, tag, fabric.Data)) // host 0 under leaf ordinal 0
+	m.OnPacket(2, 1, pkt(2, 500, tag, fabric.Data))  // host 2 under leaf ordinal 2
+	w := m.current
+	if w.SenderBytes[0][0] != 1000 || w.SenderBytes[0][2] != 500 {
+		t.Fatalf("sender matrix wrong: %v", w.SenderBytes[0])
+	}
+}
+
+func TestFlushClosesWindow(t *testing.T) {
+	topo := testTopo(t)
+	var closed []*Window
+	m := NewLeafMonitor(topo, topo.Leaves()[0], JobAny, func(w *Window) { closed = append(closed, w) })
+	m.OnPacket(1, 1, pkt(0, 100, fabric.FlowTag{Sentinel: true, Iter: 9}, fabric.Data))
+	m.Flush(50)
+	if len(closed) != 1 || closed[0].Iter != 9 || closed[0].ClosedAt != 50 {
+		t.Fatalf("flush: %+v", closed)
+	}
+	m.Flush(60) // idempotent
+	if len(closed) != 1 {
+		t.Fatal("double flush closed twice")
+	}
+}
+
+func TestSkippedIterationStillCloses(t *testing.T) {
+	// Iteration numbers may skip (e.g. unmeasured iterations between
+	// measured ones); any higher iter closes the window.
+	topo := testTopo(t)
+	var closed []*Window
+	m := NewLeafMonitor(topo, topo.Leaves()[0], JobAny, func(w *Window) { closed = append(closed, w) })
+	m.OnPacket(1, 1, pkt(0, 100, fabric.FlowTag{Sentinel: true, Iter: 1}, fabric.Data))
+	m.OnPacket(2, 1, pkt(0, 100, fabric.FlowTag{Sentinel: true, Iter: 7}, fabric.Data))
+	if len(closed) != 1 || closed[0].Iter != 1 {
+		t.Fatal("skip-ahead did not close window")
+	}
+	if m.current.Iter != 7 {
+		t.Fatal("new window has wrong iteration")
+	}
+}
+
+func TestNonLeafRejected(t *testing.T) {
+	topo := testTopo(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("monitor accepted a spine switch")
+		}
+	}()
+	NewLeafMonitor(topo, topo.Spines()[0], JobAny, nil)
+}
+
+func TestAttachAllEndToEnd(t *testing.T) {
+	topo := testTopo(t)
+	eng := sim.NewEngine()
+	net := fabric.MustNew(fabric.Config{Topo: topo, Engine: eng, Seed: 1})
+	var windows []*Window
+	c := AttachAll(net, JobAny, func(w *Window) { windows = append(windows, w.Clone()) })
+
+	tag1 := fabric.FlowTag{Sentinel: true, Iter: 1}
+	tag2 := fabric.FlowTag{Sentinel: true, Iter: 2}
+	for i := 0; i < 64; i++ {
+		net.Send(fabric.SendSpec{Src: 0, Dst: 3, Size: 4096, Kind: fabric.Data, Tag: tag1, Msg: uint64(i)})
+	}
+	eng.Run()
+	for i := 0; i < 64; i++ {
+		net.Send(fabric.SendSpec{Src: 0, Dst: 3, Size: 4096, Kind: fabric.Data, Tag: tag2, Msg: uint64(i)})
+	}
+	eng.Run()
+	c.FlushAll(eng.Now())
+
+	// Only leaf ordinal 3 sees tagged uplink traffic; two windows.
+	if len(windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(windows))
+	}
+	for i, w := range windows {
+		if w.LeafOrdinal != 3 {
+			t.Fatalf("window %d from leaf %d, want 3", i, w.LeafOrdinal)
+		}
+		if w.Total() != 64*4096 {
+			t.Fatalf("window %d total %d, want %d", i, w.Total(), 64*4096)
+		}
+		if w.Iter != uint32(i+1) {
+			t.Fatalf("window %d iter %d", i, w.Iter)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: any valid random 3-level config builds a fabric that
+// passes Validate, with the expected switch counts, full intra-pod
+// bipartite wiring, and exactly one same-ordinal spine per (core, pod).
+func TestClos3InvariantsProperty(t *testing.T) {
+	f := func(p, l, s, c, tr uint8) bool {
+		cfg := Clos3Config{
+			Pods:          2 + int(p%4),
+			LeavesPerPod:  1 + int(l%4),
+			SpinesPerPod:  1 + int(s%3),
+			CoresPerGroup: 1 + int(c%3),
+			Trunk:         1 + int(tr%2),
+		}
+		topo, err := NewClos3(cfg)
+		if err != nil {
+			return false
+		}
+		if topo.Validate() != nil {
+			return false
+		}
+		if len(topo.Leaves()) != cfg.Pods*cfg.LeavesPerPod ||
+			len(topo.Spines()) != cfg.Pods*cfg.SpinesPerPod ||
+			len(topo.Cores()) != cfg.SpinesPerPod*cfg.CoresPerGroup {
+			return false
+		}
+		// Intra-pod bipartite completeness with the right trunk width.
+		for pod := 0; pod < cfg.Pods; pod++ {
+			for _, leaf := range topo.LeavesOfPod(pod) {
+				for _, spine := range topo.SpinesOfPod(pod) {
+					if len(topo.TrunkLinks(leaf, spine)) != cfg.Trunk {
+						return false
+					}
+				}
+			}
+		}
+		// Each core reaches exactly one spine per pod, the same ordinal
+		// everywhere.
+		for ci, core := range topo.Cores() {
+			group := ci / cfg.CoresPerGroup
+			for pod := 0; pod < cfg.Pods; pod++ {
+				spine := topo.SpinesOfPod(pod)[group]
+				if len(topo.TrunkLinks(core, spine)) != cfg.Trunk {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total link count is hosts + intra-pod + spine-core wiring,
+// exactly.
+func TestClos3LinkCountProperty(t *testing.T) {
+	f := func(p, l, s, c uint8) bool {
+		cfg := Clos3Config{
+			Pods:          2 + int(p%3),
+			LeavesPerPod:  1 + int(l%3),
+			SpinesPerPod:  1 + int(s%3),
+			CoresPerGroup: 1 + int(c%3),
+			HostsPerLeaf:  2,
+		}
+		topo, err := NewClos3(cfg)
+		if err != nil {
+			return false
+		}
+		hosts := cfg.Pods * cfg.LeavesPerPod * cfg.HostsPerLeaf
+		intraPod := cfg.Pods * cfg.LeavesPerPod * cfg.SpinesPerPod
+		spineCore := cfg.Pods * cfg.SpinesPerPod * cfg.CoresPerGroup
+		return len(topo.Links) == hosts+intraPod+spineCore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

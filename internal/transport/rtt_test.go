@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"testing"
+
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/fault"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+func TestRTTEstimatorConverges(t *testing.T) {
+	var e rttEstimator
+	if e.rto(5000) != 5000 {
+		t.Fatal("uninitialized estimator must return the floor")
+	}
+	for i := 0; i < 100; i++ {
+		e.observe(2000)
+	}
+	// Steady 2000ps RTT: srtt→2000, rttvar→small; rto stays at floor
+	// when srtt+4var < floor.
+	if got := e.rto(5000); got != 5000 {
+		t.Fatalf("rto below floor not clamped: %d", got)
+	}
+	// Much larger observed RTTs push the rto above the floor.
+	for i := 0; i < 100; i++ {
+		e.observe(50000)
+	}
+	if got := e.rto(5000); got <= 5000 {
+		t.Fatalf("rto did not rise above floor: %d", got)
+	}
+	if got := e.rto(5000); float64(got) < 50000 {
+		t.Fatalf("rto %d below converged srtt", got)
+	}
+}
+
+func TestRTTEstimatorTracksVariance(t *testing.T) {
+	var e rttEstimator
+	e.observe(1000)
+	lowVar := e.rttvar
+	// Oscillating samples inflate rttvar.
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			e.observe(500)
+		} else {
+			e.observe(4000)
+		}
+	}
+	if e.rttvar <= lowVar {
+		t.Fatalf("rttvar did not grow under oscillation: %v", e.rttvar)
+	}
+}
+
+func TestFixedRTONoAdaptation(t *testing.T) {
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	net := fabric.MustNew(fabric.Config{Topo: topo, Engine: eng, Seed: 1})
+	stack := NewStack(net, Config{FixedRTO: true})
+	delivered := false
+	stack.Send(&Message{Src: 0, Dst: 1, Bytes: 256 << 10,
+		OnDelivered: func(sim.Time, *Message) { delivered = true }})
+	eng.Run()
+	if !delivered {
+		t.Fatal("fixed-RTO transport failed on a clean network")
+	}
+	// Estimators must be untouched.
+	for i := range stack.rtts {
+		if stack.rtts[i].valid {
+			t.Fatal("FixedRTO fed the estimator")
+		}
+	}
+}
+
+func TestBackoffSpacesRetries(t *testing.T) {
+	// Total black hole with backoff: retry k fires RTO<<min(k,6) after
+	// the previous, so the Nth retry lands exponentially late.
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	net := fabric.MustNew(fabric.Config{Topo: topo, Engine: eng, Seed: 2})
+	stack := NewStack(net, Config{MaxRetries: 5})
+	link := topo.TrunkLinks(topo.Spines()[0], topo.LeafOf(1))[0]
+	net.InjectFault(link, fabric.DirBoth, fault.BlackHole{})
+
+	var times []sim.Time
+	DebugRetx = func(now sim.Time, _ uint64, _ int, _ int) { times = append(times, now) }
+	defer func() { DebugRetx = nil }()
+
+	stack.Send(&Message{Src: 0, Dst: 1, Bytes: 100})
+	eng.Run()
+	if len(times) != 5 {
+		t.Fatalf("retries = %d, want 5", len(times))
+	}
+	for i := 2; i < len(times); i++ {
+		gapPrev := times[i-1] - times[i-2]
+		gap := times[i] - times[i-1]
+		if gap < gapPrev*3/2 {
+			t.Fatalf("retry gaps not growing: %v then %v", gapPrev, gap)
+		}
+	}
+	if st := stack.Stats(); st.Abandoned != 1 {
+		t.Fatalf("abandoned = %d, want 1", st.Abandoned)
+	}
+}
+
+func TestDisableBackoffKeepsGapsFlat(t *testing.T) {
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	net := fabric.MustNew(fabric.Config{Topo: topo, Engine: eng, Seed: 3})
+	stack := NewStack(net, Config{MaxRetries: 4, DisableBackoff: true, FixedRTO: true})
+	link := topo.TrunkLinks(topo.Spines()[0], topo.LeafOf(1))[0]
+	net.InjectFault(link, fabric.DirBoth, fault.BlackHole{})
+
+	var times []sim.Time
+	DebugRetx = func(now sim.Time, _ uint64, _ int, _ int) { times = append(times, now) }
+	defer func() { DebugRetx = nil }()
+
+	stack.Send(&Message{Src: 0, Dst: 1, Bytes: 100})
+	eng.Run()
+	if len(times) != 4 {
+		t.Fatalf("retries = %d, want 4", len(times))
+	}
+	first := times[1] - times[0]
+	for i := 2; i < len(times); i++ {
+		gap := times[i] - times[i-1]
+		if gap != first {
+			t.Fatalf("fixed RTO without backoff must keep gaps constant: %v vs %v", gap, first)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package transport implements the paper's end-host transport (§6): a
+// RoCE-like message transport tolerant to per-packet reordering (APS
+// delivers wildly out of order), with per-packet acknowledgements, a
+// retransmission timeout (5 µs in the paper) as the only loss-recovery
+// mechanism, and no congestion control — losslessness is the fabric's
+// job (PFC), and collectives are congestion-aware by construction.
+//
+// Retransmitted packets re-enter the spray pipeline and are load-
+// balanced independently of the original, which is what redistributes
+// a faulty link's deficit across the healthy ports — the second-order
+// signal FlowPulse's detector sees.
+package transport
+
+import (
+	"fmt"
+
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// Config parameterizes a Stack.
+type Config struct {
+	// MTU is the payload bytes per data packet. Defaults to 4096.
+	MTU int
+	// HeaderBytes is the per-packet wire overhead. Defaults to 64.
+	HeaderBytes int
+	// AckBytes is the wire size of an acknowledgement. Defaults to 64.
+	AckBytes int
+	// RTO is the minimum retransmission timeout, measured from the
+	// instant a packet leaves the NIC. Defaults to 5 µs (§6). Unless
+	// FixedRTO is set, an SRTT+4·RTTVAR estimator (per src-dst pair,
+	// like a RoCE queue pair; Karn-sampled) raises the effective
+	// timeout above this floor when measured round-trip times demand
+	// it — with a hard 5 µs timeout, any queue spike beyond the RTT
+	// headroom triggers spurious retransmissions that amplify the
+	// spike.
+	RTO sim.Duration
+	// FixedRTO disables the RTT estimator (ablation: the paper's
+	// constant timeout).
+	FixedRTO bool
+	// MaxRetries bounds retransmissions per packet; beyond it the
+	// packet is abandoned and the message never completes (the
+	// application-visible hang a persistent black hole causes).
+	// Defaults to 64.
+	MaxRetries int
+	// DisableBackoff turns off exponential RTO backoff. With a fixed
+	// RTO, a transient queue spike that pushes RTT past the RTO makes
+	// every outstanding packet retransmit at once, which deepens the
+	// spike — a retransmission meltdown. Backoff (RTO doubling per
+	// retry, capped at 64x) breaks the feedback loop; disabling it
+	// exists for ablation.
+	DisableBackoff bool
+}
+
+func (c *Config) setDefaults() {
+	if c.MTU == 0 {
+		c.MTU = 4096
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 64
+	}
+	if c.AckBytes == 0 {
+		c.AckBytes = 64
+	}
+	if c.RTO == 0 {
+		c.RTO = 5 * sim.Microsecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 64
+	}
+}
+
+// Stats counts transport-level events across all hosts.
+type Stats struct {
+	// MessagesSent counts messages submitted.
+	MessagesSent uint64
+	// MessagesDelivered counts messages fully received.
+	MessagesDelivered uint64
+	// DataPacketsSent counts first transmissions.
+	DataPacketsSent uint64
+	// Retransmits counts RTO-triggered retransmissions.
+	Retransmits uint64
+	// SpuriousRetransmits counts retransmissions of packets that had
+	// in fact arrived (late ACK).
+	SpuriousRetransmits uint64
+	// DuplicatesReceived counts data packets discarded by receiver
+	// dedup.
+	DuplicatesReceived uint64
+	// AcksSent counts acknowledgements transmitted.
+	AcksSent uint64
+	// Abandoned counts packets dropped after MaxRetries.
+	Abandoned uint64
+}
+
+// Message is a one-way bulk transfer between two hosts.
+type Message struct {
+	// Src and Dst are the endpoints.
+	Src, Dst topology.HostID
+	// Bytes is the payload length.
+	Bytes int
+	// Priority is the fabric traffic class (High for measured
+	// collectives).
+	Priority fabric.Priority
+	// Tag is the FlowPulse collective marking carried by every data
+	// packet.
+	Tag fabric.FlowTag
+	// Value is an application checksum (the collective layer uses it
+	// to verify reduction semantics end to end).
+	Value float64
+	// OnDelivered fires at the receiver when every payload byte has
+	// arrived (out-of-order tolerant: arrival order is irrelevant).
+	OnDelivered func(now sim.Time, m *Message)
+	// OnAcked fires at the sender when every packet has been
+	// acknowledged.
+	OnAcked func(now sim.Time, m *Message)
+
+	id      uint64
+	packets int
+}
+
+// ID returns the message's transport identifier (valid after Send).
+func (m *Message) ID() uint64 { return m.id }
+
+// Packets returns how many data packets the message occupies (valid
+// after Send).
+func (m *Message) Packets() int { return m.packets }
+
+type sendState struct {
+	msg      *Message
+	acked    []bool
+	nAcked   int
+	rto      []sim.EventRef
+	retries  []int
+	wireOut  []sim.Time
+	finished bool
+}
+
+type recvState struct {
+	msg  *Message
+	got  []bool
+	nGot int
+}
+
+// rttEstimator is the standard SRTT/RTTVAR filter (RFC 6298 style).
+type rttEstimator struct {
+	srtt, rttvar float64
+	valid        bool
+}
+
+func (e *rttEstimator) observe(rtt float64) {
+	if !e.valid {
+		e.srtt, e.rttvar, e.valid = rtt, rtt/2, true
+		return
+	}
+	const alpha, beta = 0.125, 0.25
+	d := e.srtt - rtt
+	if d < 0 {
+		d = -d
+	}
+	e.rttvar = (1-beta)*e.rttvar + beta*d
+	e.srtt = (1-alpha)*e.srtt + alpha*rtt
+}
+
+func (e *rttEstimator) rto(floor sim.Duration) sim.Duration {
+	if !e.valid {
+		return floor
+	}
+	if est := sim.Duration(e.srtt + 4*e.rttvar); est > floor {
+		return est
+	}
+	return floor
+}
+
+// Stack is the transport layer over one fabric. Like the Network it is
+// single-threaded within its engine.
+type Stack struct {
+	cfg Config
+	net *fabric.Network
+	eng *sim.Engine
+
+	nextID uint64
+	sends  map[uint64]*sendState
+	recvs  map[uint64]*recvState
+	rtts   []rttEstimator // per (src, dst) pair, src*nHosts+dst
+	nHosts int
+
+	stats Stats
+}
+
+// NewStack attaches a transport to every host of the network. It takes
+// over the hosts' receive and NIC-dequeue hooks.
+func NewStack(net *fabric.Network, cfg Config) *Stack {
+	cfg.setDefaults()
+	s := &Stack{
+		cfg:    cfg,
+		net:    net,
+		eng:    net.Engine(),
+		sends:  make(map[uint64]*sendState),
+		recvs:  make(map[uint64]*recvState),
+		rtts:   make([]rttEstimator, len(net.Topology().Hosts)*len(net.Topology().Hosts)),
+		nHosts: len(net.Topology().Hosts),
+	}
+	for h := range net.Topology().Hosts {
+		host := topology.HostID(h)
+		net.SetReceiver(host, s.onReceive)
+		net.SetDequeueHook(host, s.onWireOut)
+	}
+	return s
+}
+
+// Config returns the stack's effective configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// Engine returns the engine driving this stack's network.
+func (s *Stack) Engine() *sim.Engine { return s.eng }
+
+// Network returns the fabric beneath this stack.
+func (s *Stack) Network() *fabric.Network { return s.net }
+
+// Stats returns a snapshot of the transport counters.
+func (s *Stack) Stats() Stats { return s.stats }
+
+// PacketsFor returns the number of data packets a payload of the given
+// size occupies under this stack's MTU.
+func (s *Stack) PacketsFor(bytes int) int {
+	return (bytes + s.cfg.MTU - 1) / s.cfg.MTU
+}
+
+// WireBytesFor returns the total wire bytes (headers included) of a
+// payload of the given size, excluding retransmissions and ACKs. The
+// load predictors use this to convert demand to expected port volume.
+func (s *Stack) WireBytesFor(bytes int) int64 {
+	return int64(bytes) + int64(s.PacketsFor(bytes))*int64(s.cfg.HeaderBytes)
+}
+
+// Send submits a message. All packets enter the source NIC queue
+// immediately (no congestion window); the NIC drains them at line
+// rate, and each packet's RTO starts when it leaves the NIC.
+func (s *Stack) Send(m *Message) uint64 {
+	if m.Bytes <= 0 {
+		panic(fmt.Sprintf("transport: message of %d bytes", m.Bytes))
+	}
+	if m.Src == m.Dst {
+		panic("transport: loopback messages are not modeled")
+	}
+	s.nextID++
+	m.id = s.nextID
+	m.packets = s.PacketsFor(m.Bytes)
+
+	st := &sendState{
+		msg:     m,
+		acked:   make([]bool, m.packets),
+		rto:     make([]sim.EventRef, m.packets),
+		retries: make([]int, m.packets),
+		wireOut: make([]sim.Time, m.packets),
+	}
+	s.sends[m.id] = st
+	s.stats.MessagesSent++
+
+	for seq := 0; seq < m.packets; seq++ {
+		s.sendData(st, seq, false)
+	}
+	return m.id
+}
+
+func (s *Stack) payloadBytes(m *Message, seq int) int {
+	if seq == m.packets-1 {
+		return m.Bytes - s.cfg.MTU*(m.packets-1)
+	}
+	return s.cfg.MTU
+}
+
+func (s *Stack) sendData(st *sendState, seq int, retx bool) {
+	m := st.msg
+	if retx {
+		s.stats.Retransmits++
+	} else {
+		s.stats.DataPacketsSent++
+	}
+	s.net.Send(fabric.SendSpec{
+		Src:      m.Src,
+		Dst:      m.Dst,
+		Size:     s.payloadBytes(m, seq) + s.cfg.HeaderBytes,
+		Priority: m.Priority,
+		Kind:     fabric.Data,
+		Tag:      m.Tag,
+		Msg:      m.id,
+		Seq:      seq,
+		Retx:     retx,
+	})
+}
+
+// onWireOut starts a packet's RTO when the NIC puts it on the wire.
+func (s *Stack) onWireOut(now sim.Time, p *fabric.Packet) {
+	if p.Kind != fabric.Data {
+		return
+	}
+	st := s.sends[p.Msg]
+	if st == nil || st.acked[p.Seq] {
+		return
+	}
+	seq := p.Seq
+	st.wireOut[seq] = now
+	rto := s.cfg.RTO
+	if !s.cfg.FixedRTO {
+		rto = s.rtts[int(st.msg.Src)*s.nHosts+int(st.msg.Dst)].rto(s.cfg.RTO)
+	}
+	if !s.cfg.DisableBackoff {
+		shift := st.retries[seq]
+		if shift > 6 {
+			shift = 6
+		}
+		rto <<= shift
+	}
+	st.rto[seq] = s.eng.At(now.Add(rto), func(now sim.Time) {
+		s.onTimeout(st, seq, now)
+	})
+}
+
+func (s *Stack) onTimeout(st *sendState, seq int, _ sim.Time) {
+	if st.acked[seq] || st.finished {
+		return
+	}
+	if st.retries[seq] >= s.cfg.MaxRetries {
+		s.stats.Abandoned++
+		return
+	}
+	st.retries[seq]++
+	if DebugRetx != nil {
+		DebugRetx(s.eng.Now(), st.msg.ID(), seq, st.retries[seq])
+	}
+	s.sendData(st, seq, true)
+}
+
+func (s *Stack) onReceive(now sim.Time, p *fabric.Packet) {
+	switch p.Kind {
+	case fabric.Data:
+		s.onData(now, p)
+	case fabric.Ack:
+		s.onAck(now, p)
+	}
+}
+
+func (s *Stack) onData(now sim.Time, p *fabric.Packet) {
+	st := s.recvs[p.Msg]
+	if st == nil {
+		// First packet of the message to arrive. Look up the sender's
+		// metadata (in a real deployment this is the pre-established
+		// queue pair).
+		send := s.sends[p.Msg]
+		if send == nil {
+			return // stale packet of a completed, reaped message
+		}
+		st = &recvState{msg: send.msg, got: make([]bool, send.msg.packets)}
+		s.recvs[p.Msg] = st
+	}
+	fresh := !st.got[p.Seq]
+	if fresh {
+		st.got[p.Seq] = true
+		st.nGot++
+	} else {
+		s.stats.DuplicatesReceived++
+	}
+	// Always acknowledge, even duplicates: the original ACK may have
+	// been lost, and an unacked sender retransmits forever.
+	s.stats.AcksSent++
+	s.net.Send(fabric.SendSpec{
+		Src:      st.msg.Dst,
+		Dst:      st.msg.Src,
+		Size:     s.cfg.AckBytes,
+		Priority: fabric.Ctrl,
+		Kind:     fabric.Ack,
+		Tag:      fabric.FlowTag{}, // ACKs are never part of the measured collective
+		Msg:      p.Msg,
+		Seq:      p.Seq,
+	})
+	if fresh && st.nGot == st.msg.packets {
+		s.stats.MessagesDelivered++
+		if st.msg.OnDelivered != nil {
+			st.msg.OnDelivered(now, st.msg)
+		}
+	}
+}
+
+func (s *Stack) onAck(now sim.Time, p *fabric.Packet) {
+	st := s.sends[p.Msg]
+	if st == nil || st.finished {
+		return
+	}
+	if st.acked[p.Seq] {
+		return
+	}
+	if DebugAck != nil {
+		DebugAck(now, p.Msg, p.Seq, now.Sub(st.wireOut[p.Seq]))
+	}
+	// Karn's rule: only unambiguous (never-retransmitted) packets feed
+	// the RTT estimator.
+	if !s.cfg.FixedRTO && st.retries[p.Seq] == 0 {
+		s.rtts[int(st.msg.Src)*s.nHosts+int(st.msg.Dst)].observe(float64(now.Sub(st.wireOut[p.Seq])))
+	}
+	st.acked[p.Seq] = true
+	st.nAcked++
+	if ref := st.rto[p.Seq]; ref.Valid() {
+		s.eng.Cancel(ref)
+		st.rto[p.Seq] = sim.EventRef{}
+	}
+	if st.retries[p.Seq] > 0 {
+		// The packet was retransmitted at least once before this first
+		// ACK came back; receiver-side dedup measures how many of those
+		// copies were unnecessary.
+		s.stats.SpuriousRetransmits++
+	}
+	if st.nAcked == st.msg.packets {
+		st.finished = true
+		if st.msg.OnAcked != nil {
+			st.msg.OnAcked(now, st.msg)
+		}
+		// Reap transport state. Straggler duplicates of this message
+		// (already-acked retransmits in flight) are ignored on arrival.
+		delete(s.sends, p.Msg)
+		delete(s.recvs, p.Msg)
+	}
+}
+
+// DebugRetx, when non-nil, observes every retransmission (test hook).
+var DebugRetx func(now sim.Time, msg uint64, seq, retries int)
+
+// DebugAck, when non-nil, observes every first ACK with its RTT from
+// the latest wire-out (test hook).
+var DebugAck func(now sim.Time, msg uint64, seq int, rtt sim.Duration)

@@ -1,0 +1,234 @@
+// Package workload drives training traffic over the simulated fabric:
+// iterating collectives with compute gaps and per-rank start jitter
+// (the stragglers of §4), low-priority background flows (§5.1), and
+// multiple concurrent jobs sharing the network (§7 "Parallel Jobs").
+package workload
+
+import (
+	"fmt"
+
+	"flowpulse/internal/collective"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+	"flowpulse/internal/transport"
+)
+
+// JobConfig describes one training job.
+type JobConfig struct {
+	// Job is the id carried in every tagged packet.
+	Job uint16
+	// Collective is the per-iteration communication pattern.
+	Collective collective.Collective
+	// Iterations is how many training iterations to run.
+	Iterations int
+	// ComputeGap separates an iteration's completion from the next
+	// iteration's start (forward/backward pass time). Defaults to
+	// 20 µs.
+	ComputeGap sim.Duration
+	// JitterMax is the per-rank, per-iteration uniform start delay —
+	// zero disables jitter.
+	JitterMax sim.Duration
+	// Priority is the traffic class; the measured collective runs
+	// High (the default).
+	Priority fabric.Priority
+	// Sentinel tags packets for FlowPulse measurement. Defaults true
+	// via StartJob.
+	Sentinel bool
+	// StartIter numbers the first iteration. Defaults to 1.
+	StartIter uint32
+	// TrackValues enables reduction-checksum bookkeeping.
+	TrackValues bool
+	// Seed feeds the jitter stream.
+	Seed uint64
+
+	// OnIteration fires after each completed iteration.
+	OnIteration func(now sim.Time, iter uint32, res *collective.Result)
+	// OnDone fires after the last iteration.
+	OnDone func(now sim.Time)
+}
+
+// Job is a running training job.
+type Job struct {
+	cfg   JobConfig
+	stack *transport.Stack
+	eng   *sim.Engine
+	rng   *sim.RNG
+
+	iter      uint32
+	remaining int
+	values    [][]float64
+
+	// CompletedIterations counts finished iterations.
+	CompletedIterations int
+	// LastIterationTime is the wall-clock duration of the most recent
+	// iteration (completion minus start).
+	LastIterationTime sim.Duration
+
+	started sim.Time
+}
+
+// StartJob begins running a job. Iterations are sequential: iteration
+// k+1 starts ComputeGap after k completes, exactly the bulk-synchronous
+// pattern whose repetition creates temporal symmetry (§4).
+func StartJob(stack *transport.Stack, cfg JobConfig) *Job {
+	if cfg.Collective == nil || cfg.Iterations <= 0 {
+		panic("workload: job needs a collective and a positive iteration count")
+	}
+	if cfg.ComputeGap == 0 {
+		cfg.ComputeGap = 20 * sim.Microsecond
+	}
+	if cfg.StartIter == 0 {
+		cfg.StartIter = 1
+	}
+	j := &Job{
+		cfg:       cfg,
+		stack:     stack,
+		eng:       stackEngine(stack),
+		rng:       sim.NewRNG(cfg.Seed, fmt.Sprintf("jitter/job%d", cfg.Job)),
+		iter:      cfg.StartIter,
+		remaining: cfg.Iterations,
+	}
+	if cfg.TrackValues {
+		n := j.ranks()
+		j.values = make([][]float64, n)
+		for i := range j.values {
+			j.values[i] = make([]float64, n)
+			for c := range j.values[i] {
+				j.values[i][c] = float64(i*1000 + c)
+			}
+		}
+	}
+	j.startIteration()
+	return j
+}
+
+func stackEngine(s *transport.Stack) *sim.Engine { return s.Engine() }
+
+func (j *Job) ranks() int {
+	return len(j.cfg.Collective.Demand().Hosts)
+}
+
+func (j *Job) startIteration() {
+	j.started = j.eng.Now()
+	n := j.ranks()
+	var offsets []sim.Duration
+	if j.cfg.JitterMax > 0 {
+		offsets = make([]sim.Duration, n)
+		for i := range offsets {
+			offsets[i] = j.rng.UniformDuration(j.cfg.JitterMax)
+		}
+	}
+	iter := j.iter
+	j.cfg.Collective.Run(&collective.RunContext{
+		Stack:        j.stack,
+		Engine:       j.eng,
+		Tag:          fabric.FlowTag{Sentinel: j.cfg.Sentinel, Job: j.cfg.Job, Iter: iter},
+		Priority:     j.cfg.Priority,
+		StartOffsets: offsets,
+		Values:       j.values,
+		OnComplete: func(now sim.Time, res *collective.Result) {
+			j.onIterationDone(now, iter, res)
+		},
+	})
+}
+
+func (j *Job) onIterationDone(now sim.Time, iter uint32, res *collective.Result) {
+	j.CompletedIterations++
+	j.LastIterationTime = now.Sub(j.started)
+	if res.Values != nil {
+		j.values = res.Values
+	}
+	if j.cfg.OnIteration != nil {
+		j.cfg.OnIteration(now, iter, res)
+	}
+	j.remaining--
+	if j.remaining == 0 {
+		if j.cfg.OnDone != nil {
+			j.cfg.OnDone(now)
+		}
+		return
+	}
+	j.iter++
+	j.eng.After(j.cfg.ComputeGap, func(sim.Time) { j.startIteration() })
+}
+
+// BackgroundConfig describes low-priority filler traffic.
+type BackgroundConfig struct {
+	// Hosts are the endpoints to pick src/dst pairs from.
+	Hosts []topology.HostID
+	// MessageBytes is the payload per background message. Defaults to
+	// 64 KiB.
+	MessageBytes int
+	// MeanGap is the mean exponential inter-arrival time of messages
+	// (per generator). Defaults to 10 µs.
+	MeanGap sim.Duration
+	// Until stops generation at this simulated time.
+	Until sim.Time
+	// Seed feeds the generator's stream.
+	Seed uint64
+}
+
+// Background is a running background-traffic generator.
+type Background struct {
+	cfg   BackgroundConfig
+	stack *transport.Stack
+	eng   *sim.Engine
+	rng   *sim.RNG
+
+	// MessagesSent counts generated messages.
+	MessagesSent int
+	stopped      bool
+}
+
+// StartBackground launches a Poisson-ish generator of Low-priority
+// messages between random host pairs. It stops at cfg.Until or when
+// Stop is called.
+func StartBackground(stack *transport.Stack, cfg BackgroundConfig) *Background {
+	if len(cfg.Hosts) < 2 {
+		panic("workload: background traffic needs at least 2 hosts")
+	}
+	if cfg.MessageBytes == 0 {
+		cfg.MessageBytes = 64 << 10
+	}
+	if cfg.MeanGap == 0 {
+		cfg.MeanGap = 10 * sim.Microsecond
+	}
+	b := &Background{
+		cfg:   cfg,
+		stack: stack,
+		eng:   stackEngine(stack),
+		rng:   sim.NewRNG(cfg.Seed, "background"),
+	}
+	b.scheduleNext()
+	return b
+}
+
+// Stop halts generation.
+func (b *Background) Stop() { b.stopped = true }
+
+func (b *Background) scheduleNext() {
+	gap := b.rng.Exponential(b.cfg.MeanGap)
+	b.eng.After(gap, func(now sim.Time) {
+		if b.stopped || (b.cfg.Until > 0 && now >= b.cfg.Until) {
+			return
+		}
+		b.sendOne()
+		b.scheduleNext()
+	})
+}
+
+func (b *Background) sendOne() {
+	src := b.cfg.Hosts[b.rng.PickN(len(b.cfg.Hosts))]
+	dst := src
+	for dst == src {
+		dst = b.cfg.Hosts[b.rng.PickN(len(b.cfg.Hosts))]
+	}
+	b.stack.Send(&transport.Message{
+		Src:      src,
+		Dst:      dst,
+		Bytes:    b.cfg.MessageBytes,
+		Priority: fabric.Low,
+	})
+	b.MessagesSent++
+}
