@@ -21,6 +21,7 @@ import (
 // BenchmarkFig2AnalyticalVsSim regenerates Figure 2: analytical
 // per-port prediction vs simulated observation for a single flow.
 func BenchmarkFig2AnalyticalVsSim(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig2(experiments.Fig2Config{
 			Leaves: 16, Spines: 8, FlowBytes: 8 << 20, Iterations: 2, Seed: uint64(i),
@@ -37,6 +38,7 @@ func BenchmarkFig2AnalyticalVsSim(b *testing.B) {
 // BenchmarkFig3LearnedRebaseline regenerates Figure 3: the learned
 // model replacing its baseline after a transient fault heals.
 func BenchmarkFig3LearnedRebaseline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig3(experiments.Fig3Config{
 			Leaves: 8, Spines: 4, BytesPerRank: 4 << 20,
@@ -56,6 +58,7 @@ func BenchmarkFig3LearnedRebaseline(b *testing.B) {
 // BenchmarkFig4Localization regenerates Figure 4: local vs remote link
 // attribution under all-to-all.
 func BenchmarkFig4Localization(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig4(experiments.Fig4Config{
 			Leaves: 8, Spines: 4, BytesPerRank: 16 << 20,
@@ -73,6 +76,7 @@ func BenchmarkFig4Localization(b *testing.B) {
 // BenchmarkFig5aROC regenerates Figure 5(a): the threshold ROC across
 // drop rates.
 func BenchmarkFig5aROC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.Fig5aConfig{
 			DropRates: []float64{0.008, 0.03},
@@ -88,6 +92,7 @@ func BenchmarkFig5aROC(b *testing.B) {
 // BenchmarkFig5bRadixSweep regenerates Figure 5(b): FPR/FNR across
 // switch radixes at a fixed drop rate.
 func BenchmarkFig5bRadixSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig5b(experiments.Fig5bConfig{
 			Radixes:      []int{8, 16},
@@ -103,6 +108,7 @@ func BenchmarkFig5bRadixSweep(b *testing.B) {
 // BenchmarkFig5cSizeSweep regenerates Figure 5(c): FPR/FNR across
 // collective sizes.
 func BenchmarkFig5cSizeSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig5c(experiments.Fig5cConfig{
 			Leaves: 8, Spines: 4,
@@ -119,6 +125,7 @@ func BenchmarkFig5cSizeSweep(b *testing.B) {
 // BenchmarkPreExistingFaults regenerates the §6 pre-existing-faults
 // table: new-fault classification with known disconnections present.
 func BenchmarkPreExistingFaults(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.PreExisting(experiments.PreExistingConfig{
 			Leaves: 8, Spines: 4, BytesPerRank: 8 << 20,
@@ -136,6 +143,7 @@ func BenchmarkPreExistingFaults(b *testing.B) {
 // 1.5% faulty link caught on the 32-leaf fat tree during
 // Ring-AllReduce.
 func BenchmarkHeadlineDetection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Headline(experiments.HeadlineConfig{
 			BytesPerRank: 16 << 20,
@@ -153,6 +161,7 @@ func BenchmarkHeadlineDetection(b *testing.B) {
 // clean-network noise floor under each load-balancing policy, which
 // bounds the usable detection threshold.
 func BenchmarkAblationSprayPolicy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Ablation(experiments.AblationConfig{
 			Policies: []spray.Kind{spray.LeastLoaded, spray.Random},
@@ -170,8 +179,10 @@ func BenchmarkAblationSprayPolicy(b *testing.B) {
 // cost of each pipeline, including the simulation model's reference
 // run).
 func BenchmarkAblationPredictors(b *testing.B) {
+	b.ReportAllocs()
 	for _, kind := range []core.PredictorKind{core.AnalyticalModel, core.SimulationModel, core.LearnedModel} {
 		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tr := experiments.Trial{
 					Scenario:   core.Scenario{Leaves: 8, Spines: 4, BytesPerRank: 4 << 20, Seed: uint64(i)},
@@ -192,6 +203,7 @@ func BenchmarkAblationPredictors(b *testing.B) {
 // full Ring-AllReduce iteration on the paper topology (the unit every
 // experiment above is built from).
 func BenchmarkTrainingIteration(b *testing.B) {
+	b.ReportAllocs()
 	cluster, err := New(Scenario{Leaves: 32, Spines: 16, BytesPerRank: 4 << 20, Iterations: 1, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
@@ -210,6 +222,7 @@ func BenchmarkTrainingIteration(b *testing.B) {
 
 // BenchmarkEngineEvents measures the raw discrete-event scheduler.
 func BenchmarkEngineEvents(b *testing.B) {
+	b.ReportAllocs()
 	eng := sim.NewEngine()
 	count := 0
 	var tick func(now sim.Time)
@@ -227,6 +240,7 @@ func BenchmarkEngineEvents(b *testing.B) {
 // BenchmarkFabricForwarding measures raw packet forwarding through the
 // fat tree (no transport, no monitoring).
 func BenchmarkFabricForwarding(b *testing.B) {
+	b.ReportAllocs()
 	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 8, Spines: 4})
 	if err != nil {
 		b.Fatal(err)
@@ -250,6 +264,7 @@ func BenchmarkFabricForwarding(b *testing.B) {
 // cost per iteration relative to an unmonitored run — the paper's
 // "low-overhead" claim, in simulator terms.
 func BenchmarkMonitorOverhead(b *testing.B) {
+	b.ReportAllocs()
 	run := func(b *testing.B, monitored bool) {
 		for i := 0; i < b.N; i++ {
 			c, err := New(Scenario{Leaves: 8, Spines: 4, BytesPerRank: 4 << 20, Iterations: 2, Seed: uint64(i)})
@@ -264,14 +279,15 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 			c.Train(nil)
 		}
 	}
-	b.Run("bare", func(b *testing.B) { run(b, false) })
-	b.Run("monitored", func(b *testing.B) { run(b, true) })
+	b.Run("bare", func(b *testing.B) { b.ReportAllocs(); run(b, false) })
+	b.Run("monitored", func(b *testing.B) { b.ReportAllocs(); run(b, true) })
 }
 
 // BenchmarkFaultTypes regenerates the §7 fault-type table: Bernoulli,
 // black-hole, Gilbert-Elliott, and bit-error faults all detected via
 // their drop signature.
 func BenchmarkFaultTypes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.FaultTypes(experiments.FaultTypesConfig{
 			Leaves: 8, Spines: 4, BytesPerRank: 8 << 20,
@@ -285,6 +301,7 @@ func BenchmarkFaultTypes(b *testing.B) {
 
 // BenchmarkJitterSweep regenerates the §7 jitter-sensitivity table.
 func BenchmarkJitterSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Jitter(experiments.JitterConfig{
 			Leaves: 8, Spines: 4, BytesPerRank: 8 << 20,
@@ -299,6 +316,7 @@ func BenchmarkJitterSweep(b *testing.B) {
 
 // BenchmarkTrunkFault regenerates the §7 parallel-links table.
 func BenchmarkTrunkFault(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Trunks(experiments.TrunkConfig{
 			Leaves: 8, Spines: 4, Trunk: 2, BytesPerRank: 8 << 20,
@@ -314,6 +332,7 @@ func BenchmarkTrunkFault(b *testing.B) {
 // experiment: dual-level monitoring catching spine-leaf and core-spine
 // faults.
 func BenchmarkClos3DualLevel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Clos3(experiments.Clos3Config{
 			Pods: 2, LeavesPerPod: 4, SpinesPerPod: 2, CoresPerGroup: 2,
@@ -330,6 +349,7 @@ func BenchmarkClos3DualLevel(b *testing.B) {
 // experiment: oversubscription plus saturating background, with the
 // prioritized collective still cleanly measurable.
 func BenchmarkBlockingNetwork(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Blocking(experiments.BlockingConfig{
 			Leaves: 8, Spines: 4, HostsPerLeaf: 2, BytesPerRank: 8 << 20,

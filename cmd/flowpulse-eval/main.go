@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,8 +35,39 @@ func main() {
 		trials = flag.Int("trials", 0, "override trials per configuration")
 		seed   = flag.Uint64("seed", 1, "root random seed")
 		csvDir = flag.String("csv", "", "also write plottable results as CSV files into this directory")
+		cpu    = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		mem    = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpu != "" {
+		f, err := os.Create(*cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mem != "" {
+		defer func() {
+			f, err := os.Create(*mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	runs := map[string]func() (fmt.Stringer, error){
 		"fig2": func() (fmt.Stringer, error) {

@@ -1,0 +1,78 @@
+package fabric
+
+import (
+	"testing"
+
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// Steady-state packet forwarding must be allocation-free: the packet
+// pool, the pooled/resident typed timers, the engine's event pool, and
+// the ring-buffer queues together mean that once warm, pushing a
+// packet through every hop of the fat tree costs zero heap
+// allocations. This is the regression gate for the simulator's hot
+// path — GC pressure here throttles every paper experiment.
+func TestForwardingSteadyStateAllocsZero(t *testing.T) {
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 4, Spines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	net := MustNew(Config{Topo: topo, Engine: eng, Seed: 1})
+	delivered := 0
+	net.SetReceiver(topology.HostID(3), func(sim.Time, *Packet) { delivered++ })
+
+	// Warm every pool: packets, arrival timers, engine events, rings.
+	msg := uint64(0)
+	send := func() {
+		msg++
+		net.Send(SendSpec{Src: 0, Dst: 3, Size: 4096, Msg: msg})
+	}
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	eng.Run()
+
+	avg := testing.AllocsPerRun(200, func() {
+		send()
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state forwarding allocates %.2f per packet, want 0", avg)
+	}
+	if delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+}
+
+// A single hop (host NIC onto the wire) must also be allocation-free —
+// the finer-grained version of the steady-state gate, pinning the
+// kick/serialize/arrive path specifically.
+func TestForwardingSingleHopAllocsZero(t *testing.T) {
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 4, Spines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	net := MustNew(Config{Topo: topo, Engine: eng, Seed: 1})
+
+	// Hosts 0 and 1 share leaf 0: the packet takes exactly host->leaf
+	// and leaf->host hops with no spray decision.
+	net.SetReceiver(topology.HostID(1), func(sim.Time, *Packet) {})
+	msg := uint64(0)
+	for i := 0; i < 32; i++ {
+		msg++
+		net.Send(SendSpec{Src: 0, Dst: 1, Size: 4096, Msg: msg})
+	}
+	eng.Run()
+
+	avg := testing.AllocsPerRun(200, func() {
+		msg++
+		net.Send(SendSpec{Src: 0, Dst: 1, Size: 4096, Msg: msg})
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("single-hop forwarding allocates %.2f per packet, want 0", avg)
+	}
+}

@@ -88,17 +88,18 @@ func (n *Network) kick(ld *linkDir) {
 	prio := int(p.Priority)
 	ld.inflight[prio] = int64(p.Size)
 	ld.inflightPrio = prio
-	size := p.Size
 	ser := sim.SerializationDelay(p.Size, ld.rate)
-	n.engine.After(ser, func(now sim.Time) {
-		ld.busy = false
-		ld.inflight[prio] = 0
-		ld.addRecent(now, size, prio, n.tau)
-		n.kick(ld)
-	})
-	n.engine.After(ser+ld.prop, func(now sim.Time) {
-		n.arrive(ld, p, now)
-	})
+	// Zero-alloc scheduling: rearm the direction's resident
+	// serialization timer and a pooled arrival timer instead of two
+	// fresh closures per hop. The two events are scheduled in the same
+	// order as the closures they replace, preserving same-instant
+	// tie-breaking and therefore bitwise determinism.
+	ld.ser.size = p.Size
+	ld.ser.prio = prio
+	n.engine.AfterTimer(ser, &ld.ser)
+	at := n.allocArrival()
+	at.ld, at.p = ld, p
+	n.engine.AfterTimer(ser+ld.prop, at)
 }
 
 // arrive lands a packet at the far end of a link direction, applying
@@ -228,10 +229,28 @@ func (n *Network) pauseUpstream(ss *switchState, port, prio int, pause bool) {
 	if TracePause != nil {
 		TracePause(n.engine.Now(), upstream.sender, prio, pause, ss.occ[port][prio])
 	}
-	n.engine.After(down.prop, func(sim.Time) {
-		upstream.paused[prio] = pause
-		if !pause {
-			n.kick(upstream)
-		}
-	})
+	pt := n.allocPause()
+	pt.upstream, pt.prio, pt.pause = upstream, prio, pause
+	n.engine.AfterTimer(down.prop, pt)
+}
+
+// pauseTimer delivers one PFC pause/resume frame after the link's
+// propagation delay. Pooled on the Network like arrivalTimer: several
+// pause frames can be in flight at once.
+type pauseTimer struct {
+	n        *Network
+	upstream *linkDir
+	prio     int
+	pause    bool
+}
+
+// Fire applies the pause state at the upstream transmitter.
+func (t *pauseTimer) Fire(_ sim.Time) {
+	n, upstream, prio, pause := t.n, t.upstream, t.prio, t.pause
+	t.upstream = nil
+	n.freePauses = append(n.freePauses, t)
+	upstream.paused[prio] = pause
+	if !pause {
+		n.kick(upstream)
+	}
 }

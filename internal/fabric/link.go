@@ -22,6 +22,45 @@ const (
 	DirBoth
 )
 
+// serTimer is a linkDir's resident serialization-done callback. A
+// direction serializes at most one frame at a time, so one pre-bound
+// timer per direction replaces the per-frame closure the transmitter
+// used to allocate; kick stamps size/prio before each rearm.
+type serTimer struct {
+	n    *Network
+	ld   *linkDir
+	size int
+	prio int
+}
+
+// Fire completes the frame on the wire and restarts the transmitter.
+func (t *serTimer) Fire(now sim.Time) {
+	ld := t.ld
+	ld.busy = false
+	ld.inflight[t.prio] = 0
+	ld.addRecent(now, t.size, t.prio, t.n.tau)
+	t.n.kick(ld)
+}
+
+// arrivalTimer carries one in-flight packet across a link direction's
+// propagation delay. Instances are pooled on the Network (a direction
+// can have many frames propagating at once, so unlike serTimer they
+// cannot be resident per direction).
+type arrivalTimer struct {
+	n  *Network
+	ld *linkDir
+	p  *Packet
+}
+
+// Fire lands the packet at the far end and returns the timer to the
+// pool.
+func (t *arrivalTimer) Fire(now sim.Time) {
+	n, ld, p := t.n, t.ld, t.p
+	t.ld, t.p = nil, nil
+	n.freeArrivals = append(n.freeArrivals, t)
+	n.arrive(ld, p, now)
+}
+
 // linkDir is one direction of a link: the sender-side transmitter
 // (priority queues, serialization, PFC pause state) plus the fault
 // process and delivery stats for that direction.
@@ -37,6 +76,8 @@ type linkDir struct {
 	queues [numPriorities]fifo
 	busy   bool
 	paused [numPriorities]bool
+
+	ser serTimer // resident serialization-done timer
 
 	// Adaptive-routing load estimate: bytes of the frame on the wire
 	// plus an exponentially decaying count of recently transmitted

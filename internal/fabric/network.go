@@ -123,7 +123,29 @@ type Network struct {
 	tau float64 // spray-memory time constant in picoseconds; <= 0 disables
 
 	freePackets  []*Packet
+	freeArrivals []*arrivalTimer
+	freePauses   []*pauseTimer
 	nextPacketID uint64
+}
+
+// allocArrival takes a pooled arrival timer (see arrivalTimer).
+func (n *Network) allocArrival() *arrivalTimer {
+	if k := len(n.freeArrivals); k > 0 {
+		t := n.freeArrivals[k-1]
+		n.freeArrivals = n.freeArrivals[:k-1]
+		return t
+	}
+	return &arrivalTimer{n: n}
+}
+
+// allocPause takes a pooled PFC pause-frame timer (see pauseTimer).
+func (n *Network) allocPause() *pauseTimer {
+	if k := len(n.freePauses); k > 0 {
+		t := n.freePauses[k-1]
+		n.freePauses = n.freePauses[:k-1]
+		return t
+	}
+	return &pauseTimer{n: n}
 }
 
 // New builds a Network over the given topology. All links start
@@ -152,6 +174,10 @@ func New(cfg Config) (*Network, error) {
 		ls.adminUp = true
 		ls.dirs[DirAtoB] = linkDir{link: ls, sender: tl.A, receiver: tl.B, rate: tl.RateBPS, prop: tl.Propagation}
 		ls.dirs[DirBtoA] = linkDir{link: ls, sender: tl.B, receiver: tl.A, rate: tl.RateBPS, prop: tl.Propagation}
+		// Bind the resident serialization timers once the dirs have
+		// their final addresses (the links slice never reallocates).
+		ls.dirs[DirAtoB].ser = serTimer{n: n, ld: &ls.dirs[DirAtoB]}
+		ls.dirs[DirBtoA].ser = serTimer{n: n, ld: &ls.dirs[DirBtoA]}
 	}
 
 	leafOrd, spineOrd, coreOrd := map[topology.SwitchID]int{}, map[topology.SwitchID]int{}, map[topology.SwitchID]int{}

@@ -1,7 +1,10 @@
 package fabric
 
 // fifo is a byte-accounted FIFO of packets, implemented as a ring
-// buffer so steady-state forwarding does not allocate.
+// buffer so steady-state forwarding does not allocate. Capacity is
+// always a power of two so the hot push/pop index wrap is a mask, not
+// a modulo (integer division is tens of cycles on the per-packet
+// path).
 type fifo struct {
 	buf   []*Packet
 	head  int
@@ -16,7 +19,7 @@ func (q *fifo) push(p *Packet) {
 	if q.count == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.count)%len(q.buf)] = p
+	q.buf[(q.head+q.count)&(len(q.buf)-1)] = p
 	q.count++
 	q.bytes += int64(p.Size)
 }
@@ -27,7 +30,7 @@ func (q *fifo) pop() *Packet {
 	}
 	p := q.buf[q.head]
 	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.count--
 	q.bytes -= int64(p.Size)
 	return p
@@ -40,14 +43,17 @@ func (q *fifo) peek() *Packet {
 	return q.buf[q.head]
 }
 
+// grow doubles the buffer (16 minimum), keeping capacity a power of
+// two, and unwraps the ring to the front of the new buffer.
 func (q *fifo) grow() {
 	size := len(q.buf) * 2
 	if size == 0 {
 		size = 16
 	}
 	nb := make([]*Packet, size)
+	mask := len(q.buf) - 1
 	for i := 0; i < q.count; i++ {
-		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		nb[i] = q.buf[(q.head+i)&mask]
 	}
 	q.buf = nb
 	q.head = 0

@@ -50,6 +50,40 @@ func TestFifoGrowPreservesOrder(t *testing.T) {
 	}
 }
 
+// The ring's capacity must stay a power of two at every size so the
+// push/pop index wrap can be a mask instead of a modulo; the head must
+// survive growth while wrapped around the end of the buffer.
+func TestFifoPowerOfTwoGrowth(t *testing.T) {
+	var q fifo
+	for i := 0; i < 300; i++ {
+		q.push(&Packet{ID: uint64(i), Size: 1})
+		if c := len(q.buf); c&(c-1) != 0 {
+			t.Fatalf("capacity %d is not a power of two", c)
+		}
+	}
+	// Wrap the head deep into the buffer, then force another growth
+	// cycle while wrapped.
+	for i := 0; i < 250; i++ {
+		q.pop()
+	}
+	for i := 300; i < 1000; i++ {
+		q.push(&Packet{ID: uint64(i), Size: 1})
+		if c := len(q.buf); c&(c-1) != 0 {
+			t.Fatalf("capacity %d is not a power of two after wrap", c)
+		}
+	}
+	want := uint64(250)
+	for q.len() > 0 {
+		if got := q.pop().ID; got != want {
+			t.Fatalf("pop %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != 1000 {
+		t.Fatalf("drained %d packets, want 1000", want)
+	}
+}
+
 // Property: any interleaving of pushes and pops is FIFO and
 // byte-conserving.
 func TestFifoProperty(t *testing.T) {

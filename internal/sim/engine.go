@@ -9,14 +9,26 @@ import (
 // the engine in every closure.
 type Handler func(now Time)
 
+// Timer is a pre-bound event callback: a long-lived object whose Fire
+// method the engine invokes instead of a fresh closure. Hot paths that
+// schedule per-packet work keep one Timer resident (or pooled) and
+// rearm it via AtTimer/AfterTimer, so steady-state scheduling performs
+// zero heap allocations — storing a pointer in the interface field of a
+// pooled event struct does not allocate, while every closure passed to
+// At/After does.
+type Timer interface {
+	Fire(now Time)
+}
+
 // event is a scheduled callback. seq breaks ties between events
 // scheduled for the same instant so execution order is deterministic
-// (FIFO among same-time events).
+// (FIFO among same-time events). Exactly one of fn and tm is set.
 type event struct {
 	at      Time
 	seq     uint64
 	gen     uint64 // incremented on every reuse of this struct
 	fn      Handler
+	tm      Timer
 	stopped bool
 	index   int // heap index, -1 when popped
 }
@@ -137,6 +149,7 @@ type Engine struct {
 	stopped bool
 
 	executed uint64 // number of events fired, for diagnostics
+	pending  int    // scheduled, uncancelled events (live counter)
 
 	free []*event // recycled event structs
 }
@@ -149,16 +162,10 @@ func NewEngine() *Engine {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of scheduled (uncancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue.a {
-		if !ev.stopped {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (uncancelled) events. It is
+// O(1): the engine maintains a live counter instead of scanning the
+// heap, so drivers may poll it in a loop.
+func (e *Engine) Pending() int { return e.pending }
 
 // Executed returns the number of events fired so far.
 func (e *Engine) Executed() uint64 { return e.executed }
@@ -173,21 +180,29 @@ func (e *Engine) alloc() *event {
 	return &event{}
 }
 
-// At schedules fn to run at absolute time t. Scheduling in the past
-// panics: it indicates a causality bug in the caller.
-func (e *Engine) At(t Time, fn Handler) EventRef {
+// schedule allocates and enqueues an event at t; the caller attaches
+// the callback.
+func (e *Engine) schedule(t Time) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
-	}
-	if fn == nil {
-		panic("sim: nil event handler")
 	}
 	ev := e.alloc()
 	ev.at = t
 	ev.seq = e.seq
-	ev.fn = fn
 	e.seq++
 	e.queue.push(ev)
+	e.pending++
+	return ev
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it indicates a causality bug in the caller.
+func (e *Engine) At(t Time, fn Handler) EventRef {
+	if fn == nil {
+		panic("sim: nil event handler")
+	}
+	ev := e.schedule(t)
+	ev.fn = fn
 	return EventRef{ev: ev, gen: ev.gen}
 }
 
@@ -199,6 +214,26 @@ func (e *Engine) After(d Duration, fn Handler) EventRef {
 	return e.At(e.now.Add(d), fn)
 }
 
+// AtTimer schedules tm.Fire to run at absolute time t. Unlike At it
+// takes a pre-bound callback object, so steady-state rearming does not
+// allocate.
+func (e *Engine) AtTimer(t Time, tm Timer) EventRef {
+	if tm == nil {
+		panic("sim: nil timer")
+	}
+	ev := e.schedule(t)
+	ev.tm = tm
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// AfterTimer schedules tm.Fire to run d after the current time.
+func (e *Engine) AfterTimer(d Duration, tm Timer) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.AtTimer(e.now.Add(d), tm)
+}
+
 // Cancel prevents a scheduled event from firing. Cancelling an already
 // fired or already cancelled event is a no-op and returns false.
 func (e *Engine) Cancel(r EventRef) bool {
@@ -207,6 +242,7 @@ func (e *Engine) Cancel(r EventRef) bool {
 		return false
 	}
 	ev.stopped = true
+	e.pending--
 	return true
 }
 
@@ -242,10 +278,15 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			panic("sim: event queue time went backwards")
 		}
 		e.now = next.at
-		fn := next.fn
+		fn, tm := next.fn, next.tm
 		e.free = append(e.free, next)
 		e.executed++
-		fn(e.now)
+		e.pending--
+		if fn != nil {
+			fn(e.now)
+		} else {
+			tm.Fire(e.now)
+		}
 	}
 	if deadline != Never && deadline > e.now && !e.stopped {
 		e.now = deadline
@@ -263,10 +304,15 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = next.at
-		fn := next.fn
+		fn, tm := next.fn, next.tm
 		e.free = append(e.free, next)
 		e.executed++
-		fn(e.now)
+		e.pending--
+		if fn != nil {
+			fn(e.now)
+		} else {
+			tm.Fire(e.now)
+		}
 		return true
 	}
 	return false

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// recTimer is a Timer that records its firing for order comparison.
+type recTimer struct {
+	id    int
+	log   *[]firing
+	eng   *Engine
+	chain []Duration // follow-up delays scheduled on fire
+}
+
+type firing struct {
+	id int
+	at Time
+}
+
+func (t *recTimer) Fire(now Time) {
+	*t.log = append(*t.log, firing{t.id, now})
+	if len(t.chain) > 0 {
+		d := t.chain[0]
+		t.chain = t.chain[1:]
+		t.eng.AfterTimer(d, t)
+	}
+}
+
+// Property: a schedule executed through typed timers (AtTimer /
+// AfterTimer) fires in exactly the same order, at the same times, as
+// the identical schedule executed through closure handlers (At /
+// After), including follow-up events scheduled from inside callbacks.
+func TestTypedTimerOrderMatchesClosures(t *testing.T) {
+	f := func(delays []uint16, chains []uint8) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		chainFor := func(i int) []Duration {
+			if len(chains) == 0 {
+				return nil
+			}
+			chain := make([]Duration, int(chains[i%len(chains)]%3))
+			for j := range chain {
+				chain[j] = Duration(delays[(i+j+1)%len(delays)])
+			}
+			return chain
+		}
+		// Closure-based reference run.
+		ce := NewEngine()
+		var cLog []firing
+		for i, d := range delays {
+			id := i
+			chain := chainFor(i)
+			var fire Handler
+			fire = func(now Time) {
+				cLog = append(cLog, firing{id, now})
+				if len(chain) > 0 {
+					d := chain[0]
+					chain = chain[1:]
+					ce.After(d, fire)
+				}
+			}
+			ce.After(Duration(d), fire)
+		}
+		ce.Run()
+
+		// Typed-timer run of the same schedule.
+		te := NewEngine()
+		var tLog []firing
+		for i, d := range delays {
+			te.AfterTimer(Duration(d), &recTimer{id: i, log: &tLog, eng: te, chain: chainFor(i)})
+		}
+		te.Run()
+
+		if ce.Executed() != te.Executed() || len(cLog) != len(tLog) {
+			return false
+		}
+		for i := range cLog {
+			if cLog[i] != tLog[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	var log []firing
+	ref := e.AfterTimer(10, &recTimer{id: 1, log: &log})
+	e.AfterTimer(20, &recTimer{id: 2, log: &log})
+	if !e.Cancel(ref) {
+		t.Fatal("Cancel returned false for a pending timer")
+	}
+	e.Run()
+	if len(log) != 1 || log[0].id != 2 {
+		t.Fatalf("log = %v, want only timer 2", log)
+	}
+}
+
+// Property: the O(1) Pending counter agrees with a reference count
+// maintained through arbitrary schedule/cancel/run interleavings.
+func TestPendingCounterProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		e := NewEngine()
+		var refs []EventRef
+		live := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // schedule a closure event
+				refs = append(refs, e.After(Duration(op)%50, func(Time) {}))
+				live++
+			case 1: // schedule a typed timer
+				var log []firing
+				refs = append(refs, e.AfterTimer(Duration(op)%50, &recTimer{id: int(op), log: &log}))
+				live++
+			case 2: // cancel some earlier ref (may already be cancelled)
+				if len(refs) > 0 {
+					if e.Cancel(refs[int(op)%len(refs)]) {
+						live--
+					}
+				}
+			}
+			if e.Pending() != live {
+				return false
+			}
+		}
+		for e.Step() {
+			live--
+			if e.Pending() != live {
+				return false
+			}
+		}
+		return e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// selfRearm rearms itself a fixed number of times, modelling a hot
+// path's resident timer.
+type selfRearm struct {
+	eng  *Engine
+	left int
+}
+
+func (t *selfRearm) Fire(Time) {
+	if t.left > 0 {
+		t.left--
+		t.eng.AfterTimer(5, t)
+	}
+}
+
+// Steady-state typed-timer rearming must not allocate: the engine's
+// event pool plus the pre-bound callback object make the whole
+// schedule-fire-rearm cycle allocation-free.
+func TestTimerRearmDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	tm := &selfRearm{eng: e}
+	// Warm the event pool.
+	tm.left = 8
+	e.AfterTimer(5, tm)
+	e.Run()
+
+	avg := testing.AllocsPerRun(100, func() {
+		tm.left = 4
+		e.AfterTimer(5, tm)
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("typed-timer rearm allocates %.1f per run, want 0", avg)
+	}
+}

@@ -126,14 +126,64 @@ func (m *Message) ID() uint64 { return m.id }
 // after Send).
 func (m *Message) Packets() int { return m.packets }
 
+// sendState tracks one in-flight message at the sender. Loss recovery
+// is NIC-style: instead of one scheduled closure per outstanding
+// packet, the state keeps a per-sequence deadline slice and a single
+// engine timer armed at the earliest deadline. ACKs clear their
+// deadline lazily (no timer surgery); a fire that finds nothing
+// expired simply rearms at the new minimum. sendState implements
+// sim.Timer, so rearming never allocates.
 type sendState struct {
+	s        *Stack
 	msg      *Message
 	acked    []bool
 	nAcked   int
-	rto      []sim.EventRef
+	deadline []sim.Time // per seq; Never when no RTO outstanding
 	retries  []int
 	wireOut  []sim.Time
 	finished bool
+
+	timer   sim.EventRef // the message's single RTO timer
+	timerAt sim.Time     // instant timer is armed for
+}
+
+// armAt ensures the message timer fires no later than d.
+func (st *sendState) armAt(d sim.Time) {
+	if d == sim.Never {
+		return
+	}
+	if st.timer.Valid() {
+		if st.timerAt <= d {
+			return
+		}
+		st.s.eng.Cancel(st.timer)
+	}
+	st.timer = st.s.eng.AtTimer(d, st)
+	st.timerAt = d
+}
+
+// Fire handles RTO expiry: retransmit every sequence whose deadline
+// passed, then rearm at the new earliest deadline (if any).
+func (st *sendState) Fire(now sim.Time) {
+	st.timer = sim.EventRef{}
+	if st.finished {
+		return
+	}
+	for seq, d := range st.deadline {
+		if d <= now && !st.acked[seq] {
+			// Clear before retransmitting: the retransmission's own
+			// wire-out re-arms this sequence with a fresh deadline.
+			st.deadline[seq] = sim.Never
+			st.s.onTimeout(st, seq, now)
+		}
+	}
+	min := sim.Never
+	for _, d := range st.deadline {
+		if d < min {
+			min = d
+		}
+	}
+	st.armAt(min)
 }
 
 type recvState struct {
@@ -249,11 +299,15 @@ func (s *Stack) Send(m *Message) uint64 {
 	m.packets = s.PacketsFor(m.Bytes)
 
 	st := &sendState{
-		msg:     m,
-		acked:   make([]bool, m.packets),
-		rto:     make([]sim.EventRef, m.packets),
-		retries: make([]int, m.packets),
-		wireOut: make([]sim.Time, m.packets),
+		s:        s,
+		msg:      m,
+		acked:    make([]bool, m.packets),
+		deadline: make([]sim.Time, m.packets),
+		retries:  make([]int, m.packets),
+		wireOut:  make([]sim.Time, m.packets),
+	}
+	for i := range st.deadline {
+		st.deadline[i] = sim.Never
 	}
 	s.sends[m.id] = st
 	s.stats.MessagesSent++
@@ -313,9 +367,8 @@ func (s *Stack) onWireOut(now sim.Time, p *fabric.Packet) {
 		}
 		rto <<= shift
 	}
-	st.rto[seq] = s.eng.At(now.Add(rto), func(now sim.Time) {
-		s.onTimeout(st, seq, now)
-	})
+	st.deadline[seq] = now.Add(rto)
+	st.armAt(st.deadline[seq])
 }
 
 func (s *Stack) onTimeout(st *sendState, seq int, _ sim.Time) {
@@ -401,10 +454,10 @@ func (s *Stack) onAck(now sim.Time, p *fabric.Packet) {
 	}
 	st.acked[p.Seq] = true
 	st.nAcked++
-	if ref := st.rto[p.Seq]; ref.Valid() {
-		s.eng.Cancel(ref)
-		st.rto[p.Seq] = sim.EventRef{}
-	}
+	// Lazy cancellation: clear the deadline but leave the message
+	// timer armed. If this sequence held the earliest deadline, the
+	// timer fires spuriously, finds nothing expired, and rearms.
+	st.deadline[p.Seq] = sim.Never
 	if st.retries[p.Seq] > 0 {
 		// The packet was retransmitted at least once before this first
 		// ACK came back; receiver-side dedup measures how many of those
@@ -413,6 +466,10 @@ func (s *Stack) onAck(now sim.Time, p *fabric.Packet) {
 	}
 	if st.nAcked == st.msg.packets {
 		st.finished = true
+		if st.timer.Valid() {
+			s.eng.Cancel(st.timer)
+			st.timer = sim.EventRef{}
+		}
 		if st.msg.OnAcked != nil {
 			st.msg.OnAcked(now, st.msg)
 		}

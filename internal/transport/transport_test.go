@@ -278,3 +278,65 @@ func TestDeliveryUnderLossProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// White-box test of the per-message RTO timer: one engine timer
+// follows the earliest outstanding deadline, fires expiries in
+// deadline order, survives lazy (ACK-side) deadline clearing with a
+// spurious fire, and disarms once nothing is outstanding.
+func TestEarliestDeadlineTimerMechanics(t *testing.T) {
+	r := newRig(t, topology.FatTreeConfig{Leaves: 4, Spines: 2}, 9, Config{})
+	s := r.stack
+	m := &Message{Src: 0, Dst: 3, Bytes: 3 * 4096, packets: 3, id: 77}
+	st := &sendState{
+		s: s, msg: m,
+		acked:    make([]bool, 3),
+		deadline: []sim.Time{300, 100, 200},
+		retries:  make([]int, 3),
+		wireOut:  make([]sim.Time, 3),
+	}
+
+	// Arming at a later deadline first, then an earlier one, must
+	// leave the timer at the minimum.
+	st.armAt(st.deadline[0])
+	st.armAt(st.deadline[2])
+	st.armAt(st.deadline[1])
+	if !st.timer.Valid() || st.timerAt != 100 {
+		t.Fatalf("timer armed at %v, want earliest deadline 100", st.timerAt)
+	}
+	// Arming at a later instant than the current one is a no-op.
+	st.armAt(250)
+	if st.timerAt != 100 {
+		t.Fatalf("later armAt moved the timer to %v", st.timerAt)
+	}
+
+	var retxOrder []int
+	DebugRetx = func(_ sim.Time, msg uint64, seq, _ int) {
+		if msg == 77 {
+			retxOrder = append(retxOrder, seq)
+		}
+	}
+	defer func() { DebugRetx = nil }()
+
+	// Lazily "ack" seq 2 the way onAck does: clear the deadline, leave
+	// the timer alone. The fire at 200 becomes spurious.
+	st.acked[2] = true
+	st.deadline[2] = sim.Never
+
+	r.eng.Run()
+	// Expiries must fire in deadline order (seq 1 at 100, seq 0 at
+	// 300) and the acked seq 2 must never retransmit.
+	if len(retxOrder) != 2 || retxOrder[0] != 1 || retxOrder[1] != 0 {
+		t.Fatalf("retransmit order %v, want [1 0]", retxOrder)
+	}
+	if st.retries[2] != 0 {
+		t.Fatal("lazily acked sequence was retransmitted")
+	}
+	// All deadlines consumed: the timer must be disarmed (retransmits
+	// of an unregistered message never re-arm via onWireOut).
+	if st.timer.Valid() {
+		t.Fatal("timer still armed with no outstanding deadlines")
+	}
+	if got := s.Stats().Retransmits; got != 2 {
+		t.Fatalf("Retransmits = %d, want 2", got)
+	}
+}
