@@ -10,7 +10,8 @@
 //	flowpulse-eval -quick           # scaled-down smoke run
 //
 // Experiments: fig2, fig3, fig4, fig5a, fig5b, fig5c, preexisting,
-// headline, faulttypes, jitter, trunks, clos3, blocking, ablation, all.
+// headline, faulttypes, jitter, trunks, clos3, blocking, remediate,
+// ablation, all.
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5a|fig5b|fig5c|preexisting|headline|faulttypes|jitter|trunks|clos3|blocking|ablation|all)")
+		exp    = flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5a|fig5b|fig5c|preexisting|headline|faulttypes|jitter|trunks|clos3|blocking|remediate|ablation|all)")
 		quick  = flag.Bool("quick", false, "scaled-down configuration (smaller fabric and collectives)")
 		sizeMB = flag.Int64("size", 0, "override collective size per rank in MiB")
 		drop   = flag.Float64("drop", 0, "override injected drop rate (headline)")
@@ -201,6 +202,14 @@ func main() {
 			}
 			return experiments.Blocking(cfg)
 		},
+		"remediate": func() (fmt.Stringer, error) {
+			// Already small-scale (8×4): -quick needs no extra scaling.
+			cfg := experiments.RemediationConfig{Seed: *seed, DropRate: *drop}
+			if *sizeMB > 0 {
+				cfg.BytesPerRank = *sizeMB << 20
+			}
+			return experiments.Remediation(cfg)
+		},
 		"ablation": func() (fmt.Stringer, error) {
 			cfg := experiments.AblationConfig{Seed: *seed}
 			if *quick {
@@ -212,7 +221,7 @@ func main() {
 			return experiments.Ablation(cfg)
 		},
 	}
-	order := []string{"fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "preexisting", "headline", "faulttypes", "jitter", "trunks", "clos3", "blocking", "ablation"}
+	order := []string{"fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "preexisting", "headline", "faulttypes", "jitter", "trunks", "clos3", "blocking", "remediate", "ablation"}
 
 	var selected []string
 	if *exp == "all" {

@@ -10,6 +10,9 @@
 //	flowpulse-sim -drop 0.008 -fault-leaf 7 -fault-spine 2
 //	flowpulse-sim -predictor learned -iters 12 -heal-after 6
 //	flowpulse-sim -drop 0                          # clean run
+//	flowpulse-sim -remediate                       # closed-loop quarantine
+//	flowpulse-sim -remediate -leaves 8 -spines 4 -size 8 -iters 48 \
+//	    -fault-leaf 4 -drop 0.3 -flap-period 2040 -flap-down 1020
 package main
 
 import (
@@ -39,6 +42,9 @@ func main() {
 		upstream   = flag.Bool("upstream", false, "fault the leaf-to-spine direction instead")
 		preDown    = flag.Int("preexisting", 0, "number of pre-existing disconnected links")
 		jitterUS   = flag.Int64("jitter", 0, "per-rank start jitter (µs)")
+		remediated = flag.Bool("remediate", false, "close the loop: confirm, quarantine, probe, re-admit")
+		flapPeriod = flag.Int64("flap-period", 0, "make the fault a lossy flap with this period (µs, 0 = persistent)")
+		flapDown   = flag.Int64("flap-down", 0, "flap down-phase length (µs, default period/2)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -63,10 +69,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	mon, err := cluster.Monitor(flowpulse.MonitorConfig{
+	monCfg := flowpulse.MonitorConfig{
 		Predictor: flowpulse.PredictorKind(*predictor),
 		Threshold: *threshold,
-	})
+	}
+	if *remediated {
+		monCfg.Remediate = &flowpulse.RemediateConfig{}
+	}
+	mon, err := cluster.Monitor(monCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -77,7 +87,14 @@ func main() {
 		if *drop <= 0 {
 			return
 		}
-		if *upstream {
+		if *flapPeriod > 0 {
+			period := flowpulse.Duration(*flapPeriod) * flowpulse.Microsecond
+			down := period / 2
+			if *flapDown > 0 {
+				down = flowpulse.Duration(*flapDown) * flowpulse.Microsecond
+			}
+			cluster.FlapLink(target, period, down, 0, *drop)
+		} else if *upstream {
 			cluster.BreakLinkUpstream(target, *drop)
 		} else {
 			cluster.BreakLink(target, *drop)
@@ -87,15 +104,22 @@ func main() {
 	fmt.Printf("FlowPulse simulation: %dx%d fat tree, %d host(s)/leaf, %s, %d MiB/rank, %d iterations\n",
 		*leaves, *spines, *hosts, *coll, *sizeMB, *iters)
 	fmt.Printf("predictor=%s threshold=%.2f%% pre-existing=%d\n", *predictor, *threshold*100, *preDown)
-	if *drop > 0 {
+	switch {
+	case *drop > 0 && *flapPeriod > 0:
+		fmt.Printf("fault: lossy flap (%.2f%% while down, period %dµs) on leaf %d / spine %d, after iteration %d\n",
+			*drop*100, *flapPeriod, *faultLeaf, *faultSpine, *faultIter)
+	case *drop > 0:
 		dir := "downstream (spine->leaf)"
 		if *upstream {
 			dir = "upstream (leaf->spine)"
 		}
 		fmt.Printf("fault: %.2f%% drop on leaf %d / spine %d, %s, after iteration %d\n",
 			*drop*100, *faultLeaf, *faultSpine, dir, *faultIter)
-	} else {
+	default:
 		fmt.Println("fault: none (clean run)")
+	}
+	if *remediated {
+		fmt.Println("remediation: enabled (confirm K=3, probe M=3, flap damping)")
 	}
 	fmt.Println()
 
@@ -138,6 +162,25 @@ func main() {
 	sort.Ints(iterKeys)
 	for _, it := range iterKeys {
 		fmt.Printf("  iter %2d: %6.3f%%\n", it, 100*scores[uint32(it)])
+	}
+
+	if *remediated {
+		fmt.Println()
+		timeline := mon.RemediationTimeline()
+		if len(timeline) == 0 {
+			fmt.Println("remediation timeline: (no actions)")
+		} else {
+			fmt.Println("remediation timeline:")
+			for _, a := range timeline {
+				fmt.Printf("  %v\n", a)
+			}
+		}
+		rs := mon.RemediationStats()
+		fmt.Printf("remediation: confirmations=%d quarantines=%d probe-rounds=%d readmissions=%d suppressed=%d\n",
+			rs.Confirmations, rs.Quarantines, rs.ProbeRounds, rs.Readmissions, rs.SuppressedReadmits)
+		if q := mon.Quarantined(); len(q) > 0 {
+			fmt.Printf("still quarantined: links %v\n", q)
+		}
 	}
 
 	fmt.Println()

@@ -30,8 +30,10 @@ import (
 	"flowpulse/internal/detect"
 	"flowpulse/internal/fabric"
 	"flowpulse/internal/localize"
+	"flowpulse/internal/remediate"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
 	"flowpulse/internal/transport"
 )
 
@@ -44,6 +46,10 @@ type Scenario = core.Scenario
 
 // Link names a leaf-spine link by (leaf ordinal, spine ordinal, trunk).
 type Link = core.LeafSpineLink
+
+// LinkID is a raw topology link identifier (as reported by the
+// remediation timeline and localization verdicts).
+type LinkID = topology.LinkID
 
 // Event is one fault detection with its localization verdict.
 type Event = core.Event
@@ -89,6 +95,18 @@ const (
 	Learned    PredictorKind = core.LearnedModel
 )
 
+// RemediateConfig tunes the closed-loop remediator: alert confirmation
+// (K consecutive deviating windows), probed re-admission (M clean probe
+// rounds), and BGP-style flap damping. The zero value uses the
+// documented defaults.
+type RemediateConfig = remediate.Config
+
+// RemediationAction is one entry of the remediation timeline.
+type RemediationAction = remediate.Action
+
+// RemediationStats counts remediation activity.
+type RemediationStats = remediate.Stats
+
 // MonitorConfig tunes the FlowPulse deployment on a cluster.
 type MonitorConfig struct {
 	// Predictor selects the load model; defaults to Analytical (the
@@ -101,6 +119,11 @@ type MonitorConfig struct {
 	ReferenceIterations int
 	// OnEvent streams detections as they happen.
 	OnEvent func(e Event)
+	// Remediate, when non-nil, closes the loop: confirmed faults are
+	// quarantined (admin-down + model re-baseline) and probed for
+	// re-admission, with flap damping. Use &RemediateConfig{} for the
+	// defaults.
+	Remediate *RemediateConfig
 }
 
 // Cluster is a simulated training cluster: fabric, transport,
@@ -126,12 +149,13 @@ func (c *Cluster) Monitor(cfg MonitorConfig) (*Monitor, error) {
 		return nil, fmt.Errorf("flowpulse: monitor already attached")
 	}
 	coreCfg := core.Config{
-		Net:    c.rt.Net,
-		Stack:  c.rt.Stack,
-		Demand: c.rt.Coll.Demand(),
-		Kind:   cfg.Predictor,
-		Job:    int(c.rt.Scenario.Job),
-		Detect: detect.Config{Threshold: cfg.Threshold},
+		Net:       c.rt.Net,
+		Stack:     c.rt.Stack,
+		Demand:    c.rt.Coll.Demand(),
+		Kind:      cfg.Predictor,
+		Job:       int(c.rt.Scenario.Job),
+		Detect:    detect.Config{Threshold: cfg.Threshold},
+		Remediate: cfg.Remediate,
 		OnEvent: func(e Event) {
 			if cfg.OnEvent != nil {
 				cfg.OnEvent(e)
@@ -179,6 +203,19 @@ func (c *Cluster) HealLink(l Link) { c.rt.ClearSilent(l) }
 // only if the monitor is attached afterwards (known faults at job
 // start, as in §6).
 func (c *Cluster) DisconnectLink(l Link) { c.rt.Net.SetLinkAdmin(c.rt.Link(l), false) }
+
+// ReconnectLink administratively restores a disconnected link; routing
+// reconverges to include it again.
+func (c *Cluster) ReconnectLink(l Link) { c.rt.Net.SetLinkAdmin(c.rt.Link(l), true) }
+
+// FlapLink makes a link periodically degrade: for downFor out of every
+// period it silently drops each packet with probability lossRate (both
+// directions), then runs clean for the rest of the cycle — the
+// intermittent-optics adversary the remediator's flap damping exists
+// for.
+func (c *Cluster) FlapLink(l Link, period, downFor, phase Duration, lossRate float64) {
+	c.rt.InjectLossyFlap(l, period, downFor, phase, lossRate)
+}
 
 // Train runs the scenario's training job to completion. onIteration
 // (optional) fires after each iteration with the simulated time and
@@ -250,6 +287,33 @@ func (m *Monitor) PortPrediction(leafOrdinal int) []float64 {
 		return nil
 	}
 	return m.sys.Predictor().PortLoad(leafOrdinal)
+}
+
+// RemediationTimeline returns the remediator's action log (nil when
+// MonitorConfig.Remediate was not set).
+func (m *Monitor) RemediationTimeline() []RemediationAction {
+	if r := m.sys.Remediator(); r != nil {
+		return r.Timeline
+	}
+	return nil
+}
+
+// RemediationStats returns remediation counters (zero when
+// MonitorConfig.Remediate was not set).
+func (m *Monitor) RemediationStats() RemediationStats {
+	if r := m.sys.Remediator(); r != nil {
+		return r.Stats()
+	}
+	return RemediationStats{}
+}
+
+// Quarantined returns the links currently held out of service by the
+// remediator, in quarantine order.
+func (m *Monitor) Quarantined() []LinkID {
+	if r := m.sys.Remediator(); r != nil {
+		return r.Quarantined()
+	}
+	return nil
 }
 
 // System exposes the underlying core.System for advanced use.

@@ -203,6 +203,31 @@ func (rt *Runtime) InjectSilentDropUpstream(ref LeafSpineLink, rate float64) {
 		fault.NewBernoulliDrop(rate, sim.NewRNG(rt.Scenario.Seed, fmt.Sprintf("silentup/%d", link))))
 }
 
+// InjectFlap attaches a periodic up/down fault to both directions of
+// the referenced link: down for downFor out of every period, starting
+// at phase. While "down" the link silently blackholes — the FIB does
+// not know, which is what makes an intermittent cable the worst case
+// for any remediation loop (quarantine, probe clean, re-admit, fail
+// again).
+func (rt *Runtime) InjectFlap(ref LeafSpineLink, period, downFor, phase sim.Duration) {
+	link := rt.Link(ref)
+	rt.Net.InjectFault(link, fabric.DirBoth, fault.NewLinkFlap(period, downFor, phase))
+}
+
+// InjectLossyFlap is InjectFlap with a Bernoulli loss process during
+// the down phase instead of a full blackhole: an intermittently
+// degraded link. Unlike a dead link — which stalls the collective's
+// barrier until the flap lifts, collapsing each down phase into one
+// stretched iteration — a degraded link lets iterations complete, so
+// each down phase produces the consecutive deviating windows that
+// confirmation logic keys on.
+func (rt *Runtime) InjectLossyFlap(ref LeafSpineLink, period, downFor, phase sim.Duration, rate float64) {
+	link := rt.Link(ref)
+	f := fault.NewLinkFlap(period, downFor, phase)
+	f.Inner = fault.NewBernoulliDrop(rate, sim.NewRNG(rt.Scenario.Seed, fmt.Sprintf("flap/%d", link)))
+	rt.Net.InjectFault(link, fabric.DirBoth, f)
+}
+
 // ClearSilent removes silent faults from the referenced link.
 func (rt *Runtime) ClearSilent(ref LeafSpineLink) { rt.Net.ClearFault(rt.Link(ref)) }
 

@@ -12,6 +12,7 @@ import (
 	"flowpulse/internal/fabric"
 	"flowpulse/internal/localize"
 	"flowpulse/internal/predict"
+	"flowpulse/internal/remediate"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
 	"flowpulse/internal/transport"
@@ -63,16 +64,24 @@ type Config struct {
 	// the learned model observes it — the hook experiment harnesses use
 	// to snapshot the baseline in effect when the window was checked.
 	OnWindow func(ws WindowScore)
+	// Remediate, when set, attaches the closed-loop control plane:
+	// alert confirmation, link quarantine, re-baseline, and probed
+	// re-admission with flap damping. Use &remediate.Config{} for the
+	// defaults.
+	Remediate *remediate.Config
 }
 
 // System is a running FlowPulse deployment over one network.
 type System struct {
-	cfg       Config
-	collector *telemetry.Collector
-	detector  *detect.Detector
-	localizer *localize.Localizer
-	learned   *predict.Learned // nil unless Kind == LearnedModel
-	pred      predict.Predictor
+	cfg        Config
+	collector  *telemetry.Collector
+	detector   *detect.Detector
+	localizer  *localize.Localizer
+	learned    *predict.Learned // nil unless Kind == LearnedModel
+	pred       predict.Predictor
+	faults     *predict.FaultSet
+	remediator *remediate.Remediator // nil unless Config.Remediate set
+	subs       []func(e Event)
 
 	// Events accumulates every detection with its localization.
 	Events []Event
@@ -103,13 +112,15 @@ func Attach(cfg Config) (*System, error) {
 	}
 	topo := cfg.Net.Topology()
 
-	s := &System{cfg: cfg}
+	s := &System{cfg: cfg, faults: predict.NewFaultSet()}
 	switch cfg.Kind {
 	case AnalyticalModel:
 		if cfg.Demand == nil {
 			return nil, fmt.Errorf("core: analytical model needs Config.Demand")
 		}
-		s.pred = predict.NewAnalytical(topo, cfg.Net, cfg.Stack, cfg.Demand)
+		a := predict.NewAnalytical(topo, cfg.Net, cfg.Stack, cfg.Demand)
+		a.SetFaults(s.faults)
+		s.pred = a
 	case SimulationModel:
 		sp, err := predict.NewSimulation(len(topo.Leaves()), cfg.ReferenceWindows)
 		if err != nil {
@@ -124,7 +135,11 @@ func Attach(cfg Config) (*System, error) {
 	}
 
 	s.detector = detect.New(topo, s.pred, cfg.Detect)
+	s.detector.SetKnownFaults(s.faults)
 	s.localizer = localize.New(topo, s.detector.Threshold(), 0)
+	if cfg.Remediate != nil {
+		s.remediator = remediate.New(cfg.Net, s.faults, func() { s.Rebaseline() }, *cfg.Remediate)
+	}
 	s.collector = telemetry.AttachAll(cfg.Net, cfg.Job, s.onWindow)
 	return s, nil
 }
@@ -146,6 +161,40 @@ func (s *System) Detector() *detect.Detector { return s.detector }
 
 // Learned returns the learned model, or nil for other kinds.
 func (s *System) Learned() *predict.Learned { return s.learned }
+
+// Remediator returns the closed-loop control plane, or nil when
+// Config.Remediate was not set.
+func (s *System) Remediator() *remediate.Remediator { return s.remediator }
+
+// KnownFaults returns the control plane's known-fault set: links
+// confirmed faulty and currently quarantined. The analytical model and
+// the detector consult it; quarantine mutates it.
+func (s *System) KnownFaults() *predict.FaultSet { return s.faults }
+
+// Subscribe registers a callback for every localized detection.
+// Ordering guarantee: callbacks run synchronously from the window-close
+// path — after the event is appended to Events and after Config.OnEvent
+// — in subscription order; events arrive in window-close order (per
+// leaf, ascending iteration) and, within one window, in ascending
+// uplink order. Subscribe must not be called from inside a callback.
+func (s *System) Subscribe(fn func(e Event)) {
+	if fn == nil {
+		panic("core: Subscribe(nil)")
+	}
+	s.subs = append(s.subs, fn)
+}
+
+// Rebaseline asks the active load model to recompute its baseline
+// against the current routing state and known-fault set. It reports
+// false for the simulation model, whose reference windows were
+// recorded under the old routing state and cannot be refreshed.
+func (s *System) Rebaseline() bool {
+	rb, ok := s.pred.(predict.Rebaseliner)
+	if ok {
+		rb.Rebaseline()
+	}
+	return ok
+}
 
 // Flush closes all open telemetry windows (end of training).
 func (s *System) Flush(now sim.Time) { s.collector.FlushAll(now) }
@@ -172,10 +221,19 @@ func (s *System) onWindow(w *telemetry.Window) {
 		if s.cfg.OnEvent != nil {
 			s.cfg.OnEvent(e)
 		}
+		for _, fn := range s.subs {
+			fn(e)
+		}
+		if s.remediator != nil {
+			s.remediator.Observe(e.Alert, e.Verdict)
+		}
 	}
 
 	if s.learned != nil {
 		s.learned.Observe(wc)
+	}
+	if s.remediator != nil {
+		s.remediator.Tick(wc.ClosedAt)
 	}
 }
 

@@ -81,13 +81,17 @@ type Stats struct {
 // Detector serves all leaves (state is per call; the comparison is
 // in-switch and coordination-free, exactly as each leaf would run it).
 type Detector struct {
-	cfg   Config
-	pred  predict.Predictor
-	topo  *topology.Topology
-	stats Stats
+	cfg    Config
+	pred   predict.Predictor
+	topo   *topology.Topology
+	stats  Stats
+	faults *predict.FaultSet
 
-	// OnAlert, when set, receives every alert as it is raised.
+	// OnAlert, when set, receives every alert as it is raised. It runs
+	// before any Subscribe callbacks.
 	OnAlert func(a Alert)
+
+	subs []func(a Alert)
 }
 
 // New builds a detector over a prediction model.
@@ -105,6 +109,35 @@ func (d *Detector) Predictor() predict.Predictor { return d.pred }
 // Stats returns a snapshot of detector counters.
 func (d *Detector) Stats() Stats { return d.stats }
 
+// SetKnownFaults attaches the control plane's known-fault set: leaf
+// ports whose uplink is in the set are skipped by Check and Score. A
+// quarantined link legitimately carries nothing, so alerting on its
+// port (ghost traffic from the window straddling the quarantine, then
+// a permanent 100% deficit) would be noise, not detection.
+func (d *Detector) SetKnownFaults(fs *predict.FaultSet) { d.faults = fs }
+
+// portQuarantined reports whether a window's uplink port sits on a
+// known-faulty link. Only leaf windows are mapped (spine windows — the
+// §7 extension — use a different port layout).
+func (d *Detector) portQuarantined(w *telemetry.Window, u int) bool {
+	if d.faults == nil || d.faults.Len() == 0 || w.SwitchKind != topology.Leaf {
+		return false
+	}
+	p := u + len(d.topo.HostsOf(w.Leaf))
+	return d.faults.Has(d.topo.Switch(w.Leaf).Ports[p].Link)
+}
+
+// Subscribe registers a callback for every alert the detector raises.
+// Callbacks run synchronously from Check, in subscription order, after
+// OnAlert; within one window, alerts arrive in ascending uplink order.
+// Subscribe must not be called from inside a callback.
+func (d *Detector) Subscribe(fn func(a Alert)) {
+	if fn == nil {
+		panic("detect: Subscribe(nil)")
+	}
+	d.subs = append(d.subs, fn)
+}
+
 // Check compares one closed window against the model and returns the
 // alerts (nil if the window is clean or the model is not ready).
 func (d *Detector) Check(w *telemetry.Window) []Alert {
@@ -116,6 +149,9 @@ func (d *Detector) Check(w *telemetry.Window) []Alert {
 	pred := d.pred.PortLoad(w.LeafOrdinal)
 	var alerts []Alert
 	for u, obs := range w.PortBytes {
+		if d.portQuarantined(w, u) {
+			continue
+		}
 		dev, ok := Deviation(float64(obs), pred[u], d.cfg.MinPredicted)
 		if !ok || math.Abs(dev) <= d.cfg.Threshold {
 			continue
@@ -137,6 +173,9 @@ func (d *Detector) Check(w *telemetry.Window) []Alert {
 		if d.OnAlert != nil {
 			d.OnAlert(a)
 		}
+		for _, fn := range d.subs {
+			fn(a)
+		}
 	}
 	return alerts
 }
@@ -150,6 +189,9 @@ func (d *Detector) Score(w *telemetry.Window) (score float64, ok bool) {
 	}
 	pred := d.pred.PortLoad(w.LeafOrdinal)
 	for u, obs := range w.PortBytes {
+		if d.portQuarantined(w, u) {
+			continue
+		}
 		dev, valid := Deviation(float64(obs), pred[u], d.cfg.MinPredicted)
 		if valid && math.Abs(dev) > score {
 			score = math.Abs(dev)

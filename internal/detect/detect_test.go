@@ -136,6 +136,46 @@ func TestDeviationHelper(t *testing.T) {
 	}
 }
 
+func TestSubscribeFanOutAndOrder(t *testing.T) {
+	topo := testTopo(t)
+	pred := &stubPred{ports: [][]float64{{1e6, 1e6, 1e6, 1e6}}, ready: []bool{true}}
+	d := New(topo, pred, Config{Threshold: 0.01})
+
+	var order []string
+	d.OnAlert = func(a Alert) { order = append(order, "legacy") }
+	d.Subscribe(func(a Alert) { order = append(order, "first") })
+	var uplinks []int
+	d.Subscribe(func(a Alert) {
+		order = append(order, "second")
+		uplinks = append(uplinks, a.Uplink)
+	})
+
+	// Two deviating ports: each alert fans out to OnAlert then the
+	// subscribers in subscription order.
+	d.Check(window(0, 1, []int64{900_000, 1_000_000, 1_100_000, 1_000_000}))
+	want := []string{"legacy", "first", "second", "legacy", "first", "second"}
+	if len(order) != len(want) {
+		t.Fatalf("fan-out calls: %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fan-out order: %v", order)
+		}
+	}
+	if len(uplinks) != 2 || uplinks[0] != 0 || uplinks[1] != 2 {
+		t.Fatalf("uplink order within window: %v", uplinks)
+	}
+}
+
+func TestSubscribeNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nil subscriber")
+		}
+	}()
+	New(testTopo(t), &stubPred{ports: [][]float64{nil}, ready: []bool{true}}, Config{}).Subscribe(nil)
+}
+
 func TestAlertString(t *testing.T) {
 	a := Alert{LeafOrdinal: 3, Uplink: 5, Iter: 9, Predicted: 1000, Observed: 900, Deviation: -0.1}
 	if s := a.String(); s == "" {

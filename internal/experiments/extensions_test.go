@@ -116,6 +116,39 @@ func TestBlockingNetworkPrioritizationHolds(t *testing.T) {
 	}
 }
 
+func TestRemediationExperiment(t *testing.T) {
+	res, err := Remediation(RemediationConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	p, f := res.Rows[0], res.Rows[1]
+	if p.Quarantines != 1 || p.Readmissions != 0 || p.FIBChurn != 1 {
+		t.Errorf("persistent fault not pinned after one quarantine: %+v", p)
+	}
+	if p.TimeToQuarantine <= 0 || p.TimeToQuarantine > 8*res.IterDur {
+		t.Errorf("persistent time-to-quarantine %v outside (0, 8 iterations]", p.TimeToQuarantine)
+	}
+	if p.PostQuarantineDeficits != 0 {
+		t.Errorf("persistent row not quiet after re-baseline: %+v", p)
+	}
+	if f.Quarantines < 2 || f.Suppressed == 0 || f.Readmissions >= f.Quarantines {
+		t.Errorf("flap damping did not engage: %+v", f)
+	}
+	if f.FIBChurn != f.Quarantines+f.Readmissions {
+		t.Errorf("flap churn %d != quarantines+readmissions %d", f.FIBChurn, f.Quarantines+f.Readmissions)
+	}
+	out := res.String()
+	if !strings.Contains(out, "persistent") || !strings.Contains(out, "quarantine link") {
+		t.Fatalf("renderer broken:\n%s", out)
+	}
+	if !strings.HasPrefix(res.CSV(), "fault,time_to_quarantine_us,") {
+		t.Fatal("csv header broken")
+	}
+}
+
 func TestCSVRenderers(t *testing.T) {
 	a := &Fig5aResult{Config: Fig5aConfig{}, Curves: []Fig5aCurve{{DropRate: 0.01}}}
 	if !strings.HasPrefix(a.CSV(), "drop_rate,") {

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flowpulse/internal/core"
+	"flowpulse/internal/remediate"
+	"flowpulse/internal/sim"
+)
+
+// RemediationConfig exercises the closed remediation loop end to end:
+// detect → confirm → quarantine → re-baseline → probe → re-admit, with
+// flap damping. Two scenarios share one fabric shape: a persistent
+// 1.5% silent fault (quarantined once, never re-admitted) and a
+// periodically degraded link (quarantine/re-admission cycles until
+// damping pins it down).
+type RemediationConfig struct {
+	// Leaves, Spines, BytesPerRank shape the fabric (defaults 8×4,
+	// 8 MiB — the experiment measures control-loop dynamics, not
+	// detection accuracy, so it runs at small scale).
+	Leaves, Spines int
+	BytesPerRank   int64
+	// DropRate is the persistent fault's loss rate (default 1.5%).
+	DropRate float64
+	// FlapLoss is the flapping link's down-phase loss (default 30%).
+	FlapLoss float64
+	// Onset is the iteration after which faults activate (default 2).
+	Onset int
+	// PersistIters and FlapIters are the run lengths (defaults 12, 36).
+	PersistIters, FlapIters int
+	// Remediate tunes the loop. The flapping run tightens Suppress to
+	// 1500 when left at zero, so the second quarantine already pins
+	// the link and the run stays short.
+	Remediate remediate.Config
+	// Seed roots the randomness.
+	Seed uint64
+}
+
+func (c *RemediationConfig) setDefaults() {
+	if c.Leaves == 0 {
+		c.Leaves = 8
+	}
+	if c.Spines == 0 {
+		c.Spines = 4
+	}
+	if c.BytesPerRank == 0 {
+		c.BytesPerRank = 8 << 20
+	}
+	if c.DropRate == 0 {
+		c.DropRate = 0.015
+	}
+	if c.FlapLoss == 0 {
+		c.FlapLoss = 0.3
+	}
+	if c.Onset == 0 {
+		c.Onset = 2
+	}
+	if c.PersistIters == 0 {
+		c.PersistIters = 12
+	}
+	if c.FlapIters == 0 {
+		c.FlapIters = 36
+	}
+}
+
+// RemediationRow is one fault scenario's closed-loop outcome.
+type RemediationRow struct {
+	Name string
+	// TimeToQuarantine is first quarantine minus fault onset.
+	TimeToQuarantine sim.Duration
+	// IterationsDegraded counts distinct iterations that raised alerts
+	// before the first quarantine took effect.
+	IterationsDegraded int
+	// PostQuarantineDeficits counts deficit alerts two or more
+	// iterations after the last quarantine — a deficit there means the
+	// quarantine failed to restore temporal symmetry (the straddling
+	// iteration is excused; borderline surplus noise is the detector's
+	// ambient FPR, measured by the fig5 experiments, not a remediation
+	// outcome).
+	PostQuarantineDeficits int
+	// Quarantines, Readmissions, Suppressed summarize the loop.
+	Quarantines, Readmissions, Suppressed uint64
+	// FIBChurn counts fabric reconvergences (one per admin change).
+	FIBChurn uint64
+	// Timeline is the full remediation action log.
+	Timeline []remediate.Action
+}
+
+// RemediationResult is the experiment outcome.
+type RemediationResult struct {
+	Config RemediationConfig
+	// IterDur is the calibrated clean iteration duration.
+	IterDur sim.Duration
+	Rows    []RemediationRow
+}
+
+// remediationRun is one scenario driven with the remediator attached.
+func remediationRun(sc core.Scenario, rcfg remediate.Config,
+	setup func(rt *core.Runtime), onIter func(rt *core.Runtime, now sim.Time, iter uint32)) (*core.Runtime, *core.System, map[uint32]sim.Time, error) {
+	rt, err := sc.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sys, err := core.Attach(core.Config{
+		Net: rt.Net, Stack: rt.Stack, Demand: rt.Coll.Demand(),
+		Job: int(sc.Job), Remediate: &rcfg,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if setup != nil {
+		setup(rt)
+	}
+	iterEnd := map[uint32]sim.Time{}
+	rt.StartTraining(func(now sim.Time, iter uint32) {
+		iterEnd[iter] = now
+		if onIter != nil {
+			onIter(rt, now, iter)
+		}
+	}, nil)
+	rt.Engine.Run()
+	sys.Flush(rt.Engine.Now())
+	return rt, sys, iterEnd, nil
+}
+
+// summarize reduces one run to a row. onsetAt is when the fault
+// activated.
+func summarize(name string, rt *core.Runtime, sys *core.System, onsetAt sim.Time) RemediationRow {
+	r := sys.Remediator()
+	st := r.Stats()
+	row := RemediationRow{
+		Name:        name,
+		Quarantines: st.Quarantines, Readmissions: st.Readmissions,
+		Suppressed: st.SuppressedReadmits,
+		FIBChurn:   rt.Net.FIBRecomputes(),
+		Timeline:   r.Timeline,
+	}
+	var firstQ, lastQ sim.Time
+	for _, a := range r.Timeline {
+		if a.Kind != remediate.ActionQuarantine {
+			continue
+		}
+		if firstQ == 0 {
+			firstQ = a.At
+		}
+		lastQ = a.At
+	}
+	if firstQ > 0 {
+		row.TimeToQuarantine = sim.Duration(firstQ - onsetAt)
+	}
+	degraded := map[uint32]bool{}
+	var lastQIter uint32
+	for _, e := range sys.Events {
+		if firstQ > 0 && e.Alert.At <= firstQ {
+			degraded[e.Alert.Iter] = true
+		}
+		if e.Alert.At <= lastQ && e.Alert.Iter > lastQIter {
+			lastQIter = e.Alert.Iter
+		}
+	}
+	row.IterationsDegraded = len(degraded)
+	for _, e := range sys.Events {
+		if e.Alert.Iter >= lastQIter+2 && e.Alert.Deviation < 0 {
+			row.PostQuarantineDeficits++
+		}
+	}
+	return row
+}
+
+// Remediation runs both scenarios.
+func Remediation(cfg RemediationConfig) (*RemediationResult, error) {
+	cfg.setDefaults()
+	base := core.Scenario{
+		Leaves: cfg.Leaves, Spines: cfg.Spines,
+		BytesPerRank: cfg.BytesPerRank, Seed: cfg.Seed,
+	}
+	ref := core.LeafSpineLink{LeafOrd: cfg.Leaves / 2, SpineOrd: 1}
+
+	// Calibrate the clean iteration duration (sizes the flap cycle).
+	cal := base
+	cal.Iterations = 2
+	_, _, calEnd, err := remediationRun(cal, cfg.Remediate, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	iterDur := sim.Duration(calEnd[2] - calEnd[1])
+	if iterDur <= 0 {
+		return nil, fmt.Errorf("experiments: iteration calibration failed")
+	}
+	res := &RemediationResult{Config: cfg, IterDur: iterDur}
+
+	// Persistent fault: quarantined once, probes keep failing, no
+	// re-admission.
+	persist := base
+	persist.Iterations = cfg.PersistIters
+	var onsetAt sim.Time
+	rt, sys, _, err := remediationRun(persist, cfg.Remediate, nil,
+		func(rt *core.Runtime, now sim.Time, iter uint32) {
+			if int(iter) == cfg.Onset {
+				onsetAt = now
+				rt.InjectSilentDrop(ref, cfg.DropRate)
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, summarize(fmt.Sprintf("persistent %s", pct(cfg.DropRate)), rt, sys, onsetAt))
+
+	// Flapping link: degraded half the time, cycle sized in iteration
+	// units so down phases span whole windows.
+	flapCfg := cfg.Remediate
+	if flapCfg.Suppress == 0 {
+		flapCfg.Suppress = 1500
+	}
+	flap := base
+	flap.Iterations = cfg.FlapIters
+	rt, sys, _, err = remediationRun(flap, flapCfg, func(rt *core.Runtime) {
+		rt.InjectLossyFlap(ref, 6*iterDur, 3*iterDur, sim.Duration(cfg.Onset)*iterDur, cfg.FlapLoss)
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	flapRow := summarize(fmt.Sprintf("flapping %s duty 0.50", pct(cfg.FlapLoss)), rt, sys,
+		sim.Time(sim.Duration(cfg.Onset)*iterDur))
+	res.Rows = append(res.Rows, flapRow)
+	return res, nil
+}
+
+// String renders the comparison plus both timelines.
+func (r *RemediationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Closed-loop remediation — %dx%d fat tree, %d MiB per rank, iteration %v\n",
+		r.Config.Leaves, r.Config.Spines, r.Config.BytesPerRank>>20, r.IterDur)
+	fmt.Fprintf(&b, "%-22s %14s %9s %6s %7s %9s %6s %6s\n",
+		"fault", "t-quarantine", "degraded", "quar", "readmit", "suppress", "churn", "quiet")
+	for _, row := range r.Rows {
+		quiet := "yes"
+		if row.PostQuarantineDeficits > 0 {
+			quiet = fmt.Sprintf("%d deficits", row.PostQuarantineDeficits)
+		}
+		fmt.Fprintf(&b, "%-22s %14v %9s %6d %7d %9d %6d %6s\n",
+			row.Name, row.TimeToQuarantine,
+			fmt.Sprintf("%d iter", row.IterationsDegraded),
+			row.Quarantines, row.Readmissions, row.Suppressed, row.FIBChurn, quiet)
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "timeline (%s):\n", row.Name)
+		for _, a := range row.Timeline {
+			fmt.Fprintf(&b, "  %v\n", a)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders plottable rows.
+func (r *RemediationResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("fault,time_to_quarantine_us,iterations_degraded,quarantines,readmissions,suppressed,fib_churn,post_quarantine_deficits\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%.3f,%d,%d,%d,%d,%d,%d\n",
+			row.Name, float64(row.TimeToQuarantine)/float64(sim.Microsecond),
+			row.IterationsDegraded, row.Quarantines, row.Readmissions,
+			row.Suppressed, row.FIBChurn, row.PostQuarantineDeficits)
+	}
+	return b.String()
+}

@@ -216,7 +216,58 @@ func (n *Network) SetLinkAdmin(link topology.LinkID, up bool) {
 		return
 	}
 	n.links[link].adminUp = up
+	n.fibRecomputes++
 	n.recomputeFIBs()
+}
+
+// DisconnectLink administratively removes a link from routing — the
+// quarantine half of the remediation loop. Idempotent.
+func (n *Network) DisconnectLink(link topology.LinkID) { n.SetLinkAdmin(link, false) }
+
+// ReconnectLink is the exact inverse of DisconnectLink: the link
+// rejoins every spray set and the FIB reconverges to the pre-disconnect
+// state (the FIB recomputation is a pure function of the administrative
+// link predicate, so a disconnect/reconnect round trip is byte-identical
+// — reconnect_test.go pins this). Idempotent.
+func (n *Network) ReconnectLink(link topology.LinkID) { n.SetLinkAdmin(link, true) }
+
+// FIBRecomputes counts administrative link transitions that forced a
+// full FIB recomputation — the remediation experiments' churn metric.
+// The initial convergence at construction is not counted.
+func (n *Network) FIBRecomputes() uint64 { return n.fibRecomputes }
+
+// ProbeLink sends one probe frame over a single direction of a link
+// and reports, after the frame's serialization and propagation delay,
+// whether it survived the direction's fault process. The probe is a
+// link-local OAM frame (BFD-style): it bypasses the forwarding plane
+// entirely — not routed, not sprayed, never seen by ingress telemetry
+// — so probing cannot disturb the temporal symmetry of the measured
+// collective. It works on administratively-down links; that is the
+// point: quarantined links are probed for re-admission while routing
+// ignores them.
+//
+// The probe consults the same fault process as data frames (advancing
+// its RNG stream), so a probabilistic fault is sampled exactly as the
+// data path would sample it.
+func (n *Network) ProbeLink(link topology.LinkID, dir Direction, size int, onResult func(now sim.Time, delivered bool)) {
+	if dir == DirBoth {
+		panic("fabric: ProbeLink needs a single direction")
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("fabric: non-positive probe size %d", size))
+	}
+	ld := &n.links[link].dirs[dir]
+	n.stats.ProbesSent++
+	delay := sim.SerializationDelay(size, ld.rate) + ld.prop
+	n.engine.After(delay, func(now sim.Time) {
+		delivered := ld.flt == nil || ld.flt.Apply(now, size) == fault.Deliver
+		if !delivered {
+			n.stats.ProbesLost++
+		}
+		if onResult != nil {
+			onResult(now, delivered)
+		}
+	})
 }
 
 // LinkAdminUp reports the administrative state of a link.

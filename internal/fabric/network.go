@@ -66,6 +66,11 @@ type Stats struct {
 	AdminDropped uint64
 	// PFCPauses counts pause events issued.
 	PFCPauses uint64
+	// ProbesSent and ProbesLost count link-local OAM probes (ProbeLink)
+	// and the ones the fault process ate. Probes are not packets: they
+	// bypass the forwarding plane and do not enter the conservation
+	// identity above.
+	ProbesSent, ProbesLost uint64
 }
 
 // IngressHook observes every packet accepted at a switch ingress port,
@@ -119,6 +124,9 @@ type Network struct {
 	ingressHooks []IngressHook // per switch, nil when absent
 
 	stats Stats
+
+	// fibRecomputes counts administrative transitions (FIB churn).
+	fibRecomputes uint64
 
 	tau float64 // spray-memory time constant in picoseconds; <= 0 disables
 

@@ -200,6 +200,63 @@ func (g *GilbertElliott) String() string {
 	return fmt.Sprintf("gilbert-elliott(ss=%.3g)", g.SteadyStateLoss())
 }
 
+// LinkFlap is a periodically flapping link: a square wave that drops
+// every packet while the link is down and delivers while it is up. It
+// is the adversary of naive closed-loop remediation ("The Ghost in the
+// Datacenter"): each down phase looks like a hard fault, each up phase
+// looks like a clean link, and a controller without damping would
+// quarantine and re-admit it forever.
+type LinkFlap struct {
+	// Period is the full flap cycle length.
+	Period sim.Duration
+	// DownFor is the leading portion of each cycle spent down
+	// (drop-everything). The duty cycle is DownFor/Period.
+	DownFor sim.Duration
+	// Phase shifts the cycle start; at now == Phase a cycle begins
+	// (down first).
+	Phase sim.Duration
+	// Inner, when set, decides packet fates during the down portion
+	// instead of dropping everything — an intermittently *degraded*
+	// link (flaky optics) rather than an intermittently dead one.
+	Inner Model
+}
+
+// NewLinkFlap returns a flapping process with the given cycle.
+func NewLinkFlap(period, downFor, phase sim.Duration) *LinkFlap {
+	if period <= 0 || downFor < 0 || downFor > period {
+		panic(fmt.Sprintf("fault: flap cycle downFor %v out of (0, period %v]", downFor, period))
+	}
+	return &LinkFlap{Period: period, DownFor: downFor, Phase: phase}
+}
+
+// Down reports whether the link is in the drop phase at the given time.
+// Before the first cycle starts the link is up.
+func (f *LinkFlap) Down(now sim.Time) bool {
+	since := sim.Duration(now) - f.Phase
+	if since < 0 {
+		return false
+	}
+	return since%f.Period < f.DownFor
+}
+
+// DutyCycle returns the long-run fraction of time spent down.
+func (f *LinkFlap) DutyCycle() float64 { return float64(f.DownFor) / float64(f.Period) }
+
+// Apply implements Model.
+func (f *LinkFlap) Apply(now sim.Time, size int) Verdict {
+	if !f.Down(now) {
+		return Deliver
+	}
+	if f.Inner != nil {
+		return f.Inner.Apply(now, size)
+	}
+	return Drop
+}
+
+func (f *LinkFlap) String() string {
+	return fmt.Sprintf("linkflap(period=%v duty=%.2f)", f.Period, f.DutyCycle())
+}
+
 // Chain applies models in order and drops if any of them drops,
 // composing independent fault processes on the same link direction.
 type Chain []Model

@@ -22,6 +22,7 @@ type Analytical struct {
 	fib    FIBView
 	wire   WireSizer
 	demand *collective.DemandMatrix
+	faults *FaultSet // nil: FIB administrative state only
 
 	ports   [][]float64   // [leafOrd][uplink]
 	senders [][][]float64 // [leafOrd][uplink][senderLeafOrd]
@@ -40,6 +41,30 @@ func NewAnalytical(topo *topology.Topology, fib FIBView, wire WireSizer, demand 
 		panic("predict: the analytical model covers two-level fabrics; use the simulation or learned model for multi-level Clos")
 	}
 	a := &Analytical{topo: topo, fib: fib, wire: wire, demand: demand}
+	a.Rebaseline()
+	return a
+}
+
+// SetFaults attaches a mutable known-fault set: links in the set are
+// excluded from spray geometry in addition to admin-down links, so the
+// model can be updated at quarantine time without waiting for (or
+// relying on) routing reconvergence. Call Rebaseline after the set
+// changes.
+func (a *Analytical) SetFaults(fs *FaultSet) { a.faults = fs }
+
+// linkUp reports whether the model should treat a link as carrying
+// traffic: administratively up and not in the known-fault set.
+func (a *Analytical) linkUp(l topology.LinkID) bool {
+	return a.fib.LinkAdminUp(l) && !a.faults.Has(l)
+}
+
+// Rebaseline implements Rebaseliner: it recomputes every per-port
+// share from the demand matrix against the *current* routing state and
+// known-fault set. The closed form is cheap (O(hosts² + leaves·spines)
+// at paper scale), so the remediation loop calls this on every
+// quarantine and re-admission.
+func (a *Analytical) Rebaseline() {
+	topo := a.topo
 	nLeaf := len(topo.Leaves())
 	a.ports = make([][]float64, nLeaf)
 	a.senders = make([][][]float64, nLeaf)
@@ -52,9 +77,9 @@ func NewAnalytical(topo *topology.Topology, fib FIBView, wire WireSizer, demand 
 		}
 	}
 
-	for i, srcHost := range demand.Hosts {
-		for j, dstHost := range demand.Hosts {
-			payload := demand.Bytes[i][j]
+	for i, srcHost := range a.demand.Hosts {
+		for j, dstHost := range a.demand.Hosts {
+			payload := a.demand.Bytes[i][j]
 			if payload == 0 {
 				continue
 			}
@@ -63,13 +88,12 @@ func NewAnalytical(topo *topology.Topology, fib FIBView, wire WireSizer, demand 
 				continue // local traffic never reaches the spines
 			}
 			var wireBytes float64
-			for _, msg := range demand.Msgs[i][j] {
-				wireBytes += float64(wire.WireBytesFor(int(msg)))
+			for _, msg := range a.demand.Msgs[i][j] {
+				wireBytes += float64(a.wire.WireBytesFor(int(msg)))
 			}
 			a.spread(srcLeaf, dstLeaf, wireBytes)
 		}
 	}
-	return a
 }
 
 // spread distributes one pair's wire bytes over the destination leaf's
@@ -77,6 +101,17 @@ func NewAnalytical(topo *topology.Topology, fib FIBView, wire WireSizer, demand 
 func (a *Analytical) spread(srcLeaf, dstLeaf topology.SwitchID, wireBytes float64) {
 	topo := a.topo
 	srcPorts := a.fib.LeafUplinkCandidates(srcLeaf, dstLeaf)
+	if a.faults != nil && a.faults.Len() > 0 {
+		// Known faults leave the spray set even if the FIB has not
+		// reconverged yet.
+		kept := make([]int, 0, len(srcPorts))
+		for _, p := range srcPorts {
+			if !a.faults.Has(topo.Switch(srcLeaf).Ports[p].Link) {
+				kept = append(kept, p)
+			}
+		}
+		srcPorts = kept
+	}
 	if len(srcPorts) == 0 {
 		return // unreachable: nothing arrives
 	}
@@ -97,7 +132,7 @@ func (a *Analytical) spread(srcLeaf, dstLeaf topology.SwitchID, wireBytes float6
 		spine := topo.Spines()[so]
 		var upTrunks []int
 		for k, link := range topo.TrunkLinks(spine, dstLeaf) {
-			if a.fib.LinkAdminUp(link) {
+			if a.linkUp(link) {
 				upTrunks = append(upTrunks, k)
 			}
 		}

@@ -51,6 +51,9 @@ type Learned struct {
 
 	// Rebaselines counts baseline replacements (Fig 3 telemetry).
 	Rebaselines int
+	// ForcedRebaselines counts external Rebaseline() calls (the
+	// remediation loop's re-baseline after quarantine/re-admission).
+	ForcedRebaselines int
 }
 
 type learnedLeaf struct {
@@ -151,6 +154,19 @@ func portCVF(f []float64) (cv, total float64) {
 		ss += d * d
 	}
 	return math.Sqrt(ss/float64(len(f))) / mean, total
+}
+
+// Rebaseline implements Rebaseliner: it discards every leaf's baseline
+// and returns the model to warm-up, so the next Warmup windows —
+// measured under the *new* routing state — become the baseline. While
+// warming up the model reports not-Ready and the detector skips its
+// windows, which is exactly the hysteresis the remediation loop wants:
+// no alerts fire off windows that straddle a quarantine.
+func (l *Learned) Rebaseline() {
+	for i := range l.leafs {
+		l.leafs[i] = learnedLeaf{}
+	}
+	l.ForcedRebaselines++
 }
 
 // Name implements Predictor.

@@ -42,3 +42,60 @@ type FIBView interface {
 	LeafUplinkCandidates(leaf, dstLeaf topology.SwitchID) []int
 	LinkAdminUp(link topology.LinkID) bool
 }
+
+// Rebaseliner is implemented by predictors that can rebuild their
+// baseline after the known-fault set or the routing state changes —
+// the re-baseline half of the detect→quarantine→re-baseline loop. The
+// simulation model deliberately does not implement it: its reference
+// windows were recorded under the old routing state and cannot be
+// refreshed without a new reference run.
+type Rebaseliner interface {
+	Rebaseline()
+}
+
+// FaultSet is the predictors' mutable known-fault set: links the
+// control plane has confirmed faulty and removed from service. It
+// exists separately from the FIB's administrative state so that a
+// model can be told about a fault at the same instant the quarantine
+// is issued — there is never a window where the model still divides
+// load by the old spine count. Callers must invoke Rebaseline on the
+// affected predictors after mutating the set.
+//
+// The zero value is unusable; use NewFaultSet. Not safe for concurrent
+// use (all access happens on the engine goroutine, like the fabric).
+type FaultSet struct {
+	links   map[topology.LinkID]bool
+	version uint64
+}
+
+// NewFaultSet returns an empty known-fault set.
+func NewFaultSet() *FaultSet { return &FaultSet{links: map[topology.LinkID]bool{}} }
+
+// Add marks a link known-faulty. Reports whether the set changed.
+func (s *FaultSet) Add(l topology.LinkID) bool {
+	if s.links[l] {
+		return false
+	}
+	s.links[l] = true
+	s.version++
+	return true
+}
+
+// Remove clears a link from the set. Reports whether the set changed.
+func (s *FaultSet) Remove(l topology.LinkID) bool {
+	if !s.links[l] {
+		return false
+	}
+	delete(s.links, l)
+	s.version++
+	return true
+}
+
+// Has reports whether a link is known-faulty.
+func (s *FaultSet) Has(l topology.LinkID) bool { return s != nil && s.links[l] }
+
+// Len returns the number of known-faulty links.
+func (s *FaultSet) Len() int { return len(s.links) }
+
+// Version increments on every mutation (staleness checks).
+func (s *FaultSet) Version() uint64 { return s.version }

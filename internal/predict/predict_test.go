@@ -249,6 +249,133 @@ func TestAnalyticalMassConservationProperty(t *testing.T) {
 	}
 }
 
+// TestAnalyticalRebaselineTracksAdminState checks that Rebaseline
+// recomputes against the live FIB: quarantine a destination-side link,
+// rebaseline, and the model moves to d/(s−1); reconnect and rebaseline
+// restores the original shares exactly.
+func TestAnalyticalRebaselineTracksAdminState(t *testing.T) {
+	topo, net := buildNet(t, topology.FatTreeConfig{Leaves: 4, Spines: 8})
+	const d = 1 << 20
+	dm := pairDemand(hostsOf(topo), 0, 3, d)
+	a := NewAnalytical(topo, net, wire4k{}, dm)
+	before := append([]float64(nil), a.PortLoad(3)...)
+
+	link := topo.TrunkLinks(topo.Spines()[2], topo.LeafOf(3))[0]
+	net.DisconnectLink(link)
+	a.Rebaseline()
+	wire := float64(wire4k{}.WireBytesFor(d))
+	ports := a.PortLoad(3)
+	if ports[2] != 0 {
+		t.Fatalf("quarantined spine predicted %v after rebaseline", ports[2])
+	}
+	if math.Abs(ports[0]-wire/7) > 1e-6 {
+		t.Fatalf("surviving port %v, want d/(s-1) = %v", ports[0], wire/7)
+	}
+
+	net.ReconnectLink(link)
+	a.Rebaseline()
+	after := a.PortLoad(3)
+	for u := range before {
+		if before[u] != after[u] {
+			t.Fatalf("port %d: %v before, %v after round trip", u, before[u], after[u])
+		}
+	}
+}
+
+// TestAnalyticalFaultSetMasksBeforeReconvergence checks the known-fault
+// set path with the FIB untouched. The semantics are asymmetric, like
+// the real pre-reconvergence fabric: a source-side fault is local
+// knowledge — the leaf stops spraying on it, so the remaining spray
+// ports absorb its share — while a destination-side fault is remote,
+// so the share sprayed toward it is simply lost, not redistributed.
+func TestAnalyticalFaultSetMasksBeforeReconvergence(t *testing.T) {
+	topo, net := buildNet(t, topology.FatTreeConfig{Leaves: 4, Spines: 8})
+	const d = 1 << 20
+	dm := pairDemand(hostsOf(topo), 0, 3, d)
+	a := NewAnalytical(topo, net, wire4k{}, dm)
+	fs := NewFaultSet()
+	a.SetFaults(fs)
+	wire := float64(wire4k{}.WireBytesFor(d))
+
+	// Destination-side fault: that ingress port goes dark, the other
+	// seven keep their un-reconverged wire/8 share.
+	fs.Add(topo.TrunkLinks(topo.Spines()[2], topo.LeafOf(3))[0])
+	a.Rebaseline()
+	if ports := a.PortLoad(3); ports[2] != 0 || math.Abs(ports[0]-wire/8) > 1e-6 {
+		t.Fatalf("fault set not honoured on destination side: %v", ports)
+	}
+
+	// Source-side fault too: the source's spray set shrinks to seven
+	// ports, so each surviving spine now receives wire/7 — and spine
+	// 2's share is still lost at the destination trunk.
+	fs.Add(topo.TrunkLinks(topo.Spines()[5], topo.LeafOf(0))[0])
+	a.Rebaseline()
+	if ports := a.PortLoad(3); ports[5] != 0 || ports[2] != 0 || math.Abs(ports[0]-wire/7) > 1e-6 {
+		t.Fatalf("fault set not honoured on source side: %v", ports)
+	}
+
+	// Removing the faults and rebaselining restores the clean shares.
+	for _, l := range []topology.LinkID{
+		topo.TrunkLinks(topo.Spines()[2], topo.LeafOf(3))[0],
+		topo.TrunkLinks(topo.Spines()[5], topo.LeafOf(0))[0],
+	} {
+		fs.Remove(l)
+	}
+	a.Rebaseline()
+	for u, v := range a.PortLoad(3) {
+		if math.Abs(v-wire/8) > 1e-6 {
+			t.Fatalf("port %d after fault-set clear: %v, want %v", u, v, wire/8)
+		}
+	}
+}
+
+func TestFaultSetSemantics(t *testing.T) {
+	fs := NewFaultSet()
+	if fs.Has(3) || fs.Len() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	if !fs.Add(3) || fs.Add(3) {
+		t.Fatal("Add change-reporting wrong")
+	}
+	if !fs.Has(3) || fs.Len() != 1 {
+		t.Fatal("Add did not take")
+	}
+	v := fs.Version()
+	if !fs.Remove(3) || fs.Remove(3) {
+		t.Fatal("Remove change-reporting wrong")
+	}
+	if fs.Version() == v {
+		t.Fatal("version did not advance on mutation")
+	}
+	var nilSet *FaultSet
+	if nilSet.Has(1) {
+		t.Fatal("nil set claims membership")
+	}
+}
+
+func TestLearnedForcedRebaseline(t *testing.T) {
+	l := NewLearned(2, LearnedConfig{Warmup: 2})
+	l.Observe(synthWindow(0, 1, []int64{100, 300}))
+	l.Observe(synthWindow(0, 2, []int64{200, 100}))
+	if !l.Ready(0) {
+		t.Fatal("not ready after warmup")
+	}
+	l.Rebaseline()
+	if l.Ready(0) || l.ForcedRebaselines != 1 {
+		t.Fatalf("forced rebaseline did not reset: ready=%v forced=%d", l.Ready(0), l.ForcedRebaselines)
+	}
+	// New warmup windows (the post-quarantine traffic) form the new
+	// baseline.
+	l.Observe(synthWindow(0, 3, []int64{400, 400}))
+	l.Observe(synthWindow(0, 4, []int64{600, 600}))
+	if !l.Ready(0) {
+		t.Fatal("not ready after re-warmup")
+	}
+	if got := l.PortLoad(0); got[0] != 500 || got[1] != 500 {
+		t.Fatalf("post-rebaseline baseline: %v", got)
+	}
+}
+
 func synthWindow(leafOrd int, iter uint32, ports []int64) *telemetry.Window {
 	senders := make([][]int64, len(ports))
 	for u := range senders {

@@ -1,0 +1,52 @@
+package remediate
+
+import (
+	"math"
+
+	"flowpulse/internal/sim"
+)
+
+// damper is per-link flap damping in the style of BGP route flap
+// damping (RFC 2439): every quarantine adds a fixed penalty, the
+// penalty decays exponentially with a configured half-life, and once
+// it crosses the suppress threshold the link may not be re-admitted
+// until the penalty has decayed below the reuse threshold. A link that
+// fails once pays one penalty and re-admits freely; a link that flaps
+// accumulates penalty faster than it decays and gets pinned out of the
+// fabric, bounding FIB churn.
+type damper struct {
+	penalty    float64
+	at         sim.Time
+	suppressed bool
+}
+
+// decayed brings the penalty forward to now and returns it.
+func (d *damper) decayed(now sim.Time, halfLife sim.Duration) float64 {
+	if now > d.at && d.penalty > 0 {
+		d.penalty *= math.Pow(0.5, float64(now-d.at)/float64(halfLife))
+	}
+	if now > d.at {
+		d.at = now
+	}
+	return d.penalty
+}
+
+// bump charges one quarantine's penalty and updates suppression.
+func (d *damper) bump(now sim.Time, penalty, suppress float64, halfLife sim.Duration) {
+	d.decayed(now, halfLife)
+	d.penalty += penalty
+	if d.penalty >= suppress {
+		d.suppressed = true
+	}
+}
+
+// reusable reports whether re-admission is currently permitted,
+// clearing suppression once the penalty has decayed below reuse.
+func (d *damper) reusable(now sim.Time, reuse float64, halfLife sim.Duration) bool {
+	p := d.decayed(now, halfLife)
+	if d.suppressed && p >= reuse {
+		return false
+	}
+	d.suppressed = false
+	return true
+}

@@ -1,0 +1,376 @@
+// Package remediate closes the loop that detection (§5.3) opens: a
+// control plane that confirms alerts over consecutive windows,
+// quarantines the localized link (admin-down plus load-model update),
+// re-baselines the predictors, and probes the quarantined link with
+// OAM packets until it has earned re-admission — with BGP-style flap
+// damping so an intermittent link cannot churn the fabric forever.
+//
+// The remediator is tick-driven: it acts only from Observe (called per
+// localized alert) and Tick (called at every window close), plus
+// finite one-shot probe-result events, so it never keeps the event
+// loop alive after training traffic ends.
+package remediate
+
+import (
+	"fmt"
+
+	"flowpulse/internal/detect"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/localize"
+	"flowpulse/internal/predict"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// Config tunes the remediation loop.
+type Config struct {
+	// ConfirmWindows is K: how many consecutive deviating windows on
+	// the same (leaf, uplink) confirm a fault. Defaults to 3.
+	ConfirmWindows int
+	// CleanProbes is M: how many consecutive loss-free probe rounds a
+	// quarantined link needs for re-admission. Defaults to 3.
+	CleanProbes int
+	// ProbeInterval spaces probe rounds per quarantined link.
+	// Defaults to 100µs.
+	ProbeInterval sim.Duration
+	// ProbePackets is the number of probes per direction per round.
+	// Defaults to 128 — enough that a 1.5% lossy link passes a round
+	// with probability 0.985^256 ≈ 2%, and M consecutive rounds with
+	// ≈ 1e-5.
+	ProbePackets int
+	// ProbeBytes is the probe packet size. Defaults to 256.
+	ProbeBytes int
+
+	// Penalty is charged per quarantine of a link. Defaults to 1000.
+	Penalty float64
+	// Suppress is the penalty above which re-admission is suppressed.
+	// Defaults to 2200: the first two quarantines re-admit freely, the
+	// third pins the link down.
+	Suppress float64
+	// Reuse is the penalty below which suppression lifts. Defaults to
+	// 1000.
+	Reuse float64
+	// HalfLife is the penalty's exponential decay half-life. Defaults
+	// to 50ms — hundreds of training iterations at paper scale.
+	HalfLife sim.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.ConfirmWindows == 0 {
+		c.ConfirmWindows = 3
+	}
+	if c.CleanProbes == 0 {
+		c.CleanProbes = 3
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 100 * sim.Microsecond
+	}
+	if c.ProbePackets == 0 {
+		c.ProbePackets = 128
+	}
+	if c.ProbeBytes == 0 {
+		c.ProbeBytes = 256
+	}
+	if c.Penalty == 0 {
+		c.Penalty = 1000
+	}
+	if c.Suppress == 0 {
+		c.Suppress = 2200
+	}
+	if c.Reuse == 0 {
+		c.Reuse = 1000
+	}
+	if c.HalfLife == 0 {
+		c.HalfLife = 50 * sim.Millisecond
+	}
+}
+
+// ActionKind classifies a timeline entry.
+type ActionKind uint8
+
+// The remediation actions, in the order a healthy loop emits them.
+const (
+	// ActionConfirm: K consecutive deviating windows on one port.
+	ActionConfirm ActionKind = iota
+	// ActionQuarantine: a confirmed link was admin-downed.
+	ActionQuarantine
+	// ActionReadmit: a quarantined link passed M clean probe rounds.
+	ActionReadmit
+	// ActionSuppress: a link earned re-admission but flap damping
+	// held it down.
+	ActionSuppress
+)
+
+// String names the action.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionConfirm:
+		return "confirm"
+	case ActionQuarantine:
+		return "quarantine"
+	case ActionReadmit:
+		return "readmit"
+	case ActionSuppress:
+		return "suppress"
+	}
+	return "unknown"
+}
+
+// Action is one remediation timeline entry.
+type Action struct {
+	At     sim.Time
+	Kind   ActionKind
+	Link   topology.LinkID
+	Detail string
+}
+
+// String formats the action for operator logs.
+func (a Action) String() string {
+	return fmt.Sprintf("[%v] %s link %d: %s", a.At, a.Kind, a.Link, a.Detail)
+}
+
+// Stats counts remediation activity.
+type Stats struct {
+	// AlertsSeen counts every alert delivered to Observe.
+	AlertsSeen uint64
+	// DeficitAlerts counts leaf-level deficit alerts (the only kind
+	// that drives quarantine).
+	DeficitAlerts uint64
+	// Confirmations counts K-window confirmations.
+	Confirmations uint64
+	// Quarantines counts links admin-downed (re-quarantines included).
+	Quarantines uint64
+	// ProbeRounds counts probe rounds launched.
+	ProbeRounds uint64
+	// CleanRounds counts loss-free probe rounds.
+	CleanRounds uint64
+	// Readmissions counts links returned to service.
+	Readmissions uint64
+	// SuppressedReadmits counts re-admissions blocked by damping.
+	SuppressedReadmits uint64
+}
+
+type streakKey struct {
+	leafOrd int
+	uplink  int
+}
+
+type streak struct {
+	count    int
+	lastIter uint32
+}
+
+// quarLink is one quarantined link's probing state.
+type quarLink struct {
+	link        topology.LinkID
+	nextProbeAt sim.Time
+	inFlight    int // probe results still pending this round
+	lost        int
+	roundDone   bool
+	cleanRounds int
+	suppLogged  bool
+}
+
+// Remediator is the closed-loop control plane over one network. All
+// methods must run on the engine goroutine (they do when driven from
+// core.System's window-close path).
+type Remediator struct {
+	cfg        Config
+	net        *fabric.Network
+	topo       *topology.Topology
+	faults     *predict.FaultSet
+	rebaseline func()
+
+	streaks map[streakKey]*streak
+	quar    []*quarLink // deterministic order: quarantine order
+	quarIdx map[topology.LinkID]*quarLink
+	dampers map[topology.LinkID]*damper
+
+	stats Stats
+	// Timeline records every remediation action in order.
+	Timeline []Action
+}
+
+// New builds a remediator over a network. faults is the predictors'
+// known-fault set (nil: quarantine only drives the FIB); rebaseline is
+// invoked after every quarantine and re-admission so the load models
+// track the new routing state (nil: no-op).
+func New(net *fabric.Network, faults *predict.FaultSet, rebaseline func(), cfg Config) *Remediator {
+	cfg.setDefaults()
+	if rebaseline == nil {
+		rebaseline = func() {}
+	}
+	return &Remediator{
+		cfg:        cfg,
+		net:        net,
+		topo:       net.Topology(),
+		faults:     faults,
+		rebaseline: rebaseline,
+		streaks:    map[streakKey]*streak{},
+		quarIdx:    map[topology.LinkID]*quarLink{},
+		dampers:    map[topology.LinkID]*damper{},
+	}
+}
+
+// Stats returns a snapshot of remediation counters.
+func (r *Remediator) Stats() Stats { return r.stats }
+
+// Quarantined returns the currently quarantined links in quarantine
+// order.
+func (r *Remediator) Quarantined() []topology.LinkID {
+	out := make([]topology.LinkID, len(r.quar))
+	for i, q := range r.quar {
+		out[i] = q.link
+	}
+	return out
+}
+
+// Observe feeds one localized detection into the confirmation
+// pipeline. Only leaf-level deficit alerts count: a surplus is
+// retransmission spillover of a fault elsewhere, and ghost traffic
+// (+Inf) has no localizable sender signature. Alerts whose blamed
+// links are all already quarantined are dropped (the straddling window
+// around a quarantine keeps alerting until the model re-baselines).
+func (r *Remediator) Observe(a detect.Alert, v localize.Verdict) {
+	r.stats.AlertsSeen++
+	if a.Level != topology.Leaf || !(a.Deviation < 0) {
+		return
+	}
+	r.stats.DeficitAlerts++
+
+	links := make([]topology.LinkID, 0, len(v.Links))
+	for _, l := range v.Links {
+		if r.quarIdx[l] == nil {
+			links = append(links, l)
+		}
+	}
+	if len(v.Links) > 0 && len(links) == 0 {
+		return // every suspect already handled
+	}
+
+	k := streakKey{leafOrd: a.LeafOrdinal, uplink: a.Uplink}
+	st := r.streaks[k]
+	switch {
+	case st != nil && a.Iter == st.lastIter:
+		return // duplicate within one window
+	case st == nil || a.Iter != st.lastIter+1:
+		st = &streak{}
+		r.streaks[k] = st
+	}
+	st.count++
+	st.lastIter = a.Iter
+
+	if st.count < r.cfg.ConfirmWindows || len(links) == 0 {
+		return // unconfirmed, or confirmed but unlocalized: hold
+	}
+	r.stats.Confirmations++
+	r.Timeline = append(r.Timeline, Action{
+		At: a.At, Kind: ActionConfirm, Link: links[0],
+		Detail: fmt.Sprintf("leaf %d uplink %d: %d consecutive deviating windows (%.2f%%)",
+			a.LeafOrdinal, a.Uplink, st.count, 100*a.Deviation),
+	})
+	delete(r.streaks, k)
+	for _, l := range links {
+		r.quarantine(l, a.At)
+	}
+	r.rebaseline()
+}
+
+// quarantine admin-downs one link and starts its probing clock.
+func (r *Remediator) quarantine(link topology.LinkID, now sim.Time) {
+	r.net.DisconnectLink(link)
+	if r.faults != nil {
+		r.faults.Add(link)
+	}
+	d := r.dampers[link]
+	if d == nil {
+		d = &damper{}
+		r.dampers[link] = d
+	}
+	d.bump(now, r.cfg.Penalty, r.cfg.Suppress, r.cfg.HalfLife)
+	q := &quarLink{link: link, nextProbeAt: now + sim.Time(r.cfg.ProbeInterval)}
+	r.quar = append(r.quar, q)
+	r.quarIdx[link] = q
+	r.stats.Quarantines++
+	r.Timeline = append(r.Timeline, Action{
+		At: now, Kind: ActionQuarantine, Link: link,
+		Detail: fmt.Sprintf("admin-down, penalty %.0f", d.penalty),
+	})
+}
+
+// Tick advances the probing and re-admission state machine. core calls
+// it at every window close; because probes are finite one-shot events,
+// remediation never outlives the training traffic that drives it.
+func (r *Remediator) Tick(now sim.Time) {
+	changed := false
+	kept := r.quar[:0]
+	for _, q := range r.quar {
+		if q.roundDone {
+			q.roundDone = false
+			if q.lost == 0 {
+				q.cleanRounds++
+				r.stats.CleanRounds++
+			} else {
+				q.cleanRounds = 0
+				q.suppLogged = false
+			}
+		}
+		if q.cleanRounds >= r.cfg.CleanProbes {
+			d := r.dampers[q.link]
+			if d.reusable(now, r.cfg.Reuse, r.cfg.HalfLife) {
+				r.net.ReconnectLink(q.link)
+				if r.faults != nil {
+					r.faults.Remove(q.link)
+				}
+				delete(r.quarIdx, q.link)
+				r.stats.Readmissions++
+				r.Timeline = append(r.Timeline, Action{
+					At: now, Kind: ActionReadmit, Link: q.link,
+					Detail: fmt.Sprintf("%d clean probe rounds", q.cleanRounds),
+				})
+				changed = true
+				continue
+			}
+			if !q.suppLogged {
+				q.suppLogged = true
+				r.stats.SuppressedReadmits++
+				r.Timeline = append(r.Timeline, Action{
+					At: now, Kind: ActionSuppress, Link: q.link,
+					Detail: fmt.Sprintf("damped, penalty %.0f", d.penalty),
+				})
+			}
+		}
+		if q.inFlight == 0 && now >= q.nextProbeAt {
+			r.startRound(q, now)
+		}
+		kept = append(kept, q)
+	}
+	r.quar = kept
+	if changed {
+		r.rebaseline()
+	}
+}
+
+// startRound launches one bidirectional probe round over a quarantined
+// link. Probes are OAM traffic: they bypass the forwarding plane,
+// traverse admin-down links, and never enter telemetry, so they cannot
+// disturb the temporal symmetry the detector measures.
+func (r *Remediator) startRound(q *quarLink, now sim.Time) {
+	q.inFlight = 2 * r.cfg.ProbePackets
+	q.lost = 0
+	q.nextProbeAt = now + sim.Time(r.cfg.ProbeInterval)
+	r.stats.ProbeRounds++
+	for i := 0; i < r.cfg.ProbePackets; i++ {
+		for _, dir := range []fabric.Direction{fabric.DirAtoB, fabric.DirBtoA} {
+			r.net.ProbeLink(q.link, dir, r.cfg.ProbeBytes, func(_ sim.Time, delivered bool) {
+				q.inFlight--
+				if !delivered {
+					q.lost++
+				}
+				if q.inFlight == 0 {
+					q.roundDone = true
+				}
+			})
+		}
+	}
+}

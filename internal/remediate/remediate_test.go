@@ -1,0 +1,320 @@
+package remediate
+
+import (
+	"strings"
+	"testing"
+
+	"flowpulse/internal/detect"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/fault"
+	"flowpulse/internal/localize"
+	"flowpulse/internal/predict"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+func testNet(t *testing.T) (*topology.Topology, *fabric.Network, *sim.Engine) {
+	t.Helper()
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 4, Spines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	return topo, fabric.MustNew(fabric.Config{Topo: topo, Engine: eng, Seed: 1}), eng
+}
+
+// fastCfg keeps probe rounds small for unit tests.
+func fastCfg() Config {
+	return Config{ProbePackets: 8, ProbeInterval: 10 * sim.Microsecond}
+}
+
+func deficit(leafOrd, uplink int, iter uint32, at sim.Time) detect.Alert {
+	return detect.Alert{LeafOrdinal: leafOrd, Uplink: uplink, Iter: iter, Deviation: -0.05,
+		Predicted: 1e6, Observed: 0.95e6, At: at}
+}
+
+func blame(links ...topology.LinkID) localize.Verdict {
+	return localize.Verdict{Kind: localize.LocalLink, Links: links}
+}
+
+func TestConfirmAfterKWindows(t *testing.T) {
+	topo, net, _ := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[0])[0]
+	fs := predict.NewFaultSet()
+	rebaselines := 0
+	r := New(net, fs, func() { rebaselines++ }, fastCfg())
+
+	for iter := uint32(1); iter <= 2; iter++ {
+		r.Observe(deficit(0, 1, iter, sim.Time(iter)*1000), blame(link))
+	}
+	if !net.LinkAdminUp(link) || r.Stats().Quarantines != 0 {
+		t.Fatal("quarantined before K windows")
+	}
+	r.Observe(deficit(0, 1, 3, 3000), blame(link))
+	st := r.Stats()
+	if net.LinkAdminUp(link) || st.Confirmations != 1 || st.Quarantines != 1 {
+		t.Fatalf("no quarantine at K windows: admin=%v stats=%+v", net.LinkAdminUp(link), st)
+	}
+	if !fs.Has(link) {
+		t.Fatal("known-fault set not updated")
+	}
+	if rebaselines != 1 {
+		t.Fatalf("rebaselines = %d, want 1", rebaselines)
+	}
+	if q := r.Quarantined(); len(q) != 1 || q[0] != link {
+		t.Fatalf("Quarantined() = %v", q)
+	}
+	if len(r.Timeline) != 2 || r.Timeline[0].Kind != ActionConfirm || r.Timeline[1].Kind != ActionQuarantine {
+		t.Fatalf("timeline: %v", r.Timeline)
+	}
+	if s := r.Timeline[0].String(); !strings.Contains(s, "confirm") {
+		t.Fatalf("timeline formatting: %q", s)
+	}
+}
+
+func TestStreakResetOnGap(t *testing.T) {
+	topo, net, _ := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[0], topo.Leaves()[1])[0]
+	r := New(net, nil, nil, fastCfg())
+
+	// Iterations 1, 2, 4: the gap resets the streak.
+	r.Observe(deficit(1, 0, 1, 100), blame(link))
+	r.Observe(deficit(1, 0, 2, 200), blame(link))
+	r.Observe(deficit(1, 0, 4, 400), blame(link))
+	if r.Stats().Quarantines != 0 {
+		t.Fatal("non-consecutive windows confirmed")
+	}
+	// 4, 5, 6 is a fresh streak.
+	r.Observe(deficit(1, 0, 5, 500), blame(link))
+	r.Observe(deficit(1, 0, 6, 600), blame(link))
+	if r.Stats().Quarantines != 1 {
+		t.Fatal("fresh streak did not confirm")
+	}
+}
+
+func TestSurplusAndSpineAlertsIgnored(t *testing.T) {
+	topo, net, _ := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[0], topo.Leaves()[0])[0]
+	r := New(net, nil, nil, fastCfg())
+
+	for iter := uint32(1); iter <= 5; iter++ {
+		a := deficit(0, 0, iter, sim.Time(iter)*100)
+		a.Deviation = 0.08 // surplus: retransmit spillover
+		r.Observe(a, blame(link))
+		b := deficit(0, 0, iter, sim.Time(iter)*100)
+		b.Level = topology.Spine // §7 spine monitor: not actionable here
+		r.Observe(b, blame(link))
+	}
+	if st := r.Stats(); st.Quarantines != 0 || st.DeficitAlerts != 0 {
+		t.Fatalf("non-actionable alerts drove remediation: %+v", st)
+	}
+}
+
+func TestDuplicateIterationCountsOnce(t *testing.T) {
+	topo, net, _ := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[2], topo.Leaves()[0])[0]
+	r := New(net, nil, nil, fastCfg())
+	// Three alerts within the same iteration are one deviating window.
+	for i := 0; i < 3; i++ {
+		r.Observe(deficit(0, 2, 7, 700), blame(link))
+	}
+	if r.Stats().Quarantines != 0 {
+		t.Fatal("one window confirmed a fault")
+	}
+}
+
+func TestIndeterminateHoldsUntilLocalized(t *testing.T) {
+	topo, net, _ := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[3], topo.Leaves()[2])[0]
+	r := New(net, nil, nil, fastCfg())
+
+	for iter := uint32(1); iter <= 4; iter++ {
+		r.Observe(deficit(2, 3, iter, sim.Time(iter)*100), localize.Verdict{Kind: localize.Indeterminate})
+	}
+	if r.Stats().Quarantines != 0 {
+		t.Fatal("quarantined without a localized link")
+	}
+	// The streak is held; the first localized alert confirms.
+	r.Observe(deficit(2, 3, 5, 500), blame(link))
+	if r.Stats().Quarantines != 1 || net.LinkAdminUp(link) {
+		t.Fatal("held confirmation did not fire once localized")
+	}
+}
+
+func TestAlreadyQuarantinedSuspectDropped(t *testing.T) {
+	topo, net, _ := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[3])[0]
+	r := New(net, nil, nil, fastCfg())
+	for iter := uint32(1); iter <= 3; iter++ {
+		r.Observe(deficit(3, 1, iter, sim.Time(iter)*100), blame(link))
+	}
+	if r.Stats().Quarantines != 1 {
+		t.Fatal("setup quarantine missing")
+	}
+	// The straddling window keeps alerting; the suspect is handled.
+	for iter := uint32(4); iter <= 8; iter++ {
+		r.Observe(deficit(3, 1, iter, sim.Time(iter)*100), blame(link))
+	}
+	if st := r.Stats(); st.Quarantines != 1 || st.Confirmations != 1 {
+		t.Fatalf("re-quarantined a handled link: %+v", st)
+	}
+}
+
+// drive runs the engine dry, then ticks the remediator — one
+// "window close" worth of remediation progress.
+func drive(eng *sim.Engine, r *Remediator, now *sim.Time) {
+	eng.Run()
+	if eng.Now() > *now {
+		*now = eng.Now()
+	}
+	*now += sim.Time(20 * sim.Microsecond)
+	r.Tick(*now)
+}
+
+func TestProbedReadmission(t *testing.T) {
+	topo, net, eng := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[0], topo.Leaves()[0])[0]
+	fs := predict.NewFaultSet()
+	rebaselines := 0
+	r := New(net, fs, func() { rebaselines++ }, fastCfg())
+
+	for iter := uint32(1); iter <= 3; iter++ {
+		r.Observe(deficit(0, 0, iter, sim.Time(iter)), blame(link))
+	}
+	if net.LinkAdminUp(link) {
+		t.Fatal("setup quarantine missing")
+	}
+
+	// The link is healthy (no fault model): M=3 clean rounds re-admit.
+	now := sim.Time(0)
+	for i := 0; i < 8 && len(r.Quarantined()) > 0; i++ {
+		drive(eng, r, &now)
+	}
+	st := r.Stats()
+	if !net.LinkAdminUp(link) || st.Readmissions != 1 {
+		t.Fatalf("healthy link not re-admitted: %+v", st)
+	}
+	if fs.Has(link) {
+		t.Fatal("known-fault set still lists re-admitted link")
+	}
+	if st.ProbeRounds < 3 || st.CleanRounds < 3 {
+		t.Fatalf("re-admitted with too few probe rounds: %+v", st)
+	}
+	if rebaselines != 2 {
+		t.Fatalf("rebaselines = %d, want quarantine + readmit", rebaselines)
+	}
+	last := r.Timeline[len(r.Timeline)-1]
+	if last.Kind != ActionReadmit {
+		t.Fatalf("timeline tail: %v", last)
+	}
+}
+
+func TestLossyLinkStaysQuarantined(t *testing.T) {
+	topo, net, eng := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[0], topo.Leaves()[0])[0]
+	net.InjectFault(link, fabric.DirBoth, fault.BlackHole{})
+	r := New(net, nil, nil, fastCfg())
+
+	for iter := uint32(1); iter <= 3; iter++ {
+		r.Observe(deficit(0, 0, iter, sim.Time(iter)), blame(link))
+	}
+	now := sim.Time(0)
+	for i := 0; i < 10; i++ {
+		drive(eng, r, &now)
+	}
+	st := r.Stats()
+	if net.LinkAdminUp(link) || st.Readmissions != 0 || st.CleanRounds != 0 {
+		t.Fatalf("blackholed link re-admitted: %+v", st)
+	}
+	if st.ProbeRounds < 5 {
+		t.Fatalf("probing stopped: %+v", st)
+	}
+}
+
+func TestFlapDampingSuppressesThirdReadmit(t *testing.T) {
+	topo, net, eng := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[0], topo.Leaves()[0])[0]
+	cfg := fastCfg()
+	cfg.HalfLife = 2 * sim.Millisecond
+	r := New(net, nil, nil, cfg)
+
+	now := sim.Time(0)
+	iter := uint32(0)
+	cycle := func() {
+		for k := 0; k < 3; k++ {
+			iter++
+			r.Observe(deficit(0, 0, iter, now), blame(link))
+		}
+		for i := 0; i < 8 && len(r.Quarantined()) > 0; i++ {
+			drive(eng, r, &now)
+		}
+		iter += 2 // windows pass between flap cycles
+	}
+
+	cycle()
+	cycle()
+	if st := r.Stats(); st.Quarantines != 2 || st.Readmissions != 2 || st.SuppressedReadmits != 0 {
+		t.Fatalf("first two cycles not free: %+v", st)
+	}
+
+	// Third quarantine crosses the suppress threshold: clean probes no
+	// longer re-admit.
+	for k := 0; k < 3; k++ {
+		iter++
+		r.Observe(deficit(0, 0, iter, now), blame(link))
+	}
+	for i := 0; i < 8; i++ {
+		drive(eng, r, &now)
+	}
+	st := r.Stats()
+	if st.Quarantines != 3 || st.Readmissions != 2 {
+		t.Fatalf("third cycle re-admitted: %+v", st)
+	}
+	if st.SuppressedReadmits == 0 || net.LinkAdminUp(link) {
+		t.Fatal("suppression not recorded")
+	}
+
+	// Once the penalty decays below reuse, the link returns.
+	now += sim.Time(10 * sim.Millisecond) // five half-lives: 3000 → ~94
+	for i := 0; i < 8 && len(r.Quarantined()) > 0; i++ {
+		drive(eng, r, &now)
+	}
+	if st := r.Stats(); st.Readmissions != 3 || !net.LinkAdminUp(link) {
+		t.Fatalf("decayed link not re-admitted: %+v", st)
+	}
+}
+
+func TestDamperMath(t *testing.T) {
+	d := &damper{}
+	half := 10 * sim.Microsecond
+	d.bump(0, 1000, 2200, half)
+	if d.suppressed {
+		t.Fatal("suppressed below threshold")
+	}
+	if !d.reusable(0, 1000, half) {
+		t.Fatal("unsuppressed damper not reusable")
+	}
+	d.bump(0, 1000, 2200, half) // 2000: still free
+	d.bump(0, 1000, 2200, half) // 3000: suppressed
+	if !d.suppressed {
+		t.Fatal("not suppressed above threshold")
+	}
+	if d.reusable(0, 1000, half) {
+		t.Fatal("suppressed damper reusable immediately")
+	}
+	// After two half-lives the penalty is 750 < reuse.
+	if !d.reusable(sim.Time(2*half), 1000, half) {
+		t.Fatalf("damper not reusable after decay: penalty %v", d.penalty)
+	}
+	if d.suppressed {
+		t.Fatal("suppression not cleared after decay")
+	}
+}
+
+func TestActionKindStrings(t *testing.T) {
+	for _, k := range []ActionKind{ActionConfirm, ActionQuarantine, ActionReadmit, ActionSuppress} {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Fatalf("ActionKind %d has no name", k)
+		}
+	}
+}
