@@ -1,0 +1,147 @@
+// Command flowpulse-check is the deterministic simulation fuzzer: it
+// derives whole scenarios (topology, workload, fault schedule) from
+// 64-bit seeds, runs the full detect → localize → remediate pipeline
+// over each, and checks the simtest invariant oracles — byte
+// conservation, clean-run silence, detection/localization deadlines,
+// damped remediation, and bit-identical replay. Failing seeds are
+// shrunk to a minimal spec and reported as a one-line repro command.
+//
+// Scan a seed range:
+//
+//	flowpulse-check -seeds 200
+//
+// Reproduce a failure:
+//
+//	flowpulse-check -seed 17
+//	flowpulse-check -spec '{"seed":17,...}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"flowpulse/internal/simtest"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 0, "scan this many seeds starting at -start")
+		start    = flag.Uint64("start", 0, "first seed of the scan")
+		seed     = flag.Uint64("seed", 0, "run a single seed (ignored when -seeds or -spec is set)")
+		specJSON = flag.String("spec", "", "run one explicit spec (compact JSON, as printed by a shrunk repro)")
+		deadline = flag.Int("deadline", 0, "detection deadline in iterations after fault onset (default 4)")
+		noShrink = flag.Bool("no-shrink", false, "report failures unshrunk")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel seed workers")
+		verbose  = flag.Bool("v", false, "print a line per seed")
+	)
+	flag.Parse()
+
+	opts := simtest.Options{Deadline: *deadline}
+	switch {
+	case *specJSON != "":
+		spec, err := simtest.ParseSpec(*specJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Exit(runOne(spec, opts, *noShrink))
+	case *seeds > 0:
+		os.Exit(scan(*start, *seeds, *workers, opts, *noShrink, *verbose))
+	default:
+		os.Exit(runOne(simtest.Generate(*seed), opts, *noShrink))
+	}
+}
+
+// runOne fuzzes a single spec, shrinking on failure.
+func runOne(spec simtest.Spec, opts simtest.Options, noShrink bool) int {
+	res := simtest.Run(spec, opts)
+	if res.OK() {
+		fmt.Printf("seed %d ok: %s topology, %s/%s, fault %s — %d windows, %d alerts, fingerprint %016x\n",
+			spec.Seed, spec.Topo.Kind, spec.Work.Collective, spec.Work.Predictor,
+			spec.Fault.Kind, res.Windows, res.Alerts, res.Fingerprint)
+		return 0
+	}
+	report(res, opts, noShrink)
+	return 1
+}
+
+// scan fuzzes seeds [start, start+n) on a worker pool.
+func scan(start uint64, n, workers int, opts simtest.Options, noShrink, verbose bool) int {
+	if workers < 1 {
+		workers = 1
+	}
+	t0 := time.Now()
+	seedCh := make(chan uint64)
+	results := make(chan *simtest.Result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range seedCh {
+				results <- simtest.Run(simtest.Generate(s), opts)
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			seedCh <- start + uint64(i)
+		}
+		close(seedCh)
+		wg.Wait()
+		close(results)
+	}()
+
+	failed := 0
+	var failures []*simtest.Result
+	for res := range results {
+		if verbose {
+			status := "ok"
+			if !res.OK() {
+				status = "FAIL"
+			}
+			fmt.Printf("seed %-6d %-4s %-9s %-14s %-8s fault=%-15s windows=%-4d alerts=%-3d fp=%016x\n",
+				res.Spec.Seed, status, res.Spec.Topo.Kind, res.Spec.Work.Collective,
+				res.Spec.Work.Predictor, res.Spec.Fault.Kind, res.Windows, res.Alerts, res.Fingerprint)
+		}
+		if !res.OK() {
+			failed++
+			failures = append(failures, res)
+		}
+	}
+	fmt.Printf("%d seeds, %d failed (%v, %d workers)\n", n, failed, time.Since(t0).Round(time.Millisecond), workers)
+	for _, res := range failures {
+		report(res, opts, noShrink)
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// report prints a failure, shrinking it first unless disabled.
+func report(res *simtest.Result, opts simtest.Options, noShrink bool) {
+	fmt.Printf("\nFAIL seed %d (%s topology, %s/%s, fault %s at onset %d):\n",
+		res.Spec.Seed, res.Spec.Topo.Kind, res.Spec.Work.Collective,
+		res.Spec.Work.Predictor, res.Spec.Fault.Kind, res.Spec.Fault.Onset)
+	for _, v := range res.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	spec := res.Spec
+	if !noShrink {
+		shrunk, runs := simtest.Shrink(spec, opts, 0)
+		if shrunk != spec {
+			fmt.Printf("  shrunk after %d runs:\n", runs)
+			final := simtest.Run(shrunk, opts)
+			for _, v := range final.Violations {
+				fmt.Printf("    %s\n", v)
+			}
+			spec = shrunk
+		}
+	}
+	fmt.Printf("  repro: %s\n", spec.ReproCommand())
+}

@@ -70,165 +70,18 @@ func main() {
 		}()
 	}
 
-	runs := map[string]func() (fmt.Stringer, error){
-		"fig2": func() (fmt.Stringer, error) {
-			cfg := experiments.Fig2Config{Seed: *seed}
-			if *quick {
-				cfg.Leaves, cfg.Spines, cfg.FlowBytes = 8, 4, 4<<20
-			}
-			if *sizeMB > 0 {
-				cfg.FlowBytes = *sizeMB << 20
-			}
-			return experiments.Fig2(cfg)
-		},
-		"fig3": func() (fmt.Stringer, error) {
-			cfg := experiments.Fig3Config{Seed: *seed}
-			if *quick {
-				cfg.Leaves, cfg.Spines, cfg.BytesPerRank = 8, 4, 4<<20
-			}
-			if *sizeMB > 0 {
-				cfg.BytesPerRank = *sizeMB << 20
-			}
-			return experiments.Fig3(cfg)
-		},
-		"fig4": func() (fmt.Stringer, error) {
-			cfg := experiments.Fig4Config{Seed: *seed, Trials: *trials}
-			if *quick {
-				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 16<<20, 1
-			}
-			return experiments.Fig4(cfg)
-		},
-		"fig5a": func() (fmt.Stringer, error) {
-			cfg := experiments.Fig5aConfig{Trials: *trials}
-			cfg.Scenario.Seed = *seed
-			if *quick {
-				cfg.Scenario.Leaves, cfg.Scenario.Spines = 8, 4
-				cfg.Scenario.BytesPerRank = 4 << 20
-				cfg.Trials = 1
-			}
-			if *sizeMB > 0 {
-				cfg.Scenario.BytesPerRank = *sizeMB << 20
-			}
-			return experiments.Fig5a(cfg)
-		},
-		"fig5b": func() (fmt.Stringer, error) {
-			cfg := experiments.Fig5bConfig{Seed: *seed, Trials: *trials}
-			if *quick {
-				cfg.Radixes = []int{8, 16}
-				cfg.BytesPerRank = 4 << 20
-				cfg.Trials = 1
-			}
-			if *sizeMB > 0 {
-				cfg.BytesPerRank = *sizeMB << 20
-			}
-			return experiments.Fig5b(cfg)
-		},
-		"fig5c": func() (fmt.Stringer, error) {
-			cfg := experiments.Fig5cConfig{Seed: *seed, Trials: *trials}
-			if *quick {
-				cfg.Leaves, cfg.Spines = 8, 4
-				cfg.Sizes = []int64{1 << 20, 8 << 20}
-				cfg.Trials = 1
-			}
-			return experiments.Fig5c(cfg)
-		},
-		"preexisting": func() (fmt.Stringer, error) {
-			cfg := experiments.PreExistingConfig{Seed: *seed, Trials: *trials}
-			if *quick {
-				cfg.Leaves, cfg.Spines, cfg.BytesPerRank = 8, 4, 8<<20
-				cfg.Counts = []int{0, 2, 4}
-				cfg.Trials = 1
-			}
-			return experiments.PreExisting(cfg)
-		},
-		"headline": func() (fmt.Stringer, error) {
-			cfg := experiments.HeadlineConfig{Seed: *seed, DropRate: *drop}
-			if *quick {
-				cfg.BytesPerRank = 16 << 20
-			}
-			if *sizeMB > 0 {
-				cfg.BytesPerRank = *sizeMB << 20
-			}
-			return experiments.Headline(cfg)
-		},
-		"faulttypes": func() (fmt.Stringer, error) {
-			cfg := experiments.FaultTypesConfig{Seed: *seed, Trials: *trials}
-			if *quick {
-				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
-			}
-			if *sizeMB > 0 {
-				cfg.BytesPerRank = *sizeMB << 20
-			}
-			return experiments.FaultTypes(cfg)
-		},
-		"jitter": func() (fmt.Stringer, error) {
-			cfg := experiments.JitterConfig{Seed: *seed, Trials: *trials}
-			if *quick {
-				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
-			}
-			if *sizeMB > 0 {
-				cfg.BytesPerRank = *sizeMB << 20
-			}
-			return experiments.Jitter(cfg)
-		},
-		"trunks": func() (fmt.Stringer, error) {
-			cfg := experiments.TrunkConfig{Seed: *seed, Trials: *trials}
-			if *quick {
-				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
-			}
-			if *sizeMB > 0 {
-				cfg.BytesPerRank = *sizeMB << 20
-			}
-			return experiments.Trunks(cfg)
-		},
-		"clos3": func() (fmt.Stringer, error) {
-			cfg := experiments.Clos3Config{Seed: *seed}
-			if *quick {
-				cfg.Pods, cfg.LeavesPerPod, cfg.SpinesPerPod, cfg.CoresPerGroup = 2, 4, 2, 2
-				cfg.Iterations, cfg.InjectAt = 8, 4
-			}
-			if *sizeMB > 0 {
-				cfg.BytesPerRank = *sizeMB << 20
-			}
-			return experiments.Clos3(cfg)
-		},
-		"blocking": func() (fmt.Stringer, error) {
-			cfg := experiments.BlockingConfig{Seed: *seed, Trials: *trials}
-			if *quick {
-				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
-			}
-			if *sizeMB > 0 {
-				cfg.BytesPerRank = *sizeMB << 20
-			}
-			return experiments.Blocking(cfg)
-		},
-		"remediate": func() (fmt.Stringer, error) {
-			// Already small-scale (8×4): -quick needs no extra scaling.
-			cfg := experiments.RemediationConfig{Seed: *seed, DropRate: *drop}
-			if *sizeMB > 0 {
-				cfg.BytesPerRank = *sizeMB << 20
-			}
-			return experiments.Remediation(cfg)
-		},
-		"ablation": func() (fmt.Stringer, error) {
-			cfg := experiments.AblationConfig{Seed: *seed}
-			if *quick {
-				cfg.Leaves, cfg.Spines, cfg.BytesPerRank = 8, 4, 4<<20
-			}
-			if *sizeMB > 0 {
-				cfg.BytesPerRank = *sizeMB << 20
-			}
-			return experiments.Ablation(cfg)
-		},
-	}
-	order := []string{"fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "preexisting", "headline", "faulttypes", "jitter", "trunks", "clos3", "blocking", "remediate", "ablation"}
+	// The experiment registry lives in internal/experiments so the
+	// golden-file regression test drives the exact same configurations.
+	runs := experiments.EvalExperiments(experiments.EvalOverrides{
+		Quick: *quick, SizeMB: *sizeMB, Drop: *drop, Trials: *trials, Seed: *seed,
+	})
 
 	var selected []string
 	if *exp == "all" {
-		selected = order
+		selected = experiments.EvalOrder
 	} else {
 		if _, ok := runs[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n", *exp, strings.Join(order, ", "))
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n", *exp, strings.Join(experiments.EvalOrder, ", "))
 			os.Exit(2)
 		}
 		selected = []string{*exp}

@@ -215,7 +215,11 @@ func (s *System) onWindow(w *telemetry.Window) {
 	for _, a := range alerts {
 		e := Event{Alert: a}
 		if s.pred.Ready(a.LeafOrdinal) {
-			e.Verdict = s.localizer.Localize(a, wc, s.pred.SenderLoad(a.LeafOrdinal))
+			senders := s.pred.SenderLoad(a.LeafOrdinal)
+			if ip, ok := s.pred.(predict.IterPredictor); ok {
+				senders = ip.SenderLoadAt(a.LeafOrdinal, a.Iter)
+			}
+			e.Verdict = s.localizer.Localize(a, wc, senders)
 		}
 		s.Events = append(s.Events, e)
 		if s.cfg.OnEvent != nil {

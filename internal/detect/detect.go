@@ -138,6 +138,16 @@ func (d *Detector) Subscribe(fn func(a Alert)) {
 	d.subs = append(d.subs, fn)
 }
 
+// portLoadFor resolves the model's expectation for one window,
+// preferring the iteration-exact prediction when the model offers one
+// (predict.IterPredictor — the simulation model's reference windows).
+func (d *Detector) portLoadFor(w *telemetry.Window) []float64 {
+	if ip, ok := d.pred.(predict.IterPredictor); ok {
+		return ip.PortLoadAt(w.LeafOrdinal, w.Iter)
+	}
+	return d.pred.PortLoad(w.LeafOrdinal)
+}
+
 // Check compares one closed window against the model and returns the
 // alerts (nil if the window is clean or the model is not ready).
 func (d *Detector) Check(w *telemetry.Window) []Alert {
@@ -146,7 +156,7 @@ func (d *Detector) Check(w *telemetry.Window) []Alert {
 		return nil
 	}
 	d.stats.WindowsChecked++
-	pred := d.pred.PortLoad(w.LeafOrdinal)
+	pred := d.portLoadFor(w)
 	var alerts []Alert
 	for u, obs := range w.PortBytes {
 		if d.portQuarantined(w, u) {
@@ -187,7 +197,7 @@ func (d *Detector) Score(w *telemetry.Window) (score float64, ok bool) {
 	if !d.pred.Ready(w.LeafOrdinal) {
 		return 0, false
 	}
-	pred := d.pred.PortLoad(w.LeafOrdinal)
+	pred := d.portLoadFor(w)
 	for u, obs := range w.PortBytes {
 		if d.portQuarantined(w, u) {
 			continue

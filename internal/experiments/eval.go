@@ -1,0 +1,187 @@
+package experiments
+
+import "fmt"
+
+// EvalOverrides are the knobs flowpulse-eval exposes, shared with the
+// golden-file regression test so both drive the exact same
+// configurations.
+type EvalOverrides struct {
+	// Quick selects the scaled-down smoke configuration of each
+	// experiment (smaller fabric, smaller collectives, one trial).
+	Quick bool
+	// SizeMB overrides bytes-per-rank (MiB) where an experiment has a
+	// single collective size; 0 keeps the experiment default.
+	SizeMB int64
+	// Drop overrides the injected drop rate for experiments with one
+	// (headline, remediate); 0 keeps the default.
+	Drop float64
+	// Trials overrides trials-per-configuration; 0 keeps the default.
+	Trials int
+	// Seed is the root random seed.
+	Seed uint64
+}
+
+// EvalOrder is the canonical experiment order, matching the paper's
+// presentation.
+var EvalOrder = []string{
+	"fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "preexisting",
+	"headline", "faulttypes", "jitter", "trunks", "clos3", "blocking",
+	"remediate", "ablation",
+}
+
+// EvalExperiments returns the experiment registry under the given
+// overrides. Every entry is safe to call independently; results
+// implement fmt.Stringer (and CSV() string where plottable).
+func EvalExperiments(o EvalOverrides) map[string]func() (fmt.Stringer, error) {
+	return map[string]func() (fmt.Stringer, error){
+		"fig2": func() (fmt.Stringer, error) {
+			cfg := Fig2Config{Seed: o.Seed}
+			if o.Quick {
+				cfg.Leaves, cfg.Spines, cfg.FlowBytes = 8, 4, 4<<20
+			}
+			if o.SizeMB > 0 {
+				cfg.FlowBytes = o.SizeMB << 20
+			}
+			return Fig2(cfg)
+		},
+		"fig3": func() (fmt.Stringer, error) {
+			cfg := Fig3Config{Seed: o.Seed}
+			if o.Quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank = 8, 4, 4<<20
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Fig3(cfg)
+		},
+		"fig4": func() (fmt.Stringer, error) {
+			cfg := Fig4Config{Seed: o.Seed, Trials: o.Trials}
+			if o.Quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 16<<20, 1
+			}
+			return Fig4(cfg)
+		},
+		"fig5a": func() (fmt.Stringer, error) {
+			cfg := Fig5aConfig{Trials: o.Trials}
+			cfg.Scenario.Seed = o.Seed
+			if o.Quick {
+				cfg.Scenario.Leaves, cfg.Scenario.Spines = 8, 4
+				cfg.Scenario.BytesPerRank = 4 << 20
+				cfg.Trials = 1
+			}
+			if o.SizeMB > 0 {
+				cfg.Scenario.BytesPerRank = o.SizeMB << 20
+			}
+			return Fig5a(cfg)
+		},
+		"fig5b": func() (fmt.Stringer, error) {
+			cfg := Fig5bConfig{Seed: o.Seed, Trials: o.Trials}
+			if o.Quick {
+				cfg.Radixes = []int{8, 16}
+				cfg.BytesPerRank = 4 << 20
+				cfg.Trials = 1
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Fig5b(cfg)
+		},
+		"fig5c": func() (fmt.Stringer, error) {
+			cfg := Fig5cConfig{Seed: o.Seed, Trials: o.Trials}
+			if o.Quick {
+				cfg.Leaves, cfg.Spines = 8, 4
+				cfg.Sizes = []int64{1 << 20, 8 << 20}
+				cfg.Trials = 1
+			}
+			return Fig5c(cfg)
+		},
+		"preexisting": func() (fmt.Stringer, error) {
+			cfg := PreExistingConfig{Seed: o.Seed, Trials: o.Trials}
+			if o.Quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank = 8, 4, 8<<20
+				cfg.Counts = []int{0, 2, 4}
+				cfg.Trials = 1
+			}
+			return PreExisting(cfg)
+		},
+		"headline": func() (fmt.Stringer, error) {
+			cfg := HeadlineConfig{Seed: o.Seed, DropRate: o.Drop}
+			if o.Quick {
+				cfg.BytesPerRank = 16 << 20
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Headline(cfg)
+		},
+		"faulttypes": func() (fmt.Stringer, error) {
+			cfg := FaultTypesConfig{Seed: o.Seed, Trials: o.Trials}
+			if o.Quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return FaultTypes(cfg)
+		},
+		"jitter": func() (fmt.Stringer, error) {
+			cfg := JitterConfig{Seed: o.Seed, Trials: o.Trials}
+			if o.Quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Jitter(cfg)
+		},
+		"trunks": func() (fmt.Stringer, error) {
+			cfg := TrunkConfig{Seed: o.Seed, Trials: o.Trials}
+			if o.Quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Trunks(cfg)
+		},
+		"clos3": func() (fmt.Stringer, error) {
+			cfg := Clos3Config{Seed: o.Seed}
+			if o.Quick {
+				cfg.Pods, cfg.LeavesPerPod, cfg.SpinesPerPod, cfg.CoresPerGroup = 2, 4, 2, 2
+				cfg.Iterations, cfg.InjectAt = 8, 4
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Clos3(cfg)
+		},
+		"blocking": func() (fmt.Stringer, error) {
+			cfg := BlockingConfig{Seed: o.Seed, Trials: o.Trials}
+			if o.Quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 8<<20, 1
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Blocking(cfg)
+		},
+		"remediate": func() (fmt.Stringer, error) {
+			// Already small-scale (8×4): Quick needs no extra scaling.
+			cfg := RemediationConfig{Seed: o.Seed, DropRate: o.Drop}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Remediation(cfg)
+		},
+		"ablation": func() (fmt.Stringer, error) {
+			cfg := AblationConfig{Seed: o.Seed}
+			if o.Quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank = 8, 4, 4<<20
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Ablation(cfg)
+		},
+	}
+}

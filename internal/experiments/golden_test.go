@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/eval_quick.golden from the current output")
+
+// goldenSubset is the quick-scale slice of the eval suite pinned by
+// the golden file: enough coverage (fat tree, Clos, trunking,
+// blocking, ablation) to catch an output or behavior drift, small
+// enough to run in seconds.
+var goldenSubset = []string{"fig2", "fig3", "fig4", "fig5b", "trunks", "clos3", "blocking", "ablation"}
+
+// TestEvalGolden pins the exact text flowpulse-eval prints for a
+// quick-scale run at seed 1. The whole pipeline is deterministic, so
+// any diff is a real behavior change: either a regression, or an
+// intentional change to be blessed with
+//
+//	go test ./internal/experiments -run TestEvalGolden -update
+func TestEvalGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale eval run is still a multi-second simulation")
+	}
+	runs := EvalExperiments(EvalOverrides{Quick: true, Seed: 1})
+	var b strings.Builder
+	for _, name := range goldenSubset {
+		res, err := runs[name]()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(&b, "%s\n", strings.Repeat("=", 72))
+		b.WriteString(res.String())
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "eval_quick.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("eval output drifted from %s — diff:\n%s\n(bless intentional changes with -update)",
+			path, diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a compact first-divergence diff so a golden
+// failure points at the changed experiment, not a 200-line dump.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			return fmt.Sprintf("line %d:\n-%s\n+%s", i+1, wl, gl)
+		}
+	}
+	return "(lengths differ only)"
+}

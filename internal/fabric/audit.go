@@ -1,0 +1,92 @@
+package fabric
+
+import (
+	"fmt"
+
+	"flowpulse/internal/topology"
+)
+
+// AuditConservation checks the fabric's byte- and packet-conservation
+// invariants after a run has drained (the engine's event queue is
+// empty). It returns one message per violation; an empty slice means
+// the fabric conserved every byte.
+//
+// The checked identities, from the wire up:
+//
+//   - per link direction: every frame that started serializing landed
+//     as exactly one of delivered / fault-dropped / admin-dropped
+//     (packets and bytes), the transmitter is idle, and the egress
+//     queues are empty;
+//   - per NIC: everything a host injected left its NIC queue — the sum
+//     of host-egress wire counters equals the injection counter;
+//   - per switch ingress port: all PFC buffer credit was returned
+//     (occupancy zero on every priority);
+//   - network-wide: injected = delivered + fault-dropped +
+//     route-dropped + admin-dropped, in packets and in bytes.
+//
+// This is the flowpulse-check fuzzer's first oracle: any forwarding,
+// queueing, PFC, or fault-model change that loses, duplicates, or
+// miscounts a byte anywhere in the fabric trips it.
+func (n *Network) AuditConservation() []string {
+	var bad []string
+
+	var hostSent, hostSentBytes uint64
+	var faultDroppedBytes, adminDroppedBytes uint64
+	for i := range n.links {
+		ls := &n.links[i]
+		for d := range ls.dirs {
+			ld := &ls.dirs[d]
+			landedPkts := ld.delivered + ld.faultDropped + ld.adminDropped
+			landedBytes := ld.deliveredBytes + ld.faultDroppedBytes + ld.adminDroppedBytes
+			if ld.sent != landedPkts || ld.sentBytes != landedBytes {
+				bad = append(bad, fmt.Sprintf(
+					"link %d %v->%v: sent %d pkts/%d B, landed %d pkts/%d B (delivered %d, fault-dropped %d, admin-dropped %d)",
+					ls.topo.ID, ld.sender, ld.receiver, ld.sent, ld.sentBytes,
+					landedPkts, landedBytes, ld.delivered, ld.faultDropped, ld.adminDropped))
+			}
+			if ld.busy {
+				bad = append(bad, fmt.Sprintf("link %d %v->%v: transmitter busy after drain", ls.topo.ID, ld.sender, ld.receiver))
+			}
+			if q := ld.queuedBytes(); q != 0 {
+				bad = append(bad, fmt.Sprintf("link %d %v->%v: %d bytes still queued after drain", ls.topo.ID, ld.sender, ld.receiver, q))
+			}
+			if ld.sender.Kind == topology.HostEnd {
+				hostSent += ld.sent
+				hostSentBytes += ld.sentBytes
+			}
+			faultDroppedBytes += ld.faultDroppedBytes
+			adminDroppedBytes += ld.adminDroppedBytes
+		}
+	}
+
+	if hostSent != n.stats.Sent || hostSentBytes != n.stats.SentBytes {
+		bad = append(bad, fmt.Sprintf(
+			"NIC conservation: hosts injected %d pkts/%d B but NIC egress carried %d pkts/%d B",
+			n.stats.Sent, n.stats.SentBytes, hostSent, hostSentBytes))
+	}
+
+	for i := range n.switches {
+		ss := &n.switches[i]
+		for port := range ss.occ {
+			for prio, occ := range ss.occ[port] {
+				if occ != 0 {
+					bad = append(bad, fmt.Sprintf(
+						"switch %d port %d prio %d: %d bytes of PFC credit unreturned", ss.id, port, prio, occ))
+				}
+			}
+		}
+	}
+
+	s := n.stats
+	if s.Sent != s.Delivered+s.FaultDropped+s.RouteDropped+s.AdminDropped {
+		bad = append(bad, fmt.Sprintf(
+			"network packet conservation: sent %d != delivered %d + fault %d + route %d + admin %d",
+			s.Sent, s.Delivered, s.FaultDropped, s.RouteDropped, s.AdminDropped))
+	}
+	if s.SentBytes != s.DeliveredBytes+faultDroppedBytes+s.RouteDroppedBytes+adminDroppedBytes {
+		bad = append(bad, fmt.Sprintf(
+			"network byte conservation: sent %d B != delivered %d B + fault %d B + route %d B + admin %d B",
+			s.SentBytes, s.DeliveredBytes, faultDroppedBytes, s.RouteDroppedBytes, adminDroppedBytes))
+	}
+	return bad
+}

@@ -1,0 +1,77 @@
+package fabric_test
+
+import (
+	"strings"
+	"testing"
+
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/fault"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// runAuditWorkload drives a small all-pairs workload through an 4x2
+// fat tree, optionally with a fault and an admin-down mid-run, then
+// drains and audits.
+func runAuditWorkload(t *testing.T, mutate func(net *fabric.Network, eng *sim.Engine)) *fabric.Network {
+	t.Helper()
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 4, Spines: 2, HostsPerLeaf: 2, LinkRateBPS: 100e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	net := fabric.MustNew(fabric.Config{Topo: topo, Engine: eng, Seed: 7})
+
+	hosts := len(topo.Hosts)
+	for src := 0; src < hosts; src++ {
+		for dst := 0; dst < hosts; dst++ {
+			if src == dst {
+				continue
+			}
+			spec := fabric.SendSpec{Src: topology.HostID(src), Dst: topology.HostID(dst), Size: 4096}
+			off := sim.Duration(src*hosts+dst) * sim.Microsecond
+			eng.After(off, func(sim.Time) { net.Send(spec) })
+		}
+	}
+	if mutate != nil {
+		mutate(net, eng)
+	}
+	eng.Run()
+	return net
+}
+
+func TestAuditConservationCleanRun(t *testing.T) {
+	net := runAuditWorkload(t, nil)
+	if bad := net.AuditConservation(); len(bad) != 0 {
+		t.Fatalf("clean run violated conservation:\n%s", strings.Join(bad, "\n"))
+	}
+	s := net.Stats()
+	if s.Sent == 0 || s.Delivered != s.Sent {
+		t.Fatalf("clean run should deliver everything: %+v", s)
+	}
+}
+
+func TestAuditConservationWithFaultsAndAdminDown(t *testing.T) {
+	net := runAuditWorkload(t, func(net *fabric.Network, eng *sim.Engine) {
+		// A lossy uplink from the start, and a different link yanked
+		// admin-down mid-run so in-flight frames admin-drop.
+		topo := net.Topology()
+		leaf0, spines := topo.Leaves()[0], topo.Spines()
+		lossy := topo.TrunkLinks(leaf0, spines[0])[0]
+		yanked := topo.TrunkLinks(leaf0, spines[1])[0]
+		net.InjectFault(lossy, fabric.DirBoth, fault.NewBernoulliDrop(0.5, sim.NewRNG(3, "audit/drop")))
+		eng.After(20*sim.Microsecond, func(sim.Time) {
+			net.SetLinkAdmin(yanked, false)
+		})
+	})
+	if bad := net.AuditConservation(); len(bad) != 0 {
+		t.Fatalf("faulty run violated conservation:\n%s", strings.Join(bad, "\n"))
+	}
+	s := net.Stats()
+	if s.FaultDropped == 0 {
+		t.Fatal("expected some fault drops")
+	}
+	if s.Delivered+s.FaultDropped+s.RouteDropped+s.AdminDropped != s.Sent {
+		t.Fatalf("packet identity broken: %+v", s)
+	}
+}

@@ -85,6 +85,8 @@ func (n *Network) kick(ld *linkDir) {
 	}
 
 	ld.busy = true
+	ld.sent++
+	ld.sentBytes += uint64(p.Size)
 	prio := int(p.Priority)
 	ld.inflight[prio] = int64(p.Size)
 	ld.inflightPrio = prio
@@ -112,12 +114,15 @@ func (n *Network) arrive(ld *linkDir, p *Packet, now sim.Time) {
 	}
 	if !ld.link.adminUp {
 		n.stats.AdminDropped++
+		ld.adminDropped++
+		ld.adminDroppedBytes += uint64(p.Size)
 		n.freePacket(p)
 		return
 	}
 	if ld.flt != nil && ld.flt.Apply(now, p.Size) == fault.Drop {
 		n.stats.FaultDropped++
 		ld.faultDropped++
+		ld.faultDroppedBytes += uint64(p.Size)
 		n.freePacket(p)
 		return
 	}
@@ -173,6 +178,7 @@ func (n *Network) switchReceive(sw topology.SwitchID, port int, p *Packet, now s
 	cands := n.fib.candidates(ss, dstLeafOrd)
 	if len(cands) == 0 {
 		n.stats.RouteDropped++
+		n.stats.RouteDroppedBytes += uint64(p.Size)
 		n.releaseCredit(p)
 		n.freePacket(p)
 		return

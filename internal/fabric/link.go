@@ -98,9 +98,18 @@ type linkDir struct {
 	recent       [numPriorities]float64
 	recentAt     [numPriorities]sim.Time
 
-	delivered      uint64
-	deliveredBytes uint64
-	faultDropped   uint64
+	// Wire accounting. Every frame that starts serializing increments
+	// sent; on landing it increments exactly one of delivered,
+	// faultDropped, or adminDropped — the per-direction conservation
+	// identity AuditConservation checks after a run drains.
+	sent              uint64
+	sentBytes         uint64
+	delivered         uint64
+	deliveredBytes    uint64
+	faultDropped      uint64
+	faultDroppedBytes uint64
+	adminDropped      uint64
+	adminDroppedBytes uint64
 }
 
 func (ld *linkDir) queuedBytes() int64 {
@@ -151,12 +160,19 @@ type linkState struct {
 	dirs    [2]linkDir // index by DirAtoB / DirBtoA
 }
 
-// LinkDirStats reports per-direction delivery counters, used by tests
-// and by the simulation-based predictor.
+// LinkDirStats reports per-direction wire counters, used by tests, the
+// simulation-based predictor, and the conservation oracle. Sent counts
+// frames that started serializing onto the wire; each lands as exactly
+// one of Delivered, FaultDropped, or AdminDropped.
 type LinkDirStats struct {
-	Delivered      uint64
-	DeliveredBytes uint64
-	FaultDropped   uint64
+	Sent              uint64
+	SentBytes         uint64
+	Delivered         uint64
+	DeliveredBytes    uint64
+	FaultDropped      uint64
+	FaultDroppedBytes uint64
+	AdminDropped      uint64
+	AdminDroppedBytes uint64
 }
 
 // DirToward resolves the Direction of a link whose receiver is the
@@ -279,7 +295,12 @@ func (n *Network) LinkStats(link topology.LinkID, dir Direction) LinkDirStats {
 		panic("fabric: LinkStats needs a single direction")
 	}
 	ld := &n.links[link].dirs[dir]
-	return LinkDirStats{Delivered: ld.delivered, DeliveredBytes: ld.deliveredBytes, FaultDropped: ld.faultDropped}
+	return LinkDirStats{
+		Sent: ld.sent, SentBytes: ld.sentBytes,
+		Delivered: ld.delivered, DeliveredBytes: ld.deliveredBytes,
+		FaultDropped: ld.faultDropped, FaultDroppedBytes: ld.faultDroppedBytes,
+		AdminDropped: ld.adminDropped, AdminDroppedBytes: ld.adminDroppedBytes,
+	}
 }
 
 // decayFactor computes exp(-dt/tau) for the load estimator.

@@ -61,6 +61,8 @@ type Stats struct {
 	FaultDropped uint64
 	// RouteDropped counts packets with no eligible egress port.
 	RouteDropped uint64
+	// RouteDroppedBytes counts the bytes of route-dropped packets.
+	RouteDroppedBytes uint64
 	// AdminDropped counts packets caught in flight on a link that went
 	// administratively down.
 	AdminDropped uint64

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"flowpulse/internal/sim"
+)
+
+// Statistical regression tests for the loss processes the fuzzer's
+// oracles lean on. The empirical-rate tests elsewhere in this package
+// check the mean; these check the *shape* — independence over time for
+// Bernoulli (chi-square on block counts and on the inter-drop gap
+// distribution) and the size-dependence law for BitError (joint
+// chi-square across packet sizes). All draws come from fixed seeds, so
+// the tests are deterministic; the bounds are the χ² 0.001/0.999
+// quantiles, far outside what a correct implementation lands on.
+
+// chiSquareBinomialBlocks partitions n Bernoulli trials into blocks
+// and returns Σ (observed−np)²/(np(1−p)) over the blocks — χ² with
+// one degree of freedom per block for an independent process.
+func chiSquareBinomialBlocks(m Model, p float64, blocks, perBlock int) float64 {
+	var chi2 float64
+	for b := 0; b < blocks; b++ {
+		drops := 0
+		for i := 0; i < perBlock; i++ {
+			if m.Apply(0, 4096) == Drop {
+				drops++
+			}
+		}
+		exp := float64(perBlock) * p
+		dev := float64(drops) - exp
+		chi2 += dev * dev / (exp * (1 - p))
+	}
+	return chi2
+}
+
+func TestBernoulliDropChiSquareBlocks(t *testing.T) {
+	// 20 blocks of 10k trials at each rate. df=20: χ²∈[5.92, 45.31]
+	// covers 99.8% two-sided; outside means the process drifted (rate
+	// wrong) or is over-regular (drops not independent).
+	const lo, hi = 5.921, 45.315
+	for _, rate := range []float64{0.02, 0.05, 0.2, 0.5} {
+		m := NewBernoulliDrop(rate, sim.NewRNG(11, "chi/bernoulli"))
+		chi2 := chiSquareBinomialBlocks(m, rate, 20, 10000)
+		if chi2 < lo || chi2 > hi {
+			t.Errorf("rate %v: block χ² = %.2f outside [%v, %v]", rate, chi2, lo, hi)
+		}
+	}
+}
+
+func TestBernoulliInterDropGapsGeometric(t *testing.T) {
+	// Under independence, the gap between consecutive drops is
+	// geometric: P(gap=k) = p(1−p)^k. Chi-square the observed gap
+	// histogram (10 bins + tail) against that pmf. A process that
+	// drops at the right rate but in a correlated pattern (bursts,
+	// periodicity) fails here while passing every mean-rate test.
+	const p = 0.05
+	m := NewBernoulliDrop(p, sim.NewRNG(12, "chi/gaps"))
+	const n = 400000
+	const bins = 10
+	counts := make([]int, bins+1) // counts[bins] = tail
+	gap, gaps := 0, 0
+	for i := 0; i < n; i++ {
+		if m.Apply(0, 4096) == Drop {
+			if gap < bins {
+				counts[gap]++
+			} else {
+				counts[bins]++
+			}
+			gaps++
+			gap = 0
+		} else {
+			gap++
+		}
+	}
+	var chi2 float64
+	tailP := 1.0
+	for k := 0; k < bins; k++ {
+		pk := p * math.Pow(1-p, float64(k))
+		tailP -= pk
+		exp := float64(gaps) * pk
+		dev := float64(counts[k]) - exp
+		chi2 += dev * dev / exp
+	}
+	expTail := float64(gaps) * tailP
+	devTail := float64(counts[bins]) - expTail
+	chi2 += devTail * devTail / expTail
+	// df = 10 (11 cells, total constrained): χ² ∈ [1.48, 29.59].
+	if chi2 < 1.479 || chi2 > 29.588 {
+		t.Fatalf("gap distribution χ² = %.2f outside [1.48, 29.59] over %d gaps", chi2, gaps)
+	}
+}
+
+func TestBitErrorSizeLawChiSquare(t *testing.T) {
+	// The model's whole point is that loss compounds per bit:
+	// p(size) = 1−(1−BER)^(8·size). Check the empirical rate at each
+	// size against that law jointly — one χ² cell per size, df=4:
+	// χ² ∈ [0.091, 18.47].
+	b := NewBitError(2e-6, sim.NewRNG(13, "chi/biterror"))
+	sizes := []int{256, 1024, 4096, 9000}
+	const n = 40000
+	var chi2 float64
+	for _, size := range sizes {
+		drops := 0
+		for i := 0; i < n; i++ {
+			if b.Apply(0, size) == Drop {
+				drops++
+			}
+		}
+		p := b.DropProbability(size)
+		exp := float64(n) * p
+		dev := float64(drops) - exp
+		chi2 += dev * dev / (exp * (1 - p))
+	}
+	if chi2 < 0.0908 || chi2 > 18.467 {
+		t.Fatalf("size-law χ² = %.2f outside [0.091, 18.47]", chi2)
+	}
+}
+
+func TestBitErrorToleranceBounds(t *testing.T) {
+	// Per-size tolerance bounds: each empirical rate within 5σ of the
+	// analytic drop probability, and strictly increasing in size.
+	b := NewBitError(1e-6, sim.NewRNG(14, "tol/biterror"))
+	sizes := []int{64, 512, 4096, 16384}
+	const n = 60000
+	prev := -1.0
+	for _, size := range sizes {
+		drops := 0
+		for i := 0; i < n; i++ {
+			if b.Apply(0, size) == Drop {
+				drops++
+			}
+		}
+		got := float64(drops) / n
+		want := b.DropProbability(size)
+		tol := 5 * math.Sqrt(want*(1-want)/n)
+		if math.Abs(got-want) > tol {
+			t.Errorf("size %d: empirical %.5f vs analytic %.5f (tol %.5f)", size, got, want, tol)
+		}
+		if want <= prev {
+			t.Errorf("size %d: drop probability %.6f not increasing", size, want)
+		}
+		prev = want
+	}
+}

@@ -29,6 +29,21 @@ type Predictor interface {
 	SenderLoad(leafOrdinal int) [][]float64
 }
 
+// IterPredictor is implemented by predictors whose expectation is
+// specific to an iteration, not stationary across the job. The
+// simulation model is one: adaptive spray can settle into different
+// (equally balanced) per-spine splits on different iterations, so the
+// cross-iteration average is a prediction no single iteration matches;
+// the reference run, being iteration-indexed, resolves each one
+// exactly. Consumers fall back to PortLoad/SenderLoad when the
+// predictor does not implement this.
+type IterPredictor interface {
+	// PortLoadAt is PortLoad for one specific iteration.
+	PortLoadAt(leafOrdinal int, iter uint32) []float64
+	// SenderLoadAt is SenderLoad for one specific iteration.
+	SenderLoadAt(leafOrdinal int, iter uint32) [][]float64
+}
+
 // WireSizer converts payload bytes to wire bytes (headers included).
 // *transport.Stack implements it.
 type WireSizer interface {

@@ -22,19 +22,36 @@ type Simulation struct {
 	ports   [][]float64
 	senders [][][]float64
 	have    []bool
+
+	// Per-iteration reference windows, keyed by leaf ordinal then
+	// iteration. Adaptive spray can settle into different per-spine
+	// splits on different iterations; the average erases that, the
+	// iteration-indexed window does not.
+	iterPorts   map[iterKey][]float64
+	iterSenders map[iterKey][][]float64
+}
+
+type iterKey struct {
+	leaf int
+	iter uint32
 }
 
 // NewSimulation averages reference-run windows into a predictor.
 // Windows from the same leaf are averaged element-wise; every leaf
-// that appears must contribute at least one window.
+// that appears must contribute at least one window. Each window is
+// also kept under its iteration number, so consumers that know which
+// iteration they are checking (IterPredictor) get the exact reference
+// window rather than the cross-iteration mean.
 func NewSimulation(nLeaves int, windows []*telemetry.Window) (*Simulation, error) {
 	if len(windows) == 0 {
 		return nil, fmt.Errorf("predict: no reference windows")
 	}
 	s := &Simulation{
-		ports:   make([][]float64, nLeaves),
-		senders: make([][][]float64, nLeaves),
-		have:    make([]bool, nLeaves),
+		ports:       make([][]float64, nLeaves),
+		senders:     make([][][]float64, nLeaves),
+		have:        make([]bool, nLeaves),
+		iterPorts:   make(map[iterKey][]float64),
+		iterSenders: make(map[iterKey][][]float64),
 	}
 	counts := make([]int, nLeaves)
 	for _, w := range windows {
@@ -42,6 +59,20 @@ func NewSimulation(nLeaves int, windows []*telemetry.Window) (*Simulation, error
 		if lo < 0 || lo >= nLeaves {
 			return nil, fmt.Errorf("predict: window from leaf ordinal %d outside [0,%d)", lo, nLeaves)
 		}
+		key := iterKey{lo, w.Iter}
+		ip := make([]float64, len(w.PortBytes))
+		for u, b := range w.PortBytes {
+			ip[u] = float64(b)
+		}
+		is := make([][]float64, len(w.SenderBytes))
+		for u := range w.SenderBytes {
+			is[u] = make([]float64, len(w.SenderBytes[u]))
+			for l, b := range w.SenderBytes[u] {
+				is[u][l] = float64(b)
+			}
+		}
+		s.iterPorts[key] = ip
+		s.iterSenders[key] = is
 		if s.ports[lo] == nil {
 			s.ports[lo] = make([]float64, len(w.PortBytes))
 			s.senders[lo] = make([][]float64, len(w.SenderBytes))
@@ -86,3 +117,20 @@ func (s *Simulation) PortLoad(leafOrdinal int) []float64 { return s.ports[leafOr
 
 // SenderLoad implements Predictor.
 func (s *Simulation) SenderLoad(leafOrdinal int) [][]float64 { return s.senders[leafOrdinal] }
+
+// PortLoadAt implements IterPredictor: the reference window for the
+// exact iteration when one exists, else the cross-iteration average.
+func (s *Simulation) PortLoadAt(leafOrdinal int, iter uint32) []float64 {
+	if p, ok := s.iterPorts[iterKey{leafOrdinal, iter}]; ok {
+		return p
+	}
+	return s.ports[leafOrdinal]
+}
+
+// SenderLoadAt implements IterPredictor.
+func (s *Simulation) SenderLoadAt(leafOrdinal int, iter uint32) [][]float64 {
+	if p, ok := s.iterSenders[iterKey{leafOrdinal, iter}]; ok {
+		return p
+	}
+	return s.senders[leafOrdinal]
+}

@@ -1,0 +1,617 @@
+package simtest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+
+	"flowpulse/internal/core"
+	"flowpulse/internal/detect"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/fault"
+	"flowpulse/internal/predict"
+	"flowpulse/internal/remediate"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
+)
+
+// Options tunes a fuzz run.
+type Options struct {
+	// Deadline is the number of iterations after fault onset within
+	// which a persistent fault must be detected. Defaults to 4.
+	Deadline int
+	// MutateDetect, when set, perturbs the detector configuration
+	// before attach. This is the self-test hook: plant a detector bug
+	// (e.g. a 10× threshold) and the oracles must catch it.
+	MutateDetect func(*detect.Config)
+}
+
+func (o *Options) setDefaults() {
+	if o.Deadline == 0 {
+		o.Deadline = 4
+	}
+}
+
+// Result is the outcome of fuzzing one spec.
+type Result struct {
+	Spec Spec
+	// Violations lists every oracle failure; empty means the seed
+	// passed.
+	Violations []string
+	// Fingerprint hashes the run's full metrics timeline (window
+	// volumes, events, wire counters, remediation actions, final
+	// simulation time). Equal specs must produce equal fingerprints.
+	Fingerprint uint64
+	// Windows, Alerts, Quarantines summarize activity for reporting.
+	Windows, Alerts, Quarantines int
+}
+
+// OK reports whether every oracle held.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// runData is everything one execution exposes to the oracles.
+type runData struct {
+	fingerprint uint64
+	audit       []string
+	windows     int
+	itersDone   int
+	stats       fabric.Stats
+
+	// Fat tree.
+	events      []core.Event
+	timeline    []remediate.Action
+	quarantined []topology.LinkID
+	blamedGroup []topology.LinkID // trunk group of the faulted pair
+
+	// Three-level Clos.
+	leafAlerts, spineAlerts []detect.Alert
+}
+
+// Run executes a spec twice — the replay oracle — and checks every
+// invariant on the first execution.
+func Run(spec Spec, opts Options) *Result {
+	opts.setDefaults()
+	spec.normalize()
+	res := &Result{Spec: spec}
+
+	first, err := execute(spec, opts)
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("execute: %v", err))
+		return res
+	}
+	second, err := execute(spec, opts)
+	if err != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("replay execute: %v", err))
+		return res
+	}
+
+	res.Fingerprint = first.fingerprint
+	res.Windows = first.windows
+	res.Alerts = len(first.events) + len(first.leafAlerts) + len(first.spineAlerts)
+	res.Quarantines = len(first.quarantined)
+
+	res.Violations = append(res.Violations, checkOracles(spec, opts, first)...)
+	if first.fingerprint != second.fingerprint {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"replay: fingerprint %016x != %016x — the same spec produced a different metrics timeline",
+			first.fingerprint, second.fingerprint))
+	}
+	return res
+}
+
+func execute(spec Spec, opts Options) (*runData, error) {
+	if spec.Topo.Kind == Clos3 {
+		return executeClos3(spec, opts)
+	}
+	return executeFatTree(spec, opts)
+}
+
+func executeFatTree(spec Spec, opts Options) (*runData, error) {
+	sc := core.Scenario{
+		Leaves: spec.Topo.Leaves, Spines: spec.Topo.Spines,
+		HostsPerLeaf: spec.Topo.HostsPerLeaf, Trunk: spec.Topo.Trunk,
+		Collective:   spec.Work.Collective,
+		BytesPerRank: spec.Work.BytesPerRank,
+		Iterations:   spec.Work.Iterations,
+		JitterMax:    sim.Duration(spec.Work.JitterPS),
+		Seed:         spec.Seed,
+	}
+	var refWindows []*telemetry.Window
+	if spec.Work.Predictor == core.SimulationModel {
+		var err error
+		refWindows, err = core.ReferenceRun(sc, 0)
+		if err != nil {
+			return nil, fmt.Errorf("reference run: %w", err)
+		}
+	}
+	rt, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	detCfg := detect.Config{Threshold: spec.DetectThreshold()}
+	if opts.MutateDetect != nil {
+		opts.MutateDetect(&detCfg)
+	}
+	var remCfg *remediate.Config
+	if spec.Work.Remediate {
+		remCfg = &remediate.Config{}
+	}
+	sys, err := core.Attach(core.Config{
+		Net: rt.Net, Stack: rt.Stack, Demand: rt.Coll.Demand(),
+		Kind: spec.Work.Predictor, ReferenceWindows: refWindows,
+		Detect: detCfg, Job: int(sc.Job), Remediate: remCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	data := &runData{}
+	f := spec.Fault
+	inject := func() {}
+	if f.Kind != FaultNone {
+		ref := core.LeafSpineLink{LeafOrd: f.Leaf, SpineOrd: f.Spine, Trunk: f.Trunk}
+		spine := rt.Topo.Spines()[f.Spine]
+		data.blamedGroup = rt.Topo.TrunkLinks(rt.Topo.Leaves()[f.Leaf], spine)
+		if f.Kind == FaultFlap {
+			// The flap faults both directions. Its upstream half drops
+			// traffic from the faulted leaf's hosts toward their ring
+			// successor, whose port has a single sender — the victim leaf
+			// cannot tell that remote uplink from its own local link
+			// (localize's single-sender ambiguity), so blaming the
+			// successor's link to the same spine is equally correct.
+			succ := rt.Topo.Leaves()[(f.Leaf+1)%spec.Topo.Leaves]
+			data.blamedGroup = append(data.blamedGroup, rt.Topo.TrunkLinks(succ, spine)...)
+		}
+		inject = func() { injectFatTree(rt, ref, f) }
+	}
+	if f.Kind != FaultNone && f.Onset == 0 {
+		inject()
+	}
+	rt.StartTraining(func(_ sim.Time, iter uint32) {
+		data.itersDone++
+		if f.Kind != FaultNone && int(iter) == f.Onset && f.Onset > 0 {
+			inject()
+		}
+	}, nil)
+	rt.Engine.Run()
+	sys.Flush(rt.Engine.Now())
+
+	data.windows = sys.Windows
+	data.events = sys.Events
+	data.stats = rt.Net.Stats()
+	data.audit = rt.Net.AuditConservation()
+	if rem := sys.Remediator(); rem != nil {
+		data.timeline = rem.Timeline
+		data.quarantined = rem.Quarantined()
+	}
+	data.fingerprint = fingerprintFatTree(rt, sys)
+	return data, nil
+}
+
+func injectFatTree(rt *core.Runtime, ref core.LeafSpineLink, f FaultSpec) {
+	switch f.Kind {
+	case FaultBernoulli:
+		if f.Upstream {
+			rt.InjectSilentDropUpstream(ref, f.Rate)
+		} else {
+			rt.InjectSilentDrop(ref, f.Rate)
+		}
+	case FaultBlackHole:
+		link := rt.Link(ref)
+		rt.Net.InjectFault(link, rt.Net.DirToward(link, rt.Topo.Leaves()[ref.LeafOrd]), fault.BlackHole{})
+	case FaultGE:
+		link := rt.Link(ref)
+		toward := rt.Topo.Leaves()[ref.LeafOrd]
+		if f.Upstream {
+			toward = rt.Topo.Spines()[ref.SpineOrd]
+		}
+		// Rate is the target steady-state loss; solve for pGB given the
+		// burst shape (piB·lossBad = Rate, piB = pGB/(pGB+pBG)).
+		piB := f.Rate / f.GELossBad
+		pGB := piB * f.GEPBG / (1 - piB)
+		rt.Net.InjectFault(link, rt.Net.DirToward(link, toward),
+			fault.NewGilbertElliott(pGB, f.GEPBG, 0, f.GELossBad,
+				sim.NewRNG(rt.Scenario.Seed, fmt.Sprintf("simtest/ge/%d", link))))
+	case FaultFlap:
+		rt.InjectLossyFlap(ref, sim.Duration(f.FlapPeriodPS), sim.Duration(f.FlapDownPS),
+			sim.Duration(f.FlapPhasePS), f.Rate)
+	}
+}
+
+func executeClos3(spec Spec, opts Options) (*runData, error) {
+	sc := core.Clos3Scenario{
+		Pods: spec.Topo.Pods, LeavesPerPod: spec.Topo.LeavesPerPod,
+		SpinesPerPod: spec.Topo.SpinesPerPod, CoresPerGroup: spec.Topo.CoresPerGroup,
+		BytesPerRank: spec.Work.BytesPerRank,
+		Iterations:   spec.Work.Iterations,
+		Seed:         spec.Seed,
+	}
+	rt, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	detCfg := detect.Config{Threshold: spec.DetectThreshold()}
+	if opts.MutateDetect != nil {
+		opts.MutateDetect(&detCfg)
+	}
+	sys := core.AttachClos3(rt, detCfg, predict.LearnedConfig{})
+
+	data := &runData{}
+	f := spec.Fault
+	inject := func() {
+		if f.CoreSpine {
+			rt.InjectCoreSpineDrop(f.Pod, f.SpineInPod, f.CoreIx, f.Rate)
+		} else {
+			rt.InjectSpineLeafDrop(f.Pod, f.LeafInPod, f.SpineInPod, f.Rate)
+		}
+	}
+	if f.Kind != FaultNone && f.Onset == 0 {
+		inject()
+	}
+	rt.StartTraining(func(_ sim.Time, iter uint32) {
+		data.itersDone++
+		if f.Kind != FaultNone && int(iter) == f.Onset && f.Onset > 0 {
+			inject()
+		}
+	})
+	rt.Engine.Run()
+	sys.Flush(rt.Engine.Now())
+
+	data.windows = sys.Windows
+	data.leafAlerts = sys.LeafEvents
+	data.spineAlerts = sys.SpineEvents
+	data.stats = rt.Net.Stats()
+	data.audit = rt.Net.AuditConservation()
+	data.fingerprint = fingerprintClos3(rt, sys)
+	return data, nil
+}
+
+// --- oracles ---
+
+func checkOracles(spec Spec, opts Options, d *runData) []string {
+	var bad []string
+	add := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+
+	// Oracle 1: byte conservation on every link, NIC, and switch port.
+	for _, msg := range d.audit {
+		add("conservation: %s", msg)
+	}
+	if d.itersDone != spec.Work.Iterations {
+		add("workload: completed %d of %d iterations", d.itersDone, spec.Work.Iterations)
+	}
+
+	if spec.Topo.Kind == Clos3 {
+		return append(bad, checkClos3Oracles(spec, opts, d)...)
+	}
+
+	f := spec.Fault
+	if f.Kind == FaultNone {
+		// Oracle 2: a healthy fabric is silent.
+		for _, e := range d.events {
+			add("clean run: alert %s", e.Alert)
+			break
+		}
+		if len(d.timeline) != 0 {
+			add("clean run: remediation acted: %s", d.timeline[0])
+		}
+		return bad
+	}
+
+	// Oracle 2 (prefix form): iterations strictly before onset are
+	// clean. The fault injects when iteration Onset completes, but that
+	// iteration's window only closes when the next iteration's traffic
+	// arrives — so window Onset straddles the injection and may
+	// legitimately catch the first retransmission spillover.
+	for _, e := range d.events {
+		if int(e.Alert.Iter) < f.Onset {
+			add("clean prefix: alert before fault onset %d: %s", f.Onset, e.Alert)
+			break
+		}
+	}
+
+	// Oracle 3: the fault is detected (deficit alert) — persistent
+	// kinds within the deadline, the flap by end of run — and some
+	// deficit alert's verdict blames the true link's trunk group.
+	deadline := f.Onset + opts.Deadline
+	if f.Kind == FaultGE {
+		// Bursty loss only matches its steady-state rate on average;
+		// give the burst process twice the windows to show itself.
+		deadline = f.Onset + 2*opts.Deadline
+	}
+	detected, localized := false, false
+	for _, e := range d.events {
+		a := e.Alert
+		if int(a.Iter) <= f.Onset {
+			continue
+		}
+		if a.Deviation < 0 {
+			if int(a.Iter) <= deadline || f.Kind == FaultFlap {
+				detected = true
+			}
+			for _, l := range e.Verdict.Links {
+				if linkInGroup(l, d.blamedGroup) {
+					localized = true
+				}
+			}
+			continue
+		}
+		// An intermittent link under per-packet least-loaded spray can
+		// hide its own deficit: dropped packets are retransmitted and
+		// delivered before the window closes, while the rerouted retx
+		// traffic lands as a *surplus* on the victim's sibling ports.
+		// Depending on where the down window falls relative to window
+		// closes, that surplus — on the faulted leaf or its ring
+		// successor (the flap is bidirectional) — is the flap's only
+		// signature, and it pins the loss to the same trunk group the
+		// deficit would have.
+		if f.Kind == FaultFlap && a.Deviation > 0 &&
+			(a.LeafOrdinal == f.Leaf || a.LeafOrdinal == (f.Leaf+1)%spec.Topo.Leaves) {
+			detected = true
+			localized = true
+		}
+	}
+	if !detected {
+		if f.Kind == FaultFlap {
+			add("detection: flap on leaf %d / spine %d never produced a deficit or sibling-surplus alert", f.Leaf, f.Spine)
+		} else {
+			add("detection: %s fault (rate %.3f, onset %d) not detected by iteration %d",
+				f.Kind, f.Rate, f.Onset, deadline)
+		}
+	}
+	if !localized {
+		add("localization: no deficit alert blamed the faulted leaf %d / spine %d group", f.Leaf, f.Spine)
+	}
+
+	// Oracle 4: remediation quarantines converge on the faulted group
+	// and flap damping bounds re-quarantine churn.
+	if spec.Work.Remediate {
+		bad = append(bad, checkRemediation(spec, d)...)
+	}
+	return bad
+}
+
+func checkRemediation(spec Spec, d *runData) []string {
+	var bad []string
+	add := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	f := spec.Fault
+
+	// No innocent link is quarantined under a near-threshold steady
+	// loss *before the true link is caught*. (A blackhole is exempt:
+	// the retransmission storm it causes legitimately shifts spray
+	// balance enough to implicate bystanders. After the true link is
+	// admin-downed, the fleet-wide spray re-equilibration skews other
+	// leaves' ingress splits by 1–2% — persistently, so the confirm
+	// streak can trip on an innocent link. No static predictor can
+	// model that shifted equilibrium, so post-remediation collateral
+	// is accepted; damping still bounds the churn below.)
+	trueQuarAt := sim.Time(0)
+	for _, a := range d.timeline {
+		if a.Kind == remediate.ActionQuarantine && linkInGroup(a.Link, d.blamedGroup) {
+			trueQuarAt = a.At
+			break
+		}
+	}
+	quarCount := map[topology.LinkID]int{}
+	for _, a := range d.timeline {
+		if a.Kind != remediate.ActionQuarantine {
+			continue
+		}
+		quarCount[a.Link]++
+		if f.Kind == FaultBernoulli && !linkInGroup(a.Link, d.blamedGroup) &&
+			(trueQuarAt == 0 || a.At < trueQuarAt) {
+			add("remediation: quarantined innocent link %d (fault is on leaf %d / spine %d)",
+				a.Link, f.Leaf, f.Spine)
+		}
+	}
+
+	// Damping bound: with the default penalty 1000 / suppress 2200 and
+	// a half-life far beyond these runs, a link can be quarantined at
+	// most floor(suppress/penalty)+1 = 3 times before damping pins it.
+	const dampBound = 3
+	for link, n := range quarCount {
+		if n > dampBound {
+			add("remediation: link %d quarantined %d times — oscillating past the damping bound %d",
+				link, n, dampBound)
+		}
+	}
+
+	// A persistent fault must end quarantined: probes sample the same
+	// loss process as data, so a Bernoulli or blackhole link cannot
+	// earn M clean rounds. (Bursty and flapping links legitimately can,
+	// while damping keeps the churn bounded above.)
+	if f.Kind == FaultBernoulli || f.Kind == FaultBlackHole {
+		if len(d.quarantined) == 0 {
+			add("remediation: persistent %s fault never quarantined", f.Kind)
+		}
+		if f.Kind == FaultBernoulli {
+			// Only innocents caught before the true link count — the
+			// post-remediation equilibrium shift above can legitimately
+			// hold a bystander down through the end of a short run.
+			preTrue := map[topology.LinkID]bool{}
+			for _, a := range d.timeline {
+				if a.Kind == remediate.ActionQuarantine && !linkInGroup(a.Link, d.blamedGroup) &&
+					(trueQuarAt == 0 || a.At < trueQuarAt) {
+					preTrue[a.Link] = true
+				}
+			}
+			for _, l := range d.quarantined {
+				if preTrue[l] {
+					add("remediation: innocent link %d still quarantined at end", l)
+				}
+			}
+		}
+	}
+	return bad
+}
+
+func checkClos3Oracles(spec Spec, opts Options, d *runData) []string {
+	var bad []string
+	add := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	f := spec.Fault
+
+	if f.Kind == FaultNone {
+		if n := len(d.leafAlerts) + len(d.spineAlerts); n != 0 {
+			add("clean clos3 run: %d alerts (first: %s)", n, firstAlert(d))
+		}
+		return bad
+	}
+	for _, a := range append(append([]detect.Alert(nil), d.leafAlerts...), d.spineAlerts...) {
+		if int(a.Iter) <= f.Onset {
+			add("clean prefix: clos3 alert before onset %d: %s", f.Onset, a)
+			break
+		}
+	}
+	victim, level := d.leafAlerts, "leaf"
+	if f.CoreSpine {
+		victim, level = d.spineAlerts, "spine"
+	}
+	deadline := f.Onset + opts.Deadline
+	detected := false
+	for _, a := range victim {
+		if int(a.Iter) > f.Onset && int(a.Iter) <= deadline && a.Deviation < 0 {
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		add("detection: clos3 %s-level fault (rate %.3f, onset %d) not seen by %s monitors by iteration %d",
+			faultLevelName(f), f.Rate, f.Onset, level, deadline)
+	}
+	return bad
+}
+
+func faultLevelName(f FaultSpec) string {
+	if f.CoreSpine {
+		return "core-spine"
+	}
+	return "spine-leaf"
+}
+
+func firstAlert(d *runData) detect.Alert {
+	if len(d.leafAlerts) > 0 {
+		return d.leafAlerts[0]
+	}
+	return d.spineAlerts[0]
+}
+
+func linkInGroup(l topology.LinkID, group []topology.LinkID) bool {
+	for _, g := range group {
+		if g == l {
+			return true
+		}
+	}
+	return false
+}
+
+// --- fingerprinting ---
+
+// fp accumulates the replay fingerprint over the run's observable
+// timeline.
+type fp struct {
+	h   hash.Hash64
+	buf [8]byte
+}
+
+func newFP() *fp { return &fp{h: fnv.New64a()} }
+
+func (f *fp) u64(v uint64) {
+	binary.LittleEndian.PutUint64(f.buf[:], v)
+	f.h.Write(f.buf[:])
+}
+func (f *fp) i64(v int64)   { f.u64(uint64(v)) }
+func (f *fp) f64(v float64) { f.u64(math.Float64bits(v)) }
+func (f *fp) str(s string)  { f.h.Write([]byte(s)); f.u64(uint64(len(s))) }
+func (f *fp) sum() uint64   { return f.h.Sum64() }
+func (f *fp) stats(s fabric.Stats) {
+	f.u64(s.Sent)
+	f.u64(s.SentBytes)
+	f.u64(s.Delivered)
+	f.u64(s.DeliveredBytes)
+	f.u64(s.FaultDropped)
+	f.u64(s.RouteDropped)
+	f.u64(s.RouteDroppedBytes)
+	f.u64(s.AdminDropped)
+	f.u64(s.PFCPauses)
+	f.u64(s.ProbesSent)
+	f.u64(s.ProbesLost)
+}
+
+func (f *fp) links(net *fabric.Network) {
+	topo := net.Topology()
+	for id := range topo.Links {
+		for _, dir := range []fabric.Direction{fabric.DirAtoB, fabric.DirBtoA} {
+			ls := net.LinkStats(topology.LinkID(id), dir)
+			f.u64(ls.Sent)
+			f.u64(ls.SentBytes)
+			f.u64(ls.Delivered)
+			f.u64(ls.DeliveredBytes)
+			f.u64(ls.FaultDropped)
+			f.u64(ls.FaultDroppedBytes)
+			f.u64(ls.AdminDropped)
+			f.u64(ls.AdminDroppedBytes)
+		}
+	}
+}
+
+func (f *fp) alert(a detect.Alert) {
+	f.i64(int64(a.Leaf))
+	f.i64(int64(a.LeafOrdinal))
+	f.i64(int64(a.Uplink))
+	f.i64(int64(a.Iter))
+	f.f64(a.Predicted)
+	f.f64(a.Observed)
+	f.f64(a.Deviation)
+	f.i64(int64(a.At))
+}
+
+func fingerprintFatTree(rt *core.Runtime, sys *core.System) uint64 {
+	f := newFP()
+	f.i64(int64(rt.Engine.Now()))
+	f.links(rt.Net)
+	f.stats(rt.Net.Stats())
+	for _, ws := range sys.Scores {
+		w := ws.Window
+		f.i64(int64(w.Leaf))
+		f.i64(int64(w.Iter))
+		f.i64(int64(w.OpenedAt))
+		f.i64(int64(w.ClosedAt))
+		for _, b := range w.PortBytes {
+			f.i64(b)
+		}
+		f.f64(ws.Score)
+	}
+	for _, e := range sys.Events {
+		f.alert(e.Alert)
+		f.i64(int64(e.Verdict.Kind))
+		for _, l := range e.Verdict.Links {
+			f.i64(int64(l))
+		}
+	}
+	if rem := sys.Remediator(); rem != nil {
+		for _, a := range rem.Timeline {
+			f.i64(int64(a.At))
+			f.i64(int64(a.Kind))
+			f.i64(int64(a.Link))
+			f.str(a.Detail)
+		}
+	}
+	return f.sum()
+}
+
+func fingerprintClos3(rt *core.Clos3Runtime, sys *core.Clos3System) uint64 {
+	f := newFP()
+	f.i64(int64(rt.Engine.Now()))
+	f.links(rt.Net)
+	f.stats(rt.Net.Stats())
+	f.i64(int64(sys.Windows))
+	for _, a := range sys.LeafEvents {
+		f.alert(a)
+	}
+	for _, a := range sys.SpineEvents {
+		f.alert(a)
+	}
+	return f.sum()
+}

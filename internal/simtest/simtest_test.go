@@ -1,0 +1,185 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+
+	"flowpulse/internal/core"
+	"flowpulse/internal/detect"
+)
+
+// TestGenerateDeterministic: the seed→spec map is a pure function, and
+// every generated spec is already normalized (normalize is idempotent
+// on Generate's output — the property ReproCommand's seed-vs-spec
+// decision rests on).
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 500; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a != b {
+			t.Fatalf("seed %d: Generate is not deterministic:\n%s\n%s", seed, a.MarshalCompact(), b.MarshalCompact())
+		}
+		norm := a
+		norm.normalize()
+		if norm != a {
+			t.Fatalf("seed %d: Generate output not normalized:\n%s\n%s", seed, a.MarshalCompact(), norm.MarshalCompact())
+		}
+	}
+}
+
+// TestSpecJSONRoundTrip: the compact encoding is lossless — a shrunk
+// repro pasted back into -spec reruns the exact same scenario.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		spec := Generate(seed)
+		back, err := ParseSpec(spec.MarshalCompact())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if back != spec {
+			t.Fatalf("seed %d: round trip changed the spec:\n%s\n%s", seed, spec.MarshalCompact(), back.MarshalCompact())
+		}
+	}
+}
+
+// TestGenerateEnvelope: generated fault schedules respect the
+// constraints the oracles rely on.
+func TestGenerateEnvelope(t *testing.T) {
+	for seed := uint64(0); seed < 500; seed++ {
+		spec := Generate(seed)
+		thr := spec.DetectThreshold()
+		f := spec.Fault
+		switch f.Kind {
+		case FaultNone:
+			if f != (FaultSpec{Kind: FaultNone}) {
+				t.Fatalf("seed %d: fault-free spec carries fault fields: %s", seed, spec.MarshalCompact())
+			}
+		case FaultBernoulli, FaultFlap:
+			if f.Rate < 3*thr && f.Rate < 0.6 {
+				t.Fatalf("seed %d: %s rate %.4f below 3×threshold %.4f", seed, f.Kind, f.Rate, thr)
+			}
+		case FaultGE:
+			if f.Rate < 4*thr && f.Rate < 0.45 {
+				t.Fatalf("seed %d: GE rate %.4f below 4×threshold %.4f", seed, f.Rate, thr)
+			}
+			if f.Rate >= 0.8*f.GELossBad {
+				t.Fatalf("seed %d: GE steady-state %.4f too close to in-burst loss %.4f", seed, f.Rate, f.GELossBad)
+			}
+		}
+		if f.Kind != FaultNone {
+			if f.Onset > spec.Work.Iterations-4 {
+				t.Fatalf("seed %d: onset %d leaves no deadline room in %d iterations", seed, f.Onset, spec.Work.Iterations)
+			}
+			if spec.Work.Predictor == core.LearnedModel && f.Onset < 4 {
+				t.Fatalf("seed %d: onset %d inside the learned model's warm-up", seed, f.Onset)
+			}
+		}
+		if f.Upstream && spec.Work.Collective != core.AllToAllKind {
+			t.Fatalf("seed %d: upstream fault outside all-to-all: %s", seed, spec.MarshalCompact())
+		}
+	}
+}
+
+// TestRunSmoke fuzzes a handful of seeds end to end — every oracle
+// must hold on an unmodified pipeline.
+func TestRunSmoke(t *testing.T) {
+	n := uint64(12)
+	if testing.Short() {
+		n = 4
+	}
+	for seed := uint64(0); seed < n; seed++ {
+		res := Run(Generate(seed), Options{})
+		if !res.OK() {
+			t.Errorf("seed %d: %v", seed, res.Violations)
+		}
+	}
+}
+
+// TestInjectedDetectorBugCaught is the self-test the fuzzer's value
+// rests on: plant a detector bug — the threshold misconfigured 10×
+// coarse — and the oracles must notice on some seed, and shrinking
+// must still hand back a failing spec with a usable repro command.
+func TestInjectedDetectorBugCaught(t *testing.T) {
+	opts := Options{MutateDetect: func(c *detect.Config) {
+		if c.Threshold == 0 {
+			c.Threshold = 0.01
+		}
+		c.Threshold *= 10
+	}}
+	var failed *Result
+	for seed := uint64(0); seed < 40 && failed == nil; seed++ {
+		spec := Generate(seed)
+		// A 10× threshold cannot mask a blackhole (the deficit is
+		// −100%), so hunt on the rate-bounded fault kinds.
+		switch spec.Fault.Kind {
+		case FaultBernoulli, FaultGE:
+		default:
+			continue
+		}
+		if res := Run(spec, opts); !res.OK() {
+			failed = res
+		}
+	}
+	if failed == nil {
+		t.Fatal("a 10× detection threshold was not caught by any oracle in 40 seeds")
+	}
+	joined := strings.Join(failed.Violations, "\n")
+	if !strings.Contains(joined, "detection:") && !strings.Contains(joined, "remediation:") {
+		t.Fatalf("expected a detection/remediation violation, got:\n%s", joined)
+	}
+
+	shrunk, runs := Shrink(failed.Spec, opts, 0)
+	if runs == 0 {
+		t.Fatal("shrink spent no runs")
+	}
+	if res := Run(shrunk, opts); res.OK() {
+		t.Fatalf("shrunk spec no longer fails: %s", shrunk.MarshalCompact())
+	}
+	if cmd := shrunk.ReproCommand(); !strings.Contains(cmd, "flowpulse-check") {
+		t.Fatalf("unusable repro command %q", cmd)
+	}
+	t.Logf("bug caught on seed %d, shrunk in %d runs: %s", failed.Spec.Seed, runs, shrunk.ReproCommand())
+}
+
+// TestReplayFingerprintStable: Run executes every spec twice and
+// compares fingerprints internally; this additionally pins that two
+// separate Run calls agree (no cross-call state).
+func TestReplayFingerprintStable(t *testing.T) {
+	spec := Generate(3)
+	a, b := Run(spec, Options{}), Run(spec, Options{})
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints differ across Run calls: %016x != %016x", a.Fingerprint, b.Fingerprint)
+	}
+	if a.Fingerprint == 0 {
+		t.Fatal("fingerprint is zero — nothing was hashed")
+	}
+}
+
+// TestShrinkBudgetAndNormalization: under a detector broken badly
+// enough that faulted specs keep failing (99% threshold), the shrinker
+// must respect its run budget and return a normalized spec.
+func TestShrinkBudgetAndNormalization(t *testing.T) {
+	opts := Options{MutateDetect: func(c *detect.Config) { c.Threshold = 0.99 }}
+	var failing Spec
+	found := false
+	for seed := uint64(0); seed < 40 && !found; seed++ {
+		spec := Generate(seed)
+		if spec.Fault.Kind != FaultBernoulli {
+			continue
+		}
+		if res := Run(spec, opts); !res.OK() {
+			failing, found = spec, true
+		}
+	}
+	if !found {
+		t.Skip("no bernoulli seed failed under a 99% threshold")
+	}
+	shrunk, runs := Shrink(failing, opts, 10)
+	if runs > 10 {
+		t.Fatalf("shrink overspent its budget: %d runs", runs)
+	}
+	norm := shrunk
+	norm.normalize()
+	if norm != shrunk {
+		t.Fatalf("shrink returned a non-normalized spec: %s", shrunk.MarshalCompact())
+	}
+}

@@ -1,0 +1,555 @@
+// Package simtest is FlowPulse's deterministic simulation fuzzer — the
+// VOPR/FoundationDB pattern applied to a network monitoring system.
+// A single 64-bit seed derives a complete scenario (topology, workload,
+// fault schedule); the full detect → localize → remediate pipeline runs
+// over it twice; and a set of invariant oracles checks what no example-
+// based test can: byte conservation on every link, silence on healthy
+// fabrics, detection and localization of every persistent fault, damped
+// remediation, and bit-identical replay. Failing seeds shrink to a
+// minimal spec and print as a one-line repro command.
+package simtest
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"flowpulse/internal/core"
+	"flowpulse/internal/sim"
+)
+
+// TopoKind selects the fabric family.
+type TopoKind string
+
+// The fabric families the fuzzer explores.
+const (
+	FatTree2 TopoKind = "fat-tree"
+	Clos3    TopoKind = "clos3"
+)
+
+// PredictorKind mirrors core.PredictorKind (kept as its own string so a
+// Spec is a self-contained JSON document).
+type PredictorKind = core.PredictorKind
+
+// FaultKind names a fault schedule entry.
+type FaultKind string
+
+// The fault processes the fuzzer injects.
+const (
+	FaultNone      FaultKind = "none"
+	FaultBernoulli FaultKind = "bernoulli"
+	FaultBlackHole FaultKind = "blackhole"
+	FaultGE        FaultKind = "gilbert-elliott"
+	FaultFlap      FaultKind = "flap"
+)
+
+// TopoSpec shapes the fabric. Fat-tree fields and Clos fields are
+// mutually exclusive by Kind.
+type TopoSpec struct {
+	Kind TopoKind `json:"kind"`
+
+	// Fat tree.
+	Leaves       int `json:"leaves,omitempty"`
+	Spines       int `json:"spines,omitempty"`
+	HostsPerLeaf int `json:"hostsPerLeaf,omitempty"`
+	Trunk        int `json:"trunk,omitempty"`
+
+	// Three-level Clos.
+	Pods          int `json:"pods,omitempty"`
+	LeavesPerPod  int `json:"leavesPerPod,omitempty"`
+	SpinesPerPod  int `json:"spinesPerPod,omitempty"`
+	CoresPerGroup int `json:"coresPerGroup,omitempty"`
+}
+
+// WorkSpec shapes the training workload.
+type WorkSpec struct {
+	// Collective applies to fat trees; three-level runs are always
+	// Ring-AllReduce (the only collective Clos3Scenario builds).
+	Collective   core.CollectiveKind `json:"collective,omitempty"`
+	BytesPerRank int64               `json:"bytesPerRank"`
+	Iterations   int                 `json:"iterations"`
+	// JitterPS is per-iteration start jitter in picoseconds.
+	JitterPS int64 `json:"jitterPS,omitempty"`
+	// Predictor selects the load model (fat tree; Clos runs learned at
+	// both levels).
+	Predictor PredictorKind `json:"predictor,omitempty"`
+	// Remediate attaches the closed-loop control plane (fat tree only).
+	Remediate bool `json:"remediate,omitempty"`
+}
+
+// DetectThreshold is the detection threshold a spec's pipeline runs at.
+// It is derived, not drawn: a window of B bytes is quantized in MTU
+// units by spray and scheduling, so thresholds below ~MTU/B alert on
+// arithmetic noise, not faults (the paper's Fig 5c size–threshold
+// tradeoff). The fuzzer therefore scales the threshold to 8 MTU of the
+// smallest expected per-port window, floored at the paper's 1%, and
+// normalize() keeps every fault rate a detectable multiple of it.
+func (s Spec) DetectThreshold() float64 {
+	const mtu = 4160
+	d := float64(s.Work.BytesPerRank)
+	var perPort float64
+	if s.Topo.Kind == Clos3 {
+		// The spine monitors see the inter-pod share spread over
+		// spine-count × core-group ports — the smallest windows.
+		perPort = 2 * d / float64(s.Topo.SpinesPerPod*s.Topo.CoresPerGroup)
+	} else {
+		st := float64(s.Topo.Spines * s.Topo.Trunk)
+		if s.Work.Collective == core.RingAllReduce {
+			// A contiguous ring crosses each leaf boundary once per
+			// direction: ~2·D(N−1)/N ingress per leaf.
+			perPort = 1.8 * d / st
+		} else {
+			perPort = 0.9 * float64(s.Topo.HostsPerLeaf) * d / st
+		}
+	}
+	thr := 8 * mtu / perPort
+	if thr < 0.01 {
+		thr = 0.01
+	}
+	if thr > 0.25 {
+		thr = 0.25
+	}
+	return thr
+}
+
+// FaultSpec is the fault schedule: at most one fault process, attached
+// when the workload completes iteration Onset (0 = before training).
+type FaultSpec struct {
+	Kind FaultKind `json:"kind"`
+	// Onset is the iteration after which the fault is live; iterations
+	// 1..Onset are clean.
+	Onset int `json:"onset,omitempty"`
+	// Rate is the Bernoulli drop probability, the flap's in-burst loss,
+	// or (for Gilbert–Elliott) the target steady-state loss.
+	Rate float64 `json:"rate,omitempty"`
+
+	// Fat-tree location (leaf-spine link by ordinals) and direction.
+	Leaf     int  `json:"leaf,omitempty"`
+	Spine    int  `json:"spine,omitempty"`
+	Trunk    int  `json:"trunk,omitempty"`
+	Upstream bool `json:"upstream,omitempty"`
+
+	// Clos location: CoreSpine selects a core→spine fault (seen by
+	// spine monitors) instead of spine→leaf (seen by leaf monitors).
+	CoreSpine  bool `json:"coreSpine,omitempty"`
+	Pod        int  `json:"pod,omitempty"`
+	LeafInPod  int  `json:"leafInPod,omitempty"`
+	SpineInPod int  `json:"spineInPod,omitempty"`
+	CoreIx     int  `json:"coreIx,omitempty"`
+
+	// Gilbert–Elliott shape (Rate fixes the steady-state loss).
+	GEPBG     float64 `json:"gePBG,omitempty"`
+	GELossBad float64 `json:"geLossBad,omitempty"`
+
+	// Flap timing in picoseconds.
+	FlapPeriodPS int64 `json:"flapPeriodPS,omitempty"`
+	FlapDownPS   int64 `json:"flapDownPS,omitempty"`
+	FlapPhasePS  int64 `json:"flapPhasePS,omitempty"`
+}
+
+// Spec is one complete fuzz scenario. The zero of every field is
+// meaningful, so a Spec round-trips through JSON losslessly and the
+// compact encoding is the repro format.
+type Spec struct {
+	Seed  uint64    `json:"seed"`
+	Topo  TopoSpec  `json:"topo"`
+	Work  WorkSpec  `json:"work"`
+	Fault FaultSpec `json:"fault"`
+}
+
+// Generate derives the Spec for a seed. Every draw comes from named
+// streams of the seed, so adding a new knob never perturbs the
+// scenarios existing seeds map to (same discipline as the simulator's
+// own RNG use).
+func Generate(seed uint64) Spec {
+	s := Spec{Seed: seed}
+	topoRNG := sim.NewRNG(seed, "simtest/topo")
+	workRNG := sim.NewRNG(seed, "simtest/work")
+	faultRNG := sim.NewRNG(seed, "simtest/fault")
+
+	if topoRNG.Float64() < 0.8 {
+		s.Topo = TopoSpec{
+			Kind:         FatTree2,
+			Leaves:       4 + topoRNG.IntN(7), // 4..10
+			Spines:       2 + topoRNG.IntN(4), // 2..5
+			HostsPerLeaf: 1,
+			Trunk:        1,
+		}
+		if topoRNG.Float64() < 0.25 {
+			s.Topo.HostsPerLeaf = 2
+		}
+		if topoRNG.Float64() < 0.25 {
+			s.Topo.Trunk = 2
+		}
+	} else {
+		s.Topo = TopoSpec{
+			Kind:          Clos3,
+			Pods:          2 + topoRNG.IntN(2), // 2..3
+			LeavesPerPod:  2 + topoRNG.IntN(3), // 2..4
+			SpinesPerPod:  2,
+			CoresPerGroup: 2 + topoRNG.IntN(2), // 2..3
+		}
+	}
+
+	sizes := []int64{1 << 20, 1 << 20, 2 << 20, 2 << 20, 4 << 20}
+	s.Work.BytesPerRank = sizes[workRNG.IntN(len(sizes))]
+	if s.Topo.Kind == FatTree2 {
+		colls := []core.CollectiveKind{
+			core.RingAllReduce, core.RingAllReduce,
+			core.ReduceScatter, core.AllGatherKind, core.AllToAllKind,
+		}
+		s.Work.Collective = colls[workRNG.IntN(len(colls))]
+		switch p := workRNG.Float64(); {
+		case p < 0.5:
+			s.Work.Predictor = core.AnalyticalModel
+		case p < 0.7:
+			s.Work.Predictor = core.SimulationModel
+		default:
+			s.Work.Predictor = core.LearnedModel
+		}
+		if s.Work.Collective == core.AllToAllKind {
+			// Least-loaded spray balances each sender's aggregate egress,
+			// not its per-destination split, so a receiver's per-port mix
+			// in all-to-all is structurally imbalanced (±8–20% when
+			// healthy). Only the iteration-aligned reference run predicts
+			// through that; the uniform-split analytical model and the
+			// warm-up-mean learned baseline both alert on clean fabrics.
+			s.Work.Predictor = core.SimulationModel
+		}
+		s.Work.Iterations = 6 + workRNG.IntN(5) // 6..10
+		if s.Work.Predictor == core.LearnedModel {
+			s.Work.Iterations = 9 + workRNG.IntN(4) // warm-up headroom
+		}
+		if workRNG.Float64() < 0.5 {
+			s.Work.JitterPS = int64((1 + workRNG.IntN(2)) * int(sim.Microsecond))
+		}
+		// The control plane's rebaseline path is wired to models that
+		// implement Rebaseliner; the simulation model cannot refresh
+		// its reference windows, so the loop only runs on the others.
+		// Ring only: the quarantine shifts live load, and only the
+		// ring's balanced per-port mix keeps the rebaselined model's
+		// expectations tight enough to not implicate bystanders.
+		if s.Work.Predictor == core.AnalyticalModel &&
+			s.Work.Collective == core.RingAllReduce && workRNG.Float64() < 0.35 {
+			s.Work.Remediate = true
+		}
+	} else {
+		s.Work.Collective = core.RingAllReduce
+		s.Work.Predictor = core.LearnedModel
+		s.Work.Iterations = 9 + workRNG.IntN(4) // 9..12
+	}
+
+	s.Fault = generateFault(&s, faultRNG)
+	s.normalize()
+	return s
+}
+
+func generateFault(s *Spec, rng *sim.RNG) FaultSpec {
+	// Rates are drawn as multiples of the spec's derived detection
+	// threshold so every persistent fault is comfortably detectable and
+	// the detection-deadline oracle is meaningful at any scale.
+	thr := s.DetectThreshold()
+	f := FaultSpec{Kind: FaultNone}
+	if s.Topo.Kind == Clos3 {
+		if rng.Float64() < 0.6 {
+			f.Kind = FaultBernoulli
+			f.Rate = thr * (3 + 2*rng.Float64())
+			f.CoreSpine = rng.Float64() < 0.5
+			f.Pod = rng.IntN(s.Topo.Pods)
+			f.LeafInPod = rng.IntN(s.Topo.LeavesPerPod)
+			f.SpineInPod = rng.IntN(s.Topo.SpinesPerPod)
+			f.CoreIx = rng.IntN(s.Topo.CoresPerGroup)
+			// The learned baseline forms over the warm-up windows; a
+			// fault inside them is baked into the model, not detected.
+			f.Onset = 4 + rng.IntN(2)
+		}
+		return f
+	}
+
+	switch p := rng.Float64(); {
+	case p < 0.25:
+		return f
+	case p < 0.55:
+		f.Kind = FaultBernoulli
+		f.Rate = thr * (3 + 3*rng.Float64())
+	case p < 0.65:
+		f.Kind = FaultBlackHole
+		f.Rate = 1
+	case p < 0.82:
+		f.Kind = FaultGE
+		f.Rate = thr * (4 + 2*rng.Float64()) // steady-state loss
+		f.GEPBG = 0.05 + 0.15*rng.Float64()
+		f.GELossBad = 0.4 + 0.4*rng.Float64()
+	default:
+		f.Kind = FaultFlap
+		// Per-packet least-loaded spray actively refills a lossy port
+		// (drops drain its queue, so it looks *least* loaded), masking
+		// duty-cycle-averaged loss below ~15% entirely. A 2/3-duty down
+		// window at ≥30% in-burst loss keeps the port deficit well above
+		// what the spray can compensate at any flap phase.
+		f.Rate = 0.3 + 0.25*rng.Float64()
+		if f.Rate < 3*thr {
+			f.Rate = 3 * thr
+		}
+		est := estIterTime(s)
+		f.FlapPeriodPS = int64(3 * est)
+		f.FlapDownPS = int64(2 * est)
+		f.FlapPhasePS = int64(rng.UniformDuration(3 * est))
+	}
+	f.Leaf = rng.IntN(s.Topo.Leaves)
+	f.Spine = rng.IntN(s.Topo.Spines)
+	f.Trunk = rng.IntN(s.Topo.Trunk)
+	// Upstream (leaf→spine) loss is only cleanly observable in
+	// all-to-all: a ring port has a single sender, so the victim leaf
+	// cannot distinguish the remote uplink from its own local link,
+	// while many-sender ports localize it exactly (one affected sender,
+	// the rest clean). Port-level detection dilutes the deficit by the
+	// sender count, so normalize() scales the rate up to match.
+	if f.Kind == FaultBernoulli && s.Work.Collective == core.AllToAllKind &&
+		s.Work.Predictor == core.SimulationModel {
+		f.Upstream = rng.Float64() < 0.5
+	}
+	maxOnset := s.Work.Iterations / 2
+	if f.Kind != FaultNone {
+		f.Onset = rng.IntN(maxOnset + 1)
+	}
+	return f
+}
+
+// estIterTime is the rough wall time of one ring iteration: each rank
+// moves ~2·D wire bytes per iteration at the default 400 Gb/s.
+func estIterTime(s *Spec) sim.Duration {
+	return sim.SerializationDelay(int(2*s.Work.BytesPerRank), 400e9)
+}
+
+// normalize clamps a Spec into the valid envelope. It runs after
+// generation, after every shrink step, and on operator-supplied specs,
+// so the runner only ever sees scenarios it can build.
+func (s *Spec) normalize() {
+	t, w, f := &s.Topo, &s.Work, &s.Fault
+	if t.Kind == "" {
+		t.Kind = FatTree2
+	}
+	if w.BytesPerRank < 256<<10 {
+		w.BytesPerRank = 256 << 10
+	}
+	switch t.Kind {
+	case FatTree2:
+		t.Leaves = clamp(t.Leaves, 4, 32)
+		t.Spines = clamp(t.Spines, 2, 16)
+		t.HostsPerLeaf = clamp(t.HostsPerLeaf, 1, 2)
+		t.Trunk = clamp(t.Trunk, 1, 2)
+		t.Pods, t.LeavesPerPod, t.SpinesPerPod, t.CoresPerGroup = 0, 0, 0, 0
+		if w.Collective == "" {
+			w.Collective = core.RingAllReduce
+		}
+		if w.Predictor == "" {
+			w.Predictor = core.AnalyticalModel
+		}
+		if w.Collective == core.AllToAllKind {
+			w.Predictor = core.SimulationModel // see Generate
+		}
+		if w.Predictor != core.AnalyticalModel || w.Collective != core.RingAllReduce {
+			w.Remediate = false
+		}
+		if f.Kind == FaultFlap {
+			// Flap timing is phrased in iteration wall time, which only
+			// the ring's fixed schedule makes predictable.
+			w.Collective = core.RingAllReduce
+			f.Upstream = false
+			if f.FlapPeriodPS <= 0 {
+				f.FlapPeriodPS = int64(3 * estIterTime(s))
+			}
+			f.FlapDownPS = clamp64(f.FlapDownPS, 1, f.FlapPeriodPS)
+			f.FlapPhasePS = clamp64(f.FlapPhasePS, 0, f.FlapPeriodPS-1)
+		}
+		f.Leaf = clamp(f.Leaf, 0, t.Leaves-1)
+		f.Spine = clamp(f.Spine, 0, t.Spines-1)
+		f.Trunk = clamp(f.Trunk, 0, t.Trunk-1)
+	case Clos3:
+		t.Pods = clamp(t.Pods, 2, 4)
+		t.LeavesPerPod = clamp(t.LeavesPerPod, 2, 4)
+		t.SpinesPerPod = clamp(t.SpinesPerPod, 2, 2)
+		t.CoresPerGroup = clamp(t.CoresPerGroup, 2, 4)
+		t.Leaves, t.Spines, t.HostsPerLeaf, t.Trunk = 0, 0, 0, 0
+		w.Collective = core.RingAllReduce
+		w.Predictor = core.LearnedModel
+		w.Remediate = false
+		w.JitterPS = 0
+		if f.Kind != FaultNone && f.Kind != FaultBernoulli {
+			f.Kind = FaultBernoulli
+			if f.Rate <= 0 || f.Rate >= 1 {
+				f.Rate = 0.05
+			}
+		}
+		f.Pod = clamp(f.Pod, 0, t.Pods-1)
+		f.LeafInPod = clamp(f.LeafInPod, 0, t.LeavesPerPod-1)
+		f.SpineInPod = clamp(f.SpineInPod, 0, t.SpinesPerPod-1)
+		f.CoreIx = clamp(f.CoreIx, 0, t.CoresPerGroup-1)
+	}
+
+	switch f.Kind {
+	case FaultNone, FaultBernoulli, FaultBlackHole, FaultGE, FaultFlap:
+	default:
+		f.Kind = FaultNone
+	}
+	// Rates are pinned to the derived threshold: ≥3× so the
+	// detection-deadline oracle holds, capped so the collective still
+	// completes through retransmission.
+	thr := s.DetectThreshold()
+	if f.Kind == FaultGE && thr > 0.12 {
+		// GE's burst variance eats the detection margin at coarse
+		// thresholds; the steady Bernoulli process keeps the oracle sound.
+		f.Kind = FaultBernoulli
+	}
+	if f.Upstream && (f.Kind != FaultBernoulli || w.Collective != core.AllToAllKind ||
+		w.Predictor != core.SimulationModel) {
+		f.Upstream = false
+	}
+	switch f.Kind {
+	case FaultBernoulli:
+		if f.Rate <= 0 || f.Rate >= 1 {
+			f.Rate = 0.05
+		}
+		lo, hi := 3*thr, 0.6
+		if w.Remediate {
+			// The control loop reroutes live traffic; keeping the fault
+			// near-threshold avoids retransmission storms that shift the
+			// spray balance and quarantine bystander links.
+			hi = 4.5 * thr
+		}
+		if f.Upstream {
+			// The port-level deficit is the rate diluted over the
+			// senders sharing the port; scale the rate so the detector
+			// still sees ≥3× threshold, or drop the upstream twist when
+			// no survivable rate can clear that bar.
+			lo = 3 * thr * float64(t.Leaves-1)
+			if lo > hi {
+				f.Upstream = false
+				lo = 3 * thr
+			}
+		}
+		f.Rate = clampF(f.Rate, lo, hi)
+	case FaultBlackHole:
+		f.Rate = 1
+	case FaultGE:
+		if f.GELossBad <= 0 || f.GELossBad > 1 {
+			f.GELossBad = 0.5
+		}
+		if f.GEPBG <= 0 || f.GEPBG > 1 {
+			f.GEPBG = 0.1
+		}
+		if f.Rate <= 0 {
+			f.Rate = f.GELossBad / 2
+		}
+		// Bursty loss clears the threshold only on average; the extra
+		// margin (and the doubled deadline in the oracle) covers windows
+		// the burst process happens to spare.
+		f.Rate = clampF(f.Rate, 4*thr, 0.45)
+		// Rate is the steady-state loss; it must sit strictly inside
+		// (0, lossBad) for the pGB solve in the runner to be valid.
+		if f.Rate >= 0.8*f.GELossBad {
+			f.GELossBad = clampF(f.Rate/0.7, 0, 0.9)
+		}
+	case FaultFlap:
+		if f.Rate <= 0 || f.Rate >= 1 {
+			f.Rate = 0.4
+		}
+		// ≥0.3 in-burst: below that, least-loaded spray masks the
+		// duty-cycle-averaged deficit (see Generate).
+		lo := 0.3
+		if 3*thr > lo {
+			lo = 3 * thr
+		}
+		f.Rate = clampF(f.Rate, lo, 0.6)
+	}
+
+	minIters := 4
+	if w.Predictor == core.LearnedModel {
+		minIters = 6
+	}
+	w.Iterations = clamp(w.Iterations, minIters, 32)
+	if f.Kind == FaultNone {
+		*f = FaultSpec{Kind: FaultNone}
+		return
+	}
+	minOnset := 0
+	if w.Predictor == core.LearnedModel {
+		minOnset = 4 // past warm-up, so the baseline stays clean
+	}
+	maxOnset := w.Iterations - 4 // leave the detection deadline room
+	if w.Remediate {
+		maxOnset = w.Iterations - 5 // confirmation takes K=3 windows
+	}
+	if f.Kind == FaultGE {
+		maxOnset = w.Iterations - 8 // the oracle doubles GE's deadline
+	}
+	if maxOnset < minOnset {
+		w.Iterations += minOnset - maxOnset
+		maxOnset = minOnset
+	}
+	f.Onset = clamp(f.Onset, minOnset, maxOnset)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// clampF applies the lower bound first, so when lo > hi (a 3×threshold
+// floor above the completion cap) the cap wins and the rate stays
+// survivable.
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// MarshalCompact renders the spec as the one-line JSON the repro
+// command embeds.
+func (s Spec) MarshalCompact() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err) // Spec contains only marshalable fields
+	}
+	return string(b)
+}
+
+// ParseSpec decodes a compact spec, normalizing it into the valid
+// envelope.
+func ParseSpec(data string) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal([]byte(data), &s); err != nil {
+		return Spec{}, fmt.Errorf("simtest: bad spec: %w", err)
+	}
+	s.normalize()
+	return s, nil
+}
+
+// ReproCommand is the one-line reproduction recipe for a spec. A spec
+// that still equals Generate(seed) reproduces from the seed alone;
+// otherwise (post-shrink) the full JSON is embedded.
+func (s Spec) ReproCommand() string {
+	if gen := Generate(s.Seed); gen == s {
+		return fmt.Sprintf("go run ./cmd/flowpulse-check -seed %d", s.Seed)
+	}
+	return fmt.Sprintf("go run ./cmd/flowpulse-check -spec '%s'", s.MarshalCompact())
+}

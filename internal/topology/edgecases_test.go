@@ -1,0 +1,161 @@
+package topology
+
+import "testing"
+
+// Table-driven edge cases for the fat-tree builder: odd radixes, odd
+// switch counts, single-host leaves, and trunked leaf-spine links.
+// Each case checks the structural invariants the fabric and telemetry
+// layers assume: element counts, the fixed port layout, and the
+// port↔(spine, trunk) translation being a bijection.
+func TestFatTreeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  FatTreeConfig
+	}{
+		{"odd spines", FatTreeConfig{Leaves: 6, Spines: 3}},
+		{"odd leaves odd spines", FatTreeConfig{Leaves: 5, Spines: 5}},
+		{"single spine", FatTreeConfig{Leaves: 4, Spines: 1}},
+		{"two leaves", FatTreeConfig{Leaves: 2, Spines: 2}},
+		{"odd radix multi-host", FatTreeConfig{Leaves: 4, Spines: 3, HostsPerLeaf: 2}},
+		{"trunked", FatTreeConfig{Leaves: 4, Spines: 2, Trunk: 2}},
+		{"odd trunk", FatTreeConfig{Leaves: 3, Spines: 2, Trunk: 3}},
+		{"trunked multi-host odd spines", FatTreeConfig{Leaves: 5, Spines: 3, HostsPerLeaf: 2, Trunk: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := NewFatTree(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := tc.cfg
+			cfg.setDefaults()
+
+			if got := len(topo.Leaves()); got != cfg.Leaves {
+				t.Errorf("leaves: %d, want %d", got, cfg.Leaves)
+			}
+			if got := len(topo.Spines()); got != cfg.Spines {
+				t.Errorf("spines: %d, want %d", got, cfg.Spines)
+			}
+			if got := len(topo.Hosts); got != cfg.Leaves*cfg.HostsPerLeaf {
+				t.Errorf("hosts: %d, want %d", got, cfg.Leaves*cfg.HostsPerLeaf)
+			}
+			wantLinks := cfg.Leaves*cfg.HostsPerLeaf + cfg.Leaves*cfg.Spines*cfg.Trunk
+			if got := len(topo.Links); got != wantLinks {
+				t.Errorf("links: %d, want %d", got, wantLinks)
+			}
+
+			for _, leaf := range topo.Leaves() {
+				if got := len(topo.HostsOf(leaf)); got != cfg.HostsPerLeaf {
+					t.Errorf("leaf %d: %d hosts, want %d", leaf, got, cfg.HostsPerLeaf)
+				}
+				// The port layout is a bijection: every (spine, trunk)
+				// pair maps to a distinct port and back.
+				seen := map[int]bool{}
+				for so, spine := range topo.Spines() {
+					if got := len(topo.TrunkLinks(leaf, spine)); got != cfg.Trunk {
+						t.Errorf("leaf %d spine %d: trunk group size %d, want %d", leaf, spine, got, cfg.Trunk)
+					}
+					for k := 0; k < cfg.Trunk; k++ {
+						port := topo.LeafUpPort(leaf, so, k)
+						if port < cfg.HostsPerLeaf || seen[port] {
+							t.Fatalf("leaf %d: port %d for spine %d trunk %d reused or in host range", leaf, port, so, k)
+						}
+						seen[port] = true
+						gs, gk := topo.SpineOrdinalOfLeafPort(leaf, port)
+						if gs != so || gk != k {
+							t.Errorf("leaf %d port %d: round trip (%d,%d), want (%d,%d)", leaf, port, gs, gk, so, k)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// Table-driven edge cases for the 3-level Clos builder: odd pod
+// counts, single-leaf pods, single-host leaves, odd core groups, and
+// trunked spine-core links.
+func TestClos3EdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Clos3Config
+	}{
+		{"minimal", Clos3Config{Pods: 2, LeavesPerPod: 1, SpinesPerPod: 1, CoresPerGroup: 1}},
+		{"odd pods", Clos3Config{Pods: 3, LeavesPerPod: 2, SpinesPerPod: 2, CoresPerGroup: 2}},
+		{"odd core group", Clos3Config{Pods: 2, LeavesPerPod: 2, SpinesPerPod: 2, CoresPerGroup: 3}},
+		{"single-leaf pods multi-host", Clos3Config{Pods: 3, LeavesPerPod: 1, SpinesPerPod: 2, CoresPerGroup: 2, HostsPerLeaf: 2}},
+		{"trunked spine links", Clos3Config{Pods: 2, LeavesPerPod: 2, SpinesPerPod: 2, CoresPerGroup: 2, Trunk: 2}},
+		{"odd everything", Clos3Config{Pods: 3, LeavesPerPod: 3, SpinesPerPod: 3, CoresPerGroup: 3, Trunk: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := NewClos3(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := tc.cfg
+			cfg.setDefaults()
+
+			nCores := cfg.SpinesPerPod * cfg.CoresPerGroup
+			if got := len(topo.Cores()); got != nCores {
+				t.Errorf("cores: %d, want %d", got, nCores)
+			}
+			if got := len(topo.Leaves()); got != cfg.Pods*cfg.LeavesPerPod {
+				t.Errorf("leaves: %d, want %d", got, cfg.Pods*cfg.LeavesPerPod)
+			}
+			if got := len(topo.Spines()); got != cfg.Pods*cfg.SpinesPerPod {
+				t.Errorf("spines: %d, want %d", got, cfg.Pods*cfg.SpinesPerPod)
+			}
+			wantLinks := cfg.Pods*cfg.LeavesPerPod*cfg.HostsPerLeaf +
+				cfg.Pods*cfg.LeavesPerPod*cfg.SpinesPerPod*cfg.Trunk +
+				cfg.Pods*cfg.SpinesPerPod*cfg.CoresPerGroup*cfg.Trunk
+			if got := len(topo.Links); got != wantLinks {
+				t.Errorf("links: %d, want %d", got, wantLinks)
+			}
+
+			for p := 0; p < cfg.Pods; p++ {
+				leaves, spines := topo.LeavesOfPod(p), topo.SpinesOfPod(p)
+				if len(leaves) != cfg.LeavesPerPod || len(spines) != cfg.SpinesPerPod {
+					t.Fatalf("pod %d: %d leaves / %d spines, want %d / %d",
+						p, len(leaves), len(spines), cfg.LeavesPerPod, cfg.SpinesPerPod)
+				}
+				for _, sw := range append(append([]SwitchID(nil), leaves...), spines...) {
+					if topo.PodOf(sw) != p {
+						t.Errorf("switch %d: pod %d, want %d", sw, topo.PodOf(sw), p)
+					}
+				}
+				// In-pod leaf-spine trunks are complete bipartite.
+				for _, leaf := range leaves {
+					for _, spine := range spines {
+						if got := len(topo.TrunkLinks(leaf, spine)); got != cfg.Trunk {
+							t.Errorf("pod %d leaf %d spine %d: trunk size %d, want %d", p, leaf, spine, got, cfg.Trunk)
+						}
+					}
+				}
+				// Spine ordinal s reaches exactly its core group, with
+				// Trunk parallel links to each member.
+				for s, spine := range spines {
+					for _, core := range topo.Cores() {
+						want := 0
+						ord := coreOrdinal(topo, core)
+						if ord/cfg.CoresPerGroup == s {
+							want = cfg.Trunk
+						}
+						if got := len(topo.TrunkLinks(spine, core)); got != want {
+							t.Errorf("pod %d spine %d core %d: trunk size %d, want %d", p, spine, core, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func coreOrdinal(t *Topology, core SwitchID) int {
+	for i, c := range t.Cores() {
+		if c == core {
+			return i
+		}
+	}
+	return -1
+}
