@@ -13,6 +13,8 @@
 //	flowpulse-sim -remediate                       # closed-loop quarantine
 //	flowpulse-sim -remediate -leaves 8 -spines 4 -size 8 -iters 48 \
 //	    -fault-leaf 4 -drop 0.3 -flap-period 2040 -flap-down 1020
+//	flowpulse-sim -jobs 2 -leaves 8 -spines 4 -size 4 -remediate
+//	                                               # two jobs, one shared plane
 package main
 
 import (
@@ -45,10 +47,14 @@ func main() {
 		remediated = flag.Bool("remediate", false, "close the loop: confirm, quarantine, probe, re-admit")
 		flapPeriod = flag.Int64("flap-period", 0, "make the fault a lossy flap with this period (µs, 0 = persistent)")
 		flapDown   = flag.Int64("flap-down", 0, "flap down-phase length (µs, default period/2)")
+		jobs       = flag.Int("jobs", 1, "concurrent training jobs on one shared monitoring plane")
 		seed       = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
+	if *jobs > 1 && *hosts < *jobs {
+		*hosts = *jobs // one host column per job
+	}
 	sc := flowpulse.Scenario{
 		Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts,
 		Collective:   flowpulse.CollectiveKind(*coll),
@@ -56,6 +62,9 @@ func main() {
 		Iterations:   *iters,
 		JitterMax:    flowpulse.Duration(*jitterUS) * flowpulse.Microsecond,
 		Seed:         *seed,
+	}
+	for j := 1; j <= *jobs && *jobs > 1; j++ {
+		sc.Jobs = append(sc.Jobs, flowpulse.JobSpec{Job: uint16(j), HostIx: j - 1})
 	}
 	for i := 0; i < *preDown; i++ {
 		sc.PreExisting = append(sc.PreExisting, flowpulse.Link{
@@ -103,6 +112,9 @@ func main() {
 
 	fmt.Printf("FlowPulse simulation: %dx%d fat tree, %d host(s)/leaf, %s, %d MiB/rank, %d iterations\n",
 		*leaves, *spines, *hosts, *coll, *sizeMB, *iters)
+	if *jobs > 1 {
+		fmt.Printf("jobs: %d concurrent (one shared tap per switch, per-job pipelines)\n", *jobs)
+	}
 	fmt.Printf("predictor=%s threshold=%.2f%% pre-existing=%d\n", *predictor, *threshold*100, *preDown)
 	switch {
 	case *drop > 0 && *flapPeriod > 0:
@@ -126,42 +138,62 @@ func main() {
 	if *faultIter <= 0 {
 		inject()
 	}
-	cluster.Train(func(now flowpulse.Duration, iter uint32) {
-		fmt.Printf("iteration %2d complete at %v\n", iter, now)
-		if int(iter) == *faultIter {
+	injected := false
+	cluster.TrainAll(func(now flowpulse.Duration, job uint16, iter uint32) {
+		if *jobs > 1 {
+			fmt.Printf("job %d iteration %2d complete at %v\n", job, iter, now)
+		} else {
+			fmt.Printf("iteration %2d complete at %v\n", iter, now)
+		}
+		// Multi-job runs key fault timing on the first job's clock.
+		if (*jobs <= 1 || job == 1) && int(iter) == *faultIter && !injected {
+			injected = true
 			inject()
 			fmt.Printf("  >> fault injected\n")
 		}
-		if *healAfter > 0 && int(iter) == *healAfter {
+		if (*jobs <= 1 || job == 1) && *healAfter > 0 && int(iter) == *healAfter {
 			cluster.HealLink(target)
 			fmt.Printf("  >> fault healed\n")
 		}
 	})
 
-	fmt.Println()
-	events := mon.Events()
-	if len(events) == 0 {
-		fmt.Println("no faults detected")
-	} else {
-		fmt.Printf("%d alert(s):\n", len(events))
+	printEvents := func(prefix string, events []flowpulse.Event) {
+		if len(events) == 0 {
+			fmt.Printf("%sno faults detected\n", prefix)
+			return
+		}
+		fmt.Printf("%s%d alert(s):\n", prefix, len(events))
 		for _, e := range events {
-			fmt.Printf("  %v\n", e.Alert)
+			fmt.Printf("%s  %v\n", prefix, e.Alert)
 			if e.Alert.Deviation < 0 {
-				fmt.Printf("    localization: %v\n", e.Verdict)
+				fmt.Printf("%s    localization: %v\n", prefix, e.Verdict)
 			}
+		}
+	}
+	printScores := func(prefix string, scores map[uint32]float64) {
+		iterKeys := make([]int, 0, len(scores))
+		for it := range scores {
+			iterKeys = append(iterKeys, int(it))
+		}
+		sort.Ints(iterKeys)
+		for _, it := range iterKeys {
+			fmt.Printf("%s  iter %2d: %6.3f%%\n", prefix, it, 100*scores[uint32(it)])
 		}
 	}
 
 	fmt.Println()
-	fmt.Println("per-iteration max |deviation| across all leaf ports:")
-	scores := mon.IterationScores()
-	iterKeys := make([]int, 0, len(scores))
-	for it := range scores {
-		iterKeys = append(iterKeys, int(it))
-	}
-	sort.Ints(iterKeys)
-	for _, it := range iterKeys {
-		fmt.Printf("  iter %2d: %6.3f%%\n", it, 100*scores[uint32(it)])
+	if jms := mon.Jobs(); len(jms) > 0 {
+		for _, jm := range jms {
+			fmt.Printf("job %d:\n", jm.ID())
+			printEvents("  ", jm.Events())
+			fmt.Println("  per-iteration max |deviation| across all leaf ports:")
+			printScores("  ", jm.IterationScores())
+		}
+	} else {
+		printEvents("", mon.Events())
+		fmt.Println()
+		fmt.Println("per-iteration max |deviation| across all leaf ports:")
+		printScores("", mon.IterationScores())
 	}
 
 	if *remediated {

@@ -30,6 +30,7 @@ import (
 	"flowpulse/internal/detect"
 	"flowpulse/internal/fabric"
 	"flowpulse/internal/localize"
+	"flowpulse/internal/monitor"
 	"flowpulse/internal/remediate"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
@@ -42,7 +43,14 @@ import (
 // paper's evaluation setup: a 32-leaf × 16-spine non-blocking fat
 // tree, one GPU host per leaf, Ring-AllReduce over all hosts,
 // adaptive per-packet spraying, lossless PFC Ethernet at 400 Gb/s.
+// Populate Scenario.Jobs to run several concurrent training jobs on
+// one fabric (§7 "Parallel Jobs").
 type Scenario = core.Scenario
+
+// JobSpec describes one training job of a multi-job scenario
+// (Scenario.Jobs); see core.JobScenario for the field semantics and
+// defaulting rules.
+type JobSpec = core.JobScenario
 
 // Link names a leaf-spine link by (leaf ordinal, spine ordinal, trunk).
 type Link = core.LeafSpineLink
@@ -129,8 +137,9 @@ type MonitorConfig struct {
 // Cluster is a simulated training cluster: fabric, transport,
 // collective workload, and (optionally) a FlowPulse monitor.
 type Cluster struct {
-	rt  *core.Runtime
-	sys *core.System
+	rt     *core.Runtime
+	sys    *core.System
+	shared *core.SharedSystem
 }
 
 // New builds a cluster from a scenario.
@@ -144,9 +153,19 @@ func New(sc Scenario) (*Cluster, error) {
 
 // Monitor deploys FlowPulse on every leaf switch. Call it before
 // Train. Deploying twice is an error.
+//
+// On a multi-job cluster (Scenario.Jobs with two or more entries) this
+// deploys the shared monitoring plane: ONE telemetry tap per switch
+// feeds a per-job analysis pipeline for every job, and — when
+// Remediate is set — a single arbiter quarantines confirmed links
+// exactly once, with cross-job corroboration. Per-job results are on
+// Monitor.Jobs; the Simulation predictor is not supported there.
 func (c *Cluster) Monitor(cfg MonitorConfig) (*Monitor, error) {
-	if c.sys != nil {
+	if c.sys != nil || c.shared != nil {
 		return nil, fmt.Errorf("flowpulse: monitor already attached")
+	}
+	if len(c.rt.Jobs) > 1 {
+		return c.monitorShared(cfg)
 	}
 	coreCfg := core.Config{
 		Net:       c.rt.Net,
@@ -182,6 +201,37 @@ func (c *Cluster) Monitor(cfg MonitorConfig) (*Monitor, error) {
 	}
 	c.sys = sys
 	return &Monitor{sys: sys}, nil
+}
+
+// monitorShared is Monitor's multi-job branch.
+func (c *Cluster) monitorShared(cfg MonitorConfig) (*Monitor, error) {
+	kind := cfg.Predictor
+	if kind == "" {
+		kind = core.AnalyticalModel
+	}
+	if kind == core.SimulationModel {
+		return nil, fmt.Errorf("flowpulse: the Simulation predictor needs a per-job reference run and is not supported on multi-job clusters")
+	}
+	scfg := core.SharedConfig{Net: c.rt.Net, Stack: c.rt.Stack, Remediate: cfg.Remediate}
+	for _, jr := range c.rt.Jobs {
+		scfg.Jobs = append(scfg.Jobs, core.SharedJobConfig{
+			Job:     jr.Spec.Job,
+			Demand:  jr.Coll.Demand(),
+			Kind:    kind,
+			Detect:  detect.Config{Threshold: cfg.Threshold},
+			OnEvent: cfg.OnEvent,
+		})
+	}
+	shared, err := core.AttachShared(scfg)
+	if err != nil {
+		return nil, err
+	}
+	c.shared = shared
+	m := &Monitor{shared: shared}
+	for _, job := range shared.Jobs() {
+		m.jobs = append(m.jobs, &JobMonitor{job: job, pipe: shared.Pipeline(job)})
+	}
+	return m, nil
 }
 
 // BreakLink injects a silent Bernoulli packet-drop fault on the
@@ -228,8 +278,38 @@ func (c *Cluster) Train(onIteration func(now Duration, iter uint32)) {
 	}
 	c.rt.StartTraining(cb, nil)
 	c.rt.Engine.Run()
+	c.flush()
+}
+
+// TrainAll runs every job of a multi-job scenario to completion (it is
+// Train for clusters built with Scenario.Jobs; on a single-job cluster
+// it behaves exactly like Train). onIteration, when set, fires after
+// each iteration of EACH job.
+func (c *Cluster) TrainAll(onIteration func(now Duration, job uint16, iter uint32)) {
+	if len(c.rt.Jobs) == 0 {
+		job := c.rt.Scenario.Job
+		var cb func(now Duration, iter uint32)
+		if onIteration != nil {
+			cb = func(now Duration, iter uint32) { onIteration(now, job, iter) }
+		}
+		c.Train(cb)
+		return
+	}
+	var cb func(sim.Time, uint16, uint32)
+	if onIteration != nil {
+		cb = func(now sim.Time, job uint16, iter uint32) { onIteration(Duration(now), job, iter) }
+	}
+	c.rt.StartAllJobs(cb, nil)
+	c.rt.Engine.Run()
+	c.flush()
+}
+
+func (c *Cluster) flush() {
 	if c.sys != nil {
 		c.sys.Flush(c.rt.Engine.Now())
+	}
+	if c.shared != nil {
+		c.shared.Flush(c.rt.Engine.Now())
 	}
 }
 
@@ -249,28 +329,83 @@ func (c *Cluster) Scenario() Scenario { return c.rt.Scenario }
 // (direct fault models, custom telemetry, 3-level fabrics).
 func (c *Cluster) Runtime() *core.Runtime { return c.rt }
 
-// Monitor is a deployed FlowPulse system.
+// Monitor is a deployed FlowPulse system: a single-job deployment, or
+// — on a multi-job cluster — the shared monitoring plane with one
+// analysis pipeline per job (see Jobs).
 type Monitor struct {
-	sys *core.System
+	sys    *core.System       // single-job form
+	shared *core.SharedSystem // multi-job form
+	jobs   []*JobMonitor
 }
 
-// Events returns every detection so far, in order.
-func (m *Monitor) Events() []Event { return m.sys.Events }
+// Jobs returns the per-job monitor handles of a multi-job deployment,
+// in Scenario.Jobs order (nil for a single-job monitor).
+func (m *Monitor) Jobs() []*JobMonitor { return m.jobs }
 
-// Windows returns the number of measurement windows processed.
-func (m *Monitor) Windows() int { return m.sys.Windows }
+// Job returns the handle for one job id (nil if absent or single-job).
+func (m *Monitor) Job(id uint16) *JobMonitor {
+	for _, j := range m.jobs {
+		if j.job == id {
+			return j
+		}
+	}
+	return nil
+}
+
+// Events returns every detection so far, in order. On a multi-job
+// monitor the jobs' events are concatenated in Scenario.Jobs order;
+// use Jobs for the per-job view.
+func (m *Monitor) Events() []Event {
+	if m.sys != nil {
+		return m.sys.Events
+	}
+	var all []Event
+	for _, j := range m.jobs {
+		all = append(all, j.Events()...)
+	}
+	return all
+}
+
+// Windows returns the number of measurement windows processed (summed
+// across jobs on a multi-job monitor).
+func (m *Monitor) Windows() int {
+	if m.sys != nil {
+		return m.sys.Windows
+	}
+	n := 0
+	for _, j := range m.jobs {
+		n += j.Windows()
+	}
+	return n
+}
 
 // IterationScores returns, per iteration, the maximum absolute
 // relative deviation observed across all leaves and ports — the
-// statistic the paper's classifier thresholds.
-func (m *Monitor) IterationScores() map[uint32]float64 { return m.sys.IterationScores() }
+// statistic the paper's classifier thresholds. Iteration clocks are
+// per job, so on a multi-job monitor this is only defined per job
+// (Jobs); it returns nil there.
+func (m *Monitor) IterationScores() map[uint32]float64 {
+	if m.sys == nil {
+		return nil
+	}
+	return m.sys.IterationScores()
+}
 
-// DetectorStats returns detector counters.
-func (m *Monitor) DetectorStats() detect.Stats { return m.sys.Detector().Stats() }
+// DetectorStats returns detector counters (zero on a multi-job
+// monitor, whose detectors are per job).
+func (m *Monitor) DetectorStats() detect.Stats {
+	if m.sys == nil {
+		return detect.Stats{}
+	}
+	return m.sys.Detector().Stats()
+}
 
 // Rebaselines reports how many times the learned model replaced its
-// baseline (0 for other predictors).
+// baseline (0 for other predictors and for multi-job monitors).
 func (m *Monitor) Rebaselines() int {
+	if m.sys == nil {
+		return 0
+	}
 	if l := m.sys.Learned(); l != nil {
 		return l.Rebaselines
 	}
@@ -278,21 +413,40 @@ func (m *Monitor) Rebaselines() int {
 }
 
 // PredictorName reports the active load model.
-func (m *Monitor) PredictorName() string { return m.sys.Predictor().Name() }
+func (m *Monitor) PredictorName() string {
+	if m.sys != nil {
+		return m.sys.Predictor().Name()
+	}
+	return m.jobs[0].pipe.Predictor().Name()
+}
 
 // PortPrediction returns the model's expected per-uplink volume for a
-// leaf (nil while a learned model warms up).
+// leaf (nil while a learned model warms up, and on multi-job monitors,
+// where expectations are per job).
 func (m *Monitor) PortPrediction(leafOrdinal int) []float64 {
+	if m.sys == nil {
+		return nil
+	}
 	if !m.sys.Predictor().Ready(leafOrdinal) {
 		return nil
 	}
 	return m.sys.Predictor().PortLoad(leafOrdinal)
 }
 
+// remediator returns the active control plane from either form.
+func (m *Monitor) remediator() *remediate.Remediator {
+	if m.sys != nil {
+		return m.sys.Remediator()
+	}
+	return m.shared.Remediator()
+}
+
 // RemediationTimeline returns the remediator's action log (nil when
-// MonitorConfig.Remediate was not set).
+// MonitorConfig.Remediate was not set). On a multi-job monitor this is
+// the ONE shared arbiter's log: cross-job confirmations appear here
+// once, regardless of how many jobs flagged the link.
 func (m *Monitor) RemediationTimeline() []RemediationAction {
-	if r := m.sys.Remediator(); r != nil {
+	if r := m.remediator(); r != nil {
 		return r.Timeline
 	}
 	return nil
@@ -301,7 +455,7 @@ func (m *Monitor) RemediationTimeline() []RemediationAction {
 // RemediationStats returns remediation counters (zero when
 // MonitorConfig.Remediate was not set).
 func (m *Monitor) RemediationStats() RemediationStats {
-	if r := m.sys.Remediator(); r != nil {
+	if r := m.remediator(); r != nil {
 		return r.Stats()
 	}
 	return RemediationStats{}
@@ -310,11 +464,38 @@ func (m *Monitor) RemediationStats() RemediationStats {
 // Quarantined returns the links currently held out of service by the
 // remediator, in quarantine order.
 func (m *Monitor) Quarantined() []LinkID {
-	if r := m.sys.Remediator(); r != nil {
+	if r := m.remediator(); r != nil {
 		return r.Quarantined()
 	}
 	return nil
 }
 
-// System exposes the underlying core.System for advanced use.
+// System exposes the underlying core.System for advanced use (nil on a
+// multi-job monitor; see SharedSystem).
 func (m *Monitor) System() *core.System { return m.sys }
+
+// SharedSystem exposes the underlying shared plane for advanced use
+// (nil on a single-job monitor).
+func (m *Monitor) SharedSystem() *core.SharedSystem { return m.shared }
+
+// JobMonitor is one job's view of a multi-job monitor: the results of
+// that job's analysis pipeline on the shared plane.
+type JobMonitor struct {
+	job  uint16
+	pipe *monitor.Pipeline
+}
+
+// ID returns the job id this handle monitors.
+func (j *JobMonitor) ID() uint16 { return j.job }
+
+// Events returns this job's detections so far, in order.
+func (j *JobMonitor) Events() []Event { return j.pipe.Events }
+
+// Windows returns the number of this job's windows processed.
+func (j *JobMonitor) Windows() int { return j.pipe.Windows }
+
+// IterationScores returns this job's per-iteration max deviation.
+func (j *JobMonitor) IterationScores() map[uint32]float64 { return j.pipe.IterationScores() }
+
+// Pipeline exposes the underlying analysis pipeline for advanced use.
+func (j *JobMonitor) Pipeline() *monitor.Pipeline { return j.pipe }

@@ -65,8 +65,37 @@ type Scenario struct {
 	BackgroundBytes int
 	// Job is the training job id.
 	Job uint16
+	// Jobs, when non-empty, makes this a multi-job scenario (§7
+	// "Parallel Jobs"): each entry is one concurrent training job on
+	// its own host slice. Scenario-level workload fields (Collective,
+	// BytesPerRank, Iterations, …) become per-job defaults, and
+	// Scenario.Job names Jobs[0] when that entry leaves Job zero.
+	Jobs []JobScenario
 	// Seed roots every random stream in the scenario.
 	Seed uint64
+}
+
+// JobScenario describes one training job of a multi-job scenario.
+// Zero-valued workload fields inherit the scenario-level values.
+type JobScenario struct {
+	// Job is the job id. Jobs[0] defaults to Scenario.Job; entry i>0
+	// defaults to id i. Ids must be distinct across entries.
+	Job uint16
+	// Collective, BytesPerRank, Iterations, ComputeGap, and JitterMax
+	// override the scenario-level fields for this job.
+	Collective   CollectiveKind
+	BytesPerRank int64
+	Iterations   int
+	ComputeGap   sim.Duration
+	JitterMax    sim.Duration
+	// HostIx selects which host on each leaf carries this job's ranks
+	// (0 ≤ HostIx < HostsPerLeaf): jobs sharing a leaf span stay on
+	// disjoint hosts.
+	HostIx int
+	// LeafFirst and LeafCount restrict the job's ranks to a
+	// contiguous span of leaves. LeafCount 0 spans every leaf from
+	// LeafFirst on.
+	LeafFirst, LeafCount int
 }
 
 func (sc *Scenario) setDefaults() {
@@ -112,8 +141,20 @@ type Runtime struct {
 	Stack    *transport.Stack
 	Group    []topology.HostID
 	Coll     collective.Collective
+	// Jobs holds the per-job runtimes of a multi-job scenario (empty
+	// for the classic single-job form).
+	Jobs []JobRuntime
 
-	bg *workload.Background
+	bg      *workload.Background
+	running int // jobs still training (multi-job Background gating)
+}
+
+// JobRuntime is one job of a multi-job scenario, built: its normalized
+// spec, host group, and collective.
+type JobRuntime struct {
+	Spec  JobScenario
+	Group []topology.HostID
+	Coll  collective.Collective
 }
 
 // Build constructs the fabric, transport, and collective for a
@@ -147,20 +188,90 @@ func (sc Scenario) Build() (*Runtime, error) {
 	for i := range group {
 		group[i] = topology.HostID(i)
 	}
-	var coll collective.Collective
-	switch sc.Collective {
-	case RingAllReduce:
-		coll = &collective.RingAllReduce{Group: group, BytesPerRank: sc.BytesPerRank}
-	case ReduceScatter:
-		coll = &collective.ReduceScatter{Group: group, BytesPerRank: sc.BytesPerRank}
-	case AllGatherKind:
-		coll = &collective.AllGather{Group: group, BytesPerRank: sc.BytesPerRank}
-	case AllToAllKind:
-		coll = &collective.AllToAll{Group: group, BytesPerPair: sc.BytesPerRank / int64(len(group)-1)}
-	default:
-		return nil, fmt.Errorf("core: unknown collective %q", sc.Collective)
+	coll, err := buildCollective(sc.Collective, group, sc.BytesPerRank)
+	if err != nil {
+		return nil, err
 	}
-	return &Runtime{Scenario: sc, Topo: topo, Engine: eng, Net: net, Stack: stack, Group: group, Coll: coll}, nil
+	rt := &Runtime{Scenario: sc, Topo: topo, Engine: eng, Net: net, Stack: stack, Group: group, Coll: coll}
+	if err := rt.buildJobs(); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// buildCollective constructs one collective over a host group.
+func buildCollective(kind CollectiveKind, group []topology.HostID, bytesPerRank int64) (collective.Collective, error) {
+	switch kind {
+	case RingAllReduce:
+		return &collective.RingAllReduce{Group: group, BytesPerRank: bytesPerRank}, nil
+	case ReduceScatter:
+		return &collective.ReduceScatter{Group: group, BytesPerRank: bytesPerRank}, nil
+	case AllGatherKind:
+		return &collective.AllGather{Group: group, BytesPerRank: bytesPerRank}, nil
+	case AllToAllKind:
+		return &collective.AllToAll{Group: group, BytesPerPair: bytesPerRank / int64(len(group)-1)}, nil
+	}
+	return nil, fmt.Errorf("core: unknown collective %q", kind)
+}
+
+// buildJobs materializes Scenario.Jobs: normalizes each spec against
+// the scenario-level defaults, carves the host groups, and builds the
+// collectives.
+func (rt *Runtime) buildJobs() error {
+	sc := rt.Scenario
+	if len(sc.Jobs) == 0 {
+		return nil
+	}
+	seen := map[uint16]bool{}
+	for i, spec := range sc.Jobs {
+		if spec.Job == 0 {
+			if i == 0 {
+				spec.Job = sc.Job
+			} else {
+				spec.Job = uint16(i)
+			}
+		}
+		if seen[spec.Job] {
+			return fmt.Errorf("core: duplicate job id %d in Scenario.Jobs", spec.Job)
+		}
+		seen[spec.Job] = true
+		if spec.Collective == "" {
+			spec.Collective = sc.Collective
+		}
+		if spec.BytesPerRank == 0 {
+			spec.BytesPerRank = sc.BytesPerRank
+		}
+		if spec.Iterations == 0 {
+			spec.Iterations = sc.Iterations
+		}
+		if spec.ComputeGap == 0 {
+			spec.ComputeGap = sc.ComputeGap
+		}
+		if spec.JitterMax == 0 {
+			spec.JitterMax = sc.JitterMax
+		}
+		if spec.HostIx < 0 || spec.HostIx >= sc.HostsPerLeaf {
+			return fmt.Errorf("core: job %d HostIx %d outside HostsPerLeaf %d", spec.Job, spec.HostIx, sc.HostsPerLeaf)
+		}
+		if spec.LeafCount == 0 {
+			spec.LeafCount = sc.Leaves - spec.LeafFirst
+		}
+		if spec.LeafFirst < 0 || spec.LeafCount < 2 || spec.LeafFirst+spec.LeafCount > sc.Leaves {
+			return fmt.Errorf("core: job %d leaf span [%d,%d) invalid for %d leaves",
+				spec.Job, spec.LeafFirst, spec.LeafFirst+spec.LeafCount, sc.Leaves)
+		}
+		// Fat-tree hosts are leaf-major: host = leaf*HostsPerLeaf + ix.
+		group := make([]topology.HostID, spec.LeafCount)
+		for j := range group {
+			group[j] = topology.HostID((spec.LeafFirst+j)*sc.HostsPerLeaf + spec.HostIx)
+		}
+		coll, err := buildCollective(spec.Collective, group, spec.BytesPerRank)
+		if err != nil {
+			return err
+		}
+		rt.Jobs = append(rt.Jobs, JobRuntime{Spec: spec, Group: group, Coll: coll})
+	}
+	return nil
 }
 
 func resolveLink(topo *topology.Topology, ref LeafSpineLink) (topology.LinkID, error) {
@@ -232,16 +343,21 @@ func (rt *Runtime) InjectLossyFlap(ref LeafSpineLink, period, downFor, phase sim
 func (rt *Runtime) ClearSilent(ref LeafSpineLink) { rt.Net.ClearFault(rt.Link(ref)) }
 
 // StartTraining launches the scenario's training job (plus the
-// background generator when the scenario asks for one).
+// background generator when the scenario asks for one). For a
+// multi-job scenario it launches every job; onIter then reports the
+// iterations of Jobs[0] and onDone fires once ALL jobs finish.
 func (rt *Runtime) StartTraining(onIter func(now sim.Time, iter uint32), onDone func(now sim.Time)) *workload.Job {
-	if rt.Scenario.Background > 0 && rt.bg == nil {
-		rt.bg = workload.StartBackground(rt.Stack, workload.BackgroundConfig{
-			Hosts:        rt.Group,
-			MessageBytes: rt.Scenario.BackgroundBytes,
-			MeanGap:      rt.Scenario.Background,
-			Seed:         rt.Scenario.Seed + 1,
-		})
+	if len(rt.Jobs) > 0 {
+		first := rt.Jobs[0].Spec.Job
+		jobs := rt.StartAllJobs(func(now sim.Time, job uint16, iter uint32) {
+			if onIter != nil && job == first {
+				onIter(now, iter)
+			}
+		}, onDone)
+		return jobs[0]
 	}
+	rt.startBackground()
+	rt.running = 1
 	job := workload.StartJob(rt.Stack, workload.JobConfig{
 		Job:        rt.Scenario.Job,
 		Collective: rt.Coll,
@@ -257,15 +373,69 @@ func (rt *Runtime) StartTraining(onIter func(now sim.Time, iter uint32), onDone 
 			}
 		},
 		OnDone: func(now sim.Time) {
-			if rt.bg != nil {
-				rt.bg.Stop()
-			}
-			if onDone != nil {
-				onDone(now)
-			}
+			rt.jobDone(now, onDone)
 		},
 	})
 	return job
+}
+
+// StartAllJobs launches every job of a multi-job scenario. onIter
+// fires per completed iteration of any job; onDone fires once after
+// the last job finishes (also stopping the background generator).
+func (rt *Runtime) StartAllJobs(onIter func(now sim.Time, job uint16, iter uint32), onDone func(now sim.Time)) []*workload.Job {
+	if len(rt.Jobs) == 0 {
+		panic("core: StartAllJobs without Scenario.Jobs")
+	}
+	rt.startBackground()
+	rt.running = len(rt.Jobs)
+	jobs := make([]*workload.Job, len(rt.Jobs))
+	for i, jr := range rt.Jobs {
+		spec := jr.Spec
+		jobs[i] = workload.StartJob(rt.Stack, workload.JobConfig{
+			Job:        spec.Job,
+			Collective: jr.Coll,
+			Iterations: spec.Iterations,
+			ComputeGap: spec.ComputeGap,
+			JitterMax:  spec.JitterMax,
+			Priority:   fabric.High,
+			Sentinel:   true,
+			Seed:       rt.Scenario.Seed, // streams are per-job-id inside workload
+			OnIteration: func(now sim.Time, iter uint32, _ *collective.Result) {
+				if onIter != nil {
+					onIter(now, spec.Job, iter)
+				}
+			},
+			OnDone: func(now sim.Time) {
+				rt.jobDone(now, onDone)
+			},
+		})
+	}
+	return jobs
+}
+
+func (rt *Runtime) startBackground() {
+	if rt.Scenario.Background > 0 && rt.bg == nil {
+		rt.bg = workload.StartBackground(rt.Stack, workload.BackgroundConfig{
+			Hosts:        rt.Group,
+			MessageBytes: rt.Scenario.BackgroundBytes,
+			MeanGap:      rt.Scenario.Background,
+			Seed:         rt.Scenario.Seed + 1,
+		})
+	}
+}
+
+// jobDone gates shared teardown on the last job's completion.
+func (rt *Runtime) jobDone(now sim.Time, onDone func(now sim.Time)) {
+	rt.running--
+	if rt.running > 0 {
+		return
+	}
+	if rt.bg != nil {
+		rt.bg.Stop()
+	}
+	if onDone != nil {
+		onDone(now)
+	}
 }
 
 // ReferenceRun produces the simulation-based predictor's input: it

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"flowpulse/internal/collective"
+	"flowpulse/internal/detect"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/localize"
+	"flowpulse/internal/monitor"
+	"flowpulse/internal/predict"
+	"flowpulse/internal/remediate"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/transport"
+)
+
+// SharedJobConfig configures one job's pipeline on the shared
+// monitoring plane: its load model and detector tuning. The fields
+// mirror the job-scoped subset of Config.
+type SharedJobConfig struct {
+	// Job is the job id this pipeline owns.
+	Job uint16
+	// Demand is this job's demand matrix (required for the analytical
+	// model).
+	Demand *collective.DemandMatrix
+	// Kind selects the load model. Defaults to AnalyticalModel.
+	Kind PredictorKind
+	// ReferenceWindows feed the simulation model.
+	ReferenceWindows []*telemetry.Window
+	// Learned tunes the learned model.
+	Learned predict.LearnedConfig
+	// Detect tunes the detector.
+	Detect detect.Config
+	// OnEvent and OnWindow are this job's pipeline hooks.
+	OnEvent  func(e Event)
+	OnWindow func(ws WindowScore)
+}
+
+// SharedConfig assembles a SharedSystem: one tap, many pipelines, one
+// arbiter.
+type SharedConfig struct {
+	// Net and Stack are the fabric and transport under observation.
+	Net   *fabric.Network
+	Stack *transport.Stack
+	// Jobs lists the monitored jobs. Order is the plane's registration
+	// order (deterministic fan-out and flush).
+	Jobs []SharedJobConfig
+	// Remediate, when set, attaches ONE closed-loop control plane
+	// shared by every pipeline: quarantine is fabric-scoped (an
+	// admin-down reroutes everyone), so a link confirmed through any
+	// job's windows — or corroborated across jobs — is quarantined
+	// exactly once.
+	Remediate *remediate.Config
+}
+
+// SharedSystem is FlowPulse deployed over a multi-job fabric (§7
+// "Parallel Jobs"): one telemetry tap per switch feeding per-job
+// monitor.Pipelines through a monitor.Plane, with a single shared
+// known-fault set and (optionally) a single shared remediator.
+type SharedSystem struct {
+	cfg        SharedConfig
+	plane      *monitor.Plane
+	faults     *predict.FaultSet
+	remediator *remediate.Remediator // nil unless SharedConfig.Remediate set
+	preds      map[uint16]predict.Predictor
+}
+
+// AttachShared deploys the shared monitoring plane. Every job's
+// predictor consults the same known-fault set, and quarantine
+// re-baselines every job's load model (the fabric changed for all of
+// them).
+func AttachShared(cfg SharedConfig) (*SharedSystem, error) {
+	if cfg.Net == nil || cfg.Stack == nil {
+		return nil, fmt.Errorf("core: SharedConfig.Net and SharedConfig.Stack are required")
+	}
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("core: SharedConfig.Jobs is empty")
+	}
+	topo := cfg.Net.Topology()
+	s := &SharedSystem{cfg: cfg, faults: predict.NewFaultSet(), preds: map[uint16]predict.Predictor{}}
+
+	// Predictors first: the remediator's rebaseline closure spans all
+	// of them.
+	jobs := make([]uint16, 0, len(cfg.Jobs))
+	for _, jc := range cfg.Jobs {
+		if s.preds[jc.Job] != nil {
+			return nil, fmt.Errorf("core: duplicate job id %d in SharedConfig.Jobs", jc.Job)
+		}
+		kind := jc.Kind
+		if kind == "" {
+			kind = AnalyticalModel
+		}
+		pred, _, err := buildPredictor(topo, cfg.Net, cfg.Stack, kind, predictorOptions{
+			Demand: jc.Demand, ReferenceWindows: jc.ReferenceWindows, Learned: jc.Learned,
+		}, s.faults)
+		if err != nil {
+			return nil, fmt.Errorf("core: job %d: %w", jc.Job, err)
+		}
+		s.preds[jc.Job] = pred
+		jobs = append(jobs, jc.Job)
+	}
+	if cfg.Remediate != nil {
+		s.remediator = remediate.New(cfg.Net, s.faults, func() { s.Rebaseline() }, *cfg.Remediate)
+	}
+
+	pipelines := make(map[uint16]*monitor.Pipeline, len(cfg.Jobs))
+	for _, jc := range cfg.Jobs {
+		pred := s.preds[jc.Job]
+		// Jobs sharing a leaf's uplinks comb each other's spray shares;
+		// only the all-jobs aggregate keeps per-port symmetry, so
+		// shared-plane pipelines always detect on that basis (see
+		// detect.Config.AggregateSymmetry).
+		jc.Detect.AggregateSymmetry = true
+		det := detect.New(topo, pred, jc.Detect)
+		det.SetKnownFaults(s.faults)
+		pc := monitor.PipelineConfig{
+			Pred:     pred,
+			Detect:   det,
+			Localize: localize.New(topo, det.Threshold(), 0),
+			OnEvent:  jc.OnEvent,
+			OnWindow: jc.OnWindow,
+		}
+		if l, ok := pred.(*predict.Learned); ok {
+			pc.Observer = l
+		}
+		if s.remediator != nil {
+			pc.Remediate = s.remediator
+		}
+		pipelines[jc.Job] = monitor.NewPipeline(pc)
+	}
+	s.plane = monitor.NewPlane(cfg.Net, jobs, pipelines)
+	return s, nil
+}
+
+// MustAttachShared is AttachShared for statically valid configurations.
+func MustAttachShared(cfg SharedConfig) *SharedSystem {
+	s, err := AttachShared(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Jobs returns the monitored job ids in registration order.
+func (s *SharedSystem) Jobs() []uint16 { return s.plane.Jobs() }
+
+// Pipeline returns one job's analysis pipeline (nil if the job is not
+// monitored).
+func (s *SharedSystem) Pipeline(job uint16) *monitor.Pipeline { return s.plane.Pipeline(job) }
+
+// Plane returns the underlying monitoring plane.
+func (s *SharedSystem) Plane() *monitor.Plane { return s.plane }
+
+// Remediator returns the shared control plane, or nil when
+// SharedConfig.Remediate was not set.
+func (s *SharedSystem) Remediator() *remediate.Remediator { return s.remediator }
+
+// KnownFaults returns the shared known-fault set.
+func (s *SharedSystem) KnownFaults() *predict.FaultSet { return s.faults }
+
+// Rebaseline recomputes every job's load-model baseline against the
+// current routing state; it reports false if any model could not
+// refresh. Quarantine and re-admission call this: the fabric changed
+// for every job, not just the one whose windows confirmed the fault.
+func (s *SharedSystem) Rebaseline() bool {
+	all := true
+	for _, job := range s.plane.Jobs() {
+		rb, ok := s.preds[job].(predict.Rebaseliner)
+		if ok {
+			rb.Rebaseline()
+		}
+		all = all && ok
+	}
+	return all
+}
+
+// Flush closes all open telemetry windows (end of training).
+func (s *SharedSystem) Flush(now sim.Time) { s.plane.Flush(now) }

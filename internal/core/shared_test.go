@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"flowpulse/internal/remediate"
+	"flowpulse/internal/sim"
+)
+
+// twoJobs is an 8×4 fat tree with two hosts per leaf and two
+// concurrent full-span ring jobs, one per host column.
+func twoJobs(seed uint64) Scenario {
+	return Scenario{
+		Leaves: 8, Spines: 4, HostsPerLeaf: 2,
+		BytesPerRank: 4 << 20, Iterations: 5, Seed: seed,
+		Jobs: []JobScenario{
+			{Job: 1, HostIx: 0},
+			{Job: 2, HostIx: 1},
+		},
+	}
+}
+
+func attachShared(t *testing.T, rt *Runtime, remCfg *remediate.Config) *SharedSystem {
+	t.Helper()
+	cfg := SharedConfig{Net: rt.Net, Stack: rt.Stack, Remediate: remCfg}
+	for _, jr := range rt.Jobs {
+		cfg.Jobs = append(cfg.Jobs, SharedJobConfig{
+			Job: jr.Spec.Job, Demand: jr.Coll.Demand(), Kind: AnalyticalModel,
+		})
+	}
+	sys, err := AttachShared(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSharedPlaneCleanTwoJobs(t *testing.T) {
+	sc := twoJobs(3)
+	rt, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := attachShared(t, rt, nil)
+	rt.StartAllJobs(nil, nil)
+	rt.Engine.Run()
+	sys.Flush(rt.Engine.Now())
+
+	for _, job := range sys.Jobs() {
+		p := sys.Pipeline(job)
+		if p.Windows != sc.Leaves*sc.Iterations {
+			t.Errorf("job %d: windows = %d, want %d", job, p.Windows, sc.Leaves*sc.Iterations)
+		}
+		if len(p.Events) != 0 {
+			t.Errorf("job %d: clean run produced %d alerts: %v", job, len(p.Events), p.Events[0].Alert)
+		}
+	}
+	if sys.Plane().UnroutedWindows != 0 {
+		t.Errorf("unrouted windows: %d", sys.Plane().UnroutedWindows)
+	}
+}
+
+func TestSharedPlaneSharedFaultSeenByBothQuarantinedOnce(t *testing.T) {
+	sc := twoJobs(5)
+	rt, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := attachShared(t, rt, &remediate.Config{})
+
+	bad := LeafSpineLink{LeafOrd: 4, SpineOrd: 1}
+	rt.StartAllJobs(func(_ sim.Time, job uint16, iter uint32) {
+		if job == 1 && iter == 2 {
+			rt.InjectSilentDrop(bad, 0.05)
+		}
+	}, nil)
+	rt.Engine.Run()
+	sys.Flush(rt.Engine.Now())
+
+	for _, job := range sys.Jobs() {
+		if len(sys.Pipeline(job).Events) == 0 {
+			t.Errorf("job %d did not see the shared fault", job)
+		}
+	}
+	st := sys.Remediator().Stats()
+	if st.Quarantines != 1 {
+		t.Fatalf("shared fault quarantined %d times, want exactly once: %+v", st.Quarantines, st)
+	}
+	if sys.KnownFaults().Len() != 1 {
+		t.Fatalf("known faults: %d, want 1", sys.KnownFaults().Len())
+	}
+}
+
+func TestSharedPlaneJobLocalFaultFlagsOwnerOnly(t *testing.T) {
+	sc := twoJobs(7)
+	// Disjoint spans: job 1 on leaves 0–3, job 2 on leaves 4–7. A
+	// fault at leaf 0 lives outside job 2's slice entirely. (Spans
+	// must be identical or disjoint: a partially-overlapping span
+	// inherits the other job's spray comb at its private leaves — see
+	// DESIGN.md decision 10.)
+	sc.Jobs[0].LeafCount = 4
+	sc.Jobs[1].LeafFirst, sc.Jobs[1].LeafCount = 4, 4
+	rt, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := attachShared(t, rt, nil)
+
+	local := LeafSpineLink{LeafOrd: 0, SpineOrd: 2}
+	rt.StartAllJobs(func(_ sim.Time, job uint16, iter uint32) {
+		if job == 1 && iter == 2 {
+			rt.InjectSilentDrop(local, 0.05)
+		}
+	}, nil)
+	rt.Engine.Run()
+	sys.Flush(rt.Engine.Now())
+
+	if len(sys.Pipeline(1).Events) == 0 {
+		t.Error("owning job missed its local fault")
+	}
+	if n := len(sys.Pipeline(2).Events); n != 0 {
+		t.Errorf("bystander job raised %d alerts for a fault outside its ring", n)
+	}
+}
+
+func TestScenarioJobsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(sc *Scenario)
+	}{
+		{"duplicate ids", func(sc *Scenario) { sc.Jobs[1].Job = 1 }},
+		{"HostIx out of range", func(sc *Scenario) { sc.Jobs[1].HostIx = 2 }},
+		{"leaf span too wide", func(sc *Scenario) { sc.Jobs[0].LeafFirst = 4 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := twoJobs(1)
+			// Pin span so LeafFirst mutations overflow.
+			sc.Jobs[0].LeafCount = 8
+			tc.mut(&sc)
+			if _, err := sc.Build(); err == nil {
+				t.Fatal("invalid Jobs accepted")
+			}
+		})
+	}
+}

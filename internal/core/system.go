@@ -11,10 +11,12 @@ import (
 	"flowpulse/internal/detect"
 	"flowpulse/internal/fabric"
 	"flowpulse/internal/localize"
+	"flowpulse/internal/monitor"
 	"flowpulse/internal/predict"
 	"flowpulse/internal/remediate"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
 	"flowpulse/internal/transport"
 )
 
@@ -33,11 +35,10 @@ const (
 	LearnedModel PredictorKind = "learned"
 )
 
-// Event is one detection, optionally localized.
-type Event struct {
-	Alert   detect.Alert
-	Verdict localize.Verdict
-}
+// Event is one detection, optionally localized (an alias of the
+// monitor package's Event: core assembles the pipeline stages that
+// package defines).
+type Event = monitor.Event
 
 // Config assembles a System.
 type Config struct {
@@ -71,7 +72,9 @@ type Config struct {
 	Remediate *remediate.Config
 }
 
-// System is a running FlowPulse deployment over one network.
+// System is a running FlowPulse deployment over one network: one
+// job's monitor.Pipeline (embedded — Events, Windows, Scores, and
+// Subscribe are the pipeline's) fed by a per-leaf telemetry collector.
 type System struct {
 	cfg        Config
 	collector  *telemetry.Collector
@@ -81,25 +84,13 @@ type System struct {
 	pred       predict.Predictor
 	faults     *predict.FaultSet
 	remediator *remediate.Remediator // nil unless Config.Remediate set
-	subs       []func(e Event)
 
-	// Events accumulates every detection with its localization.
-	Events []Event
-	// Windows counts closed windows processed.
-	Windows int
-	// Scores holds (per closed window, in arrival order) the max
-	// absolute deviation and the window itself — the ROC analysis
-	// input.
-	Scores []WindowScore
+	*monitor.Pipeline
 }
 
-// WindowScore pairs a window with its detector score.
-type WindowScore struct {
-	Window *telemetry.Window
-	Score  float64
-	// Scored is false while the model is warming up.
-	Scored bool
-}
+// WindowScore pairs a window with its detector score (an alias of the
+// monitor package's WindowScore).
+type WindowScore = monitor.WindowScore
 
 // Attach deploys FlowPulse on a network. It registers telemetry hooks
 // on every leaf; the caller then runs the workload and reads Events.
@@ -113,25 +104,12 @@ func Attach(cfg Config) (*System, error) {
 	topo := cfg.Net.Topology()
 
 	s := &System{cfg: cfg, faults: predict.NewFaultSet()}
-	switch cfg.Kind {
-	case AnalyticalModel:
-		if cfg.Demand == nil {
-			return nil, fmt.Errorf("core: analytical model needs Config.Demand")
-		}
-		a := predict.NewAnalytical(topo, cfg.Net, cfg.Stack, cfg.Demand)
-		a.SetFaults(s.faults)
-		s.pred = a
-	case SimulationModel:
-		sp, err := predict.NewSimulation(len(topo.Leaves()), cfg.ReferenceWindows)
-		if err != nil {
-			return nil, fmt.Errorf("core: simulation model: %w", err)
-		}
-		s.pred = sp
-	case LearnedModel:
-		s.learned = predict.NewLearned(len(topo.Leaves()), cfg.Learned)
-		s.pred = s.learned
-	default:
-		return nil, fmt.Errorf("core: unknown predictor kind %q", cfg.Kind)
+	var err error
+	s.pred, s.learned, err = buildPredictor(topo, cfg.Net, cfg.Stack, cfg.Kind, predictorOptions{
+		Demand: cfg.Demand, ReferenceWindows: cfg.ReferenceWindows, Learned: cfg.Learned,
+	}, s.faults)
+	if err != nil {
+		return nil, err
 	}
 
 	s.detector = detect.New(topo, s.pred, cfg.Detect)
@@ -140,8 +118,54 @@ func Attach(cfg Config) (*System, error) {
 	if cfg.Remediate != nil {
 		s.remediator = remediate.New(cfg.Net, s.faults, func() { s.Rebaseline() }, *cfg.Remediate)
 	}
-	s.collector = telemetry.AttachAll(cfg.Net, cfg.Job, s.onWindow)
+	pc := monitor.PipelineConfig{
+		Pred:     s.pred,
+		Detect:   s.detector,
+		Localize: s.localizer,
+		OnEvent:  cfg.OnEvent,
+		OnWindow: cfg.OnWindow,
+	}
+	if s.learned != nil {
+		pc.Observer = s.learned
+	}
+	if s.remediator != nil {
+		pc.Remediate = s.remediator
+	}
+	s.Pipeline = monitor.NewPipeline(pc)
+	s.collector = telemetry.AttachAll(cfg.Net, cfg.Job, s.Pipeline.OnWindow)
 	return s, nil
+}
+
+// predictorOptions carries the model-specific knobs of buildPredictor.
+type predictorOptions struct {
+	Demand           *collective.DemandMatrix
+	ReferenceWindows []*telemetry.Window
+	Learned          predict.LearnedConfig
+}
+
+// buildPredictor constructs one of §5.2's load models; faults is the
+// known-fault set the analytical model consults.
+func buildPredictor(topo *topology.Topology, net *fabric.Network, stack *transport.Stack,
+	kind PredictorKind, o predictorOptions, faults *predict.FaultSet) (predict.Predictor, *predict.Learned, error) {
+	switch kind {
+	case AnalyticalModel:
+		if o.Demand == nil {
+			return nil, nil, fmt.Errorf("core: analytical model needs Config.Demand")
+		}
+		a := predict.NewAnalytical(topo, net, stack, o.Demand)
+		a.SetFaults(faults)
+		return a, nil, nil
+	case SimulationModel:
+		sp, err := predict.NewSimulation(len(topo.Leaves()), o.ReferenceWindows)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: simulation model: %w", err)
+		}
+		return sp, nil, nil
+	case LearnedModel:
+		l := predict.NewLearned(len(topo.Leaves()), o.Learned)
+		return l, l, nil
+	}
+	return nil, nil, fmt.Errorf("core: unknown predictor kind %q", kind)
 }
 
 // MustAttach is Attach for statically valid configurations.
@@ -171,19 +195,6 @@ func (s *System) Remediator() *remediate.Remediator { return s.remediator }
 // the detector consult it; quarantine mutates it.
 func (s *System) KnownFaults() *predict.FaultSet { return s.faults }
 
-// Subscribe registers a callback for every localized detection.
-// Ordering guarantee: callbacks run synchronously from the window-close
-// path — after the event is appended to Events and after Config.OnEvent
-// — in subscription order; events arrive in window-close order (per
-// leaf, ascending iteration) and, within one window, in ascending
-// uplink order. Subscribe must not be called from inside a callback.
-func (s *System) Subscribe(fn func(e Event)) {
-	if fn == nil {
-		panic("core: Subscribe(nil)")
-	}
-	s.subs = append(s.subs, fn)
-}
-
 // Rebaseline asks the active load model to recompute its baseline
 // against the current routing state and known-fault set. It reports
 // false for the simulation model, whose reference windows were
@@ -198,61 +209,3 @@ func (s *System) Rebaseline() bool {
 
 // Flush closes all open telemetry windows (end of training).
 func (s *System) Flush(now sim.Time) { s.collector.FlushAll(now) }
-
-// onWindow is the per-leaf window-close path: score, detect, localize,
-// then let the learned model observe.
-func (s *System) onWindow(w *telemetry.Window) {
-	s.Windows++
-	wc := w.Clone()
-	score, ok := s.detector.Score(wc)
-	ws := WindowScore{Window: wc, Score: score, Scored: ok}
-	s.Scores = append(s.Scores, ws)
-	if s.cfg.OnWindow != nil {
-		s.cfg.OnWindow(ws)
-	}
-
-	alerts := s.detector.Check(wc)
-	for _, a := range alerts {
-		e := Event{Alert: a}
-		if s.pred.Ready(a.LeafOrdinal) {
-			senders := s.pred.SenderLoad(a.LeafOrdinal)
-			if ip, ok := s.pred.(predict.IterPredictor); ok {
-				senders = ip.SenderLoadAt(a.LeafOrdinal, a.Iter)
-			}
-			e.Verdict = s.localizer.Localize(a, wc, senders)
-		}
-		s.Events = append(s.Events, e)
-		if s.cfg.OnEvent != nil {
-			s.cfg.OnEvent(e)
-		}
-		for _, fn := range s.subs {
-			fn(e)
-		}
-		if s.remediator != nil {
-			s.remediator.Observe(e.Alert, e.Verdict)
-		}
-	}
-
-	if s.learned != nil {
-		s.learned.Observe(wc)
-	}
-	if s.remediator != nil {
-		s.remediator.Tick(wc.ClosedAt)
-	}
-}
-
-// IterationScores aggregates window scores per iteration across all
-// leaves: the system-level statistic "was any port on any leaf
-// deviant during iteration k" (the classifier the evaluation rates).
-func (s *System) IterationScores() map[uint32]float64 {
-	out := map[uint32]float64{}
-	for _, ws := range s.Scores {
-		if !ws.Scored {
-			continue
-		}
-		if ws.Score > out[ws.Window.Iter] {
-			out[ws.Window.Iter] = ws.Score
-		}
-	}
-	return out
-}

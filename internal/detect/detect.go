@@ -26,6 +26,20 @@ type Config struct {
 	// MinPredicted on such a port still alerts (ghost traffic).
 	// Defaults to 4160 (one default-MTU packet).
 	MinPredicted float64
+	// AggregateSymmetry switches the comparison basis from the job's
+	// own per-port bytes (against the load model) to the window's
+	// aggregate all-jobs counts (Window.AggPortBytes) against the
+	// model's per-port shape scaled to the aggregate total. When
+	// several jobs share a leaf's uplinks, adaptive spraying balances
+	// only the union of their packets — each job's own shares comb
+	// unpredictably across ports — so the shared monitoring plane (§7
+	// "Parallel Jobs") detects on the aggregate, where the paper's
+	// per-port symmetry still holds. The load model keeps supplying
+	// the shape (routing-aware, e.g. a remotely quarantined trunk
+	// zeroing an ingress port here), readiness, and the localization
+	// references. A uniform all-ports degradation is invisible to this
+	// basis; it is not a localizable single-link fault.
+	AggregateSymmetry bool
 }
 
 func (c *Config) setDefaults() {
@@ -148,6 +162,40 @@ func (d *Detector) portLoadFor(w *telemetry.Window) []float64 {
 	return d.pred.PortLoad(w.LeafOrdinal)
 }
 
+// basis resolves the observation vector and per-port expectation for
+// one window: the job's own counts against the load model, or — in
+// AggregateSymmetry mode — the all-jobs aggregate counts against the
+// model's per-port SHAPE scaled to the aggregate total. The shape
+// (rather than a flat cross-port mean) matters after remediation: a
+// quarantined trunk elsewhere in the fabric legitimately zeroes some
+// ingress ports here (the re-baselined model knows, a uniform mean
+// does not). Quarantined ports are excluded from the scaling sums —
+// they carry nothing, so including them would depress every healthy
+// port's expectation.
+func (d *Detector) basis(w *telemetry.Window) (obs []int64, pred []float64) {
+	if d.cfg.AggregateSymmetry && len(w.AggPortBytes) == len(w.PortBytes) {
+		shape := d.portLoadFor(w)
+		var obsSum int64
+		var shapeSum float64
+		for u := range w.AggPortBytes {
+			if d.portQuarantined(w, u) {
+				continue
+			}
+			obsSum += w.AggPortBytes[u]
+			shapeSum += shape[u]
+		}
+		pred = make([]float64, len(w.AggPortBytes))
+		if shapeSum > 0 {
+			scale := float64(obsSum) / shapeSum
+			for u := range pred {
+				pred[u] = shape[u] * scale
+			}
+		}
+		return w.AggPortBytes, pred
+	}
+	return w.PortBytes, d.portLoadFor(w)
+}
+
 // Check compares one closed window against the model and returns the
 // alerts (nil if the window is clean or the model is not ready).
 func (d *Detector) Check(w *telemetry.Window) []Alert {
@@ -156,9 +204,9 @@ func (d *Detector) Check(w *telemetry.Window) []Alert {
 		return nil
 	}
 	d.stats.WindowsChecked++
-	pred := d.portLoadFor(w)
+	obsPorts, pred := d.basis(w)
 	var alerts []Alert
-	for u, obs := range w.PortBytes {
+	for u, obs := range obsPorts {
 		if d.portQuarantined(w, u) {
 			continue
 		}
@@ -197,8 +245,8 @@ func (d *Detector) Score(w *telemetry.Window) (score float64, ok bool) {
 	if !d.pred.Ready(w.LeafOrdinal) {
 		return 0, false
 	}
-	pred := d.portLoadFor(w)
-	for u, obs := range w.PortBytes {
+	obsPorts, pred := d.basis(w)
+	for u, obs := range obsPorts {
 		if d.portQuarantined(w, u) {
 			continue
 		}

@@ -26,7 +26,7 @@ type EvalOverrides struct {
 var EvalOrder = []string{
 	"fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "preexisting",
 	"headline", "faulttypes", "jitter", "trunks", "clos3", "blocking",
-	"remediate", "ablation",
+	"remediate", "paralleljobs", "ablation",
 }
 
 // EvalExperiments returns the experiment registry under the given
@@ -172,6 +172,17 @@ func EvalExperiments(o EvalOverrides) map[string]func() (fmt.Stringer, error) {
 				cfg.BytesPerRank = o.SizeMB << 20
 			}
 			return Remediation(cfg)
+		},
+		"paralleljobs": func() (fmt.Stringer, error) {
+			// Already small-scale (8×4); Quick only trims the collective.
+			cfg := ParallelJobsConfig{Seed: o.Seed, DropRate: o.Drop}
+			if o.Quick {
+				cfg.BytesPerRank, cfg.Iterations = 4<<20, 8
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return ParallelJobs(cfg)
 		},
 		"ablation": func() (fmt.Stringer, error) {
 			cfg := AblationConfig{Seed: o.Seed}

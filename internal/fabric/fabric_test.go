@@ -442,6 +442,36 @@ func TestIngressHookSeesUplinkPort(t *testing.T) {
 	}
 }
 
+func TestIngressHooksCompose(t *testing.T) {
+	n, eng := newTestNet(t, topology.FatTreeConfig{Leaves: 2, Spines: 2}, 15)
+	dstLeaf := n.Topology().LeafOf(1)
+	var order []int
+	n.AddIngressHook(dstLeaf, func(sim.Time, int, *Packet) { order = append(order, 1) })
+	n.AddIngressHook(dstLeaf, func(sim.Time, int, *Packet) { order = append(order, 2) })
+	n.Send(SendSpec{Src: 0, Dst: 1, Size: 4096})
+	eng.Run()
+	if len(order) < 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("hooks did not both run in registration order: %v", order)
+	}
+
+	// SetIngressHook replaces the whole list.
+	calls := 0
+	n.SetIngressHook(dstLeaf, func(sim.Time, int, *Packet) { calls++ })
+	order = order[:0]
+	n.Send(SendSpec{Src: 0, Dst: 1, Size: 4096, Msg: 1})
+	eng.Run()
+	if len(order) != 0 || calls == 0 {
+		t.Fatalf("SetIngressHook did not replace appended hooks: appended=%v replacement=%d", order, calls)
+	}
+	n.SetIngressHook(dstLeaf, nil)
+	calls = 0
+	n.Send(SendSpec{Src: 0, Dst: 1, Size: 4096, Msg: 2})
+	eng.Run()
+	if calls != 0 {
+		t.Fatal("SetIngressHook(nil) did not remove hooks")
+	}
+}
+
 func TestECMPPinsFlowToOnePath(t *testing.T) {
 	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 8})
 	if err != nil {

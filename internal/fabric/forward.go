@@ -161,7 +161,7 @@ func (n *Network) switchReceive(sw topology.SwitchID, port int, p *Packet, now s
 		n.pauseUpstream(ss, port, prio, true)
 	}
 
-	if hook := n.ingressHooks[sw]; hook != nil {
+	for _, hook := range n.ingressHooks[sw] {
 		hook(now, port, p)
 	}
 

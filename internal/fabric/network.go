@@ -123,7 +123,7 @@ type Network struct {
 
 	fib *fibTable
 
-	ingressHooks []IngressHook // per switch, nil when absent
+	ingressHooks [][]IngressHook // per switch, in registration order, empty when absent
 
 	stats Stats
 
@@ -173,7 +173,7 @@ func New(cfg Config) (*Network, error) {
 		hosts:        make([]hostState, len(cfg.Topo.Hosts)),
 		switches:     make([]switchState, len(cfg.Topo.Switches)),
 		links:        make([]linkState, len(cfg.Topo.Links)),
-		ingressHooks: make([]IngressHook, len(cfg.Topo.Switches)),
+		ingressHooks: make([][]IngressHook, len(cfg.Topo.Switches)),
 		tau:          float64(cfg.SprayMemory),
 	}
 
@@ -280,10 +280,24 @@ func (n *Network) SetDequeueHook(h topology.HostID, hook DequeueHook) {
 	n.hosts[h].onDequeue = hook
 }
 
-// SetIngressHook registers the per-switch ingress observer (nil to
-// remove).
+// SetIngressHook replaces every ingress observer on a switch with the
+// given hook (nil to remove all). Prefer AddIngressHook: independent
+// observers (telemetry monitors of several jobs, test probes) must
+// compose, and a bare set silently clobbers whoever attached first.
 func (n *Network) SetIngressHook(sw topology.SwitchID, hook IngressHook) {
-	n.ingressHooks[sw] = hook
+	n.ingressHooks[sw] = n.ingressHooks[sw][:0]
+	if hook != nil {
+		n.ingressHooks[sw] = append(n.ingressHooks[sw], hook)
+	}
+}
+
+// AddIngressHook appends an ingress observer to a switch. Hooks run in
+// registration order on every packet accepted at the switch's ingress.
+func (n *Network) AddIngressHook(sw topology.SwitchID, hook IngressHook) {
+	if hook == nil {
+		panic("fabric: AddIngressHook(nil)")
+	}
+	n.ingressHooks[sw] = append(n.ingressHooks[sw], hook)
 }
 
 // SprayPolicyName reports the active load-balancing policy.

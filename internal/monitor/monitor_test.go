@@ -1,0 +1,198 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+
+	"flowpulse/internal/detect"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/localize"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
+)
+
+// fakeDetect returns canned scores and alerts and records the windows
+// it saw.
+type fakeDetect struct {
+	score  float64
+	scored bool
+	alerts []detect.Alert
+	seen   []*telemetry.Window
+}
+
+func (f *fakeDetect) Score(w *telemetry.Window) (float64, bool) { return f.score, f.scored }
+func (f *fakeDetect) Check(w *telemetry.Window) []detect.Alert {
+	f.seen = append(f.seen, w)
+	return f.alerts
+}
+
+type fakeLocalize struct {
+	calls   int
+	verdict localize.Verdict
+}
+
+func (f *fakeLocalize) Localize(a detect.Alert, w *telemetry.Window, senderPred [][]float64) localize.Verdict {
+	f.calls++
+	return f.verdict
+}
+
+type fakeRemediate struct {
+	trace []string // interleaving of Observe/Tick calls
+}
+
+func (f *fakeRemediate) Observe(a detect.Alert, v localize.Verdict) {
+	f.trace = append(f.trace, "observe")
+}
+func (f *fakeRemediate) Tick(now sim.Time) { f.trace = append(f.trace, "tick") }
+
+type fakeObserver struct{ windows int }
+
+func (f *fakeObserver) Observe(w *telemetry.Window) { f.windows++ }
+
+func win(job uint16, iter uint32, closedAt sim.Time) *telemetry.Window {
+	return &telemetry.Window{
+		Job: job, Iter: iter, ClosedAt: closedAt,
+		PortBytes:   []int64{1, 2},
+		SenderBytes: [][]int64{{1}, {2}},
+	}
+}
+
+func TestPipelineOnWindowOrdering(t *testing.T) {
+	det := &fakeDetect{score: 0.5, scored: true, alerts: []detect.Alert{{Uplink: 1}}}
+	loc := &fakeLocalize{verdict: localize.Verdict{Kind: localize.LocalLink}}
+	rem := &fakeRemediate{}
+	obs := &fakeObserver{}
+	var hooks []string
+	p := NewPipeline(PipelineConfig{
+		Detect:    det,
+		Localize:  loc,
+		Remediate: rem,
+		Observer:  obs,
+		OnEvent:   func(e Event) { hooks = append(hooks, "event") },
+		OnWindow:  func(ws WindowScore) { hooks = append(hooks, "window") },
+	})
+	p.Subscribe(func(e Event) { hooks = append(hooks, "sub") })
+
+	w := win(3, 1, 100)
+	p.OnWindow(w)
+
+	if p.Windows != 1 || len(p.Scores) != 1 || len(p.Events) != 1 {
+		t.Fatalf("windows=%d scores=%d events=%d", p.Windows, len(p.Scores), len(p.Events))
+	}
+	if p.Scores[0].Score != 0.5 || !p.Scores[0].Scored {
+		t.Fatalf("score record: %+v", p.Scores[0])
+	}
+	// The pipeline analyses a clone: the caller's window must not be
+	// retained (the tap may reuse it).
+	if p.Scores[0].Window == w || det.seen[0] == w {
+		t.Fatal("pipeline retained the caller's window instead of a clone")
+	}
+	// OnWindow fires before OnEvent; Subscribe callbacks after OnEvent.
+	if want := []string{"window", "event", "sub"}; !reflect.DeepEqual(hooks, want) {
+		t.Fatalf("hook order %v, want %v", hooks, want)
+	}
+	// Remediator sees the observation before the end-of-window tick.
+	if want := []string{"observe", "tick"}; !reflect.DeepEqual(rem.trace, want) {
+		t.Fatalf("remediate trace %v, want %v", rem.trace, want)
+	}
+	if obs.windows != 1 {
+		t.Fatalf("observer saw %d windows, want 1", obs.windows)
+	}
+	// Without a predictor the verdict stays empty (localize needs the
+	// model's sender reference).
+	if loc.calls != 0 || p.Events[0].Verdict.Kind != localize.Indeterminate {
+		t.Fatalf("localize ran without a predictor: calls=%d verdict=%v", loc.calls, p.Events[0].Verdict)
+	}
+}
+
+func TestPipelineIterationScores(t *testing.T) {
+	det := &fakeDetect{scored: true}
+	p := NewPipeline(PipelineConfig{Detect: det})
+
+	det.score = 0.2
+	p.OnWindow(win(1, 1, 10))
+	det.score = 0.7
+	p.OnWindow(win(1, 1, 20)) // same iteration, another leaf: max wins
+	det.score = 0.1
+	p.OnWindow(win(1, 2, 30))
+	det.scored = false
+	det.score = 9.9
+	p.OnWindow(win(1, 3, 40)) // unscored windows are excluded
+
+	got := p.IterationScores()
+	want := map[uint32]float64{1: 0.7, 2: 0.1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("iteration scores %v, want %v", got, want)
+	}
+}
+
+func testNet(t *testing.T) *fabric.Network {
+	t.Helper()
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fabric.New(fabric.Config{Topo: topo, Engine: sim.NewEngine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestPlaneRoutesWindowsPerJob(t *testing.T) {
+	net := testNet(t)
+	pipes := map[uint16]*Pipeline{
+		1: NewPipeline(PipelineConfig{Detect: &fakeDetect{}}),
+		2: NewPipeline(PipelineConfig{Detect: &fakeDetect{}}),
+	}
+	plane := NewPlane(net, []uint16{1, 2}, pipes)
+
+	if !reflect.DeepEqual(plane.Jobs(), []uint16{1, 2}) {
+		t.Fatalf("jobs: %v", plane.Jobs())
+	}
+	// Drive the shared tap directly: interleaved packets from three
+	// jobs, one of which (7) has no pipeline.
+	m := plane.Collector().Monitors[0]
+	for _, job := range []uint16{1, 2, 7} {
+		m.OnPacket(10, 1, &fabric.Packet{
+			Src: 0, Dst: 0, Size: 1000, Kind: fabric.Data,
+			Tag: fabric.FlowTag{Sentinel: true, Job: job, Iter: 1},
+		})
+	}
+	plane.Flush(50)
+
+	for job, pipe := range pipes {
+		if pipe.Windows != 1 {
+			t.Errorf("job %d: %d windows, want 1", job, pipe.Windows)
+		}
+	}
+	if plane.UnroutedWindows != 1 {
+		t.Errorf("unrouted windows = %d, want 1 (job 7 has no pipeline)", plane.UnroutedWindows)
+	}
+	if plane.Pipeline(1) != pipes[1] || plane.Pipeline(7) != nil {
+		t.Error("Pipeline lookup wrong")
+	}
+}
+
+func TestPlaneValidation(t *testing.T) {
+	net := testNet(t)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("count mismatch", func() {
+		NewPlane(net, []uint16{1}, map[uint16]*Pipeline{})
+	})
+	mustPanic("nil pipeline", func() {
+		NewPlane(net, []uint16{1}, map[uint16]*Pipeline{1: nil})
+	})
+	mustPanic("missing Detect", func() {
+		NewPipeline(PipelineConfig{})
+	})
+}

@@ -1,0 +1,129 @@
+package monitor
+
+import (
+	"flowpulse/internal/predict"
+	"flowpulse/internal/telemetry"
+)
+
+// PipelineConfig assembles one job's analysis pipeline.
+type PipelineConfig struct {
+	// Pred is the job's load model (consulted for readiness and
+	// per-sender references during localization).
+	Pred predict.Predictor
+	// Detect scores windows and raises alerts. Required.
+	Detect DetectStage
+	// Localize attributes alerts to links. Optional: without it,
+	// events carry an empty verdict.
+	Localize LocalizeStage
+	// Remediate, when set, receives every localized detection and a
+	// tick per window close. Shared across pipelines on a Plane.
+	Remediate RemediateStage
+	// Observer, when set, sees every window after detection (the
+	// learned model's input).
+	Observer WindowObserver
+	// OnEvent receives every localized detection as it happens.
+	OnEvent func(e Event)
+	// OnWindow receives every closed window after scoring but before
+	// the observer sees it.
+	OnWindow func(ws WindowScore)
+}
+
+// Pipeline is one job's window-analysis chain. It is fed closed
+// telemetry windows (from a Plane's shared tap, or a single-job
+// collector) and accumulates scores and events.
+type Pipeline struct {
+	cfg  PipelineConfig
+	subs []func(e Event)
+
+	// Events accumulates every detection with its localization.
+	Events []Event
+	// Windows counts closed windows processed.
+	Windows int
+	// Scores holds (per closed window, in arrival order) the max
+	// absolute deviation and the window itself — the ROC analysis
+	// input.
+	Scores []WindowScore
+}
+
+// NewPipeline builds a pipeline. Detect is required.
+func NewPipeline(cfg PipelineConfig) *Pipeline {
+	if cfg.Detect == nil {
+		panic("monitor: PipelineConfig.Detect is required")
+	}
+	return &Pipeline{cfg: cfg}
+}
+
+// Predictor returns the pipeline's load model.
+func (p *Pipeline) Predictor() predict.Predictor { return p.cfg.Pred }
+
+// Subscribe registers a callback for every localized detection.
+// Ordering guarantee: callbacks run synchronously from the window-close
+// path — after the event is appended to Events and after
+// PipelineConfig.OnEvent — in subscription order; events arrive in
+// window-close order (per leaf, ascending iteration) and, within one
+// window, in ascending uplink order. Subscribe must not be called from
+// inside a callback.
+func (p *Pipeline) Subscribe(fn func(e Event)) {
+	if fn == nil {
+		panic("monitor: Subscribe(nil)")
+	}
+	p.subs = append(p.subs, fn)
+}
+
+// OnWindow is the window-close path: score, detect, localize, then let
+// the observer (learned model) see the window and the remediator tick.
+func (p *Pipeline) OnWindow(w *telemetry.Window) {
+	p.Windows++
+	wc := w.Clone()
+	score, ok := p.cfg.Detect.Score(wc)
+	ws := WindowScore{Window: wc, Score: score, Scored: ok}
+	p.Scores = append(p.Scores, ws)
+	if p.cfg.OnWindow != nil {
+		p.cfg.OnWindow(ws)
+	}
+
+	alerts := p.cfg.Detect.Check(wc)
+	for _, a := range alerts {
+		e := Event{Alert: a}
+		if p.cfg.Localize != nil && p.cfg.Pred != nil && p.cfg.Pred.Ready(a.LeafOrdinal) {
+			senders := p.cfg.Pred.SenderLoad(a.LeafOrdinal)
+			if ip, ok := p.cfg.Pred.(predict.IterPredictor); ok {
+				senders = ip.SenderLoadAt(a.LeafOrdinal, a.Iter)
+			}
+			e.Verdict = p.cfg.Localize.Localize(a, wc, senders)
+		}
+		p.Events = append(p.Events, e)
+		if p.cfg.OnEvent != nil {
+			p.cfg.OnEvent(e)
+		}
+		for _, fn := range p.subs {
+			fn(e)
+		}
+		if p.cfg.Remediate != nil {
+			p.cfg.Remediate.Observe(e.Alert, e.Verdict)
+		}
+	}
+
+	if p.cfg.Observer != nil {
+		p.cfg.Observer.Observe(wc)
+	}
+	if p.cfg.Remediate != nil {
+		p.cfg.Remediate.Tick(wc.ClosedAt)
+	}
+}
+
+// IterationScores aggregates window scores per iteration across all
+// leaves: the system-level statistic "was any port on any leaf
+// deviant during iteration k" (the classifier the evaluation rates).
+func (p *Pipeline) IterationScores() map[uint32]float64 {
+	out := map[uint32]float64{}
+	for _, ws := range p.Scores {
+		if !ws.Scored {
+			continue
+		}
+		if ws.Score > out[ws.Window.Iter] {
+			out[ws.Window.Iter] = ws.Score
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package monitor
+
+import (
+	"fmt"
+
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/telemetry"
+)
+
+// Plane is the shared monitoring plane: ONE telemetry tap per switch
+// (measuring every sentinel-tagged job, demultiplexed per job id by
+// the monitors), fanning each closed window out to the owning job's
+// pipeline. N jobs cost one per-packet hook instead of N — the tap is
+// on the forwarding hot path, the pipelines are not (they run once per
+// window close).
+type Plane struct {
+	collector *telemetry.Collector
+	pipelines map[uint16]*Pipeline
+	jobs      []uint16 // registration order
+
+	// UnroutedWindows counts closed windows whose job id has no
+	// registered pipeline (e.g. a tagged job deployed without a
+	// monitor); they are dropped, not misattributed.
+	UnroutedWindows int
+}
+
+// NewPlane deploys the shared tap on every leaf of the network and
+// routes closed windows to the given per-job pipelines. jobs lists the
+// pipeline keys in deterministic (registration) order.
+func NewPlane(net *fabric.Network, jobs []uint16, pipelines map[uint16]*Pipeline) *Plane {
+	if len(jobs) != len(pipelines) {
+		panic(fmt.Sprintf("monitor: %d job ids for %d pipelines", len(jobs), len(pipelines)))
+	}
+	p := &Plane{pipelines: pipelines, jobs: append([]uint16(nil), jobs...)}
+	for _, job := range p.jobs {
+		if pipelines[job] == nil {
+			panic(fmt.Sprintf("monitor: no pipeline for job %d", job))
+		}
+	}
+	p.collector = telemetry.AttachAll(net, telemetry.JobAny, p.route)
+	return p
+}
+
+// route is the demux point between the fabric-scoped tap and the
+// job-scoped pipelines.
+func (p *Plane) route(w *telemetry.Window) {
+	pipe := p.pipelines[w.Job]
+	if pipe == nil {
+		p.UnroutedWindows++
+		return
+	}
+	pipe.OnWindow(w)
+}
+
+// Jobs returns the registered job ids in registration order.
+func (p *Plane) Jobs() []uint16 { return p.jobs }
+
+// Pipeline returns the pipeline monitoring one job (nil if absent).
+func (p *Plane) Pipeline(job uint16) *Pipeline { return p.pipelines[job] }
+
+// Collector exposes the shared telemetry tap.
+func (p *Plane) Collector() *telemetry.Collector { return p.collector }
+
+// Flush closes all open telemetry windows (end of training). Windows
+// flush per leaf in ascending job order.
+func (p *Plane) Flush(now sim.Time) { p.collector.FlushAll(now) }

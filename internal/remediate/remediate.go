@@ -53,6 +53,18 @@ type Config struct {
 	// HalfLife is the penalty's exponential decay half-life. Defaults
 	// to 50ms — hundreds of training iterations at paper scale.
 	HalfLife sim.Duration
+
+	// CorroborateWindows is the cross-job fast path: when two different
+	// jobs each accumulate this many consecutive deviating windows on
+	// the same leaf–spine trunk within CorroborateHorizon of each
+	// other, the fault is confirmed immediately — two independent
+	// witnesses substitute for the full K-window streak. Defaults to 2;
+	// negative disables corroboration. Never slower than ConfirmWindows
+	// and inert with a single job.
+	CorroborateWindows int
+	// CorroborateHorizon bounds how far apart the two jobs' flags may
+	// be and still corroborate. Defaults to 2ms.
+	CorroborateHorizon sim.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -82,6 +94,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.HalfLife == 0 {
 		c.HalfLife = 50 * sim.Millisecond
+	}
+	if c.CorroborateWindows == 0 {
+		c.CorroborateWindows = 2
+	}
+	if c.CorroborateHorizon == 0 {
+		c.CorroborateHorizon = 2 * sim.Millisecond
 	}
 }
 
@@ -148,9 +166,23 @@ type Stats struct {
 	Readmissions uint64
 	// SuppressedReadmits counts re-admissions blocked by damping.
 	SuppressedReadmits uint64
+	// Corroborations counts confirmations reached via the cross-job
+	// fast path rather than a full K-window streak.
+	Corroborations uint64
 }
 
+// streakKey identifies one job's view of one leaf uplink: streaks are
+// per job because each job has its own iteration clock and window
+// cadence.
 type streakKey struct {
+	job     uint16
+	leafOrd int
+	uplink  int
+}
+
+// trunkKey identifies a leaf–spine trunk independent of job — the
+// granularity at which jobs corroborate each other.
+type trunkKey struct {
 	leafOrd int
 	uplink  int
 }
@@ -182,6 +214,9 @@ type Remediator struct {
 	rebaseline func()
 
 	streaks map[streakKey]*streak
+	// flags records, per trunk, when each job last held a
+	// CorroborateWindows-long streak there — the corroboration inbox.
+	flags   map[trunkKey]map[uint16]sim.Time
 	quar    []*quarLink // deterministic order: quarantine order
 	quarIdx map[topology.LinkID]*quarLink
 	dampers map[topology.LinkID]*damper
@@ -207,6 +242,7 @@ func New(net *fabric.Network, faults *predict.FaultSet, rebaseline func(), cfg C
 		faults:     faults,
 		rebaseline: rebaseline,
 		streaks:    map[streakKey]*streak{},
+		flags:      map[trunkKey]map[uint16]sim.Time{},
 		quarIdx:    map[topology.LinkID]*quarLink{},
 		dampers:    map[topology.LinkID]*damper{},
 	}
@@ -248,7 +284,7 @@ func (r *Remediator) Observe(a detect.Alert, v localize.Verdict) {
 		return // every suspect already handled
 	}
 
-	k := streakKey{leafOrd: a.LeafOrdinal, uplink: a.Uplink}
+	k := streakKey{job: a.Job, leafOrd: a.LeafOrdinal, uplink: a.Uplink}
 	st := r.streaks[k]
 	switch {
 	case st != nil && a.Iter == st.lastIter:
@@ -261,19 +297,83 @@ func (r *Remediator) Observe(a detect.Alert, v localize.Verdict) {
 	st.lastIter = a.Iter
 
 	if st.count < r.cfg.ConfirmWindows || len(links) == 0 {
-		return // unconfirmed, or confirmed but unlocalized: hold
+		if witness, ok := r.corroborate(k, st, a.At); ok {
+			// Corroboration operates at trunk granularity: two
+			// independent jobs deficient on the same leaf uplink IS the
+			// localization, so when this window's verdict carries no
+			// links (per-job sender signatures comb on a shared plane)
+			// the deficient ingress port's own trunk link is blamed.
+			if len(links) == 0 {
+				if l, lok := r.uplinkLink(a); lok && r.quarIdx[l] == nil {
+					links = append(links, l)
+				}
+			}
+			if len(links) > 0 {
+				r.confirm(a, st, links, fmt.Sprintf(
+					"leaf %d uplink %d: job %d corroborated by job %d after %d windows (%.2f%%)",
+					a.LeafOrdinal, a.Uplink, a.Job, witness, st.count, 100*a.Deviation))
+				r.stats.Corroborations++
+			}
+		}
+		return
 	}
+	r.confirm(a, st, links, fmt.Sprintf(
+		"leaf %d uplink %d: %d consecutive deviating windows (%.2f%%)",
+		a.LeafOrdinal, a.Uplink, st.count, 100*a.Deviation))
+}
+
+// confirm records one confirmation and quarantines the suspect links.
+func (r *Remediator) confirm(a detect.Alert, st *streak, links []topology.LinkID, detail string) {
 	r.stats.Confirmations++
 	r.Timeline = append(r.Timeline, Action{
-		At: a.At, Kind: ActionConfirm, Link: links[0],
-		Detail: fmt.Sprintf("leaf %d uplink %d: %d consecutive deviating windows (%.2f%%)",
-			a.LeafOrdinal, a.Uplink, st.count, 100*a.Deviation),
+		At: a.At, Kind: ActionConfirm, Link: links[0], Detail: detail,
 	})
-	delete(r.streaks, k)
+	delete(r.streaks, streakKey{job: a.Job, leafOrd: a.LeafOrdinal, uplink: a.Uplink})
+	delete(r.flags, trunkKey{leafOrd: a.LeafOrdinal, uplink: a.Uplink})
 	for _, l := range links {
 		r.quarantine(l, a.At)
 	}
 	r.rebaseline()
+}
+
+// corroborate implements the cross-job fast path: once this job's
+// streak reaches CorroborateWindows it flags the trunk; if a different
+// job flagged the same trunk within CorroborateHorizon, the two
+// independent witnesses together confirm the fault ahead of the full
+// K-window streak. Returns the (smallest-id, deterministic)
+// corroborating job.
+func (r *Remediator) corroborate(k streakKey, st *streak, at sim.Time) (uint16, bool) {
+	if r.cfg.CorroborateWindows < 0 || st.count < r.cfg.CorroborateWindows {
+		return 0, false
+	}
+	tk := trunkKey{leafOrd: k.leafOrd, uplink: k.uplink}
+	jobs := r.flags[tk]
+	if jobs == nil {
+		jobs = map[uint16]sim.Time{}
+		r.flags[tk] = jobs
+	}
+	jobs[k.job] = at
+	witness, found := uint16(0), false
+	for job, t := range jobs {
+		if job == k.job || at-t > sim.Time(r.cfg.CorroborateHorizon) {
+			continue
+		}
+		if !found || job < witness {
+			witness, found = job, true
+		}
+	}
+	return witness, found
+}
+
+// uplinkLink maps an alert's deviating leaf ingress port to the link
+// attached there (the leaf–spine trunk member the port terminates).
+func (r *Remediator) uplinkLink(a detect.Alert) (topology.LinkID, bool) {
+	sw := r.topo.Switch(a.Leaf)
+	p := a.Uplink + len(r.topo.HostsOf(a.Leaf))
+	if p < 0 || p >= len(sw.Ports) {
+		return 0, false
+	}
+	return sw.Ports[p].Link, true
 }
 
 // quarantine admin-downs one link and starts its probing clock.

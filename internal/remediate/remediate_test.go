@@ -311,6 +311,96 @@ func TestDamperMath(t *testing.T) {
 	}
 }
 
+// deficitJob is deficit with an explicit owning job id.
+func deficitJob(job uint16, leafOrd, uplink int, iter uint32, at sim.Time) detect.Alert {
+	a := deficit(leafOrd, uplink, iter, at)
+	a.Job = job
+	return a
+}
+
+func TestCrossJobCorroborationConfirmsEarly(t *testing.T) {
+	topo, net, _ := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[0])[0]
+	r := New(net, nil, nil, fastCfg())
+
+	// Each job alone is below K=3; two 2-window streaks on the same
+	// trunk within the horizon corroborate.
+	r.Observe(deficitJob(1, 0, 1, 10, 100), blame(link))
+	r.Observe(deficitJob(2, 0, 1, 20, 150), blame(link))
+	r.Observe(deficitJob(1, 0, 1, 11, 200), blame(link))
+	if r.Stats().Quarantines != 0 {
+		t.Fatal("one flagged job quarantined alone")
+	}
+	r.Observe(deficitJob(2, 0, 1, 21, 250), blame(link))
+	st := r.Stats()
+	if st.Quarantines != 1 || st.Confirmations != 1 || st.Corroborations != 1 {
+		t.Fatalf("corroboration did not confirm: %+v", st)
+	}
+	if net.LinkAdminUp(link) {
+		t.Fatal("corroborated link still up")
+	}
+	if d := r.Timeline[0].Detail; !strings.Contains(d, "corroborated by job 1") {
+		t.Fatalf("confirm detail: %q", d)
+	}
+}
+
+func TestCorroborationDisabled(t *testing.T) {
+	topo, net, _ := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[0])[0]
+	cfg := fastCfg()
+	cfg.CorroborateWindows = -1
+	r := New(net, nil, nil, cfg)
+
+	for iter := uint32(1); iter <= 2; iter++ {
+		r.Observe(deficitJob(1, 0, 1, iter, sim.Time(iter)*100), blame(link))
+		r.Observe(deficitJob(2, 0, 1, iter+10, sim.Time(iter)*100+50), blame(link))
+	}
+	if st := r.Stats(); st.Quarantines != 0 || st.Corroborations != 0 {
+		t.Fatalf("disabled corroboration fired: %+v", st)
+	}
+	// The full K-window streak still confirms, through the normal path.
+	r.Observe(deficitJob(1, 0, 1, 3, 300), blame(link))
+	st := r.Stats()
+	if st.Quarantines != 1 || st.Corroborations != 0 {
+		t.Fatalf("normal confirm broken with corroboration off: %+v", st)
+	}
+	if d := r.Timeline[0].Detail; strings.Contains(d, "corroborated") {
+		t.Fatalf("confirm detail: %q", d)
+	}
+}
+
+func TestCorroborationHorizonExpires(t *testing.T) {
+	topo, net, _ := testNet(t)
+	link := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[0])[0]
+	r := New(net, nil, nil, fastCfg()) // horizon defaults to 2ms
+
+	r.Observe(deficitJob(1, 0, 1, 10, 100), blame(link))
+	r.Observe(deficitJob(1, 0, 1, 11, 200), blame(link)) // job 1 flags at t=200
+	// Job 2's flag lands more than 2ms later: stale, no corroboration.
+	late := sim.Time(200 + 3*sim.Millisecond)
+	r.Observe(deficitJob(2, 0, 1, 20, late), blame(link))
+	r.Observe(deficitJob(2, 0, 1, 21, late+100), blame(link))
+	if st := r.Stats(); st.Quarantines != 0 || st.Corroborations != 0 {
+		t.Fatalf("stale flag corroborated: %+v", st)
+	}
+}
+
+func TestCorroborationDistinctTrunksIndependent(t *testing.T) {
+	topo, net, _ := testNet(t)
+	linkA := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[0])[0]
+	linkB := topo.TrunkLinks(topo.Spines()[2], topo.Leaves()[0])[0]
+	r := New(net, nil, nil, fastCfg())
+
+	// Jobs flag different uplinks of the same leaf: no corroboration.
+	r.Observe(deficitJob(1, 0, 1, 10, 100), blame(linkA))
+	r.Observe(deficitJob(1, 0, 1, 11, 200), blame(linkA))
+	r.Observe(deficitJob(2, 0, 2, 20, 250), blame(linkB))
+	r.Observe(deficitJob(2, 0, 2, 21, 350), blame(linkB))
+	if st := r.Stats(); st.Quarantines != 0 || st.Corroborations != 0 {
+		t.Fatalf("different trunks corroborated each other: %+v", st)
+	}
+}
+
 func TestActionKindStrings(t *testing.T) {
 	for _, k := range []ActionKind{ActionConfirm, ActionQuarantine, ActionReadmit, ActionSuppress} {
 		if k.String() == "unknown" || k.String() == "" {

@@ -66,6 +66,11 @@ type runData struct {
 	quarantined []topology.LinkID
 	blamedGroup []topology.LinkID // trunk group of the faulted pair
 
+	// Shared plane (2-job fat tree): per-job pipeline events, in the
+	// plane's registration order.
+	jobIDs    []uint16
+	jobEvents map[uint16][]core.Event
+
 	// Three-level Clos.
 	leafAlerts, spineAlerts []detect.Alert
 }
@@ -91,6 +96,9 @@ func Run(spec Spec, opts Options) *Result {
 	res.Fingerprint = first.fingerprint
 	res.Windows = first.windows
 	res.Alerts = len(first.events) + len(first.leafAlerts) + len(first.spineAlerts)
+	for _, job := range first.jobIDs {
+		res.Alerts += len(first.jobEvents[job])
+	}
 	res.Quarantines = len(first.quarantined)
 
 	res.Violations = append(res.Violations, checkOracles(spec, opts, first)...)
@@ -110,6 +118,9 @@ func execute(spec Spec, opts Options) (*runData, error) {
 }
 
 func executeFatTree(spec Spec, opts Options) (*runData, error) {
+	if spec.Work.Jobs == 2 {
+		return executeSharedFatTree(spec, opts)
+	}
 	sc := core.Scenario{
 		Leaves: spec.Topo.Leaves, Spines: spec.Topo.Spines,
 		HostsPerLeaf: spec.Topo.HostsPerLeaf, Trunk: spec.Topo.Trunk,
@@ -221,6 +232,74 @@ func injectFatTree(rt *core.Runtime, ref core.LeafSpineLink, f FaultSpec) {
 	}
 }
 
+// executeSharedFatTree runs a 2-job spec on the shared monitoring
+// plane: one tap per switch, one pipeline per job, aggregate-symmetry
+// detection. The fault (when present) is a downstream Bernoulli drop
+// keyed to job 1's iteration clock — normalize() pinned the envelope.
+func executeSharedFatTree(spec Spec, opts Options) (*runData, error) {
+	sc := core.Scenario{
+		Leaves: spec.Topo.Leaves, Spines: spec.Topo.Spines,
+		HostsPerLeaf: spec.Topo.HostsPerLeaf, Trunk: spec.Topo.Trunk,
+		Collective:   spec.Work.Collective,
+		BytesPerRank: spec.Work.BytesPerRank,
+		Iterations:   spec.Work.Iterations,
+		JitterMax:    sim.Duration(spec.Work.JitterPS),
+		Seed:         spec.Seed,
+		Jobs: []core.JobScenario{
+			{Job: 1, HostIx: 0},
+			{Job: 2, HostIx: 1},
+		},
+	}
+	rt, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	detCfg := detect.Config{Threshold: spec.DetectThreshold()}
+	if opts.MutateDetect != nil {
+		opts.MutateDetect(&detCfg)
+	}
+	scfg := core.SharedConfig{Net: rt.Net, Stack: rt.Stack}
+	for _, jr := range rt.Jobs {
+		scfg.Jobs = append(scfg.Jobs, core.SharedJobConfig{
+			Job: jr.Spec.Job, Demand: jr.Coll.Demand(), Detect: detCfg,
+		})
+	}
+	sys, err := core.AttachShared(scfg)
+	if err != nil {
+		return nil, err
+	}
+
+	data := &runData{jobEvents: map[uint16][]core.Event{}}
+	f := spec.Fault
+	ref := core.LeafSpineLink{LeafOrd: f.Leaf, SpineOrd: f.Spine, Trunk: f.Trunk}
+	if f.Kind == FaultBernoulli && f.Onset == 0 {
+		rt.InjectSilentDrop(ref, f.Rate)
+	}
+	first := rt.Jobs[0].Spec.Job
+	rt.StartAllJobs(func(_ sim.Time, job uint16, iter uint32) {
+		if job != first {
+			return
+		}
+		data.itersDone++
+		if f.Kind == FaultBernoulli && int(iter) == f.Onset && f.Onset > 0 {
+			rt.InjectSilentDrop(ref, f.Rate)
+		}
+	}, nil)
+	rt.Engine.Run()
+	sys.Flush(rt.Engine.Now())
+
+	for _, job := range sys.Jobs() {
+		p := sys.Pipeline(job)
+		data.jobIDs = append(data.jobIDs, job)
+		data.jobEvents[job] = p.Events
+		data.windows += p.Windows
+	}
+	data.stats = rt.Net.Stats()
+	data.audit = rt.Net.AuditConservation()
+	data.fingerprint = fingerprintShared(rt, sys)
+	return data, nil
+}
+
 func executeClos3(spec Spec, opts Options) (*runData, error) {
 	sc := core.Clos3Scenario{
 		Pods: spec.Topo.Pods, LeavesPerPod: spec.Topo.LeavesPerPod,
@@ -285,6 +364,9 @@ func checkOracles(spec Spec, opts Options, d *runData) []string {
 
 	if spec.Topo.Kind == Clos3 {
 		return append(bad, checkClos3Oracles(spec, opts, d)...)
+	}
+	if spec.Work.Jobs == 2 {
+		return append(bad, checkSharedOracles(spec, opts, d)...)
 	}
 
 	f := spec.Fault
@@ -447,6 +529,53 @@ func checkRemediation(spec Spec, d *runData) []string {
 	return bad
 }
 
+// checkSharedOracles are the 2-job variants of oracles 2 and 3. Both
+// jobs span every leaf, so a downstream Bernoulli drop is on both
+// rings' paths: EACH job's pipeline must stay clean before onset and
+// flag the faulted leaf within the deadline. Verdict links are not
+// required — per-job sender signatures comb under shared spray, so the
+// shared plane localizes at alert (leaf/uplink) granularity and leaves
+// link blame to cross-job corroboration (not attached here).
+func checkSharedOracles(spec Spec, opts Options, d *runData) []string {
+	var bad []string
+	add := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	f := spec.Fault
+
+	if f.Kind == FaultNone {
+		for _, job := range d.jobIDs {
+			if evs := d.jobEvents[job]; len(evs) != 0 {
+				add("clean shared run: job %d alert %s", job, evs[0].Alert)
+			}
+		}
+		return bad
+	}
+
+	deadline := f.Onset + opts.Deadline
+	for _, job := range d.jobIDs {
+		detected := false
+		for _, e := range d.jobEvents[job] {
+			a := e.Alert
+			if int(a.Iter) < f.Onset {
+				add("clean prefix: job %d alert before fault onset %d: %s", job, f.Onset, a)
+				break
+			}
+		}
+		for _, e := range d.jobEvents[job] {
+			a := e.Alert
+			if int(a.Iter) > f.Onset && int(a.Iter) <= deadline &&
+				a.Deviation < 0 && a.LeafOrdinal == f.Leaf {
+				detected = true
+				break
+			}
+		}
+		if !detected {
+			add("detection: job %d did not flag the %s fault on leaf %d (rate %.3f, onset %d) by iteration %d",
+				job, f.Kind, f.Leaf, f.Rate, f.Onset, deadline)
+		}
+	}
+	return bad
+}
+
 func checkClos3Oracles(spec Spec, opts Options, d *runData) []string {
 	var bad []string
 	add := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
@@ -596,6 +725,40 @@ func fingerprintFatTree(rt *core.Runtime, sys *core.System) uint64 {
 			f.i64(int64(a.Kind))
 			f.i64(int64(a.Link))
 			f.str(a.Detail)
+		}
+	}
+	return f.sum()
+}
+
+func fingerprintShared(rt *core.Runtime, sys *core.SharedSystem) uint64 {
+	f := newFP()
+	f.i64(int64(rt.Engine.Now()))
+	f.links(rt.Net)
+	f.stats(rt.Net.Stats())
+	for _, job := range sys.Jobs() {
+		p := sys.Pipeline(job)
+		f.u64(uint64(job))
+		for _, ws := range p.Scores {
+			w := ws.Window
+			f.i64(int64(w.Leaf))
+			f.i64(int64(w.Job))
+			f.i64(int64(w.Iter))
+			f.i64(int64(w.OpenedAt))
+			f.i64(int64(w.ClosedAt))
+			for _, b := range w.PortBytes {
+				f.i64(b)
+			}
+			for _, b := range w.AggPortBytes {
+				f.i64(b)
+			}
+			f.f64(ws.Score)
+		}
+		for _, e := range p.Events {
+			f.alert(e.Alert)
+			f.i64(int64(e.Verdict.Kind))
+			for _, l := range e.Verdict.Links {
+				f.i64(int64(l))
+			}
 		}
 	}
 	return f.sum()

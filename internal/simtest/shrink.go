@@ -51,6 +51,16 @@ var shrinkSteps = []shrinkStep{
 		s.Topo.Spines = s.Topo.Spines/2 + 1
 		return true
 	}},
+	{"single-job", func(s *Spec) bool {
+		// Drop the shared plane first: a bug that survives as a plain
+		// single-job run reproduces without the 2-job machinery (and
+		// frees single-host-leaves below to shrink further).
+		if s.Work.Jobs == 0 {
+			return false
+		}
+		s.Work.Jobs = 0
+		return true
+	}},
 	{"single-host-leaves", func(s *Spec) bool {
 		if s.Topo.Kind != FatTree2 || s.Topo.HostsPerLeaf <= 1 {
 			return false

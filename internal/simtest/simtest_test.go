@@ -76,6 +76,19 @@ func TestGenerateEnvelope(t *testing.T) {
 		if f.Upstream && spec.Work.Collective != core.AllToAllKind {
 			t.Fatalf("seed %d: upstream fault outside all-to-all: %s", seed, spec.MarshalCompact())
 		}
+		if spec.Work.Jobs != 0 {
+			// The shared-plane envelope normalize() promises the runner.
+			if spec.Work.Jobs != 2 || spec.Topo.Kind != FatTree2 ||
+				spec.Topo.HostsPerLeaf != 2 ||
+				spec.Work.Collective != core.RingAllReduce ||
+				spec.Work.Predictor != core.AnalyticalModel ||
+				spec.Work.Remediate {
+				t.Fatalf("seed %d: 2-job spec outside the shared-plane envelope: %s", seed, spec.MarshalCompact())
+			}
+			if f.Kind != FaultNone && (f.Kind != FaultBernoulli || f.Upstream) {
+				t.Fatalf("seed %d: 2-job spec with fault %s (upstream=%v): %s", seed, f.Kind, f.Upstream, spec.MarshalCompact())
+			}
+		}
 	}
 }
 
@@ -91,6 +104,31 @@ func TestRunSmoke(t *testing.T) {
 		if !res.OK() {
 			t.Errorf("seed %d: %v", seed, res.Violations)
 		}
+	}
+}
+
+// TestSharedPlaneSeedsRun drives the 2-job specs through the full
+// oracle set: both jobs' pipelines on one shared tap must stay clean
+// before onset, flag the faulted leaf within the deadline, and replay
+// bit-identically.
+func TestSharedPlaneSeedsRun(t *testing.T) {
+	want := 3
+	if testing.Short() {
+		want = 1
+	}
+	ran := 0
+	for seed := uint64(0); seed < 300 && ran < want; seed++ {
+		spec := Generate(seed)
+		if spec.Work.Jobs != 2 || spec.Fault.Kind == FaultNone {
+			continue
+		}
+		if res := Run(spec, Options{}); !res.OK() {
+			t.Errorf("seed %d: %v", seed, res.Violations)
+		}
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no faulted 2-job spec in 300 seeds — generation broken")
 	}
 }
 

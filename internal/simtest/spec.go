@@ -74,6 +74,13 @@ type WorkSpec struct {
 	Predictor PredictorKind `json:"predictor,omitempty"`
 	// Remediate attaches the closed-loop control plane (fat tree only).
 	Remediate bool `json:"remediate,omitempty"`
+	// Jobs, when 2, runs two concurrent full-span training jobs on one
+	// shared monitoring plane (§7 "Parallel Jobs"): one host column per
+	// job, per-job pipelines, aggregate-symmetry detection. normalize()
+	// pins the envelope the shared plane is specified for — fat tree,
+	// ring, analytical model, no remediation, at most a downstream
+	// Bernoulli fault. 0 is the classic single-job run.
+	Jobs int `json:"jobs,omitempty"`
 }
 
 // DetectThreshold is the detection threshold a spec's pipeline runs at.
@@ -239,6 +246,20 @@ func Generate(seed uint64) Spec {
 	}
 
 	s.Fault = generateFault(&s, faultRNG)
+
+	// Two concurrent jobs on the shared monitoring plane. The draw
+	// comes from its own named stream so adding the knob never
+	// perturbed the topo/work/fault draws existing seeds map to, and
+	// only seeds already inside the shared-plane envelope (see
+	// WorkSpec.Jobs) opt in.
+	jobsRNG := sim.NewRNG(seed, "simtest/jobs")
+	if s.Topo.Kind == FatTree2 && s.Work.Predictor == core.AnalyticalModel &&
+		s.Work.Collective == core.RingAllReduce && !s.Work.Remediate &&
+		(s.Fault.Kind == FaultNone || (s.Fault.Kind == FaultBernoulli && !s.Fault.Upstream)) &&
+		jobsRNG.Float64() < 0.3 {
+		s.Work.Jobs = 2
+	}
+
 	s.normalize()
 	return s
 }
@@ -385,6 +406,29 @@ func (s *Spec) normalize() {
 		f.LeafInPod = clamp(f.LeafInPod, 0, t.LeavesPerPod-1)
 		f.SpineInPod = clamp(f.SpineInPod, 0, t.SpinesPerPod-1)
 		f.CoreIx = clamp(f.CoreIx, 0, t.CoresPerGroup-1)
+	}
+
+	// The shared-plane envelope (see WorkSpec.Jobs): two full-span
+	// ring jobs, one host column each, analytical model, no
+	// remediation, and at most a downstream Bernoulli fault. Per-job
+	// sender signatures comb under shared spray, so this is exactly
+	// the geometry the aggregate-symmetry basis is specified for (see
+	// DESIGN.md).
+	if w.Jobs != 0 {
+		w.Jobs = 2
+	}
+	if t.Kind != FatTree2 {
+		w.Jobs = 0
+	}
+	if w.Jobs == 2 {
+		t.HostsPerLeaf = 2
+		w.Collective = core.RingAllReduce
+		w.Predictor = core.AnalyticalModel
+		w.Remediate = false
+		if f.Kind != FaultNone && f.Kind != FaultBernoulli {
+			f.Kind = FaultBernoulli
+		}
+		f.Upstream = false
 	}
 
 	switch f.Kind {

@@ -25,7 +25,7 @@ type SpineMonitor struct {
 	corePorts []int
 	nCore     int
 
-	current *Window
+	dx demux
 
 	// LateBytes mirrors LeafMonitor.LateBytes.
 	LateBytes int64
@@ -33,6 +33,9 @@ type SpineMonitor struct {
 	onClose func(w *Window)
 
 	srcLeafOrd []int
+
+	// aggCum mirrors LeafMonitor.aggCum for core-facing ports.
+	aggCum []int64
 }
 
 // NewSpineMonitor builds the monitor for one spine switch of a
@@ -48,6 +51,7 @@ func NewSpineMonitor(topo *topology.Topology, spine topology.SwitchID, job int, 
 		spine:        spine,
 		spineOrdinal: topo.SpineOrdinal(spine),
 		job:          job,
+		dx:           newDemux(),
 		onClose:      onClose,
 		srcLeafOrd:   make([]int, len(topo.Hosts)),
 	}
@@ -63,6 +67,7 @@ func NewSpineMonitor(topo *topology.Topology, spine topology.SwitchID, job int, 
 	if m.nCore == 0 {
 		panic(fmt.Sprintf("telemetry: spine %d has no core-facing ports (two-level fabric?)", spine))
 	}
+	m.aggCum = make([]int64, m.nCore)
 	for h := range topo.Hosts {
 		m.srcLeafOrd[h] = topo.LeafOrdinal(topo.LeafOf(topology.HostID(h)))
 	}
@@ -81,26 +86,38 @@ func (m *SpineMonitor) OnPacket(now sim.Time, port int, pkt *fabric.Packet) {
 	if pkt.Kind != fabric.Data || !pkt.Tag.Sentinel {
 		return
 	}
+	// See LeafMonitor.OnPacket: the aggregate counter counts every
+	// sentinel packet, bumped after any close/open this packet causes.
 	if m.job != JobAny && int(pkt.Tag.Job) != m.job {
+		m.aggCum[u] += int64(pkt.Size)
 		return
 	}
 
-	w := m.current
+	w := m.dx.lookup(pkt.Tag.Job)
 	switch {
 	case w == nil:
 		w = m.open(now, pkt.Tag)
 	case pkt.Tag.Iter > w.Iter:
-		m.closeWindow(now)
+		m.closeJob(now, pkt.Tag.Job)
 		w = m.open(now, pkt.Tag)
 	case pkt.Tag.Iter < w.Iter:
 		m.LateBytes += int64(pkt.Size)
+		m.dx.late(pkt.Tag.Job, int64(pkt.Size))
+		m.aggCum[u] += int64(pkt.Size)
 		return
 	}
 
+	m.aggCum[u] += int64(pkt.Size)
 	w.PortBytes[u] += int64(pkt.Size)
 	w.SenderBytes[u][m.srcLeafOrd[pkt.Src]] += int64(pkt.Size)
 	w.Packets++
 }
+
+// OpenWindow returns the job's currently open window, or nil.
+func (m *SpineMonitor) OpenWindow(job uint16) *Window { return m.dx.open[job] }
+
+// LateBytesFor returns the late-byte count attributed to one job.
+func (m *SpineMonitor) LateBytesFor(job uint16) int64 { return m.dx.lateByJob[job] }
 
 func (m *SpineMonitor) open(now sim.Time, tag fabric.FlowTag) *Window {
 	w := &Window{
@@ -112,28 +129,33 @@ func (m *SpineMonitor) open(now sim.Time, tag fabric.FlowTag) *Window {
 		PortBytes:   make([]int64, m.nCore),
 		SenderBytes: make([][]int64, m.nCore),
 		OpenedAt:    now,
+		aggOpen:     append([]int64(nil), m.aggCum...),
 	}
 	for i := range w.SenderBytes {
 		w.SenderBytes[i] = make([]int64, len(m.topo.Leaves()))
 	}
-	m.current = w
+	m.dx.put(w)
 	return w
 }
 
-func (m *SpineMonitor) closeWindow(now sim.Time) {
-	w := m.current
-	m.current = nil
+func (m *SpineMonitor) closeJob(now sim.Time, job uint16) {
+	w := m.dx.take(job)
 	if w == nil {
 		return
 	}
 	w.ClosedAt = now
+	w.AggPortBytes = make([]int64, len(m.aggCum))
+	for i := range m.aggCum {
+		w.AggPortBytes[i] = m.aggCum[i] - w.aggOpen[i]
+	}
+	w.aggOpen = nil
 	if m.onClose != nil {
 		m.onClose(w)
 	}
 }
 
-// Flush closes the open window, if any.
-func (m *SpineMonitor) Flush(now sim.Time) { m.closeWindow(now) }
+// Flush closes every open window, in ascending job order.
+func (m *SpineMonitor) Flush(now sim.Time) { m.dx.flush(now, m.closeJob) }
 
 // Clos3Collector attaches monitors to every leaf AND every spine of a
 // three-level fabric, funnelling windows to one callback per level.
@@ -153,12 +175,12 @@ func AttachClos3(net *fabric.Network, job int, onWindow func(w *Window)) *Clos3C
 	for ord, leaf := range topo.Leaves() {
 		m := NewLeafMonitor(topo, leaf, job, onWindow)
 		c.Leaves[ord] = m
-		net.SetIngressHook(leaf, m.OnPacket)
+		net.AddIngressHook(leaf, m.OnPacket)
 	}
 	for ord, spine := range topo.Spines() {
 		m := NewSpineMonitor(topo, spine, job, onWindow)
 		c.Spines[ord] = m
-		net.SetIngressHook(spine, m.OnPacket)
+		net.AddIngressHook(spine, m.OnPacket)
 	}
 	return c
 }

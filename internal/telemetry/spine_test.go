@@ -61,11 +61,11 @@ func TestSpineMonitorFiltersLikeLeaf(t *testing.T) {
 	m.OnPacket(1, 2, pkt(0, 100, tag, fabric.Data))                     // wrong job
 	m.OnPacket(2, 2, pkt(0, 100, fabric.FlowTag{Iter: 1}, fabric.Data)) // no sentinel
 	m.OnPacket(3, 2, pkt(0, 64, fabric.FlowTag{Sentinel: true, Job: 5, Iter: 1}, fabric.Ack))
-	if m.current != nil {
+	if m.OpenWindow(4) != nil {
 		t.Fatal("filtered packets opened a spine window")
 	}
 	m.OnPacket(4, 2, pkt(0, 100, fabric.FlowTag{Sentinel: true, Job: 5, Iter: 1}, fabric.Data))
-	if m.current == nil || m.current.PortBytes[0] != 100 {
+	if w := m.OpenWindow(5); w == nil || w.PortBytes[0] != 100 {
 		t.Fatal("own job not measured")
 	}
 }
@@ -113,7 +113,7 @@ func TestLeafWindowDefaultKind(t *testing.T) {
 	topo := clos3Topo(t)
 	m := NewLeafMonitor(topo, topo.Leaves()[0], JobAny, nil)
 	m.OnPacket(1, 1, pkt(0, 100, fabric.FlowTag{Sentinel: true, Iter: 1}, fabric.Data))
-	if m.current.SwitchKind != topology.Leaf {
-		t.Fatalf("leaf window kind = %v", m.current.SwitchKind)
+	if w := m.OpenWindow(0); w.SwitchKind != topology.Leaf {
+		t.Fatalf("leaf window kind = %v", w.SwitchKind)
 	}
 }

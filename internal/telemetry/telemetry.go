@@ -1,10 +1,12 @@
 // Package telemetry implements the in-switch measurement program of
 // §5.1: every leaf switch counts, per spine-facing ingress port, the
-// bytes of sentinel-tagged collective packets, closing the
-// per-iteration window when the first packet of the next iteration
-// appears. The window-close rule makes the measurement oblivious to
-// stragglers: synchronous data-parallel training guarantees iteration
-// k's traffic has fully drained before any node starts k+1.
+// bytes of sentinel-tagged collective packets, closing a job's
+// per-iteration window when the first packet of that job's next
+// iteration appears. The window-close rule makes the measurement
+// oblivious to stragglers: synchronous data-parallel training
+// guarantees iteration k's traffic has fully drained before any node
+// starts k+1. Monitors demultiplex per job id, so one tap per switch
+// measures every concurrent training job (§7 "Parallel Jobs").
 //
 // Monitors also keep a per-(port, source-leaf) byte matrix — the
 // information Fig. 4's localization compares across senders.
@@ -43,8 +45,20 @@ type Window struct {
 	SenderBytes [][]int64
 	// Packets is the tagged packet count across all uplinks.
 	Packets int64
+	// AggPortBytes[u] is the ALL-jobs sentinel byte count on uplink u
+	// over this window's interval, filled at close. Per-job spray
+	// shares comb under adaptive spraying when several jobs share a
+	// leaf's uplinks — only the aggregate keeps the paper's per-port
+	// symmetry — so the shared monitoring plane (§7 "Parallel Jobs")
+	// detects on this view. Equal to PortBytes when the window's job
+	// is the only sentinel traffic.
+	AggPortBytes []int64
 	// OpenedAt and ClosedAt bound the window in simulation time.
 	OpenedAt, ClosedAt sim.Time
+
+	// aggOpen snapshots the monitor's cumulative per-port counters at
+	// open; closeJob turns it into AggPortBytes.
+	aggOpen []int64
 }
 
 // Total returns the window's byte sum across uplink ports.
@@ -64,6 +78,10 @@ func (w *Window) Clone() *Window {
 	for i := range w.SenderBytes {
 		cp.SenderBytes[i] = append([]int64(nil), w.SenderBytes[i]...)
 	}
+	if w.AggPortBytes != nil {
+		cp.AggPortBytes = append([]int64(nil), w.AggPortBytes...)
+	}
+	cp.aggOpen = nil
 	return &cp
 }
 
@@ -77,20 +95,25 @@ type LeafMonitor struct {
 	uplinks     int
 
 	// Job filters measurements to one training job; JobAny measures
-	// every sentinel-tagged packet.
+	// every sentinel-tagged packet, demultiplexed into per-job windows.
 	job int
 
-	current *Window
+	dx demux
 
 	// LateBytes counts tagged bytes that arrived for an iteration
-	// older than the open window (should stay zero in synchronous
-	// training; nonzero values indicate a workload violating the
-	// §5.1 assumptions).
+	// older than their own job's open window (should stay zero in
+	// synchronous training; nonzero values indicate a workload
+	// violating the §5.1 assumptions). LateBytesFor breaks the count
+	// down per job.
 	LateBytes int64
 
 	onClose func(w *Window)
 
 	srcLeafOrd []int // host -> leaf ordinal, precomputed
+
+	// aggCum is the cumulative ALL-jobs sentinel byte count per
+	// uplink; window open/close snapshots turn it into AggPortBytes.
+	aggCum []int64
 }
 
 // JobAny disables job filtering.
@@ -111,8 +134,10 @@ func NewLeafMonitor(topo *topology.Topology, leaf topology.SwitchID, job int, on
 		hostPorts:   hostPorts,
 		uplinks:     len(topo.Switch(leaf).Ports) - hostPorts,
 		job:         job,
+		dx:          newDemux(),
 		onClose:     onClose,
 		srcLeafOrd:  make([]int, len(topo.Hosts)),
+		aggCum:      make([]int64, len(topo.Switch(leaf).Ports)-hostPorts),
 	}
 	for h := range topo.Hosts {
 		m.srcLeafOrd[h] = topo.LeafOrdinal(topo.LeafOf(topology.HostID(h)))
@@ -134,29 +159,45 @@ func (m *LeafMonitor) OnPacket(now sim.Time, port int, pkt *fabric.Packet) {
 	if pkt.Kind != fabric.Data || !pkt.Tag.Sentinel {
 		return
 	}
+	u := port - m.hostPorts
+	// The aggregate counter sees every sentinel packet, even under a
+	// job filter: it is the fabric-level symmetry view. It is bumped
+	// after any window close/open this packet triggers, so a window's
+	// aggregate delta covers exactly the packets between its own
+	// boundary packets (AggPortBytes == PortBytes for a lone job).
 	if m.job != JobAny && int(pkt.Tag.Job) != m.job {
+		m.aggCum[u] += int64(pkt.Size)
 		return
 	}
 
-	w := m.current
+	w := m.dx.lookup(pkt.Tag.Job)
 	switch {
 	case w == nil:
 		w = m.open(now, pkt.Tag)
 	case pkt.Tag.Iter > w.Iter:
-		// First packet of the next iteration: the previous collective
-		// is complete by construction; close and report it.
-		m.closeWindow(now)
+		// First packet of this job's next iteration: the previous
+		// collective is complete by construction; close and report it.
+		m.closeJob(now, pkt.Tag.Job)
 		w = m.open(now, pkt.Tag)
 	case pkt.Tag.Iter < w.Iter:
 		m.LateBytes += int64(pkt.Size)
+		m.dx.late(pkt.Tag.Job, int64(pkt.Size))
+		m.aggCum[u] += int64(pkt.Size)
 		return
 	}
 
-	u := port - m.hostPorts
+	m.aggCum[u] += int64(pkt.Size)
 	w.PortBytes[u] += int64(pkt.Size)
 	w.SenderBytes[u][m.srcLeafOrd[pkt.Src]] += int64(pkt.Size)
 	w.Packets++
 }
+
+// OpenWindow returns the job's currently open (unclosed) window, or
+// nil. The returned window is live: it keeps accumulating.
+func (m *LeafMonitor) OpenWindow(job uint16) *Window { return m.dx.open[job] }
+
+// LateBytesFor returns the late-byte count attributed to one job.
+func (m *LeafMonitor) LateBytesFor(job uint16) int64 { return m.dx.lateByJob[job] }
 
 func (m *LeafMonitor) open(now sim.Time, tag fabric.FlowTag) *Window {
 	w := &Window{
@@ -167,29 +208,35 @@ func (m *LeafMonitor) open(now sim.Time, tag fabric.FlowTag) *Window {
 		PortBytes:   make([]int64, m.uplinks),
 		SenderBytes: make([][]int64, m.uplinks),
 		OpenedAt:    now,
+		aggOpen:     append([]int64(nil), m.aggCum...),
 	}
 	for i := range w.SenderBytes {
 		w.SenderBytes[i] = make([]int64, len(m.topo.Leaves()))
 	}
-	m.current = w
+	m.dx.put(w)
 	return w
 }
 
-func (m *LeafMonitor) closeWindow(now sim.Time) {
-	w := m.current
-	m.current = nil
+func (m *LeafMonitor) closeJob(now sim.Time, job uint16) {
+	w := m.dx.take(job)
 	if w == nil {
 		return
 	}
 	w.ClosedAt = now
+	w.AggPortBytes = make([]int64, len(m.aggCum))
+	for i := range m.aggCum {
+		w.AggPortBytes[i] = m.aggCum[i] - w.aggOpen[i]
+	}
+	w.aggOpen = nil
 	if m.onClose != nil {
 		m.onClose(w)
 	}
 }
 
-// Flush closes the open window, if any — the end-of-training path,
-// where no next iteration will ever arrive to close it.
-func (m *LeafMonitor) Flush(now sim.Time) { m.closeWindow(now) }
+// Flush closes every open window, in ascending job order — the
+// end-of-training path, where no next iteration will ever arrive to
+// close them.
+func (m *LeafMonitor) Flush(now sim.Time) { m.dx.flush(now, m.closeJob) }
 
 // Collector attaches a LeafMonitor to every leaf of a network and
 // funnels closed windows to one callback. There is deliberately no
@@ -200,14 +247,15 @@ type Collector struct {
 }
 
 // AttachAll registers monitors on all leaves. onWindow receives every
-// closed window from every leaf.
+// closed window from every leaf. Monitors attach via AddIngressHook,
+// so several collectors (or other observers) compose on one fabric.
 func AttachAll(net *fabric.Network, job int, onWindow func(w *Window)) *Collector {
 	topo := net.Topology()
 	c := &Collector{Monitors: make([]*LeafMonitor, len(topo.Leaves()))}
 	for ord, leaf := range topo.Leaves() {
 		m := NewLeafMonitor(topo, leaf, job, onWindow)
 		c.Monitors[ord] = m
-		net.SetIngressHook(leaf, m.OnPacket)
+		net.AddIngressHook(leaf, m.OnPacket)
 	}
 	return c
 }
