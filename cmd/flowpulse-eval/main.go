@@ -36,6 +36,7 @@ func main() {
 		trials = flag.Int("trials", 0, "override trials per configuration")
 		seed   = flag.Uint64("seed", 1, "root random seed")
 		csvDir = flag.String("csv", "", "also write plottable results as CSV files into this directory")
+		trcDir = flag.String("trace-dir", "", "record trace-capable experiments (fig5a) as .fpt traces into this directory")
 		cpu    = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		mem    = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
@@ -72,8 +73,15 @@ func main() {
 
 	// The experiment registry lives in internal/experiments so the
 	// golden-file regression test drives the exact same configurations.
+	if *trcDir != "" {
+		if err := os.MkdirAll(*trcDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	runs := experiments.EvalExperiments(experiments.EvalOverrides{
 		Quick: *quick, SizeMB: *sizeMB, Drop: *drop, Trials: *trials, Seed: *seed,
+		TraceDir: *trcDir,
 	})
 
 	var selected []string

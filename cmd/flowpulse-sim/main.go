@@ -24,6 +24,8 @@ import (
 	"sort"
 
 	"flowpulse"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/trace"
 )
 
 func main() {
@@ -48,6 +50,7 @@ func main() {
 		flapPeriod = flag.Int64("flap-period", 0, "make the fault a lossy flap with this period (µs, 0 = persistent)")
 		flapDown   = flag.Int64("flap-down", 0, "flap down-phase length (µs, default period/2)")
 		jobs       = flag.Int("jobs", 1, "concurrent training jobs on one shared monitoring plane")
+		tracePath  = flag.String("trace", "", "record the run to this .fpt trace file for offline replay (see flowpulse-trace)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -79,8 +82,10 @@ func main() {
 		os.Exit(1)
 	}
 	monCfg := flowpulse.MonitorConfig{
-		Predictor: flowpulse.PredictorKind(*predictor),
-		Threshold: *threshold,
+		Predictor:  flowpulse.PredictorKind(*predictor),
+		Threshold:  *threshold,
+		TracePath:  *tracePath,
+		TraceLabel: "flowpulse-sim",
 	}
 	if *remediated {
 		monCfg.Remediate = &flowpulse.RemediateConfig{}
@@ -92,6 +97,38 @@ func main() {
 	}
 
 	target := flowpulse.Link{LeafOrd: *faultLeaf, SpineOrd: *faultSpine}
+	// groundTruth appends the injection (or heal) to the trace so an
+	// offline sweep can label iterations without re-simulating.
+	groundTruth := func(clear bool, onset int) {
+		trc := mon.TraceWriter()
+		if trc == nil {
+			return
+		}
+		f := trace.FaultRecord{
+			At:       sim.Time(cluster.Now()),
+			Kind:     "bernoulli",
+			LeafOrd:  target.LeafOrd,
+			SpineOrd: target.SpineOrd,
+			Upstream: *upstream,
+			Rate:     *drop,
+			Clear:    clear,
+			OnsetIter: func() uint32 {
+				if onset < 0 {
+					return 0
+				}
+				return uint32(onset)
+			}(),
+		}
+		if *flapPeriod > 0 {
+			f.Kind = "flap"
+			f.FlapPeriod = sim.Duration(*flapPeriod) * sim.Microsecond
+			f.FlapDown = f.FlapPeriod / 2
+			if *flapDown > 0 {
+				f.FlapDown = sim.Duration(*flapDown) * sim.Microsecond
+			}
+		}
+		trc.Fault(f)
+	}
 	inject := func() {
 		if *drop <= 0 {
 			return
@@ -108,6 +145,7 @@ func main() {
 		} else {
 			cluster.BreakLink(target, *drop)
 		}
+		groundTruth(false, *faultIter)
 	}
 
 	fmt.Printf("FlowPulse simulation: %dx%d fat tree, %d host(s)/leaf, %s, %d MiB/rank, %d iterations\n",
@@ -153,9 +191,17 @@ func main() {
 		}
 		if (*jobs <= 1 || job == 1) && *healAfter > 0 && int(iter) == *healAfter {
 			cluster.HealLink(target)
+			groundTruth(true, *healAfter)
 			fmt.Printf("  >> fault healed\n")
 		}
 	})
+	if trc := mon.TraceWriter(); trc != nil {
+		if err := trc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace recorded to %s\n", *tracePath)
+	}
 
 	printEvents := func(prefix string, events []flowpulse.Event) {
 		if len(events) == 0 {

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "re-record testdata/quick.fpt and rewrite testdata/stat.golden")
+
+// fixture is a small committed recording: a 6x3 fabric, 2 clean + 8
+// faulty iterations at 5% drop with remediation on, so the trace
+// holds every record kind (windows, events, actions, probe rounds,
+// fault, trailer).
+var fixture = filepath.Join("testdata", "quick.fpt")
+
+// TestStatGolden pins the exact text `flowpulse-trace stat` prints for
+// the committed fixture. Recording is deterministic at a fixed seed,
+// so any diff is a real format or output change: either a regression,
+// or an intentional change to be blessed with
+//
+//	go test ./cmd/flowpulse-trace -run TestStatGolden -update
+//
+// (-update also re-records the fixture itself, which is the upgrade
+// path when the format version bumps.)
+func TestStatGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "stat.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var out, errb bytes.Buffer
+		code := run([]string{"record", "-o", fixture,
+			"-leaves", "6", "-spines", "3", "-size", "2",
+			"-clean", "2", "-fault-iters", "8", "-drop", "0.05",
+			"-remediate", "-label", "stat-golden fixture", "-seed", "7",
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("record exited %d: %s", code, errb.String())
+		}
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"stat", fixture}, &out, &errb); code != 0 {
+		t.Fatalf("stat exited %d: %s%s", code, out.String(), errb.String())
+	}
+	got := out.String()
+
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("stat output drifted from %s:\n--- want\n%s--- got\n%s(bless intentional changes with -update)",
+			golden, want, got)
+	}
+}
+
+// TestReplayFixture proves the committed fixture still replays
+// bit-identically — the compatibility guarantee a reader owes every
+// trace an older writer produced.
+func TestReplayFixture(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"replay", fixture}, &out, &errb); code != 0 {
+		t.Fatalf("replay exited %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("fingerprint: match")) {
+		t.Fatalf("replay did not report a fingerprint match:\n%s", out.String())
+	}
+}

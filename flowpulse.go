@@ -35,6 +35,7 @@ import (
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
 	"flowpulse/internal/topology"
+	"flowpulse/internal/trace"
 	"flowpulse/internal/transport"
 )
 
@@ -132,6 +133,12 @@ type MonitorConfig struct {
 	// re-admission, with flap damping. Use &RemediateConfig{} for the
 	// defaults.
 	Remediate *RemediateConfig
+	// TracePath records the run — every measurement window with the
+	// prediction in effect, every detection, every remediation action,
+	// and the fault schedule — to a .fpt trace file for offline replay
+	// and threshold sweeps with flowpulse-trace. TraceLabel annotates
+	// the trace header.
+	TracePath, TraceLabel string
 }
 
 // Cluster is a simulated training cluster: fabric, transport,
@@ -173,8 +180,10 @@ func (c *Cluster) Monitor(cfg MonitorConfig) (*Monitor, error) {
 		Demand:    c.rt.Coll.Demand(),
 		Kind:      cfg.Predictor,
 		Job:       int(c.rt.Scenario.Job),
-		Detect:    detect.Config{Threshold: cfg.Threshold},
-		Remediate: cfg.Remediate,
+		Detect:     detect.Config{Threshold: cfg.Threshold},
+		Remediate:  cfg.Remediate,
+		TracePath:  cfg.TracePath,
+		TraceLabel: cfg.TraceLabel,
 		OnEvent: func(e Event) {
 			if cfg.OnEvent != nil {
 				cfg.OnEvent(e)
@@ -212,7 +221,10 @@ func (c *Cluster) monitorShared(cfg MonitorConfig) (*Monitor, error) {
 	if kind == core.SimulationModel {
 		return nil, fmt.Errorf("flowpulse: the Simulation predictor needs a per-job reference run and is not supported on multi-job clusters")
 	}
-	scfg := core.SharedConfig{Net: c.rt.Net, Stack: c.rt.Stack, Remediate: cfg.Remediate}
+	scfg := core.SharedConfig{
+		Net: c.rt.Net, Stack: c.rt.Stack, Remediate: cfg.Remediate,
+		TracePath: cfg.TracePath, TraceLabel: cfg.TraceLabel,
+	}
 	for _, jr := range c.rt.Jobs {
 		scfg.Jobs = append(scfg.Jobs, core.SharedJobConfig{
 			Job:     jr.Spec.Job,
@@ -468,6 +480,17 @@ func (m *Monitor) Quarantined() []LinkID {
 		return r.Quarantined()
 	}
 	return nil
+}
+
+// TraceWriter returns the attached trace writer (nil when
+// MonitorConfig.TracePath was not set). Harnesses use it to append
+// ground-truth fault records alongside the injections they script, and
+// to check Err once training ends.
+func (m *Monitor) TraceWriter() *trace.Writer {
+	if m.sys != nil {
+		return m.sys.TraceWriter()
+	}
+	return m.shared.TraceWriter()
 }
 
 // System exposes the underlying core.System for advanced use (nil on a

@@ -12,6 +12,7 @@ import (
 	"flowpulse/internal/remediate"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
+	"flowpulse/internal/trace"
 	"flowpulse/internal/transport"
 )
 
@@ -52,6 +53,13 @@ type SharedConfig struct {
 	// job's windows — or corroborated across jobs — is quarantined
 	// exactly once.
 	Remediate *remediate.Config
+	// TracePath records the whole plane — every job's windows, events,
+	// and the shared remediation stream — to one .fpt trace file (see
+	// internal/trace); Trace streams to an existing Writer instead. Set
+	// at most one. TraceLabel annotates the trace header.
+	TracePath  string
+	Trace      *trace.Writer
+	TraceLabel string
 }
 
 // SharedSystem is FlowPulse deployed over a multi-job fabric (§7
@@ -63,6 +71,7 @@ type SharedSystem struct {
 	plane      *monitor.Plane
 	faults     *predict.FaultSet
 	remediator *remediate.Remediator // nil unless SharedConfig.Remediate set
+	trc        *trace.Writer         // nil unless tracing
 	preds      map[uint16]predict.Predictor
 }
 
@@ -103,7 +112,12 @@ func AttachShared(cfg SharedConfig) (*SharedSystem, error) {
 	if cfg.Remediate != nil {
 		s.remediator = remediate.New(cfg.Net, s.faults, func() { s.Rebaseline() }, *cfg.Remediate)
 	}
+	trc, err := resolveTraceWriter(cfg.TracePath, cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
 
+	jobHeaders := make([]trace.JobHeader, 0, len(cfg.Jobs))
 	pipelines := make(map[uint16]*monitor.Pipeline, len(cfg.Jobs))
 	for _, jc := range cfg.Jobs {
 		pred := s.preds[jc.Job]
@@ -127,7 +141,44 @@ func AttachShared(cfg SharedConfig) (*SharedSystem, error) {
 		if s.remediator != nil {
 			pc.Remediate = s.remediator
 		}
+		if trc != nil {
+			dc := det.Config()
+			jobHeaders = append(jobHeaders, trace.JobHeader{
+				Job:               jc.Job,
+				Predictor:         pred.Name(),
+				Threshold:         dc.Threshold,
+				MinPredicted:      dc.MinPredicted,
+				AggregateSymmetry: dc.AggregateSymmetry,
+			})
+			jobPred, userEvent, userWindow := pred, jc.OnEvent, jc.OnWindow
+			pc.OnEvent = func(e Event) {
+				trc.Event(e)
+				if userEvent != nil {
+					userEvent(e)
+				}
+			}
+			pc.OnWindow = func(ws WindowScore) {
+				trc.WindowOf(jobPred, ws.Window)
+				if userWindow != nil {
+					userWindow(ws)
+				}
+			}
+		}
 		pipelines[jc.Job] = monitor.NewPipeline(pc)
+	}
+	if trc != nil {
+		hdr, err := traceHeader(topo, cfg.TraceLabel, true, s.remediator, jobHeaders)
+		if err != nil {
+			return nil, err
+		}
+		if err := trc.Begin(hdr); err != nil {
+			return nil, err
+		}
+		if s.remediator != nil {
+			s.remediator.OnAction = trc.Action
+			s.remediator.OnProbeRound = trc.ProbeRound
+		}
+		s.trc = trc
 	}
 	s.plane = monitor.NewPlane(cfg.Net, jobs, pipelines)
 	return s, nil
@@ -175,5 +226,15 @@ func (s *SharedSystem) Rebaseline() bool {
 	return all
 }
 
-// Flush closes all open telemetry windows (end of training).
-func (s *SharedSystem) Flush(now sim.Time) { s.plane.Flush(now) }
+// Flush closes all open telemetry windows (end of training) and, when
+// recording, seals the trace.
+func (s *SharedSystem) Flush(now sim.Time) {
+	s.plane.Flush(now)
+	if s.trc != nil {
+		s.trc.Finish(now)
+	}
+}
+
+// TraceWriter returns the attached trace writer, or nil when the
+// plane is not recording.
+func (s *SharedSystem) TraceWriter() *trace.Writer { return s.trc }

@@ -17,6 +17,7 @@ import (
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
 	"flowpulse/internal/topology"
+	"flowpulse/internal/trace"
 	"flowpulse/internal/transport"
 )
 
@@ -70,6 +71,14 @@ type Config struct {
 	// re-admission with flap damping. Use &remediate.Config{} for the
 	// defaults.
 	Remediate *remediate.Config
+	// TracePath, when set, records the run — windows with their live
+	// predictions, events, remediation, fault schedule — to a .fpt
+	// trace file for offline replay (see internal/trace). Trace streams
+	// to an existing Writer instead (the caller keeps ownership); set
+	// at most one of the two. TraceLabel annotates the trace header.
+	TracePath  string
+	Trace      *trace.Writer
+	TraceLabel string
 }
 
 // System is a running FlowPulse deployment over one network: one
@@ -84,6 +93,7 @@ type System struct {
 	pred       predict.Predictor
 	faults     *predict.FaultSet
 	remediator *remediate.Remediator // nil unless Config.Remediate set
+	trc        *trace.Writer         // nil unless tracing
 
 	*monitor.Pipeline
 }
@@ -117,6 +127,32 @@ func Attach(cfg Config) (*System, error) {
 	s.localizer = localize.New(topo, s.detector.Threshold(), 0)
 	if cfg.Remediate != nil {
 		s.remediator = remediate.New(cfg.Net, s.faults, func() { s.Rebaseline() }, *cfg.Remediate)
+	}
+	if err := s.attachTrace(topo, cfg); err != nil {
+		return nil, err
+	}
+	if s.trc != nil {
+		// The trace hooks wrap the caller's: the window record is
+		// written (with the prediction the detector is about to
+		// consume) before detection runs, and every event/action folds
+		// into the writer's fingerprint as it is emitted.
+		userEvent, userWindow := cfg.OnEvent, cfg.OnWindow
+		cfg.OnEvent = func(e Event) {
+			s.trc.Event(e)
+			if userEvent != nil {
+				userEvent(e)
+			}
+		}
+		cfg.OnWindow = func(ws WindowScore) {
+			s.trc.WindowOf(s.pred, ws.Window)
+			if userWindow != nil {
+				userWindow(ws)
+			}
+		}
+		if s.remediator != nil {
+			s.remediator.OnAction = s.trc.Action
+			s.remediator.OnProbeRound = s.trc.ProbeRound
+		}
 	}
 	pc := monitor.PipelineConfig{
 		Pred:     s.pred,
@@ -207,5 +243,12 @@ func (s *System) Rebaseline() bool {
 	return ok
 }
 
-// Flush closes all open telemetry windows (end of training).
-func (s *System) Flush(now sim.Time) { s.collector.FlushAll(now) }
+// Flush closes all open telemetry windows (end of training) and, when
+// recording, seals the trace (trailer + fingerprint; check
+// TraceWriter().Err for I/O errors).
+func (s *System) Flush(now sim.Time) {
+	s.collector.FlushAll(now)
+	if s.trc != nil {
+		s.trc.Finish(now)
+	}
+}

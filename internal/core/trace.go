@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"flowpulse/internal/remediate"
+	"flowpulse/internal/topology"
+	"flowpulse/internal/trace"
+)
+
+// attachTrace resolves Config's trace fields into a begun Writer on
+// s.trc (a no-op when tracing is off).
+func (s *System) attachTrace(topo *topology.Topology, cfg Config) error {
+	trc, err := resolveTraceWriter(cfg.TracePath, cfg.Trace)
+	if trc == nil || err != nil {
+		return err
+	}
+	dc := s.detector.Config()
+	hdr, err := traceHeader(topo, cfg.TraceLabel, false, s.remediator, []trace.JobHeader{{
+		Job:               traceJobID(cfg.Job),
+		Predictor:         s.pred.Name(),
+		Threshold:         dc.Threshold,
+		MinPredicted:      dc.MinPredicted,
+		AggregateSymmetry: dc.AggregateSymmetry,
+	}})
+	if err != nil {
+		return err
+	}
+	if err := trc.Begin(hdr); err != nil {
+		return err
+	}
+	s.trc = trc
+	return nil
+}
+
+// resolveTraceWriter maps the (TracePath, Trace) config pair to one
+// writer; at most one may be set.
+func resolveTraceWriter(path string, w *trace.Writer) (*trace.Writer, error) {
+	switch {
+	case w != nil && path != "":
+		return nil, fmt.Errorf("core: set TracePath or Trace, not both")
+	case w != nil:
+		return w, nil
+	case path != "":
+		return trace.Create(path)
+	}
+	return nil, nil
+}
+
+// traceHeader derives the trace header from the monitored fabric and
+// the effective pipeline configurations. Trace v1 records two-level
+// leaf/spine systems: the header's four topology numbers rebuild the
+// exact same fabric — and therefore the exact same link and switch
+// IDs — offline.
+func traceHeader(topo *topology.Topology, label string, shared bool,
+	rem *remediate.Remediator, jobs []trace.JobHeader) (trace.Header, error) {
+	if topo.Levels != 2 {
+		return trace.Header{}, fmt.Errorf("core: tracing supports two-level fat trees only (got %d levels)", topo.Levels)
+	}
+	leaves := topo.Leaves()
+	hosts := len(topo.HostsOf(leaves[0]))
+	uplink := topo.Switch(leaves[0]).Ports[hosts].Link
+	hdr := trace.Header{
+		Label:        label,
+		Leaves:       len(leaves),
+		Spines:       len(topo.Spines()),
+		HostsPerLeaf: hosts,
+		Trunk:        topo.Trunk,
+		LinkRateBPS:  topo.Link(uplink).RateBPS,
+		Shared:       shared,
+		Jobs:         jobs,
+	}
+	if rem != nil {
+		cfg := rem.Config()
+		hdr.Remediate = &cfg
+	}
+	return hdr, nil
+}
+
+// traceJobID narrows the collector's job filter to the header field
+// (telemetry.JobAny and other non-job filters record as 0).
+func traceJobID(job int) uint16 {
+	if job < 0 || job > 0xffff {
+		return 0
+	}
+	return uint16(job)
+}
+
+// TraceWriter returns the attached trace writer, or nil when the
+// system is not recording. Harnesses use it to append ground-truth
+// fault records and to check Err after Flush.
+func (s *System) TraceWriter() *trace.Writer { return s.trc }

@@ -117,6 +117,9 @@ func New(topo *topology.Topology, pred predict.Predictor, cfg Config) *Detector 
 // Threshold returns the active detection threshold.
 func (d *Detector) Threshold() float64 { return d.cfg.Threshold }
 
+// Config returns the effective (defaulted) configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
 // Predictor returns the underlying load model.
 func (d *Detector) Predictor() predict.Predictor { return d.pred }
 

@@ -19,6 +19,9 @@ type EvalOverrides struct {
 	Trials int
 	// Seed is the root random seed.
 	Seed uint64
+	// TraceDir, when set, makes trace-capable experiments (currently
+	// fig5a) record their trials as .fpt traces under this directory.
+	TraceDir string
 }
 
 // EvalOrder is the canonical experiment order, matching the paper's
@@ -62,7 +65,7 @@ func EvalExperiments(o EvalOverrides) map[string]func() (fmt.Stringer, error) {
 			return Fig4(cfg)
 		},
 		"fig5a": func() (fmt.Stringer, error) {
-			cfg := Fig5aConfig{Trials: o.Trials}
+			cfg := Fig5aConfig{Trials: o.Trials, TraceDir: o.TraceDir}
 			cfg.Scenario.Seed = o.Seed
 			if o.Quick {
 				cfg.Scenario.Leaves, cfg.Scenario.Spines = 8, 4

@@ -13,7 +13,9 @@ import (
 
 	"flowpulse/internal/core"
 	"flowpulse/internal/metrics"
+	"flowpulse/internal/remediate"
 	"flowpulse/internal/sim"
+	"flowpulse/internal/trace"
 )
 
 // Trial is one simulation run: CleanIters fault-free iterations
@@ -35,6 +37,12 @@ type Trial struct {
 	Upstream bool
 	// CleanIters and FaultIters split the run.
 	CleanIters, FaultIters int
+	// Remediate attaches the default closed-loop control plane.
+	Remediate bool
+	// TracePath records the run (windows, events, remediation, fault
+	// schedule) to a .fpt trace for offline replay; TraceLabel
+	// annotates its header.
+	TracePath, TraceLabel string
 }
 
 // TrialResult is the outcome of one Trial.
@@ -68,6 +76,10 @@ func (tr Trial) Run() (*TrialResult, error) {
 	cfg := core.Config{
 		Net: rt.Net, Stack: rt.Stack, Demand: rt.Coll.Demand(),
 		Kind: tr.Kind, Job: int(sc.Job),
+		TracePath: tr.TracePath, TraceLabel: tr.TraceLabel,
+	}
+	if tr.Remediate {
+		cfg.Remediate = &remediate.Config{}
 	}
 	if tr.Kind == core.SimulationModel {
 		iters := tr.ReferenceIters
@@ -94,6 +106,21 @@ func (tr Trial) Run() (*TrialResult, error) {
 		} else {
 			rt.InjectSilentDrop(tr.Fault, tr.DropRate)
 		}
+		if trc := sys.TraceWriter(); trc != nil {
+			// Ground truth for the trace: the iteration label matches
+			// the Samples construction below (faulty strictly after
+			// CleanIters).
+			trc.Fault(trace.FaultRecord{
+				At:        rt.Engine.Now(),
+				Kind:      "bernoulli",
+				LeafOrd:   tr.Fault.LeafOrd,
+				SpineOrd:  tr.Fault.SpineOrd,
+				Trunk:     tr.Fault.Trunk,
+				Upstream:  tr.Upstream,
+				Rate:      tr.DropRate,
+				OnsetIter: uint32(tr.CleanIters),
+			})
+		}
 	}
 	if tr.CleanIters == 0 {
 		inject()
@@ -105,6 +132,11 @@ func (tr Trial) Run() (*TrialResult, error) {
 	}, nil)
 	rt.Engine.Run()
 	sys.Flush(rt.Engine.Now())
+	if trc := sys.TraceWriter(); trc != nil {
+		if err := trc.Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &TrialResult{Events: sys.Events, Elapsed: sim.Duration(rt.Engine.Now())}
 	scores := sys.IterationScores()

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 
 	"flowpulse/internal/core"
@@ -23,6 +24,10 @@ type Fig5aConfig struct {
 	Trials int
 	// CleanIters and FaultIters per trial.
 	CleanIters, FaultIters int
+	// TraceDir, when set, records every trial to
+	// TraceDir/fig5a-r<rate>-t<trial>.fpt; `flowpulse-trace sweep` then
+	// reproduces any curve's ROC points from the recordings alone.
+	TraceDir string
 }
 
 func (c *Fig5aConfig) setDefaults() {
@@ -71,13 +76,18 @@ func Fig5a(cfg Fig5aConfig) (*Fig5aResult, error) {
 		for tr := 0; tr < cfg.Trials; tr++ {
 			sc := cfg.Scenario
 			sc.Seed = cfg.Scenario.Seed + uint64(tr)*7919 + uint64(rate*1e5)
-			trials = append(trials, Trial{
+			trial := Trial{
 				Scenario:   withNoise(sc),
 				Fault:      faultLinkFor(sc, tr),
 				DropRate:   rate,
 				CleanIters: cfg.CleanIters,
 				FaultIters: cfg.FaultIters,
-			})
+			}
+			if cfg.TraceDir != "" {
+				trial.TracePath = filepath.Join(cfg.TraceDir, fmt.Sprintf("fig5a-r%.4f-t%d.fpt", rate, tr))
+				trial.TraceLabel = fmt.Sprintf("fig5a rate=%.4f trial=%d", rate, tr)
+			}
+			trials = append(trials, trial)
 		}
 		results, err := RunAll(trials)
 		if err != nil {

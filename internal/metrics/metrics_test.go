@@ -128,6 +128,69 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestROCEmptySamples(t *testing.T) {
+	pts := ROC(nil, []float64{0.01, 0.05})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want one per threshold", len(pts))
+	}
+	for _, p := range pts {
+		if p.FPR != 0 || p.FNR != 0 || p.TPR != 1 {
+			t.Fatalf("empty-sample point not degenerate-clean: %+v", p)
+		}
+	}
+	if pts := ROC([]Sample{{0.5, true}}, nil); len(pts) != 0 {
+		t.Fatalf("no thresholds produced points: %v", pts)
+	}
+}
+
+func TestRatesSingleClass(t *testing.T) {
+	// All-negative: FNR has an empty denominator and must report 0,
+	// while FPR is still meaningful.
+	neg := []Sample{{0.02, false}, {0.005, false}, {0.03, false}}
+	fpr, fnr := RatesAt(neg, 0.01)
+	if fnr != 0 {
+		t.Fatalf("all-negative fnr = %v, want 0", fnr)
+	}
+	if want := 2.0 / 3.0; math.Abs(fpr-want) > 1e-12 {
+		t.Fatalf("all-negative fpr = %v, want %v", fpr, want)
+	}
+	// All-positive: the mirror case.
+	pos := []Sample{{0.02, true}, {0.005, true}}
+	fpr, fnr = RatesAt(pos, 0.01)
+	if fpr != 0 {
+		t.Fatalf("all-positive fpr = %v, want 0", fpr)
+	}
+	if fnr != 0.5 {
+		t.Fatalf("all-positive fnr = %v, want 0.5", fnr)
+	}
+}
+
+func TestRatesDuplicateScoresAtBoundary(t *testing.T) {
+	// Several samples share the exact threshold score: detection is
+	// strict (score > threshold), so every one of them stays silent
+	// regardless of class.
+	samples := []Sample{
+		{0.01, true}, {0.01, true}, {0.01, false}, {0.01, false},
+		{0.02, true}, {0.005, false},
+	}
+	fpr, fnr := RatesAt(samples, 0.01)
+	if fpr != 0 {
+		t.Fatalf("boundary negatives fired: fpr = %v", fpr)
+	}
+	if want := 2.0 / 3.0; math.Abs(fnr-want) > 1e-12 {
+		t.Fatalf("fnr = %v, want %v (both boundary positives missed)", fnr, want)
+	}
+	// Nudging the threshold just below the tied score flips all four
+	// tied samples at once.
+	fpr, fnr = RatesAt(samples, 0.0099)
+	if want := 2.0 / 3.0; math.Abs(fpr-want) > 1e-12 {
+		t.Fatalf("fpr = %v, want %v (both tied negatives fire)", fpr, want)
+	}
+	if fnr != 0 {
+		t.Fatalf("fnr = %v, want 0", fnr)
+	}
+}
+
 // Property: FPR and FNR are always within [0,1] and AUC within [0,1].
 func TestRatesBoundedProperty(t *testing.T) {
 	f := func(scores []float64, mask uint64, th float64) bool {

@@ -83,13 +83,26 @@ func (p *Pipeline) OnWindow(w *telemetry.Window) {
 	}
 
 	alerts := p.cfg.Detect.Check(wc)
+	// The sender reference is snapshotted once per window, before any
+	// alert reaches the remediator: all of a window's alerts share the
+	// window's (leaf, iter), and a remediation triggered by an earlier
+	// alert may re-baseline the model mid-loop — later alerts in the
+	// same window must still be localized against the reference the
+	// detector scored them with. (This is also what makes offline trace
+	// replay bit-identical: the recorded per-window prediction is
+	// exactly this snapshot.)
+	var senders [][]float64
+	haveSenders := false
+	if len(alerts) > 0 && p.cfg.Localize != nil && p.cfg.Pred != nil && p.cfg.Pred.Ready(wc.LeafOrdinal) {
+		senders = p.cfg.Pred.SenderLoad(wc.LeafOrdinal)
+		if ip, ok := p.cfg.Pred.(predict.IterPredictor); ok {
+			senders = ip.SenderLoadAt(wc.LeafOrdinal, wc.Iter)
+		}
+		haveSenders = true
+	}
 	for _, a := range alerts {
 		e := Event{Alert: a}
-		if p.cfg.Localize != nil && p.cfg.Pred != nil && p.cfg.Pred.Ready(a.LeafOrdinal) {
-			senders := p.cfg.Pred.SenderLoad(a.LeafOrdinal)
-			if ip, ok := p.cfg.Pred.(predict.IterPredictor); ok {
-				senders = ip.SenderLoadAt(a.LeafOrdinal, a.Iter)
-			}
+		if haveSenders {
 			e.Verdict = p.cfg.Localize.Localize(a, wc, senders)
 		}
 		p.Events = append(p.Events, e)

@@ -203,15 +203,32 @@ type quarLink struct {
 	suppLogged  bool
 }
 
+// Fabric is the dataplane surface the remediator drives: admin-down /
+// re-admit and OAM probing. *fabric.Network implements it online; the
+// trace replay substitutes a playback fabric that answers probes from
+// the recorded rounds.
+type Fabric interface {
+	Topology() *topology.Topology
+	DisconnectLink(link topology.LinkID)
+	ReconnectLink(link topology.LinkID)
+	ProbeLink(link topology.LinkID, dir fabric.Direction, size int, onResult func(now sim.Time, delivered bool))
+}
+
 // Remediator is the closed-loop control plane over one network. All
 // methods must run on the engine goroutine (they do when driven from
 // core.System's window-close path).
 type Remediator struct {
 	cfg        Config
-	net        *fabric.Network
+	net        Fabric
 	topo       *topology.Topology
 	faults     *predict.FaultSet
 	rebaseline func()
+
+	// OnAction, when set, observes every timeline entry as it is
+	// recorded. OnProbeRound observes every completed probe round
+	// (trace capture taps both).
+	OnAction     func(a Action)
+	OnProbeRound func(now sim.Time, link topology.LinkID, sent, lost int)
 
 	streaks map[streakKey]*streak
 	// flags records, per trunk, when each job last held a
@@ -230,7 +247,7 @@ type Remediator struct {
 // known-fault set (nil: quarantine only drives the FIB); rebaseline is
 // invoked after every quarantine and re-admission so the load models
 // track the new routing state (nil: no-op).
-func New(net *fabric.Network, faults *predict.FaultSet, rebaseline func(), cfg Config) *Remediator {
+func New(net Fabric, faults *predict.FaultSet, rebaseline func(), cfg Config) *Remediator {
 	cfg.setDefaults()
 	if rebaseline == nil {
 		rebaseline = func() {}
@@ -250,6 +267,17 @@ func New(net *fabric.Network, faults *predict.FaultSet, rebaseline func(), cfg C
 
 // Stats returns a snapshot of remediation counters.
 func (r *Remediator) Stats() Stats { return r.stats }
+
+// Config returns the effective (defaulted) configuration.
+func (r *Remediator) Config() Config { return r.cfg }
+
+// record appends one timeline entry and notifies the OnAction tap.
+func (r *Remediator) record(a Action) {
+	r.Timeline = append(r.Timeline, a)
+	if r.OnAction != nil {
+		r.OnAction(a)
+	}
+}
 
 // Quarantined returns the currently quarantined links in quarantine
 // order.
@@ -325,9 +353,7 @@ func (r *Remediator) Observe(a detect.Alert, v localize.Verdict) {
 // confirm records one confirmation and quarantines the suspect links.
 func (r *Remediator) confirm(a detect.Alert, st *streak, links []topology.LinkID, detail string) {
 	r.stats.Confirmations++
-	r.Timeline = append(r.Timeline, Action{
-		At: a.At, Kind: ActionConfirm, Link: links[0], Detail: detail,
-	})
+	r.record(Action{At: a.At, Kind: ActionConfirm, Link: links[0], Detail: detail})
 	delete(r.streaks, streakKey{job: a.Job, leafOrd: a.LeafOrdinal, uplink: a.Uplink})
 	delete(r.flags, trunkKey{leafOrd: a.LeafOrdinal, uplink: a.Uplink})
 	for _, l := range links {
@@ -392,7 +418,7 @@ func (r *Remediator) quarantine(link topology.LinkID, now sim.Time) {
 	r.quar = append(r.quar, q)
 	r.quarIdx[link] = q
 	r.stats.Quarantines++
-	r.Timeline = append(r.Timeline, Action{
+	r.record(Action{
 		At: now, Kind: ActionQuarantine, Link: link,
 		Detail: fmt.Sprintf("admin-down, penalty %.0f", d.penalty),
 	})
@@ -424,7 +450,7 @@ func (r *Remediator) Tick(now sim.Time) {
 				}
 				delete(r.quarIdx, q.link)
 				r.stats.Readmissions++
-				r.Timeline = append(r.Timeline, Action{
+				r.record(Action{
 					At: now, Kind: ActionReadmit, Link: q.link,
 					Detail: fmt.Sprintf("%d clean probe rounds", q.cleanRounds),
 				})
@@ -434,7 +460,7 @@ func (r *Remediator) Tick(now sim.Time) {
 			if !q.suppLogged {
 				q.suppLogged = true
 				r.stats.SuppressedReadmits++
-				r.Timeline = append(r.Timeline, Action{
+				r.record(Action{
 					At: now, Kind: ActionSuppress, Link: q.link,
 					Detail: fmt.Sprintf("damped, penalty %.0f", d.penalty),
 				})
@@ -462,13 +488,16 @@ func (r *Remediator) startRound(q *quarLink, now sim.Time) {
 	r.stats.ProbeRounds++
 	for i := 0; i < r.cfg.ProbePackets; i++ {
 		for _, dir := range []fabric.Direction{fabric.DirAtoB, fabric.DirBtoA} {
-			r.net.ProbeLink(q.link, dir, r.cfg.ProbeBytes, func(_ sim.Time, delivered bool) {
+			r.net.ProbeLink(q.link, dir, r.cfg.ProbeBytes, func(now sim.Time, delivered bool) {
 				q.inFlight--
 				if !delivered {
 					q.lost++
 				}
 				if q.inFlight == 0 {
 					q.roundDone = true
+					if r.OnProbeRound != nil {
+						r.OnProbeRound(now, q.link, 2*r.cfg.ProbePackets, q.lost)
+					}
 				}
 			})
 		}

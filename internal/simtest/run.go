@@ -1,6 +1,7 @@
 package simtest
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash"
@@ -16,6 +17,7 @@ import (
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
 	"flowpulse/internal/topology"
+	"flowpulse/internal/trace"
 )
 
 // Options tunes a fuzz run.
@@ -73,6 +75,11 @@ type runData struct {
 
 	// Three-level Clos.
 	leafAlerts, spineAlerts []detect.Alert
+
+	// Trace-replay oracle findings (fat-tree runs record to an
+	// in-memory .fpt trace and replay it offline; the offline
+	// event/action stream must match the online one bit-identically).
+	traceViolations []string
 }
 
 // Run executes a spec twice — the replay oracle — and checks every
@@ -150,10 +157,12 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 	if spec.Work.Remediate {
 		remCfg = &remediate.Config{}
 	}
+	var traceBuf bytes.Buffer
 	sys, err := core.Attach(core.Config{
 		Net: rt.Net, Stack: rt.Stack, Demand: rt.Coll.Demand(),
 		Kind: spec.Work.Predictor, ReferenceWindows: refWindows,
 		Detect: detCfg, Job: int(sc.Job), Remediate: remCfg,
+		Trace: trace.NewWriter(&traceBuf), TraceLabel: "simtest",
 	})
 	if err != nil {
 		return nil, err
@@ -199,7 +208,31 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 		data.quarantined = rem.Quarantined()
 	}
 	data.fingerprint = fingerprintFatTree(rt, sys)
+	data.traceViolations = checkTraceReplay(sys.TraceWriter(), &traceBuf)
 	return data, nil
+}
+
+// checkTraceReplay is the record/replay oracle: the execution recorded
+// itself to an in-memory trace; replaying that trace offline must
+// reproduce the online event/action stream bit for bit (equal
+// FNV-64a fingerprints).
+func checkTraceReplay(w *trace.Writer, buf *bytes.Buffer) []string {
+	if err := w.Err(); err != nil {
+		return []string{fmt.Sprintf("trace: recording failed: %v", err)}
+	}
+	rr, err := trace.Replay(bytes.NewReader(buf.Bytes()), trace.ReplayOptions{})
+	if err != nil {
+		return []string{fmt.Sprintf("trace: replay failed: %v", err)}
+	}
+	if rr.Trailer == nil {
+		return []string{"trace: recording has no trailer"}
+	}
+	if !rr.Matches() {
+		return []string{fmt.Sprintf(
+			"trace: offline replay fingerprint %016x != online %016x — replay diverged from the recorded run",
+			rr.Fingerprint, rr.Trailer.Fingerprint)}
+	}
+	return nil
 }
 
 func injectFatTree(rt *core.Runtime, ref core.LeafSpineLink, f FaultSpec) {
@@ -258,7 +291,11 @@ func executeSharedFatTree(spec Spec, opts Options) (*runData, error) {
 	if opts.MutateDetect != nil {
 		opts.MutateDetect(&detCfg)
 	}
-	scfg := core.SharedConfig{Net: rt.Net, Stack: rt.Stack}
+	var traceBuf bytes.Buffer
+	scfg := core.SharedConfig{
+		Net: rt.Net, Stack: rt.Stack,
+		Trace: trace.NewWriter(&traceBuf), TraceLabel: "simtest-shared",
+	}
 	for _, jr := range rt.Jobs {
 		scfg.Jobs = append(scfg.Jobs, core.SharedJobConfig{
 			Job: jr.Spec.Job, Demand: jr.Coll.Demand(), Detect: detCfg,
@@ -297,6 +334,7 @@ func executeSharedFatTree(spec Spec, opts Options) (*runData, error) {
 	data.stats = rt.Net.Stats()
 	data.audit = rt.Net.AuditConservation()
 	data.fingerprint = fingerprintShared(rt, sys)
+	data.traceViolations = checkTraceReplay(sys.TraceWriter(), &traceBuf)
 	return data, nil
 }
 
@@ -358,6 +396,9 @@ func checkOracles(spec Spec, opts Options, d *runData) []string {
 	for _, msg := range d.audit {
 		add("conservation: %s", msg)
 	}
+	// Oracle 1b: offline replay of the run's own recording is
+	// bit-identical (fat-tree runs; see checkTraceReplay).
+	bad = append(bad, d.traceViolations...)
 	if d.itersDone != spec.Work.Iterations {
 		add("workload: completed %d of %d iterations", d.itersDone, spec.Work.Iterations)
 	}

@@ -1,0 +1,94 @@
+package trace_test
+
+import (
+	"io"
+	"testing"
+
+	"flowpulse/internal/sim"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/trace"
+)
+
+// benchWriter returns a Writer past its header with a representative
+// window: an 8-leaf fabric's uplink vector and sender matrix, the
+// shape every fig5a trial records per (leaf, iteration).
+func benchWriter(tb testing.TB) (*trace.Writer, *telemetry.Window, []float64, [][]float64) {
+	tb.Helper()
+	w := trace.NewWriter(io.Discard)
+	h := trace.Header{
+		Label:  "bench",
+		Leaves: 8, Spines: 4, HostsPerLeaf: 1, Trunk: 1,
+		Jobs: []trace.JobHeader{{Predictor: "analytical", Threshold: 0.01}},
+	}
+	if err := w.Begin(h); err != nil {
+		tb.Fatalf("Begin: %v", err)
+	}
+	win := &telemetry.Window{
+		LeafOrdinal: 3,
+		PortBytes:   make([]int64, 4),
+		SenderBytes: make([][]int64, 4),
+		Packets:     4096,
+	}
+	port := make([]float64, 4)
+	sender := make([][]float64, 4)
+	for u := range win.SenderBytes {
+		win.PortBytes[u] = int64(1 << 20)
+		win.SenderBytes[u] = make([]int64, 8)
+		port[u] = float64(uint64(1) << 20)
+		sender[u] = make([]float64, 8)
+		for l := range sender[u] {
+			win.SenderBytes[u][l] = int64(128 << 10)
+			sender[u][l] = float64(128 << 10)
+		}
+	}
+	return w, win, port, sender
+}
+
+// advance mutates the window the way a live run does between closes:
+// the clock moves, counters drift slightly.
+func advance(win *telemetry.Window, i int) {
+	win.Iter = uint32(i)
+	win.OpenedAt = win.ClosedAt
+	win.ClosedAt += sim.Time(50 * sim.Microsecond)
+	win.Packets += int64(i & 7)
+	win.PortBytes[i&3] += int64(i & 1023)
+	win.SenderBytes[i&3][i&7] += int64(i & 255)
+}
+
+func BenchmarkTraceEncode(b *testing.B) {
+	w, win, port, sender := benchWriter(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		advance(win, i)
+		w.Window(win, true, port, sender)
+	}
+	b.StopTimer()
+	if err := w.Err(); err != nil {
+		b.Fatal(err)
+	}
+	// bytes/op of trace output, for eyeballing encoding efficiency.
+	b.SetBytes(int64(len(win.PortBytes)*8 + len(win.SenderBytes)*8*8))
+}
+
+// TestTraceEncodeAllocs is the allocation budget: once the payload
+// buffer and prediction caches have warmed up, recording a window must
+// not allocate — the Writer sits on the monitor's window-close path.
+func TestTraceEncodeAllocs(t *testing.T) {
+	w, win, port, sender := benchWriter(t)
+	i := 0
+	rec := func() {
+		advance(win, i)
+		i++
+		w.Window(win, true, port, sender)
+	}
+	for n := 0; n < 16; n++ { // warm up buffer growth and caches
+		rec()
+	}
+	if avg := testing.AllocsPerRun(200, rec); avg != 0 {
+		t.Fatalf("steady-state window record allocates: %v allocs/op", avg)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// Reader decodes a trace stream record by record. It validates the
+// magic and header up front, rebuilds the recorded topology (so link
+// and switch IDs in decoded records resolve exactly as they did
+// online), verifies every frame's CRC, and skips record kinds newer
+// than it knows (the frame length makes any record skippable).
+type Reader struct {
+	br   *bufio.Reader
+	hdr  *Header
+	topo *topology.Topology
+
+	lastTime sim.Time
+	caches   map[uint64]*predCache
+	buf      []byte
+}
+
+// NewReader wraps r, reads the magic and header, and rebuilds the
+// recorded topology.
+func NewReader(r io.Reader) (*Reader, error) {
+	rd := &Reader{br: bufio.NewReaderSize(r, 1<<16), caches: make(map[uint64]*predCache)}
+	var magic [8]byte
+	if _, err := io.ReadFull(rd.br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if !bytes.Equal(magic[:], Magic[:]) {
+		return nil, fmt.Errorf("trace: bad magic %q (not a .fpt trace)", magic)
+	}
+	payload, err := rd.readFrame()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	d := dec{b: payload}
+	if k := d.kind(); k != KindHeader {
+		return nil, fmt.Errorf("trace: first record kind %d, want header", k)
+	}
+	h := decodeHeader(&d)
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	if h.FormatVersion < 1 || h.FormatVersion > Version {
+		return nil, fmt.Errorf("trace: format version %d unsupported (reader speaks ≤ %d)", h.FormatVersion, Version)
+	}
+	// Bound the fabric before building it, so a corrupt header cannot
+	// drive a giant allocation (same spirit as maxFrame).
+	for _, dim := range [...]int{h.Leaves, h.Spines, h.HostsPerLeaf, h.Trunk} {
+		if dim < 0 || dim > maxTopoDim {
+			return nil, fmt.Errorf("trace: header topology dimension %d out of range", dim)
+		}
+	}
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{
+		Leaves:       h.Leaves,
+		Spines:       h.Spines,
+		HostsPerLeaf: h.HostsPerLeaf,
+		Trunk:        h.Trunk,
+		LinkRateBPS:  h.LinkRateBPS,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace: rebuilding recorded topology: %w", err)
+	}
+	rd.hdr = h
+	rd.topo = topo
+	return rd, nil
+}
+
+// Header returns the trace header.
+func (r *Reader) Header() *Header { return r.hdr }
+
+// Topo returns the topology rebuilt from the header; link and switch
+// IDs in decoded records belong to it.
+func (r *Reader) Topo() *topology.Topology { return r.topo }
+
+// Next returns the next record, or io.EOF after the last one. Records
+// with kinds this reader does not know are skipped.
+func (r *Reader) Next() (*Record, error) {
+	for {
+		payload, err := r.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		d := dec{b: payload}
+		rec := &Record{Kind: d.kind()}
+		switch rec.Kind {
+		case KindHeader:
+			return nil, fmt.Errorf("trace: duplicate header record")
+		case KindWindow:
+			rec.Window = r.decodeWindow(&d)
+		case KindEvent:
+			rec.Event, r.lastTime = decodeEvent(&d, r.topo, r.lastTime)
+		case KindAction:
+			rec.Action, r.lastTime = decodeAction(&d, r.lastTime)
+		case KindProbe:
+			rec.Probe, r.lastTime = decodeProbe(&d, r.lastTime)
+		case KindFault:
+			rec.Fault, r.lastTime = decodeFault(&d, r.lastTime)
+		case KindTrailer:
+			rec.Trailer = decodeTrailer(&d, r.lastTime)
+		default:
+			continue // newer kind than this reader: skip by frame
+		}
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return rec, nil
+	}
+}
+
+// readFrame reads one uvarint-length-prefixed, CRC32C-suffixed frame
+// into the reusable buffer.
+func (r *Reader) readFrame() ([]byte, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading frame length: %w", err)
+	}
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("trace: frame length %d out of range", n)
+	}
+	if uint64(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	buf := r.buf[:n]
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, fmt.Errorf("trace: truncated frame: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r.br, crc[:]); err != nil {
+		return nil, fmt.Errorf("trace: truncated frame checksum: %w", err)
+	}
+	if got, want := crc32.Checksum(buf, castagnoli), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return nil, fmt.Errorf("trace: frame CRC mismatch (corrupt record)")
+	}
+	return buf, nil
+}
+
+func (r *Reader) cache(job uint16, leafOrd int) *predCache {
+	k := cacheKey(job, leafOrd)
+	c := r.caches[k]
+	if c == nil {
+		c = &predCache{}
+		r.caches[k] = c
+	}
+	return c
+}
+
+func (r *Reader) decodeWindow(d *dec) *WindowRecord {
+	w := &WindowRecord{}
+	w.Job = uint16(d.u())
+	w.LeafOrd = int(d.u())
+	w.Iter = uint32(d.u())
+	w.ClosedAt = r.lastTime + sim.Time(d.i())
+	w.OpenedAt = w.ClosedAt + sim.Time(d.i())
+	w.Packets = d.i()
+
+	nPorts := d.count(1)
+	w.PortBytes = make([]int64, nPorts)
+	var prev int64
+	for i := range w.PortBytes {
+		prev += d.i()
+		w.PortBytes[i] = prev
+	}
+
+	switch mode := d.kind(); mode {
+	case aggSame:
+		w.AggPortBytes = append([]int64(nil), w.PortBytes...)
+	case aggDelta:
+		w.AggPortBytes = make([]int64, nPorts)
+		for i := range w.AggPortBytes {
+			w.AggPortBytes[i] = w.PortBytes[i] + d.i()
+		}
+	case aggAbsent:
+	case aggExplicit:
+		n := d.count(1)
+		w.AggPortBytes = make([]int64, n)
+		prev = 0
+		for i := range w.AggPortBytes {
+			prev += d.i()
+			w.AggPortBytes[i] = prev
+		}
+	default:
+		d.fail("trace: bad agg mode %d", mode)
+	}
+
+	nRows := d.count(1)
+	w.SenderBytes = make([][]int64, nRows)
+	for i := 0; i < nRows && d.err == nil; i++ {
+		n := d.count(1)
+		row := make([]int64, n)
+		prev = 0
+		for j := range row {
+			prev += d.i()
+			row[j] = prev
+		}
+		w.SenderBytes[i] = row
+	}
+
+	w.Ready = d.bit()
+	if w.Ready && d.err == nil {
+		c := r.cache(w.Job, w.LeafOrd)
+		nPort := d.count(1)
+		if d.err != nil {
+			return w
+		}
+		c.size(nPort, len(c.sender))
+		w.PortPred = make([]float64, nPort)
+		for i := range w.PortPred {
+			bits := d.u() ^ c.port[i]
+			c.port[i] = bits
+			w.PortPred[i] = math.Float64frombits(bits)
+		}
+		// The flattened sender count precedes the rows (see Writer) so
+		// the XOR cache can be sized before their lengths are known.
+		nPred := d.count(1)
+		if d.err != nil {
+			return w
+		}
+		c.size(nPort, nPred)
+		nPredRows := d.count(1)
+		w.SenderPred = make([][]float64, nPredRows)
+		k := 0
+		for i := 0; i < nPredRows && d.err == nil; i++ {
+			n := d.count(1)
+			if k+n > nPred {
+				d.fail("trace: sender prediction rows exceed declared count %d", nPred)
+				return w
+			}
+			row := make([]float64, n)
+			for j := range row {
+				bits := d.u() ^ c.sender[k]
+				c.sender[k] = bits
+				row[j] = math.Float64frombits(bits)
+				k++
+			}
+			w.SenderPred[i] = row
+		}
+		if d.err == nil && k != nPred {
+			d.fail("trace: sender prediction count %d, declared %d", k, nPred)
+		}
+	}
+	if d.err == nil {
+		r.lastTime = w.ClosedAt
+	}
+	return w
+}

@@ -1,0 +1,334 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"flowpulse/internal/detect"
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/localize"
+	"flowpulse/internal/metrics"
+	"flowpulse/internal/monitor"
+	"flowpulse/internal/predict"
+	"flowpulse/internal/remediate"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
+)
+
+// ReplayOptions are the what-if knobs of an offline replay. The zero
+// value replays the recording exactly as it ran online.
+type ReplayOptions struct {
+	// Threshold overrides every job's detection threshold (0: recorded).
+	Threshold float64
+	// Predictor selects the offline load model: "" or "recorded" uses
+	// the per-window prediction snapshots; "learned" trains a fresh
+	// learned model on the replayed windows (the would-the-learned-
+	// model-have-caught-it counterfactual). Remediation is skipped for
+	// "learned": its quarantine schedule could not match the recorded
+	// probe stream.
+	Predictor string
+	// FirstIter/LastIter clip the replay to an iteration range
+	// (0: open end).
+	FirstIter, LastIter uint32
+}
+
+// JobReplay is one job's offline pipeline after a replay.
+type JobReplay struct {
+	Job uint16
+	// Pipeline holds the offline Scores and Events, exactly as a
+	// monitor.Pipeline accumulates them online.
+	Pipeline *monitor.Pipeline
+	// MaxIter is the highest iteration any replayed window carried.
+	MaxIter uint32
+}
+
+// ReplayResult is everything an offline replay produced.
+type ReplayResult struct {
+	Header *Header
+	Topo   *topology.Topology
+	Jobs   []*JobReplay
+
+	// Events and Actions are the offline detection/remediation stream
+	// in emission order; Fingerprint is its FNV-64a sum. On a replay
+	// with no overrides it must equal Trailer.Fingerprint — that is the
+	// bit-identical-replay guarantee the simtest oracle enforces.
+	Events      []monitor.Event
+	Actions     []remediate.Action
+	Fingerprint uint64
+
+	// Remediator is the offline control plane (nil when the recording
+	// ran without one, or under the learned-predictor counterfactual).
+	Remediator *remediate.Remediator
+
+	// Faults is the recorded ground-truth fault schedule; Windows
+	// counts replayed windows; Trailer is nil for truncated recordings.
+	Faults  []*FaultRecord
+	Windows int
+	Trailer *Trailer
+
+	// RecordedEvents and RecordedActions are the online streams as
+	// decoded from the trace, for side-by-side comparison.
+	RecordedEvents  []*monitor.Event
+	RecordedActions []*remediate.Action
+}
+
+// Matches reports whether the offline stream reproduced the online one
+// bit-identically (false when the recording has no trailer).
+func (r *ReplayResult) Matches() bool {
+	return r.Trailer != nil && r.Fingerprint == r.Trailer.Fingerprint
+}
+
+// Samples labels every replayed (job, iteration) with its offline
+// detection score and the ground-truth fault schedule — the exact
+// sample construction the online evaluation uses, so ROC points from
+// one recording match re-simulated ones.
+func (r *ReplayResult) Samples() []metrics.Sample {
+	var out []metrics.Sample
+	for _, jr := range r.Jobs {
+		scores := jr.Pipeline.IterationScores()
+		for iter := uint32(1); iter <= jr.MaxIter; iter++ {
+			out = append(out, metrics.Sample{Score: scores[iter], Positive: faultActiveAt(r.Faults, iter)})
+		}
+	}
+	return out
+}
+
+// Sweep computes ROC points across thresholds from this one replay.
+// Scores are threshold-independent, so a single recording answers the
+// whole sweep — fig5a without re-simulation.
+func (r *ReplayResult) Sweep(thresholds []float64) []metrics.ROCPoint {
+	return metrics.ROC(r.Samples(), thresholds)
+}
+
+// faultActiveAt reports whether any recorded fault is active during
+// iter: injected before it (strictly after OnsetIter, matching the
+// online evaluation's "faulty from the iteration after onset" label)
+// and not yet cleared.
+func faultActiveAt(faults []*FaultRecord, iter uint32) bool {
+	for _, f := range faults {
+		if f.Clear || iter <= f.OnsetIter {
+			continue
+		}
+		cleared := false
+		for _, c := range faults {
+			if c.Clear && sameFaultSite(c, f) && c.OnsetIter >= f.OnsetIter && iter > c.OnsetIter {
+				cleared = true
+				break
+			}
+		}
+		if !cleared {
+			return true
+		}
+	}
+	return false
+}
+
+func sameFaultSite(a, b *FaultRecord) bool {
+	return a.LeafOrd == b.LeafOrd && a.SpineOrd == b.SpineOrd && a.Trunk == b.Trunk && a.Upstream == b.Upstream
+}
+
+// replayPredictor serves the recorded per-window prediction snapshot.
+// It implements IterPredictor so the detector takes the same
+// iteration-aligned code path it took online; every method answers
+// from the window currently being replayed, which is exactly the
+// snapshot the online detector consumed for it.
+type replayPredictor struct {
+	ready  bool
+	port   []float64
+	sender [][]float64
+}
+
+func (p *replayPredictor) Name() string                         { return "recorded" }
+func (p *replayPredictor) Ready(int) bool                       { return p.ready }
+func (p *replayPredictor) PortLoad(int) []float64               { return p.port }
+func (p *replayPredictor) SenderLoad(int) [][]float64           { return p.sender }
+func (p *replayPredictor) PortLoadAt(int, uint32) []float64     { return p.port }
+func (p *replayPredictor) SenderLoadAt(int, uint32) [][]float64 { return p.sender }
+
+// offlineFabric answers the remediator's dataplane calls during
+// replay: admin-down/re-admit are no-ops (there is no fabric), and
+// probes queue until the recorded round result reaches them in the
+// stream — at exactly the position (between ticks) the callbacks fired
+// online.
+type offlineFabric struct {
+	topo    *topology.Topology
+	pending map[topology.LinkID][]func(sim.Time, bool)
+}
+
+func (f *offlineFabric) Topology() *topology.Topology   { return f.topo }
+func (f *offlineFabric) DisconnectLink(topology.LinkID) {}
+func (f *offlineFabric) ReconnectLink(topology.LinkID)  {}
+func (f *offlineFabric) ProbeLink(link topology.LinkID, _ fabric.Direction, _ int, onResult func(sim.Time, bool)) {
+	f.pending[link] = append(f.pending[link], onResult)
+}
+
+// deliver resolves one recorded probe round against the queued
+// callbacks. The per-callback split of losses is immaterial — the
+// remediator only counts them — so the first Lost callbacks report
+// undelivered. Rounds with no queued probes (a what-if override
+// diverged from the recorded quarantine schedule) are ignored.
+func (f *offlineFabric) deliver(p *ProbeRecord) {
+	cbs := f.pending[p.Link]
+	if len(cbs) == 0 {
+		return
+	}
+	delete(f.pending, p.Link)
+	for i, cb := range cbs {
+		cb(p.At, i >= p.Lost)
+	}
+}
+
+// replayJob is one job's offline stack while the stream is replayed.
+type replayJob struct {
+	jr      *JobReplay
+	pred    *replayPredictor // nil under the learned counterfactual
+	learned *predict.Learned // nil unless Predictor == "learned"
+}
+
+// Replay runs a recorded trace back through the detect → localize →
+// remediate stack offline, entirely without the fabric.
+func Replay(src io.Reader, opts ReplayOptions) (*ReplayResult, error) {
+	rd, err := NewReader(src)
+	if err != nil {
+		return nil, err
+	}
+	hdr, topo := rd.Header(), rd.Topo()
+	if len(hdr.Jobs) == 0 {
+		return nil, fmt.Errorf("trace: header lists no jobs")
+	}
+	useLearned := false
+	switch opts.Predictor {
+	case "", "recorded":
+	case "learned":
+		useLearned = true
+	default:
+		return nil, fmt.Errorf("trace: unknown replay predictor %q (want recorded or learned)", opts.Predictor)
+	}
+
+	res := &ReplayResult{Header: hdr, Topo: topo}
+	fp := newFP()
+
+	faults := predict.NewFaultSet()
+	fab := &offlineFabric{topo: topo, pending: map[topology.LinkID][]func(sim.Time, bool){}}
+	if hdr.Remediate != nil && !useLearned {
+		res.Remediator = remediate.New(fab, faults, nil, *hdr.Remediate)
+		res.Remediator.OnAction = func(a remediate.Action) {
+			fpAction(&fp, &a)
+			res.Actions = append(res.Actions, a)
+		}
+	}
+
+	jobs := make(map[uint16]*replayJob, len(hdr.Jobs))
+	for _, jh := range hdr.Jobs {
+		dcfg := detect.Config{
+			Threshold:         jh.Threshold,
+			MinPredicted:      jh.MinPredicted,
+			AggregateSymmetry: jh.AggregateSymmetry,
+		}
+		if opts.Threshold != 0 {
+			dcfg.Threshold = opts.Threshold
+		}
+		j := &replayJob{jr: &JobReplay{Job: jh.Job}}
+		var pred predict.Predictor
+		if useLearned {
+			j.learned = predict.NewLearned(len(topo.Leaves()), predict.LearnedConfig{})
+			pred = j.learned
+		} else {
+			j.pred = &replayPredictor{}
+			pred = j.pred
+		}
+		det := detect.New(topo, pred, dcfg)
+		det.SetKnownFaults(faults)
+		pc := monitor.PipelineConfig{
+			Pred:     pred,
+			Detect:   det,
+			Localize: localize.New(topo, det.Threshold(), 0),
+			OnEvent: func(e monitor.Event) {
+				fpEvent(&fp, &e)
+				res.Events = append(res.Events, e)
+			},
+		}
+		if j.learned != nil {
+			pc.Observer = j.learned
+		}
+		if res.Remediator != nil {
+			pc.Remediate = res.Remediator
+		}
+		j.jr.Pipeline = monitor.NewPipeline(pc)
+		if jobs[jh.Job] != nil {
+			return nil, fmt.Errorf("trace: duplicate job %d in header", jh.Job)
+		}
+		jobs[jh.Job] = j
+		res.Jobs = append(res.Jobs, j.jr)
+	}
+	// A single-system recording routes every window through its one
+	// pipeline, exactly as core.System's collector does online; a
+	// shared-plane recording demuxes by job id.
+	route := func(job uint16) *replayJob {
+		if hdr.Shared {
+			return jobs[job]
+		}
+		return jobs[hdr.Jobs[0].Job]
+	}
+
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.Kind {
+		case KindWindow:
+			wr := rec.Window
+			if opts.FirstIter > 0 && wr.Iter < opts.FirstIter {
+				continue
+			}
+			if opts.LastIter > 0 && wr.Iter > opts.LastIter {
+				continue
+			}
+			j := route(wr.Job)
+			if j == nil {
+				return nil, fmt.Errorf("trace: window for job %d not in header", wr.Job)
+			}
+			if wr.LeafOrd < 0 || wr.LeafOrd >= len(topo.Leaves()) {
+				return nil, fmt.Errorf("trace: window leaf ordinal %d out of range", wr.LeafOrd)
+			}
+			if j.pred != nil {
+				j.pred.ready = wr.Ready
+				j.pred.port = wr.PortPred
+				j.pred.sender = wr.SenderPred
+			}
+			if wr.Iter > j.jr.MaxIter {
+				j.jr.MaxIter = wr.Iter
+			}
+			j.jr.Pipeline.OnWindow(&telemetry.Window{
+				Leaf:         topo.Leaves()[wr.LeafOrd],
+				LeafOrdinal:  wr.LeafOrd,
+				Job:          wr.Job,
+				Iter:         wr.Iter,
+				PortBytes:    wr.PortBytes,
+				SenderBytes:  wr.SenderBytes,
+				Packets:      wr.Packets,
+				AggPortBytes: wr.AggPortBytes,
+				OpenedAt:     wr.OpenedAt,
+				ClosedAt:     wr.ClosedAt,
+			})
+			res.Windows++
+		case KindProbe:
+			fab.deliver(rec.Probe)
+		case KindEvent:
+			res.RecordedEvents = append(res.RecordedEvents, rec.Event)
+		case KindAction:
+			res.RecordedActions = append(res.RecordedActions, rec.Action)
+		case KindFault:
+			res.Faults = append(res.Faults, rec.Fault)
+		case KindTrailer:
+			res.Trailer = rec.Trailer
+		}
+	}
+	res.Fingerprint = fp.h
+	return res, nil
+}

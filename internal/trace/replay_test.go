@@ -1,0 +1,209 @@
+package trace_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"flowpulse/internal/core"
+	"flowpulse/internal/experiments"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/trace"
+)
+
+// quickTrial is a small faulted run that records to path: 6×3 fabric,
+// 2 clean + 5 faulty iterations with a 2% silent drop, background
+// noise on (as the evaluation harness runs).
+func quickTrial(path string) experiments.Trial {
+	return experiments.Trial{
+		Scenario: core.Scenario{
+			Leaves: 6, Spines: 3,
+			BytesPerRank: 2 << 20,
+			Seed:         7,
+			Background:   4 * sim.Microsecond,
+		},
+		Fault:      core.LeafSpineLink{LeafOrd: 2, SpineOrd: 1},
+		DropRate:   0.02,
+		CleanIters: 2,
+		FaultIters: 5,
+		TracePath:  path,
+		TraceLabel: "quick-trial",
+	}
+}
+
+// record runs the trial and returns its online result plus the raw
+// trace bytes.
+func record(t *testing.T, tr experiments.Trial) (*experiments.TrialResult, []byte) {
+	t.Helper()
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatalf("Trial.Run: %v", err)
+	}
+	raw, err := os.ReadFile(tr.TracePath)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	return res, raw
+}
+
+func replay(t *testing.T, raw []byte, opts trace.ReplayOptions) *trace.ReplayResult {
+	t.Helper()
+	rr, err := trace.Replay(bytes.NewReader(raw), opts)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return rr
+}
+
+func TestReplayMatchesOnline(t *testing.T) {
+	tr := quickTrial(filepath.Join(t.TempDir(), "t.fpt"))
+	res, raw := record(t, tr)
+	if len(res.Events) == 0 {
+		t.Fatal("online run raised no events; trial too weak to test replay")
+	}
+
+	rr := replay(t, raw, trace.ReplayOptions{})
+	if rr.Trailer == nil {
+		t.Fatal("no trailer decoded")
+	}
+	if !rr.Matches() {
+		t.Errorf("offline fingerprint %#x != recorded %#x", rr.Fingerprint, rr.Trailer.Fingerprint)
+	}
+	if got, want := len(rr.Events), len(res.Events); got != want {
+		t.Errorf("offline events = %d, online = %d", got, want)
+	}
+	if got, want := len(rr.RecordedEvents), len(res.Events); got != want {
+		t.Errorf("recorded events = %d, online = %d", got, want)
+	}
+	if got, want := uint64(rr.Windows), rr.Trailer.Windows; got != want {
+		t.Errorf("replayed windows = %d, trailer says %d", got, want)
+	}
+	if got, want := rr.Trailer.Events, uint64(len(res.Events)); got != want {
+		t.Errorf("trailer events = %d, online = %d", got, want)
+	}
+	if len(rr.Faults) != 1 {
+		t.Fatalf("faults = %d, want 1", len(rr.Faults))
+	}
+	f := rr.Faults[0]
+	if f.LeafOrd != tr.Fault.LeafOrd || f.SpineOrd != tr.Fault.SpineOrd ||
+		f.Rate != tr.DropRate || int(f.OnsetIter) != tr.CleanIters {
+		t.Errorf("fault record %+v does not match injected fault", *f)
+	}
+	// The offline events must be field-identical to the online ones,
+	// not just fingerprint-equal.
+	for i := range rr.Events {
+		if !reflect.DeepEqual(rr.Events[i], res.Events[i]) {
+			t.Errorf("event %d differs:\noffline %+v\nonline  %+v", i, rr.Events[i], res.Events[i])
+		}
+	}
+}
+
+func TestReplayRemediation(t *testing.T) {
+	tr := quickTrial(filepath.Join(t.TempDir(), "t.fpt"))
+	tr.Remediate = true
+	// A harder fault alerts every iteration, so the K=3 consecutive-
+	// window streak confirms and quarantine (plus probe rounds) makes
+	// it into the trace.
+	tr.DropRate = 0.05
+	tr.FaultIters = 8
+	_, raw := record(t, tr)
+
+	rr := replay(t, raw, trace.ReplayOptions{})
+	if rr.Header.Remediate == nil {
+		t.Fatal("header lost the remediation config")
+	}
+	if rr.Remediator == nil {
+		t.Fatal("replay did not attach a remediator")
+	}
+	if !rr.Matches() {
+		t.Errorf("offline fingerprint %#x != recorded %#x", rr.Fingerprint, rr.Trailer.Fingerprint)
+	}
+	if len(rr.RecordedActions) == 0 {
+		t.Fatal("online run took no remediation actions; trial too weak to test replay")
+	}
+	if got, want := len(rr.Actions), len(rr.RecordedActions); got != want {
+		t.Fatalf("offline actions = %d, recorded = %d", got, want)
+	}
+	for i := range rr.Actions {
+		if !reflect.DeepEqual(rr.Actions[i], *rr.RecordedActions[i]) {
+			t.Errorf("action %d differs:\noffline %+v\nrecorded %+v", i, rr.Actions[i], *rr.RecordedActions[i])
+		}
+	}
+	if got, want := rr.Trailer.Actions, uint64(len(rr.Actions)); got != want {
+		t.Errorf("trailer actions = %d, offline = %d", got, want)
+	}
+}
+
+func TestSweepMatchesOnline(t *testing.T) {
+	tr := quickTrial(filepath.Join(t.TempDir(), "t.fpt"))
+	res, raw := record(t, tr)
+
+	rr := replay(t, raw, trace.ReplayOptions{})
+	got := rr.Samples()
+	if !reflect.DeepEqual(got, res.Samples) {
+		t.Fatalf("offline samples differ from online:\noffline %+v\nonline  %+v", got, res.Samples)
+	}
+	// Identical samples make every derived ROC point identical; spot
+	// check the paper threshold anyway.
+	ths := experiments.DefaultThresholds()
+	off := rr.Sweep(ths)
+	if len(off) != len(ths) {
+		t.Fatalf("sweep returned %d points for %d thresholds", len(off), len(ths))
+	}
+}
+
+func TestReplayThresholdOverride(t *testing.T) {
+	tr := quickTrial(filepath.Join(t.TempDir(), "t.fpt"))
+	res, raw := record(t, tr)
+	if len(res.Events) == 0 {
+		t.Fatal("online run raised no events")
+	}
+
+	// An absurdly high threshold suppresses every detection: the
+	// what-if stream diverges from the recording by design.
+	rr := replay(t, raw, trace.ReplayOptions{Threshold: 10})
+	if len(rr.Events) != 0 {
+		t.Errorf("events at 1000%% threshold = %d, want 0", len(rr.Events))
+	}
+	if rr.Matches() {
+		t.Error("what-if replay claims to match the recording")
+	}
+	if got, want := len(rr.RecordedEvents), len(res.Events); got != want {
+		t.Errorf("recorded events = %d, online = %d", got, want)
+	}
+}
+
+func TestReplayLearnedPredictor(t *testing.T) {
+	tr := quickTrial(filepath.Join(t.TempDir(), "t.fpt"))
+	tr.Remediate = true
+	_, raw := record(t, tr)
+
+	rr := replay(t, raw, trace.ReplayOptions{Predictor: "learned"})
+	if rr.Remediator != nil {
+		t.Error("learned counterfactual must not attach a remediator")
+	}
+	if rr.Windows == 0 {
+		t.Error("no windows replayed")
+	}
+
+	if _, err := trace.Replay(bytes.NewReader(raw), trace.ReplayOptions{Predictor: "oracle"}); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+}
+
+func TestReplayWindowFilter(t *testing.T) {
+	tr := quickTrial(filepath.Join(t.TempDir(), "t.fpt"))
+	_, raw := record(t, tr)
+
+	full := replay(t, raw, trace.ReplayOptions{})
+	clipped := replay(t, raw, trace.ReplayOptions{LastIter: uint32(tr.CleanIters)})
+	if clipped.Windows == 0 || clipped.Windows >= full.Windows {
+		t.Errorf("clipped windows = %d, full = %d; want 0 < clipped < full", clipped.Windows, full.Windows)
+	}
+	tail := replay(t, raw, trace.ReplayOptions{FirstIter: uint32(tr.CleanIters + 1)})
+	if tail.Windows+clipped.Windows != full.Windows {
+		t.Errorf("head %d + tail %d != full %d", clipped.Windows, tail.Windows, full.Windows)
+	}
+}
