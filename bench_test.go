@@ -222,6 +222,36 @@ func BenchmarkTrainingIteration(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainingIterationParallel is BenchmarkTrainingIteration on
+// the sharded engine across worker counts. Results are bit-identical
+// at every shard count (DESIGN.md decision 12); what varies is
+// wall-clock. On a single-core runner the shards>1 rows measure the
+// synchronization overhead ceiling; on 8+ cores they show the parallel
+// speedup recorded in README's Performance section.
+func BenchmarkTrainingIterationParallel(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			// Warm one run to size the pools, then measure fresh clusters.
+			warm, err := New(Scenario{Leaves: 32, Spines: 16, BytesPerRank: 4 << 20, Iterations: 1, Seed: 1, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm.Train(nil)
+			warm.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := New(Scenario{Leaves: 32, Spines: 16, BytesPerRank: 4 << 20, Iterations: 1, Seed: uint64(i), Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Train(nil)
+				c.Close()
+			}
+		})
+	}
+}
+
 // BenchmarkEngineEvents measures the raw discrete-event scheduler.
 func BenchmarkEngineEvents(b *testing.B) {
 	b.ReportAllocs()

@@ -35,12 +35,13 @@ func main() {
 		specJSON = flag.String("spec", "", "run one explicit spec (compact JSON, as printed by a shrunk repro)")
 		deadline = flag.Int("deadline", 0, "detection deadline in iterations after fault onset (default 4)")
 		noShrink = flag.Bool("no-shrink", false, "report failures unshrunk")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel seed workers")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel seed workers (clamped to the seed count)")
+		shards   = flag.Int("shards", 0, "engine worker shards per simulation (0 = classic single-threaded engine); fingerprints depend on the mode (0 vs >= 1) but not on the count, so reproduce failures with the same -shards mode")
 		verbose  = flag.Bool("v", false, "print a line per seed")
 	)
 	flag.Parse()
 
-	opts := simtest.Options{Deadline: *deadline}
+	opts := simtest.Options{Deadline: *deadline, Shards: *shards}
 	switch {
 	case *specJSON != "":
 		spec, err := simtest.ParseSpec(*specJSON)
@@ -69,21 +70,33 @@ func runOne(spec simtest.Spec, opts simtest.Options, noShrink bool) int {
 	return 1
 }
 
-// scan fuzzes seeds [start, start+n) on a worker pool.
+// scan fuzzes seeds [start, start+n) on a worker pool. Workers are
+// clamped to the seed count so small scans don't spawn idle
+// goroutines, and each seed's wall time is measured so slow or
+// degenerate scenarios stand out.
 func scan(start uint64, n, workers int, opts simtest.Options, noShrink, verbose bool) int {
 	if workers < 1 {
 		workers = 1
 	}
+	if workers > n {
+		workers = n
+	}
+	type timedResult struct {
+		res     *simtest.Result
+		elapsed time.Duration
+	}
 	t0 := time.Now()
 	seedCh := make(chan uint64)
-	results := make(chan *simtest.Result)
+	results := make(chan timedResult)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for s := range seedCh {
-				results <- simtest.Run(simtest.Generate(s), opts)
+				s0 := time.Now()
+				res := simtest.Run(simtest.Generate(s), opts)
+				results <- timedResult{res, time.Since(s0)}
 			}
 		}()
 	}
@@ -98,22 +111,36 @@ func scan(start uint64, n, workers int, opts simtest.Options, noShrink, verbose 
 
 	failed := 0
 	var failures []*simtest.Result
-	for res := range results {
+	var busy, slowest time.Duration
+	var slowestSeed uint64
+	for tr := range results {
+		res := tr.res
+		busy += tr.elapsed
+		if tr.elapsed > slowest {
+			slowest, slowestSeed = tr.elapsed, res.Spec.Seed
+		}
 		if verbose {
 			status := "ok"
 			if !res.OK() {
 				status = "FAIL"
 			}
-			fmt.Printf("seed %-6d %-4s %-9s %-14s %-8s fault=%-15s windows=%-4d alerts=%-3d fp=%016x\n",
+			fmt.Printf("seed %-6d %-4s %-9s %-14s %-8s fault=%-15s windows=%-4d alerts=%-3d fp=%016x %8v\n",
 				res.Spec.Seed, status, res.Spec.Topo.Kind, res.Spec.Work.Collective,
-				res.Spec.Work.Predictor, res.Spec.Fault.Kind, res.Windows, res.Alerts, res.Fingerprint)
+				res.Spec.Work.Predictor, res.Spec.Fault.Kind, res.Windows, res.Alerts, res.Fingerprint,
+				tr.elapsed.Round(time.Millisecond))
 		}
 		if !res.OK() {
 			failed++
 			failures = append(failures, res)
 		}
 	}
-	fmt.Printf("%d seeds, %d failed (%v, %d workers)\n", n, failed, time.Since(t0).Round(time.Millisecond), workers)
+	mean := time.Duration(0)
+	if n > 0 {
+		mean = busy / time.Duration(n)
+	}
+	fmt.Printf("%d seeds, %d failed (%v wall, %d workers; per seed mean %v, max %v on seed %d)\n",
+		n, failed, time.Since(t0).Round(time.Millisecond), workers,
+		mean.Round(time.Millisecond), slowest.Round(time.Millisecond), slowestSeed)
 	for _, res := range failures {
 		report(res, opts, noShrink)
 	}

@@ -37,6 +37,7 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "root random seed")
 		csvDir = flag.String("csv", "", "also write plottable results as CSV files into this directory")
 		trcDir = flag.String("trace-dir", "", "record trace-capable experiments (fig5a) as .fpt traces into this directory")
+		shards = flag.Int("shards", runtime.GOMAXPROCS(0), "engine worker shards for sharded experiments (fig5a, fig5b); results are identical for every value >= 1 (0 = classic single-threaded engine, byte-compatible with older releases)")
 		cpu    = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		mem    = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
@@ -81,7 +82,7 @@ func main() {
 	}
 	runs := experiments.EvalExperiments(experiments.EvalOverrides{
 		Quick: *quick, SizeMB: *sizeMB, Drop: *drop, Trials: *trials, Seed: *seed,
-		TraceDir: *trcDir,
+		TraceDir: *trcDir, Shards: *shards,
 	})
 
 	var selected []string

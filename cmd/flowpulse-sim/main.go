@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"flowpulse"
@@ -52,8 +54,24 @@ func main() {
 		jobs       = flag.Int("jobs", 1, "concurrent training jobs on one shared monitoring plane")
 		tracePath  = flag.String("trace", "", "record the run to this .fpt trace file for offline replay (see flowpulse-trace)")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "engine worker shards; results are identical for every value >= 1 (0 = classic single-threaded engine, byte-compatible with older releases)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (shard workers carry pprof shard=N labels)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *jobs > 1 && *hosts < *jobs {
 		*hosts = *jobs // one host column per job
@@ -65,6 +83,7 @@ func main() {
 		Iterations:   *iters,
 		JitterMax:    flowpulse.Duration(*jitterUS) * flowpulse.Microsecond,
 		Seed:         *seed,
+		Shards:       *shards,
 	}
 	for j := 1; j <= *jobs && *jobs > 1; j++ {
 		sc.Jobs = append(sc.Jobs, flowpulse.JobSpec{Job: uint16(j), HostIx: j - 1})
@@ -81,6 +100,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer cluster.Close()
 	monCfg := flowpulse.MonitorConfig{
 		Predictor:  flowpulse.PredictorKind(*predictor),
 		Threshold:  *threshold,
@@ -154,6 +174,11 @@ func main() {
 		fmt.Printf("jobs: %d concurrent (one shared tap per switch, per-job pipelines)\n", *jobs)
 	}
 	fmt.Printf("predictor=%s threshold=%.2f%% pre-existing=%d\n", *predictor, *threshold*100, *preDown)
+	if *shards >= 1 {
+		fmt.Printf("engine: sharded (%d workers, one domain per switch)\n", *shards)
+	} else {
+		fmt.Println("engine: single-threaded")
+	}
 	switch {
 	case *drop > 0 && *flapPeriod > 0:
 		fmt.Printf("fault: lossy flap (%.2f%% while down, period %dµs) on leaf %d / spine %d, after iteration %d\n",

@@ -103,6 +103,7 @@ func cmdRecord(args []string, stdout, stderr io.Writer) int {
 		at         = fs.Float64("at", 0.01, "report the online operating point at this threshold")
 		label      = fs.String("label", "flowpulse-trace record", "trace header label")
 		seed       = fs.Uint64("seed", 1, "random seed")
+		shards     = fs.Int("shards", 0, "engine worker shards (0 = classic single-threaded engine, byte-compatible with existing recordings; traces are identical for every value >= 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -113,6 +114,7 @@ func cmdRecord(args []string, stdout, stderr io.Writer) int {
 			BytesPerRank: *sizeMB << 20,
 			Background:   sim.Duration(*noiseUS) * sim.Microsecond,
 			Seed:         *seed,
+			Shards:       *shards,
 		},
 		Kind:       core.PredictorKind(*predictor),
 		Fault:      core.LeafSpineLink{LeafOrd: *faultLeaf, SpineOrd: *faultSpine},

@@ -46,7 +46,7 @@ func main() {
 			fmt.Printf("iteration 5: silent 8%% fault injected on core->spine link %d\n", link)
 		}
 	})
-	rt.Engine.Run()
+	rt.Run()
 	sys.Flush(rt.Engine.Now())
 
 	fmt.Printf("\nleaf-level alerts:  %d\n", len(sys.LeafEvents))

@@ -71,7 +71,7 @@ func main() {
 			fmt.Println("  (3% silent fault injected on leaf 3 / spine 2)")
 		}
 	}, nil)
-	rt.Engine.Run()
+	rt.Run()
 	sys.Flush(rt.Engine.Now())
 
 	fmt.Printf("\njob-1 windows measured: %d (job 2 and background excluded by tag/job filter)\n", sys.Windows)

@@ -289,7 +289,7 @@ func (c *Cluster) Train(onIteration func(now Duration, iter uint32)) {
 		cb = func(now sim.Time, iter uint32) { onIteration(Duration(now), iter) }
 	}
 	c.rt.StartTraining(cb, nil)
-	c.rt.Engine.Run()
+	c.rt.Run()
 	c.flush()
 }
 
@@ -312,7 +312,7 @@ func (c *Cluster) TrainAll(onIteration func(now Duration, job uint16, iter uint3
 		cb = func(now sim.Time, job uint16, iter uint32) { onIteration(Duration(now), job, iter) }
 	}
 	c.rt.StartAllJobs(cb, nil)
-	c.rt.Engine.Run()
+	c.rt.Run()
 	c.flush()
 }
 
@@ -324,6 +324,11 @@ func (c *Cluster) flush() {
 		c.shared.Flush(c.rt.Engine.Now())
 	}
 }
+
+// Close releases the worker pool of a sharded cluster (Scenario.Shards
+// ≥ 1). It is a no-op for single-threaded clusters and safe to call
+// more than once.
+func (c *Cluster) Close() { c.rt.Close() }
 
 // Now returns the current simulated time.
 func (c *Cluster) Now() Duration { return Duration(c.rt.Engine.Now()) }

@@ -71,13 +71,19 @@ func (a *AllToAll) Run(ctx *RunContext) {
 	}
 
 	st := &a2aState{ctx: ctx, a: a, vals: vals, remaining: n * (n - 1)}
+	st.done = func(now sim.Time) {
+		st.remaining--
+		if st.remaining == 0 && ctx.OnComplete != nil {
+			ctx.OnComplete(now, &Result{FinishedAt: now, Values: st.vals, MessagesSent: n * (n - 1)})
+		}
+	}
 	for rank := 0; rank < n; rank++ {
 		rank := rank
 		var off sim.Duration
 		if ctx.StartOffsets != nil {
 			off = ctx.StartOffsets[rank]
 		}
-		ctx.Engine.After(off, func(sim.Time) { st.send(rank, 1) })
+		ctx.scheduleStart(a.Group[rank], off, func(sim.Time) { st.send(rank, 1) })
 	}
 }
 
@@ -86,6 +92,7 @@ type a2aState struct {
 	a         *AllToAll
 	vals      [][]float64
 	remaining int
+	done      sim.Handler
 }
 
 func (st *a2aState) send(rank, round int) {
@@ -115,8 +122,6 @@ func (st *a2aState) onRecv(now sim.Time, rank, from, round int, value float64) {
 	if round+1 < len(st.a.Group) {
 		st.send(rank, round+1)
 	}
-	st.remaining--
-	if st.remaining == 0 && st.ctx.OnComplete != nil {
-		st.ctx.OnComplete(now, &Result{FinishedAt: now, Values: st.vals, MessagesSent: len(st.a.Group) * (len(st.a.Group) - 1)})
-	}
+	// Shared counter — only the control domain may decrement it.
+	st.ctx.finish(st.a.Group[rank], now, st.done)
 }

@@ -88,6 +88,37 @@ type Result struct {
 	MessagesSent int
 }
 
+// scheduleStart schedules a rank's first send on the engine that owns
+// its host. With a single engine this is ctx.Engine.After, byte for
+// byte the historical behavior. In sharded runs the start is posted
+// (lax) from the control domain into the host's domain; offsets
+// shorter than the group lookahead land at the first window boundary,
+// which is deterministic but may round the requested jitter up by at
+// most one lookahead.
+func (ctx *RunContext) scheduleStart(h topology.HostID, off sim.Duration, fn sim.Handler) {
+	net := ctx.Stack.Network()
+	if g := net.Group(); g != nil {
+		g.PostLax(0, net.DomainOf(h), ctx.Engine.Now().Add(off), fn)
+		return
+	}
+	ctx.Engine.After(off, fn)
+}
+
+// finish routes a per-rank completion event from the domain owning
+// host h to the control domain, where the collective's shared
+// remaining-counter lives. Cross-domain posts are drained in canonical
+// order at the window barrier, so the counter decrements in the same
+// order for every worker count. With a single engine fn runs inline,
+// preserving the historical event order exactly.
+func (ctx *RunContext) finish(h topology.HostID, now sim.Time, fn sim.Handler) {
+	net := ctx.Stack.Network()
+	if g := net.Group(); g != nil {
+		g.Post(net.DomainOf(h), 0, now, fn)
+		return
+	}
+	fn(now)
+}
+
 // Collective is a repeatable communication pattern.
 type Collective interface {
 	// Name identifies the pattern.

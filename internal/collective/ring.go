@@ -163,6 +163,12 @@ func runRing(ctx *RunContext, group []topology.HostID, bytes int64, steps int,
 		ctx: ctx, group: group, chunks: chunks, chunkAt: chunkAt,
 		steps: steps, reduceSteps: reduceSteps, vals: vals, remaining: total, totalMsgs: total,
 	}
+	run.done = func(now sim.Time) {
+		run.remaining--
+		if run.remaining == 0 && ctx.OnComplete != nil {
+			ctx.OnComplete(now, &Result{FinishedAt: now, Values: run.vals, MessagesSent: run.totalMsgs})
+		}
+	}
 	for rank := 0; rank < n; rank++ {
 		rank := rank
 		start := func(sim.Time) { run.send(rank, 0) }
@@ -170,7 +176,7 @@ func runRing(ctx *RunContext, group []topology.HostID, bytes int64, steps int,
 		if ctx.StartOffsets != nil {
 			off = ctx.StartOffsets[rank]
 		}
-		ctx.Engine.After(off, start)
+		ctx.scheduleStart(group[rank], off, start)
 	}
 }
 
@@ -184,6 +190,7 @@ type ringState struct {
 	vals        [][]float64
 	remaining   int
 	totalMsgs   int
+	done        sim.Handler
 }
 
 func (rs *ringState) send(rank, step int) {
@@ -219,8 +226,7 @@ func (rs *ringState) onRecv(now sim.Time, rank, step, chunk int, value float64) 
 	if step+1 < rs.steps {
 		rs.send(rank, step+1)
 	}
-	rs.remaining--
-	if rs.remaining == 0 && rs.ctx.OnComplete != nil {
-		rs.ctx.OnComplete(now, &Result{FinishedAt: now, Values: rs.vals, MessagesSent: rs.totalMsgs})
-	}
+	// The remaining-counter is shared by every rank; in sharded runs it
+	// must only ever be touched from the control domain.
+	rs.ctx.finish(rs.group[rank], now, rs.done)
 }

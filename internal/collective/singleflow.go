@@ -39,7 +39,7 @@ func (s *SingleFlow) Run(ctx *RunContext) {
 	if ctx.StartOffsets != nil {
 		off = ctx.StartOffsets[0]
 	}
-	ctx.Engine.After(off, func(sim.Time) {
+	ctx.scheduleStart(s.Src, off, func(sim.Time) {
 		ctx.Stack.Send(&transport.Message{
 			Src:      s.Src,
 			Dst:      s.Dst,
@@ -47,9 +47,11 @@ func (s *SingleFlow) Run(ctx *RunContext) {
 			Priority: ctx.Priority,
 			Tag:      ctx.Tag,
 			OnDelivered: func(now sim.Time, _ *transport.Message) {
-				if ctx.OnComplete != nil {
-					ctx.OnComplete(now, &Result{FinishedAt: now, MessagesSent: 1})
-				}
+				ctx.finish(s.Dst, now, func(now sim.Time) {
+					if ctx.OnComplete != nil {
+						ctx.OnComplete(now, &Result{FinishedAt: now, MessagesSent: 1})
+					}
+				})
 			},
 		})
 	})

@@ -22,6 +22,10 @@ type Clos3Scenario struct {
 	// Pods, LeavesPerPod, SpinesPerPod, CoresPerGroup shape the fabric
 	// (defaults 4 pods × 4 leaves × 2 spines, 4 cores per group).
 	Pods, LeavesPerPod, SpinesPerPod, CoresPerGroup int
+	// HostsPerLeaf is the number of hosts under each leaf (default 1).
+	// Raising it is how datacenter-scale runs reach tens of thousands
+	// of ranks without an unrealistic switch count.
+	HostsPerLeaf int
 	// BytesPerRank is the Ring-AllReduce size per rank (default 8 MiB).
 	BytesPerRank int64
 	// Iterations (default 10 — the learned model needs warm-up).
@@ -32,6 +36,10 @@ type Clos3Scenario struct {
 	Job uint16
 	// Seed roots the randomness.
 	Seed uint64
+	// Shards selects the engine mode, as in Scenario.Shards: 0 is the
+	// classic single-threaded engine, N ≥ 1 the sharded parallel engine
+	// with N workers (bit-identical for every N ≥ 1).
+	Shards int
 }
 
 func (sc *Clos3Scenario) setDefaults() {
@@ -60,10 +68,27 @@ type Clos3Runtime struct {
 	Scenario Clos3Scenario
 	Topo     *topology.Topology
 	Engine   *sim.Engine
-	Net      *fabric.Network
-	Stack    *transport.Stack
-	Group    []topology.HostID
-	Coll     collective.Collective
+	// EngineGroup is the sharded engine group (nil when Shards == 0).
+	EngineGroup *sim.Group
+	Net         *fabric.Network
+	Stack       *transport.Stack
+	Group       []topology.HostID
+	Coll        collective.Collective
+}
+
+// Run drives the simulation to completion (sharded or not).
+func (rt *Clos3Runtime) Run() sim.Time {
+	if rt.EngineGroup != nil {
+		return rt.EngineGroup.Run()
+	}
+	return rt.Engine.Run()
+}
+
+// Close releases a sharded engine's worker pool; no-op otherwise.
+func (rt *Clos3Runtime) Close() {
+	if rt.EngineGroup != nil {
+		rt.EngineGroup.Close()
+	}
 }
 
 // Build constructs the three-level fabric and workload.
@@ -72,13 +97,28 @@ func (sc Clos3Scenario) Build() (*Clos3Runtime, error) {
 	topo, err := topology.NewClos3(topology.Clos3Config{
 		Pods: sc.Pods, LeavesPerPod: sc.LeavesPerPod,
 		SpinesPerPod: sc.SpinesPerPod, CoresPerGroup: sc.CoresPerGroup,
+		HostsPerLeaf: sc.HostsPerLeaf,
 	})
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	net, err := fabric.New(fabric.Config{Topo: topo, Engine: eng, Seed: sc.Seed})
+	var (
+		eng  *sim.Engine
+		grp  *sim.Group
+		part *topology.Partition
+	)
+	if sc.Shards >= 1 {
+		part = topology.NewPartition(topo)
+		grp = sim.NewGroup(sim.GroupConfig{Domains: part.NumDomains, Lookahead: part.Lookahead, Workers: sc.Shards})
+		eng = grp.Control()
+	} else {
+		eng = sim.NewEngine()
+	}
+	net, err := fabric.New(fabric.Config{Topo: topo, Engine: eng, Group: grp, Partition: part, Seed: sc.Seed})
 	if err != nil {
+		if grp != nil {
+			grp.Close()
+		}
 		return nil, err
 	}
 	stack := transport.NewStack(net, transport.Config{})
@@ -87,7 +127,7 @@ func (sc Clos3Scenario) Build() (*Clos3Runtime, error) {
 		group[i] = topology.HostID(i)
 	}
 	coll := &collective.RingAllReduce{Group: group, BytesPerRank: sc.BytesPerRank}
-	return &Clos3Runtime{Scenario: sc, Topo: topo, Engine: eng, Net: net, Stack: stack, Group: group, Coll: coll}, nil
+	return &Clos3Runtime{Scenario: sc, Topo: topo, Engine: eng, EngineGroup: grp, Net: net, Stack: stack, Group: group, Coll: coll}, nil
 }
 
 // InjectSpineLeafDrop silently faults a spine→leaf link (detected by

@@ -73,6 +73,16 @@ type Scenario struct {
 	Jobs []JobScenario
 	// Seed roots every random stream in the scenario.
 	Seed uint64
+	// Shards selects the event-engine execution mode. 0 (the default)
+	// runs the classic single-threaded engine, byte-compatible with
+	// earlier releases. N ≥ 1 runs the sharded conservative-parallel
+	// engine — one event-heap domain per switch, N workers — whose
+	// results are bit-identical for EVERY N ≥ 1 (worker count only
+	// changes packing, never the schedule) but differ microscopically
+	// from the single-threaded schedule; see DESIGN.md decision 12.
+	// Sharded runtimes must be driven via Runtime.Run/RunUntil and
+	// released with Runtime.Close.
+	Shards int
 }
 
 // JobScenario describes one training job of a multi-job scenario.
@@ -137,10 +147,13 @@ type Runtime struct {
 	Scenario Scenario
 	Topo     *topology.Topology
 	Engine   *sim.Engine
-	Net      *fabric.Network
-	Stack    *transport.Stack
-	Group    []topology.HostID
-	Coll     collective.Collective
+	// EngineGroup is the sharded engine group (nil when Shards == 0);
+	// Engine is then its control engine.
+	EngineGroup *sim.Group
+	Net         *fabric.Network
+	Stack       *transport.Stack
+	Group       []topology.HostID
+	Coll        collective.Collective
 	// Jobs holds the per-job runtimes of a multi-job scenario (empty
 	// for the classic single-job form).
 	Jobs []JobRuntime
@@ -170,14 +183,31 @@ func (sc Scenario) Build() (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	net, err := fabric.New(fabric.Config{Topo: topo, Engine: eng, Spray: sc.Spray, Seed: sc.Seed})
+	var (
+		eng  *sim.Engine
+		grp  *sim.Group
+		part *topology.Partition
+	)
+	if sc.Shards >= 1 {
+		part = topology.NewPartition(topo)
+		grp = sim.NewGroup(sim.GroupConfig{Domains: part.NumDomains, Lookahead: part.Lookahead, Workers: sc.Shards})
+		eng = grp.Control()
+	} else {
+		eng = sim.NewEngine()
+	}
+	net, err := fabric.New(fabric.Config{Topo: topo, Engine: eng, Group: grp, Partition: part, Spray: sc.Spray, Seed: sc.Seed})
 	if err != nil {
+		if grp != nil {
+			grp.Close()
+		}
 		return nil, err
 	}
 	for _, pf := range sc.PreExisting {
 		link, err := resolveLink(topo, pf)
 		if err != nil {
+			if grp != nil {
+				grp.Close()
+			}
 			return nil, err
 		}
 		net.SetLinkAdmin(link, false)
@@ -192,11 +222,38 @@ func (sc Scenario) Build() (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := &Runtime{Scenario: sc, Topo: topo, Engine: eng, Net: net, Stack: stack, Group: group, Coll: coll}
+	rt := &Runtime{Scenario: sc, Topo: topo, Engine: eng, EngineGroup: grp, Net: net, Stack: stack, Group: group, Coll: coll}
 	if err := rt.buildJobs(); err != nil {
+		rt.Close()
 		return nil, err
 	}
 	return rt, nil
+}
+
+// Run drives the simulation until every event has drained, returning
+// the final simulated time. It dispatches to the sharded group when
+// the scenario was built with Shards ≥ 1.
+func (rt *Runtime) Run() sim.Time {
+	if rt.EngineGroup != nil {
+		return rt.EngineGroup.Run()
+	}
+	return rt.Engine.Run()
+}
+
+// RunUntil drives the simulation up to the deadline.
+func (rt *Runtime) RunUntil(deadline sim.Time) sim.Time {
+	if rt.EngineGroup != nil {
+		return rt.EngineGroup.RunUntil(deadline)
+	}
+	return rt.Engine.RunUntil(deadline)
+}
+
+// Close releases the sharded engine's worker pool. It is a no-op for
+// single-threaded runtimes, and safe to call more than once.
+func (rt *Runtime) Close() {
+	if rt.EngineGroup != nil {
+		rt.EngineGroup.Close()
+	}
 }
 
 // buildCollective constructs one collective over a host group.
@@ -334,6 +391,18 @@ func (rt *Runtime) InjectFlap(ref LeafSpineLink, period, downFor, phase sim.Dura
 // confirmation logic keys on.
 func (rt *Runtime) InjectLossyFlap(ref LeafSpineLink, period, downFor, phase sim.Duration, rate float64) {
 	link := rt.Link(ref)
+	if rt.EngineGroup != nil {
+		// Sharded fabrics sample each direction's fault process in the
+		// domain that owns the receiving endpoint — two different
+		// domains for a leaf-spine link — so the directions cannot share
+		// one Bernoulli stream. Give each its own.
+		for i, dir := range []fabric.Direction{fabric.DirAtoB, fabric.DirBtoA} {
+			f := fault.NewLinkFlap(period, downFor, phase)
+			f.Inner = fault.NewBernoulliDrop(rate, sim.NewRNG(rt.Scenario.Seed, fmt.Sprintf("flap/%d/%d", link, i)))
+			rt.Net.InjectFault(link, dir, f)
+		}
+		return
+	}
 	f := fault.NewLinkFlap(period, downFor, phase)
 	f.Inner = fault.NewBernoulliDrop(rate, sim.NewRNG(rt.Scenario.Seed, fmt.Sprintf("flap/%d", link)))
 	rt.Net.InjectFault(link, fabric.DirBoth, f)
@@ -452,12 +521,13 @@ func ReferenceRun(sc Scenario, iterations int) ([]*telemetry.Window, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer rt.Close()
 	var windows []*telemetry.Window
 	coll := telemetry.AttachAll(rt.Net, int(sc.Job), func(w *telemetry.Window) {
 		windows = append(windows, w.Clone())
 	})
 	rt.StartTraining(nil, nil)
-	rt.Engine.Run()
+	rt.Run()
 	coll.FlushAll(rt.Engine.Now()) // close the final iteration's windows
 	return windows, nil
 }

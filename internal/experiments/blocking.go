@@ -116,7 +116,7 @@ func Blocking(cfg BlockingConfig) (*BlockingResult, error) {
 				rt.InjectSilentDrop(fault, cfg.DropRate)
 			}
 		}, nil)
-		rt.Engine.Run()
+		rt.Run()
 		sys.Flush(rt.Engine.Now())
 
 		if rt.Net.Stats().PFCPauses > 0 {

@@ -107,7 +107,7 @@ func Clos3(cfg Clos3Config) (*Clos3Result, error) {
 				}
 			}
 		})
-		rt.Engine.Run()
+		rt.Run()
 		sys.Flush(rt.Engine.Now())
 
 		expected, other := sys.LeafEvents, sys.SpineEvents

@@ -22,6 +22,11 @@ type EvalOverrides struct {
 	// TraceDir, when set, makes trace-capable experiments (currently
 	// fig5a) record their trials as .fpt traces under this directory.
 	TraceDir string
+	// Shards selects the engine mode for experiments wired to the
+	// sharded engine (fig5a, fig5b): 0 keeps the classic single-threaded
+	// engine, N ≥ 1 runs the sharded parallel engine with N workers.
+	// Results are bit-identical for every N ≥ 1 (DESIGN.md decision 12).
+	Shards int
 }
 
 // EvalOrder is the canonical experiment order, matching the paper's
@@ -67,6 +72,7 @@ func EvalExperiments(o EvalOverrides) map[string]func() (fmt.Stringer, error) {
 		"fig5a": func() (fmt.Stringer, error) {
 			cfg := Fig5aConfig{Trials: o.Trials, TraceDir: o.TraceDir}
 			cfg.Scenario.Seed = o.Seed
+			cfg.Scenario.Shards = o.Shards
 			if o.Quick {
 				cfg.Scenario.Leaves, cfg.Scenario.Spines = 8, 4
 				cfg.Scenario.BytesPerRank = 4 << 20
@@ -78,7 +84,7 @@ func EvalExperiments(o EvalOverrides) map[string]func() (fmt.Stringer, error) {
 			return Fig5a(cfg)
 		},
 		"fig5b": func() (fmt.Stringer, error) {
-			cfg := Fig5bConfig{Seed: o.Seed, Trials: o.Trials}
+			cfg := Fig5bConfig{Seed: o.Seed, Trials: o.Trials, Shards: o.Shards}
 			if o.Quick {
 				cfg.Radixes = []int{8, 16}
 				cfg.BytesPerRank = 4 << 20

@@ -73,6 +73,7 @@ func (tr Trial) Run() (*TrialResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer rt.Close()
 	cfg := core.Config{
 		Net: rt.Net, Stack: rt.Stack, Demand: rt.Coll.Demand(),
 		Kind: tr.Kind, Job: int(sc.Job),
@@ -130,7 +131,7 @@ func (tr Trial) Run() (*TrialResult, error) {
 			inject()
 		}
 	}, nil)
-	rt.Engine.Run()
+	rt.Run()
 	sys.Flush(rt.Engine.Now())
 	if trc := sys.TraceWriter(); trc != nil {
 		if err := trc.Err(); err != nil {

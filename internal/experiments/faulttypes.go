@@ -153,7 +153,7 @@ func FaultTypes(cfg FaultTypesConfig) (*FaultTypesResult, error) {
 					rt.Net.InjectFault(link, dir, model)
 				}
 			}, nil)
-			rt.Engine.Run()
+			rt.Run()
 			sys.Flush(rt.Engine.Now())
 
 			scores := sys.IterationScores()

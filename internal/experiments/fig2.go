@@ -106,7 +106,7 @@ func Fig2(cfg Fig2Config) (*Fig2Result, error) {
 		}
 	})
 	rt.StartTraining(nil, nil)
-	rt.Engine.Run()
+	rt.Run()
 	coll.FlushAll(rt.Engine.Now())
 	if windows == 0 {
 		return nil, fmt.Errorf("fig2: no measurement windows closed")

@@ -114,7 +114,7 @@ func Fig3(cfg Fig3Config) (*Fig3Result, error) {
 			rt.ClearSilent(cfg.Fault)
 		}
 	}, nil)
-	rt.Engine.Run()
+	rt.Run()
 	sys.Flush(rt.Engine.Now())
 
 	res := &Fig3Result{Config: cfg}

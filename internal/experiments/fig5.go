@@ -158,6 +158,8 @@ type Fig5bConfig struct {
 	CleanIters, FaultIters int
 	// Seed roots the randomness.
 	Seed uint64
+	// Shards selects the engine mode per trial (see core.Scenario.Shards).
+	Shards int
 }
 
 func (c *Fig5bConfig) setDefaults() {
@@ -210,6 +212,7 @@ func Fig5b(cfg Fig5bConfig) (*Fig5bResult, error) {
 				Leaves: leaves, Spines: spines,
 				BytesPerRank: cfg.BytesPerRank,
 				Seed:         cfg.Seed + uint64(radix*1000+tr),
+				Shards:       cfg.Shards,
 			}
 			trials = append(trials, Trial{
 				Scenario:   withNoise(sc),

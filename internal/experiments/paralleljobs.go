@@ -106,7 +106,7 @@ func parallelRun(name string, sc core.Scenario, rcfg remediate.Config, ref core.
 			rt.InjectSilentDrop(ref, cfg.DropRate)
 		}
 	}, nil)
-	rt.Engine.Run()
+	rt.Run()
 	sys.Flush(rt.Engine.Now())
 
 	row.AlertsJob1 = len(sys.Pipeline(rt.Jobs[0].Spec.Job).Events)

@@ -119,7 +119,7 @@ func remediationRun(sc core.Scenario, rcfg remediate.Config,
 			onIter(rt, now, iter)
 		}
 	}, nil)
-	rt.Engine.Run()
+	rt.Run()
 	sys.Flush(rt.Engine.Now())
 	return rt, sys, iterEnd, nil
 }

@@ -46,6 +46,57 @@ func TestForwardingSteadyStateAllocsZero(t *testing.T) {
 	}
 }
 
+// TestShardedForwardingSteadyStateAllocsZero is the sharded-engine
+// twin of the gate above: once warm, pushing a packet across domains —
+// including the cross-domain mailbox handoff and the barrier drain —
+// must stay allocation-free per shard. Two details make the accounting
+// honest: Workers=1 executes the identical logical schedule inline on
+// the calling goroutine, and the traffic is bidirectional (the receiver
+// echoes every packet) because packet/timer pools are per-domain —
+// capacity allocated at the source is released at the destination, so
+// only round-trip traffic (which is what the transport's data+ack
+// exchange produces) reaches a pool-stable steady state.
+func TestShardedForwardingSteadyStateAllocsZero(t *testing.T) {
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 4, Spines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := topology.NewPartition(topo)
+	g := sim.NewGroup(sim.GroupConfig{Domains: part.NumDomains, Lookahead: part.Lookahead, Workers: 1})
+	defer g.Close()
+	net := MustNew(Config{Topo: topo, Engine: g.Control(), Group: g, Partition: part, Seed: 1})
+	delivered := 0
+	var echo uint64
+	net.SetReceiver(topology.HostID(3), func(_ sim.Time, p *Packet) {
+		delivered++
+		echo++
+		net.Send(SendSpec{Src: 3, Dst: 0, Size: p.Size, Msg: 1<<40 | echo})
+	})
+	net.SetReceiver(topology.HostID(0), func(sim.Time, *Packet) {})
+
+	// Warm every pool: packets, timers, engine events, rings, mailboxes.
+	msg := uint64(0)
+	send := func() {
+		msg++
+		net.Send(SendSpec{Src: 0, Dst: 3, Size: 4096, Msg: msg})
+	}
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	g.Run()
+
+	avg := testing.AllocsPerRun(200, func() {
+		send()
+		g.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("sharded steady-state forwarding allocates %.2f per round trip, want 0", avg)
+	}
+	if delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+}
+
 // A single hop (host NIC onto the wire) must also be allocation-free —
 // the finer-grained version of the steady-state gate, pinning the
 // kick/serialize/arrive path specifically.

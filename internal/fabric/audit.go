@@ -59,10 +59,11 @@ func (n *Network) AuditConservation() []string {
 		}
 	}
 
-	if hostSent != n.stats.Sent || hostSentBytes != n.stats.SentBytes {
+	stats := n.Stats()
+	if hostSent != stats.Sent || hostSentBytes != stats.SentBytes {
 		bad = append(bad, fmt.Sprintf(
 			"NIC conservation: hosts injected %d pkts/%d B but NIC egress carried %d pkts/%d B",
-			n.stats.Sent, n.stats.SentBytes, hostSent, hostSentBytes))
+			stats.Sent, stats.SentBytes, hostSent, hostSentBytes))
 	}
 
 	for i := range n.switches {
@@ -77,7 +78,7 @@ func (n *Network) AuditConservation() []string {
 		}
 	}
 
-	s := n.stats
+	s := stats
 	if s.Sent != s.Delivered+s.FaultDropped+s.RouteDropped+s.AdminDropped {
 		bad = append(bad, fmt.Sprintf(
 			"network packet conservation: sent %d != delivered %d + fault %d + route %d + admin %d",

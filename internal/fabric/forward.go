@@ -19,6 +19,10 @@ type SendSpec struct {
 	Msg      uint64
 	Seq      int
 	Retx     bool
+	// Ctx rides along on the packet for the receiving endpoint
+	// (immutable after Send). The sharded transport uses it to carry
+	// message metadata across domains without a sender-side map lookup.
+	Ctx any
 }
 
 // Send injects a packet at the source host's NIC queue. The NIC
@@ -30,21 +34,22 @@ func (n *Network) Send(spec SendSpec) {
 	if spec.Size <= 0 {
 		panic(fmt.Sprintf("fabric: non-positive packet size %d", spec.Size))
 	}
-	p := n.allocPacket()
+	hs := &n.hosts[spec.Src]
+	p := n.allocPacket(hs.d)
 	p.Src, p.Dst = spec.Src, spec.Dst
 	p.Size = spec.Size
 	p.Priority = spec.Priority
 	p.Kind = spec.Kind
 	p.Tag = spec.Tag
 	p.Msg, p.Seq, p.Retx = spec.Msg, spec.Seq, spec.Retx
+	p.Ctx = spec.Ctx
 
-	n.stats.Sent++
-	n.stats.SentBytes += uint64(spec.Size)
+	hs.d.stats.Sent++
+	hs.d.stats.SentBytes += uint64(spec.Size)
 	if TracePacket != nil {
-		TracePacket(n.engine.Now(), "inject", topology.Endpoint{Kind: topology.HostEnd, Host: spec.Src}, p)
+		TracePacket(hs.d.eng.Now(), "inject", topology.Endpoint{Kind: topology.HostEnd, Host: spec.Src}, p)
 	}
 
-	hs := &n.hosts[spec.Src]
 	hs.egress.queues[p.Priority].push(p)
 	n.kick(hs.egress)
 }
@@ -73,14 +78,15 @@ func (n *Network) kick(ld *linkDir) {
 	// The packet has left the sender's buffer: release PFC credit, or
 	// tell the owning NIC its frame hit the wire (transports time
 	// retransmission from this instant, as NIC hardware does).
+	eng := ld.sendD.eng
 	if p.inSwitch {
 		n.releaseCredit(p)
 	} else if ld.sender.Kind == topology.HostEnd {
 		if TracePacket != nil {
-			TracePacket(n.engine.Now(), "wireout", ld.sender, p)
+			TracePacket(eng.Now(), "wireout", ld.sender, p)
 		}
 		if cb := n.hosts[ld.sender.Host].onDequeue; cb != nil {
-			cb(n.engine.Now(), p)
+			cb(eng.Now(), p)
 		}
 	}
 
@@ -98,10 +104,17 @@ func (n *Network) kick(ld *linkDir) {
 	// tie-breaking and therefore bitwise determinism.
 	ld.ser.size = p.Size
 	ld.ser.prio = prio
-	n.engine.AfterTimer(ser, &ld.ser)
-	at := n.allocArrival()
+	eng.AfterTimer(ser, &ld.ser)
+	at := n.allocArrival(ld.sendD)
 	at.ld, at.p = ld, p
-	n.engine.AfterTimer(ser+ld.prop, at)
+	if ld.crossDom {
+		// Cross-domain hop: hand the arrival through the group
+		// barrier. The landing time is at least prop >= lookahead past
+		// now, so the strict post contract holds by construction.
+		n.grp.PostTimer(ld.sendD.dom, ld.recvD.dom, eng.Now().Add(ser+ld.prop), at)
+	} else {
+		eng.AfterTimer(ser+ld.prop, at)
+	}
 }
 
 // arrive lands a packet at the far end of a link direction, applying
@@ -113,17 +126,17 @@ func (n *Network) arrive(ld *linkDir, p *Packet, now sim.Time) {
 		TracePacket(now, "arrive", ld.receiver, p)
 	}
 	if !ld.link.adminUp {
-		n.stats.AdminDropped++
+		ld.recvD.stats.AdminDropped++
 		ld.adminDropped++
 		ld.adminDroppedBytes += uint64(p.Size)
-		n.freePacket(p)
+		n.freePacket(ld.recvD, p)
 		return
 	}
 	if ld.flt != nil && ld.flt.Apply(now, p.Size) == fault.Drop {
-		n.stats.FaultDropped++
+		ld.recvD.stats.FaultDropped++
 		ld.faultDropped++
 		ld.faultDroppedBytes += uint64(p.Size)
-		n.freePacket(p)
+		n.freePacket(ld.recvD, p)
 		return
 	}
 	ld.delivered++
@@ -138,12 +151,13 @@ func (n *Network) arrive(ld *linkDir, p *Packet, now sim.Time) {
 }
 
 func (n *Network) deliver(h topology.HostID, p *Packet, now sim.Time) {
-	n.stats.Delivered++
-	n.stats.DeliveredBytes += uint64(p.Size)
-	if recv := n.hosts[h].recv; recv != nil {
+	hs := &n.hosts[h]
+	hs.d.stats.Delivered++
+	hs.d.stats.DeliveredBytes += uint64(p.Size)
+	if recv := hs.recv; recv != nil {
 		recv(now, p)
 	}
-	n.freePacket(p)
+	n.freePacket(hs.d, p)
 }
 
 // switchReceive runs the switch pipeline: PFC ingress accounting, the
@@ -177,10 +191,10 @@ func (n *Network) switchReceive(sw topology.SwitchID, port int, p *Packet, now s
 
 	cands := n.fib.candidates(ss, dstLeafOrd)
 	if len(cands) == 0 {
-		n.stats.RouteDropped++
-		n.stats.RouteDroppedBytes += uint64(p.Size)
+		ss.d.stats.RouteDropped++
+		ss.d.stats.RouteDroppedBytes += uint64(p.Size)
 		n.releaseCredit(p)
-		n.freePacket(p)
+		n.freePacket(ss.d, p)
 		return
 	}
 
@@ -230,14 +244,21 @@ func (n *Network) pauseUpstream(ss *switchState, port, prio int, pause bool) {
 		upstream = &down.link.dirs[1]
 	}
 	if pause {
-		n.stats.PFCPauses++
+		ss.d.stats.PFCPauses++
 	}
 	if TracePause != nil {
-		TracePause(n.engine.Now(), upstream.sender, prio, pause, ss.occ[port][prio])
+		TracePause(ss.d.eng.Now(), upstream.sender, prio, pause, ss.occ[port][prio])
 	}
-	pt := n.allocPause()
+	pt := n.allocPause(ss.d)
 	pt.upstream, pt.prio, pt.pause = upstream, prio, pause
-	n.engine.AfterTimer(down.prop, pt)
+	if upstream.sendD != ss.d {
+		// The pause frame crosses a domain boundary (the upstream
+		// transmitter is another switch); prop >= lookahead makes the
+		// strict post legal.
+		n.grp.PostTimer(ss.d.dom, upstream.sendD.dom, ss.d.eng.Now().Add(down.prop), pt)
+	} else {
+		ss.d.eng.AfterTimer(down.prop, pt)
+	}
 }
 
 // pauseTimer delivers one PFC pause/resume frame after the link's
@@ -250,11 +271,13 @@ type pauseTimer struct {
 	pause    bool
 }
 
-// Fire applies the pause state at the upstream transmitter.
+// Fire applies the pause state at the upstream transmitter. It runs on
+// the upstream sender's engine, so the timer is returned to that
+// domain's pool.
 func (t *pauseTimer) Fire(_ sim.Time) {
 	n, upstream, prio, pause := t.n, t.upstream, t.prio, t.pause
 	t.upstream = nil
-	n.freePauses = append(n.freePauses, t)
+	upstream.sendD.freePauses = append(upstream.sendD.freePauses, t)
 	upstream.paused[prio] = pause
 	if !pause {
 		n.kick(upstream)

@@ -53,11 +53,11 @@ type arrivalTimer struct {
 }
 
 // Fire lands the packet at the far end and returns the timer to the
-// pool.
+// receiver domain's pool (it fires on the receiver's engine).
 func (t *arrivalTimer) Fire(now sim.Time) {
 	n, ld, p := t.n, t.ld, t.p
 	t.ld, t.p = nil, nil
-	n.freeArrivals = append(n.freeArrivals, t)
+	ld.recvD.freeArrivals = append(ld.recvD.freeArrivals, t)
 	n.arrive(ld, p, now)
 }
 
@@ -70,6 +70,17 @@ type linkDir struct {
 	receiver topology.Endpoint
 	rate     int64
 	prop     sim.Duration
+
+	// sendD/recvD are the partition domains of the two endpoints (the
+	// single shared domain in legacy mode). The sender's domain owns
+	// the transmitter state and the sent* counters; the receiver's
+	// domain owns the fault process and the delivered*/dropped*
+	// counters — disjoint field sets, so the direction needs no lock.
+	// crossDom marks directions whose arrival must be posted through
+	// the group barrier.
+	sendD    *domainState
+	recvD    *domainState
+	crossDom bool
 
 	flt fault.Model // nil when healthy
 
@@ -265,6 +276,11 @@ func (n *Network) FIBRecomputes() uint64 { return n.fibRecomputes }
 // The probe consults the same fault process as data frames (advancing
 // its RNG stream), so a probabilistic fault is sampled exactly as the
 // data path would sample it.
+//
+// In sharded mode probes run on the control engine and may only target
+// administratively-down links: a downed link's fault process is never
+// touched by the data path (arrivals drop on the admin check first),
+// so control owns it for the duration of the quarantine.
 func (n *Network) ProbeLink(link topology.LinkID, dir Direction, size int, onResult func(now sim.Time, delivered bool)) {
 	if dir == DirBoth {
 		panic("fabric: ProbeLink needs a single direction")
@@ -273,12 +289,12 @@ func (n *Network) ProbeLink(link topology.LinkID, dir Direction, size int, onRes
 		panic(fmt.Sprintf("fabric: non-positive probe size %d", size))
 	}
 	ld := &n.links[link].dirs[dir]
-	n.stats.ProbesSent++
+	n.doms[0].stats.ProbesSent++
 	delay := sim.SerializationDelay(size, ld.rate) + ld.prop
 	n.engine.After(delay, func(now sim.Time) {
 		delivered := ld.flt == nil || ld.flt.Apply(now, size) == fault.Deliver
 		if !delivered {
-			n.stats.ProbesLost++
+			n.doms[0].stats.ProbesLost++
 		}
 		if onResult != nil {
 			onResult(now, delivered)

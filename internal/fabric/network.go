@@ -12,8 +12,17 @@ import (
 type Config struct {
 	// Topo is the wiring to simulate. Required.
 	Topo *topology.Topology
-	// Engine drives the simulation. Required.
+	// Engine drives the simulation. Required unless Group is set, in
+	// which case it defaults to (and must be) the group's control
+	// engine.
 	Engine *sim.Engine
+	// Group, when set, runs the fabric in sharded-parallel mode: each
+	// switch (plus its attached hosts) executes on the engine of its
+	// Partition domain, and cross-domain packet handoff goes through
+	// the group's barrier mailboxes. Requires Partition.
+	Group *sim.Group
+	// Partition is the domain decomposition matching Group.
+	Partition *topology.Partition
 	// Spray selects the upstream load-balancing policy. Defaults to
 	// spray.LeastLoaded, the paper's APS.
 	Spray spray.Kind
@@ -93,6 +102,7 @@ type hostState struct {
 	egress    *linkDir
 	recv      Receiver
 	onDequeue DequeueHook
+	d         *domainState
 }
 
 type switchState struct {
@@ -108,29 +118,21 @@ type switchState struct {
 
 	policy spray.Policy
 	cands  []spray.Candidate // scratch
+
+	d *domainState
 }
 
-// Network is the simulated fabric. It is single-threaded: all access
-// must happen from the owning engine's goroutine.
-type Network struct {
-	cfg    Config
-	topo   *topology.Topology
-	engine *sim.Engine
-
-	hosts    []hostState
-	switches []switchState
-	links    []linkState
-
-	fib *fibTable
-
-	ingressHooks [][]IngressHook // per switch, in registration order, empty when absent
+// domainState is the per-domain mutable slice of the fabric: counters,
+// object pools, and packet-ID allocation. In legacy (single-threaded)
+// mode there is exactly one, shared by every node; in sharded mode
+// each partition domain owns one and touches only its own, so worker
+// domains never contend — the only cross-domain traffic is the posts
+// at the window barrier.
+type domainState struct {
+	eng *sim.Engine
+	dom int
 
 	stats Stats
-
-	// fibRecomputes counts administrative transitions (FIB churn).
-	fibRecomputes uint64
-
-	tau float64 // spray-memory time constant in picoseconds; <= 0 disables
 
 	freePackets  []*Packet
 	freeArrivals []*arrivalTimer
@@ -138,21 +140,58 @@ type Network struct {
 	nextPacketID uint64
 }
 
-// allocArrival takes a pooled arrival timer (see arrivalTimer).
-func (n *Network) allocArrival() *arrivalTimer {
-	if k := len(n.freeArrivals); k > 0 {
-		t := n.freeArrivals[k-1]
-		n.freeArrivals = n.freeArrivals[:k-1]
+// Network is the simulated fabric. In legacy mode it is
+// single-threaded: all access must happen from the owning engine's
+// goroutine. In sharded mode (Config.Group) each node's state belongs
+// to its partition domain and is touched only by that domain's events;
+// administrative operations (fault injection, SetLinkAdmin, ProbeLink)
+// must run on the control engine.
+type Network struct {
+	cfg    Config
+	topo   *topology.Topology
+	engine *sim.Engine // control engine
+
+	grp *sim.Group // nil in legacy mode
+	par bool
+
+	hosts    []hostState
+	switches []switchState
+	links    []linkState
+
+	// doms holds the per-domain state; exactly one entry in legacy
+	// mode. The slice is allocated once and never grows, so the
+	// interior pointers held by nodes and link directions stay valid.
+	doms []domainState
+
+	fib *fibTable
+
+	ingressHooks [][]IngressHook // per switch, in registration order, empty when absent
+
+	// fibRecomputes counts administrative transitions (FIB churn).
+	fibRecomputes uint64
+
+	tau float64 // spray-memory time constant in picoseconds; <= 0 disables
+}
+
+// allocArrival takes an arrival timer from a domain's pool (see
+// arrivalTimer). Timers migrate between domain pools: allocated by the
+// sender's domain, freed into the receiver's — each pool is still only
+// ever touched by its owning domain.
+func (n *Network) allocArrival(d *domainState) *arrivalTimer {
+	if k := len(d.freeArrivals); k > 0 {
+		t := d.freeArrivals[k-1]
+		d.freeArrivals = d.freeArrivals[:k-1]
 		return t
 	}
 	return &arrivalTimer{n: n}
 }
 
-// allocPause takes a pooled PFC pause-frame timer (see pauseTimer).
-func (n *Network) allocPause() *pauseTimer {
-	if k := len(n.freePauses); k > 0 {
-		t := n.freePauses[k-1]
-		n.freePauses = n.freePauses[:k-1]
+// allocPause takes a PFC pause-frame timer from a domain's pool (see
+// pauseTimer).
+func (n *Network) allocPause(d *domainState) *pauseTimer {
+	if k := len(d.freePauses); k > 0 {
+		t := d.freePauses[k-1]
+		d.freePauses = d.freePauses[:k-1]
 		return t
 	}
 	return &pauseTimer{n: n}
@@ -161,6 +200,20 @@ func (n *Network) allocPause() *pauseTimer {
 // New builds a Network over the given topology. All links start
 // administratively up and fault-free.
 func New(cfg Config) (*Network, error) {
+	if cfg.Group != nil {
+		if cfg.Partition == nil {
+			return nil, fmt.Errorf("fabric: Config.Group requires Config.Partition")
+		}
+		if cfg.Partition.NumDomains != cfg.Group.Domains() {
+			return nil, fmt.Errorf("fabric: partition has %d domains, group has %d",
+				cfg.Partition.NumDomains, cfg.Group.Domains())
+		}
+		if cfg.Engine == nil {
+			cfg.Engine = cfg.Group.Control()
+		} else if cfg.Engine != cfg.Group.Control() {
+			return nil, fmt.Errorf("fabric: Config.Engine must be the group's control engine")
+		}
+	}
 	if cfg.Topo == nil || cfg.Engine == nil {
 		return nil, fmt.Errorf("fabric: Config.Topo and Config.Engine are required")
 	}
@@ -170,11 +223,22 @@ func New(cfg Config) (*Network, error) {
 		cfg:          cfg,
 		topo:         cfg.Topo,
 		engine:       cfg.Engine,
+		grp:          cfg.Group,
+		par:          cfg.Group != nil,
 		hosts:        make([]hostState, len(cfg.Topo.Hosts)),
 		switches:     make([]switchState, len(cfg.Topo.Switches)),
 		links:        make([]linkState, len(cfg.Topo.Links)),
 		ingressHooks: make([][]IngressHook, len(cfg.Topo.Switches)),
 		tau:          float64(cfg.SprayMemory),
+	}
+
+	if n.par {
+		n.doms = make([]domainState, cfg.Partition.NumDomains)
+		for d := range n.doms {
+			n.doms[d] = domainState{eng: cfg.Group.Engine(d), dom: d}
+		}
+	} else {
+		n.doms = []domainState{{eng: cfg.Engine, dom: 0}}
 	}
 
 	for i := range n.links {
@@ -184,6 +248,12 @@ func New(cfg Config) (*Network, error) {
 		ls.adminUp = true
 		ls.dirs[DirAtoB] = linkDir{link: ls, sender: tl.A, receiver: tl.B, rate: tl.RateBPS, prop: tl.Propagation}
 		ls.dirs[DirBtoA] = linkDir{link: ls, sender: tl.B, receiver: tl.A, rate: tl.RateBPS, prop: tl.Propagation}
+		for d := range ls.dirs {
+			ld := &ls.dirs[d]
+			ld.sendD = n.domOfEndpoint(ld.sender)
+			ld.recvD = n.domOfEndpoint(ld.receiver)
+			ld.crossDom = ld.sendD != ld.recvD
+		}
 		// Bind the resident serialization timers once the dirs have
 		// their final addresses (the links slice never reallocates).
 		ls.dirs[DirAtoB].ser = serTimer{n: n, ld: &ls.dirs[DirAtoB]}
@@ -234,6 +304,11 @@ func New(cfg Config) (*Network, error) {
 		}
 		ss.policy = spray.MustNew(cfg.Spray, sim.NewRNG(cfg.Seed, fmt.Sprintf("spray/%d", i)))
 		ss.cands = make([]spray.Candidate, 0, len(sd.Ports))
+		if n.par {
+			ss.d = &n.doms[cfg.Partition.DomainOfSwitch[i]]
+		} else {
+			ss.d = &n.doms[0]
+		}
 	}
 
 	for i := range n.hosts {
@@ -246,6 +321,11 @@ func New(cfg Config) (*Network, error) {
 			hs.egress = &ls.dirs[DirAtoB]
 		} else {
 			hs.egress = &ls.dirs[DirBtoA]
+		}
+		if n.par {
+			hs.d = &n.doms[cfg.Partition.DomainOfHost[i]]
+		} else {
+			hs.d = &n.doms[0]
 		}
 	}
 
@@ -263,14 +343,65 @@ func MustNew(cfg Config) *Network {
 	return n
 }
 
-// Engine returns the driving event engine.
+// domOfEndpoint resolves the domain state owning one link endpoint.
+func (n *Network) domOfEndpoint(ep topology.Endpoint) *domainState {
+	if !n.par {
+		return &n.doms[0]
+	}
+	if ep.Kind == topology.HostEnd {
+		return &n.doms[n.cfg.Partition.DomainOfHost[ep.Host]]
+	}
+	return &n.doms[n.cfg.Partition.DomainOfSwitch[ep.Switch]]
+}
+
+// Engine returns the driving event engine (the control engine in
+// sharded mode).
 func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Group returns the sharded scheduler, or nil in legacy mode.
+func (n *Network) Group() *sim.Group { return n.grp }
+
+// Partition returns the domain decomposition, or nil in legacy mode.
+func (n *Network) Partition() *topology.Partition { return n.cfg.Partition }
+
+// EngineOf returns the engine that executes a host's events: the
+// host's domain engine in sharded mode, the single engine otherwise.
+// Traffic sources (transports, injectors) must schedule a host's work
+// here.
+func (n *Network) EngineOf(h topology.HostID) *sim.Engine { return n.hosts[h].d.eng }
+
+// EngineOfSwitch returns the engine that executes a switch's events.
+func (n *Network) EngineOfSwitch(sw topology.SwitchID) *sim.Engine { return n.switches[sw].d.eng }
+
+// DomainOf returns a host's partition domain (0 in legacy mode).
+func (n *Network) DomainOf(h topology.HostID) int { return n.hosts[h].d.dom }
+
+// DomainOfSwitch returns a switch's partition domain (0 in legacy mode).
+func (n *Network) DomainOfSwitch(sw topology.SwitchID) int { return n.switches[sw].d.dom }
 
 // Topology returns the wiring the network was built over.
 func (n *Network) Topology() *topology.Topology { return n.topo }
 
-// Stats returns a snapshot of the network-wide counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the network-wide counters, summed over
+// domains. Do not call concurrently with a running group window.
+func (n *Network) Stats() Stats {
+	s := n.doms[0].stats
+	for i := 1; i < len(n.doms); i++ {
+		d := &n.doms[i].stats
+		s.Sent += d.Sent
+		s.SentBytes += d.SentBytes
+		s.Delivered += d.Delivered
+		s.DeliveredBytes += d.DeliveredBytes
+		s.FaultDropped += d.FaultDropped
+		s.RouteDropped += d.RouteDropped
+		s.RouteDroppedBytes += d.RouteDroppedBytes
+		s.AdminDropped += d.AdminDropped
+		s.PFCPauses += d.PFCPauses
+		s.ProbesSent += d.ProbesSent
+		s.ProbesLost += d.ProbesLost
+	}
+	return s
+}
 
 // SetReceiver registers the delivery callback for a host.
 func (n *Network) SetReceiver(h topology.HostID, r Receiver) { n.hosts[h].recv = r }
@@ -309,7 +440,9 @@ func (n *Network) recomputeFIBs() {
 }
 
 // MaxQueueObserver, when non-nil, is called on every egress enqueue
-// with the queue's depth after the push (test/diagnostic hook).
+// with the queue's depth after the push (test/diagnostic hook). The
+// global trace hooks below are legacy-mode only: in sharded mode they
+// would be invoked from several domains at once.
 var MaxQueueObserver func(now sim.Time, sender topology.Endpoint, queuedBytes int64)
 
 // TracePacket, when non-nil, observes packet progress (test hook).

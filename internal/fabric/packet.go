@@ -97,6 +97,10 @@ type Packet struct {
 	Seq int
 	// Retx marks retransmissions.
 	Retx bool
+	// Ctx is opaque sender-attached context (see SendSpec.Ctx). It
+	// must be immutable while the packet is in flight: in sharded mode
+	// the receiving domain reads it after the window barrier.
+	Ctx any
 
 	// ingress tracks the switch ingress port holding PFC credit for
 	// this packet while it sits inside a switch.
@@ -121,20 +125,27 @@ func (p *Packet) FlowKey() uint64 {
 	return uint64(p.Src)<<48 ^ uint64(p.Dst)<<32 ^ p.Msg
 }
 
-func (n *Network) allocPacket() *Packet {
+// allocPacket takes a packet from one domain's pool. Packet IDs embed
+// the allocating domain in the top bits so they stay unique across
+// domains without shared state; the legacy single-domain network keeps
+// the historical dense numbering (domain 0 contributes no high bits).
+func (n *Network) allocPacket(d *domainState) *Packet {
 	var p *Packet
-	if k := len(n.freePackets); k > 0 {
-		p = n.freePackets[k-1]
-		n.freePackets = n.freePackets[:k-1]
+	if k := len(d.freePackets); k > 0 {
+		p = d.freePackets[k-1]
+		d.freePackets = d.freePackets[:k-1]
 		*p = Packet{}
 	} else {
 		p = &Packet{}
 	}
-	n.nextPacketID++
-	p.ID = n.nextPacketID
+	d.nextPacketID++
+	p.ID = uint64(d.dom)<<48 | d.nextPacketID
 	return p
 }
 
-func (n *Network) freePacket(p *Packet) {
-	n.freePackets = append(n.freePackets, p)
+// freePacket returns a packet to one domain's pool — always the domain
+// on whose engine the packet's journey ended, so pools are never
+// touched concurrently (packets, like timers, migrate between pools).
+func (n *Network) freePacket(d *domainState, p *Packet) {
+	d.freePackets = append(d.freePackets, p)
 }

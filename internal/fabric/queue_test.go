@@ -157,12 +157,13 @@ func TestLoadRecentDecays(t *testing.T) {
 }
 
 func TestPacketPoolRecycles(t *testing.T) {
-	n := &Network{}
-	p1 := n.allocPacket()
+	n := &Network{doms: make([]domainState, 1)}
+	d := &n.doms[0]
+	p1 := n.allocPacket(d)
 	id1 := p1.ID
 	p1.Size = 999
-	n.freePacket(p1)
-	p2 := n.allocPacket()
+	n.freePacket(d, p1)
+	p2 := n.allocPacket(d)
 	if p2 != p1 {
 		t.Fatal("pool did not recycle")
 	}

@@ -152,6 +152,11 @@ type Engine struct {
 	pending  int    // scheduled, uncancelled events (live counter)
 
 	free []*event // recycled event structs
+
+	// dom/grp identify this engine's domain within a Group; grp is nil
+	// for a standalone (single-threaded) engine.
+	dom int
+	grp *Group
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -292,6 +297,68 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		e.now = deadline
 	}
 	return e.now
+}
+
+// Domain returns this engine's domain id within its Group (0 for a
+// standalone engine, which behaves like the control domain).
+func (e *Engine) Domain() int { return e.dom }
+
+// Group returns the Group this engine belongs to, or nil for a
+// standalone engine.
+func (e *Engine) Group() *Group { return e.grp }
+
+// runWindow executes events with timestamps strictly below end — one
+// conservative synchronization window. Unlike RunUntil it never
+// advances the clock past the last fired event: an idle domain's clock
+// simply stays behind until its next event arrives.
+func (e *Engine) runWindow(end Time) {
+	if e.running {
+		panic("sim: Engine window run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for e.queue.len() > 0 && !e.stopped {
+		next := e.queue.peek()
+		if next.at >= end {
+			break
+		}
+		e.queue.pop()
+		if next.stopped {
+			e.free = append(e.free, next)
+			continue
+		}
+		if next.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = next.at
+		fn, tm := next.fn, next.tm
+		e.free = append(e.free, next)
+		e.executed++
+		e.pending--
+		if fn != nil {
+			fn(e.now)
+		} else {
+			tm.Fire(e.now)
+		}
+	}
+}
+
+// scheduleLocal enqueues a drained post on this engine's heap. The
+// caller (the group barrier, or the engine's own domain during its
+// window) guarantees p.at is not in this engine's past.
+func (e *Engine) scheduleLocal(p post) {
+	if p.at < e.now {
+		panic(fmt.Sprintf("sim: post delivered at %v before domain %d clock %v", p.at, e.dom, e.now))
+	}
+	ev := e.alloc()
+	ev.at = p.at
+	ev.seq = e.seq
+	e.seq++
+	ev.fn = p.fn
+	ev.tm = p.tm
+	e.queue.push(ev)
+	e.pending++
 }
 
 // Step fires exactly one pending event, if any, and reports whether one

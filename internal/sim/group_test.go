@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"testing"
+)
+
+// groupTrace records, per domain, the (time, label) sequence of fired
+// events. Each domain appends only to its own row, so recording is
+// race-free under any worker count; the fingerprint folds the rows in
+// domain order.
+type groupTrace struct {
+	rows [][]string
+}
+
+func newGroupTrace(domains int) *groupTrace {
+	return &groupTrace{rows: make([][]string, domains)}
+}
+
+func (tr *groupTrace) add(dom int, now Time, label string) {
+	tr.rows[dom] = append(tr.rows[dom], fmt.Sprintf("%d@%d", now, label_hash(label)))
+}
+
+func label_hash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func (tr *groupTrace) fingerprint() uint64 {
+	h := fnv.New64a()
+	for d, row := range tr.rows {
+		fmt.Fprintf(h, "dom%d:", d)
+		for _, e := range row {
+			h.Write([]byte(e))
+			h.Write([]byte{';'})
+		}
+	}
+	return h.Sum64()
+}
+
+// pingPong builds a deterministic cross-domain workload: every worker
+// domain runs a local event train and relays a token to the next
+// domain with exactly-lookahead latency, occasionally reporting to
+// control within the same window.
+func pingPong(t *testing.T, workers int) uint64 {
+	t.Helper()
+	const domains = 9
+	const L = 100 * Nanosecond
+	g := NewGroup(GroupConfig{Domains: domains, Lookahead: L, Workers: workers})
+	defer g.Close()
+	tr := newGroupTrace(domains)
+
+	var relay func(dom, hops int) Handler
+	relay = func(dom, hops int) Handler {
+		return func(now Time) {
+			tr.add(dom, now, fmt.Sprintf("token/%d/%d", dom, hops))
+			// Local follow-up work inside the same window.
+			g.Engine(dom).After(3*Nanosecond, func(now Time) {
+				tr.add(dom, now, fmt.Sprintf("local/%d/%d", dom, hops))
+			})
+			// Report to control at the current instant (same-window
+			// delivery to the control phase).
+			g.Post(dom, 0, now, func(now Time) {
+				tr.add(0, now, fmt.Sprintf("report/%d/%d", dom, hops))
+			})
+			if hops > 0 {
+				next := 1 + dom%(domains-1)
+				g.Post(dom, next, now.Add(L), relay(next, hops-1))
+			}
+		}
+	}
+
+	// Several interleaved tokens starting from different domains at
+	// staggered times, so windows carry multiple same-time posts from
+	// different senders (exercising the canonical drain order).
+	for i := 1; i < domains; i++ {
+		g.Engine(i).At(Time(i%3)*Time(Nanosecond), relay(i, 20))
+	}
+	final := g.Run()
+	if final == 0 {
+		t.Fatal("simulation did not advance")
+	}
+	return tr.fingerprint()
+}
+
+func TestGroupDeterministicAcrossWorkerCounts(t *testing.T) {
+	want := pingPong(t, 1)
+	for _, w := range []int{2, 3, runtime.GOMAXPROCS(0), 2 * runtime.GOMAXPROCS(0)} {
+		if got := pingPong(t, w); got != want {
+			t.Fatalf("workers=%d: fingerprint %x, want %x (workers=1)", w, got, want)
+		}
+	}
+}
+
+func TestGroupCanonicalDrainOrder(t *testing.T) {
+	// Same-timestamp posts from several source domains to one
+	// destination must fire in ascending (from-domain, emission-index)
+	// order regardless of worker count.
+	const L = 50 * Nanosecond
+	run := func(workers int) []string {
+		g := NewGroup(GroupConfig{Domains: 6, Lookahead: L, Workers: workers})
+		defer g.Close()
+		var got []string
+		at := Time(L) // all posts land exactly at the first window end
+		for from := 1; from <= 4; from++ {
+			from := from
+			g.Engine(from).At(0, func(now Time) {
+				for i := 0; i < 3; i++ {
+					i := i
+					g.Post(from, 5, at, func(Time) {
+						got = append(got, fmt.Sprintf("%d.%d", from, i))
+					})
+				}
+			})
+		}
+		g.Run()
+		return got
+	}
+	want := []string{"1.0", "1.1", "1.2", "2.0", "2.1", "2.2", "3.0", "3.1", "3.2", "4.0", "4.1", "4.2"}
+	for _, w := range []int{1, 2, 4} {
+		got := run(w)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d events, want %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: order %v, want %v", w, got, want)
+			}
+		}
+	}
+}
+
+func TestGroupLookaheadViolationPanics(t *testing.T) {
+	g := NewGroup(GroupConfig{Domains: 3, Lookahead: 100 * Nanosecond, Workers: 1})
+	defer g.Close()
+	g.Engine(1).At(0, func(now Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("post undercutting lookahead did not panic")
+			}
+		}()
+		// Cross-domain post 1ns ahead: far below the 100ns window end.
+		g.Post(1, 2, now.Add(Nanosecond), func(Time) {})
+	})
+	g.Run()
+}
+
+func TestGroupPostLaxClampsToWindowEnd(t *testing.T) {
+	const L = 100 * Nanosecond
+	g := NewGroup(GroupConfig{Domains: 3, Lookahead: L, Workers: 1})
+	defer g.Close()
+	var fired Time
+	g.Engine(1).At(0, func(now Time) {
+		g.PostLax(1, 2, now.Add(Nanosecond), func(now Time) { fired = now })
+	})
+	g.Run()
+	if fired != Time(L) {
+		t.Fatalf("lax post fired at %v, want clamp to window end %v", fired, Time(L))
+	}
+}
+
+func TestGroupEmptyDomain(t *testing.T) {
+	// A domain with no events at all (an "empty shard") must neither
+	// stall the window loop nor perturb results.
+	g := NewGroup(GroupConfig{Domains: 4, Lookahead: 10 * Nanosecond, Workers: 2})
+	defer g.Close()
+	fired := 0
+	g.Engine(1).At(5*Time(Nanosecond), func(Time) { fired++ })
+	g.Engine(1).At(25*Time(Nanosecond), func(Time) { fired++ })
+	final := g.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d events, want 2", fired)
+	}
+	if final != 25*Time(Nanosecond) {
+		t.Fatalf("final time %v, want 25ns", final)
+	}
+	// Domains 2 and 3 never ran; their clocks still agree at the end.
+	for d := 0; d < g.Domains(); d++ {
+		if now := g.Engine(d).Now(); now != final {
+			t.Fatalf("domain %d clock %v, want %v", d, now, final)
+		}
+	}
+}
+
+func TestGroupZeroLatencyIntraDomain(t *testing.T) {
+	// Same-timestamp events within one domain fire in scheduling
+	// (FIFO) order — the zero-latency intra-domain case.
+	g := NewGroup(GroupConfig{Domains: 2, Lookahead: 10 * Nanosecond, Workers: 1})
+	defer g.Close()
+	var got []int
+	g.Engine(1).At(0, func(now Time) {
+		for i := 0; i < 5; i++ {
+			i := i
+			g.Engine(1).At(now, func(Time) { got = append(got, i) })
+		}
+	})
+	g.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("zero-delay events fired out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestGroupNoCrossTraffic(t *testing.T) {
+	// Windows with zero cross-domain posts: the barrier must cost
+	// nothing semantically and terminate cleanly.
+	g := NewGroup(GroupConfig{Domains: 5, Lookahead: Microsecond, Workers: 3})
+	defer g.Close()
+	total := make([]int, 5)
+	for d := 1; d < 5; d++ {
+		d := d
+		var tick Handler
+		n := 0
+		tick = func(now Time) {
+			total[d]++
+			n++
+			if n < 100 {
+				g.Engine(d).After(Duration(d)*Nanosecond+Nanosecond, tick)
+			}
+		}
+		g.Engine(d).At(0, tick)
+	}
+	g.Run()
+	for d := 1; d < 5; d++ {
+		if total[d] != 100 {
+			t.Fatalf("domain %d fired %d, want 100", d, total[d])
+		}
+	}
+}
+
+func TestGroupRunUntilDeadline(t *testing.T) {
+	g := NewGroup(GroupConfig{Domains: 3, Lookahead: 10 * Nanosecond, Workers: 1})
+	defer g.Close()
+	var fired []Time
+	for _, at := range []Time{5, 15, 25, 35} {
+		at := at * Time(Nanosecond)
+		g.Engine(1).At(at, func(now Time) { fired = append(fired, now) })
+	}
+	final := g.RunUntil(20 * Time(Nanosecond))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by deadline, want 2 (%v)", len(fired), fired)
+	}
+	if final != 20*Time(Nanosecond) {
+		t.Fatalf("final %v, want deadline 20ns", final)
+	}
+	// Resume to completion.
+	final = g.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+	if final != 35*Time(Nanosecond) {
+		t.Fatalf("final %v, want 35ns", final)
+	}
+}
+
+func TestGroupControlStopHaltsRun(t *testing.T) {
+	g := NewGroup(GroupConfig{Domains: 3, Lookahead: 10 * Nanosecond, Workers: 1})
+	defer g.Close()
+	fired := 0
+	g.Engine(1).At(0, func(now Time) {
+		g.Post(1, 0, now, func(Time) { g.Control().Stop() })
+	})
+	g.Engine(1).At(Time(Microsecond), func(Time) { fired++ })
+	g.Run()
+	if fired != 0 {
+		t.Fatal("event beyond Stop window fired")
+	}
+}
+
+func TestGroupSetupPhasePosts(t *testing.T) {
+	// Posts before Run (setup) schedule directly; the simulation then
+	// sees them like any other initial event.
+	g := NewGroup(GroupConfig{Domains: 3, Lookahead: 10 * Nanosecond, Workers: 2})
+	defer g.Close()
+	var fired Time = -1
+	g.PostLax(0, 2, 7*Time(Nanosecond), func(now Time) { fired = now })
+	g.Run()
+	if fired != 7*Time(Nanosecond) {
+		t.Fatalf("setup post fired at %v, want 7ns", fired)
+	}
+}

@@ -29,6 +29,12 @@ type Options struct {
 	// before attach. This is the self-test hook: plant a detector bug
 	// (e.g. a 10× threshold) and the oracles must catch it.
 	MutateDetect func(*detect.Config)
+	// Shards selects the engine mode for every execution (see
+	// core.Scenario.Shards): 0 is the classic single-threaded engine,
+	// N >= 1 the sharded parallel engine with N workers. Fingerprints
+	// depend on the mode (0 vs >= 1) but not on N, so a failure found
+	// at one shard count reproduces at any other count >= 1.
+	Shards int
 }
 
 func (o *Options) setDefaults() {
@@ -136,6 +142,7 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 		Iterations:   spec.Work.Iterations,
 		JitterMax:    sim.Duration(spec.Work.JitterPS),
 		Seed:         spec.Seed,
+		Shards:       opts.Shards,
 	}
 	var refWindows []*telemetry.Window
 	if spec.Work.Predictor == core.SimulationModel {
@@ -149,6 +156,7 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer rt.Close()
 	detCfg := detect.Config{Threshold: spec.DetectThreshold()}
 	if opts.MutateDetect != nil {
 		opts.MutateDetect(&detCfg)
@@ -196,7 +204,7 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 			inject()
 		}
 	}, nil)
-	rt.Engine.Run()
+	rt.Run()
 	sys.Flush(rt.Engine.Now())
 
 	data.windows = sys.Windows
@@ -278,6 +286,7 @@ func executeSharedFatTree(spec Spec, opts Options) (*runData, error) {
 		Iterations:   spec.Work.Iterations,
 		JitterMax:    sim.Duration(spec.Work.JitterPS),
 		Seed:         spec.Seed,
+		Shards:       opts.Shards,
 		Jobs: []core.JobScenario{
 			{Job: 1, HostIx: 0},
 			{Job: 2, HostIx: 1},
@@ -287,6 +296,7 @@ func executeSharedFatTree(spec Spec, opts Options) (*runData, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer rt.Close()
 	detCfg := detect.Config{Threshold: spec.DetectThreshold()}
 	if opts.MutateDetect != nil {
 		opts.MutateDetect(&detCfg)
@@ -322,7 +332,7 @@ func executeSharedFatTree(spec Spec, opts Options) (*runData, error) {
 			rt.InjectSilentDrop(ref, f.Rate)
 		}
 	}, nil)
-	rt.Engine.Run()
+	rt.Run()
 	sys.Flush(rt.Engine.Now())
 
 	for _, job := range sys.Jobs() {
@@ -345,11 +355,13 @@ func executeClos3(spec Spec, opts Options) (*runData, error) {
 		BytesPerRank: spec.Work.BytesPerRank,
 		Iterations:   spec.Work.Iterations,
 		Seed:         spec.Seed,
+		Shards:       opts.Shards,
 	}
 	rt, err := sc.Build()
 	if err != nil {
 		return nil, err
 	}
+	defer rt.Close()
 	detCfg := detect.Config{Threshold: spec.DetectThreshold()}
 	if opts.MutateDetect != nil {
 		opts.MutateDetect(&detCfg)
@@ -374,7 +386,7 @@ func executeClos3(spec Spec, opts Options) (*runData, error) {
 			inject()
 		}
 	})
-	rt.Engine.Run()
+	rt.Run()
 	sys.Flush(rt.Engine.Now())
 
 	data.windows = sys.Windows

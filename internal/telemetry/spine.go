@@ -173,12 +173,12 @@ func AttachClos3(net *fabric.Network, job int, onWindow func(w *Window)) *Clos3C
 		Spines: make([]*SpineMonitor, len(topo.Spines())),
 	}
 	for ord, leaf := range topo.Leaves() {
-		m := NewLeafMonitor(topo, leaf, job, onWindow)
+		m := NewLeafMonitor(topo, leaf, job, controlSink(net, leaf, onWindow))
 		c.Leaves[ord] = m
 		net.AddIngressHook(leaf, m.OnPacket)
 	}
 	for ord, spine := range topo.Spines() {
-		m := NewSpineMonitor(topo, spine, job, onWindow)
+		m := NewSpineMonitor(topo, spine, job, controlSink(net, spine, onWindow))
 		c.Spines[ord] = m
 		net.AddIngressHook(spine, m.OnPacket)
 	}

@@ -249,15 +249,46 @@ type Collector struct {
 // AttachAll registers monitors on all leaves. onWindow receives every
 // closed window from every leaf. Monitors attach via AddIngressHook,
 // so several collectors (or other observers) compose on one fabric.
+//
+// On a sharded network each monitor runs inside its switch's domain
+// while onWindow is invoked on the control engine; see controlSink.
 func AttachAll(net *fabric.Network, job int, onWindow func(w *Window)) *Collector {
 	topo := net.Topology()
 	c := &Collector{Monitors: make([]*LeafMonitor, len(topo.Leaves()))}
 	for ord, leaf := range topo.Leaves() {
-		m := NewLeafMonitor(topo, leaf, job, onWindow)
+		m := NewLeafMonitor(topo, leaf, job, controlSink(net, leaf, onWindow))
 		c.Monitors[ord] = m
 		net.AddIngressHook(leaf, m.OnPacket)
 	}
 	return c
+}
+
+// controlSink adapts a window consumer to a sharded fabric: monitors
+// close windows inside the domain that owns their switch, but the
+// consumers (detector pipelines, collectors, trace recorders) are
+// shared across switches and live on the control engine. The returned
+// callback posts each closed window to the control domain; the barrier
+// gives the handoff its happens-before, and the post carries the
+// *Window exclusively (the monitor drops its reference at close).
+// Posts from distinct switches in one window drain in canonical
+// (time, domain, emission) order, so delivery order does not depend on
+// the worker count. Single-engine networks — and flushes after the run
+// has drained — invoke the consumer inline, preserving the historical
+// behavior exactly.
+func controlSink(net *fabric.Network, sw topology.SwitchID, onWindow func(w *Window)) func(w *Window) {
+	g := net.Group()
+	if g == nil || onWindow == nil {
+		return onWindow
+	}
+	dom := net.DomainOfSwitch(sw)
+	eng := net.EngineOfSwitch(sw)
+	return func(w *Window) {
+		if !g.Running() {
+			onWindow(w)
+			return
+		}
+		g.Post(dom, 0, eng.Now(), func(sim.Time) { onWindow(w) })
+	}
 }
 
 // FlushAll closes every monitor's open window.

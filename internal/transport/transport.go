@@ -135,6 +135,7 @@ func (m *Message) Packets() int { return m.packets }
 // sim.Timer, so rearming never allocates.
 type sendState struct {
 	s        *Stack
+	eng      *sim.Engine // the source host's engine
 	msg      *Message
 	acked    []bool
 	nAcked   int
@@ -156,9 +157,9 @@ func (st *sendState) armAt(d sim.Time) {
 		if st.timerAt <= d {
 			return
 		}
-		st.s.eng.Cancel(st.timer)
+		st.eng.Cancel(st.timer)
 	}
-	st.timer = st.s.eng.AtTimer(d, st)
+	st.timer = st.eng.AtTimer(d, st)
 	st.timerAt = d
 }
 
@@ -222,17 +223,45 @@ func (e *rttEstimator) rto(floor sim.Duration) sim.Duration {
 	return floor
 }
 
-// Stack is the transport layer over one fabric. Like the Network it is
-// single-threaded within its engine.
+// hostTP is one host's slice of the sharded transport: its own message
+// numbering, in-flight maps, and counters, touched only by events on
+// the host's domain engine.
+type hostTP struct {
+	eng     *sim.Engine
+	dom     int
+	nextSeq uint64
+	sends   map[uint64]*sendState
+	recvs   map[uint64]*recvState
+	// recvDone tombstones completed receptions: straggler duplicates
+	// still get an ACK (the original ACK may be lost) without
+	// recreating state or re-firing OnDelivered. In legacy mode the
+	// sender's final ACK reaps receive state instead; sharded mode
+	// cannot — that would mutate another domain's map.
+	recvDone map[uint64]bool
+	stats    Stats
+}
+
+// Stack is the transport layer over one fabric. In legacy mode it is
+// single-threaded within its engine; over a sharded fabric every
+// host's state lives on the host's domain engine.
 type Stack struct {
 	cfg Config
 	net *fabric.Network
-	eng *sim.Engine
+	eng *sim.Engine // control engine in sharded mode
+	par bool
 
+	// Legacy (single-threaded) state. The sharded per-host message-id
+	// scheme cannot reproduce the global nextID sequence (it would
+	// serialize every Send), and message ids feed the spray hash, so
+	// keeping the historical scheme here keeps legacy runs
+	// byte-identical with pre-sharding builds.
 	nextID uint64
 	sends  map[uint64]*sendState
 	recvs  map[uint64]*recvState
-	rtts   []rttEstimator // per (src, dst) pair, src*nHosts+dst
+
+	hosts []hostTP // sharded mode only
+
+	rtts   []rttEstimator // per (src, dst) pair, src*nHosts+dst; only src-side events touch a row
 	nHosts int
 
 	stats Stats
@@ -246,10 +275,24 @@ func NewStack(net *fabric.Network, cfg Config) *Stack {
 		cfg:    cfg,
 		net:    net,
 		eng:    net.Engine(),
-		sends:  make(map[uint64]*sendState),
-		recvs:  make(map[uint64]*recvState),
+		par:    net.Group() != nil,
 		rtts:   make([]rttEstimator, len(net.Topology().Hosts)*len(net.Topology().Hosts)),
 		nHosts: len(net.Topology().Hosts),
+	}
+	if s.par {
+		s.hosts = make([]hostTP, s.nHosts)
+		for h := range s.hosts {
+			s.hosts[h] = hostTP{
+				eng:      net.EngineOf(topology.HostID(h)),
+				dom:      net.DomainOf(topology.HostID(h)),
+				sends:    make(map[uint64]*sendState),
+				recvs:    make(map[uint64]*recvState),
+				recvDone: make(map[uint64]bool),
+			}
+		}
+	} else {
+		s.sends = make(map[uint64]*sendState)
+		s.recvs = make(map[uint64]*recvState)
 	}
 	for h := range net.Topology().Hosts {
 		host := topology.HostID(h)
@@ -262,14 +305,37 @@ func NewStack(net *fabric.Network, cfg Config) *Stack {
 // Config returns the stack's effective configuration.
 func (s *Stack) Config() Config { return s.cfg }
 
-// Engine returns the engine driving this stack's network.
+// Engine returns the engine driving this stack's network (the control
+// engine over a sharded fabric).
 func (s *Stack) Engine() *sim.Engine { return s.eng }
+
+// EngineFor returns the engine executing one host's transport events.
+func (s *Stack) EngineFor(h topology.HostID) *sim.Engine { return s.net.EngineOf(h) }
 
 // Network returns the fabric beneath this stack.
 func (s *Stack) Network() *fabric.Network { return s.net }
 
-// Stats returns a snapshot of the transport counters.
-func (s *Stack) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the transport counters, summed over
+// hosts in sharded mode. Do not call concurrently with a running
+// group window.
+func (s *Stack) Stats() Stats {
+	if !s.par {
+		return s.stats
+	}
+	var t Stats
+	for h := range s.hosts {
+		st := &s.hosts[h].stats
+		t.MessagesSent += st.MessagesSent
+		t.MessagesDelivered += st.MessagesDelivered
+		t.DataPacketsSent += st.DataPacketsSent
+		t.Retransmits += st.Retransmits
+		t.SpuriousRetransmits += st.SpuriousRetransmits
+		t.DuplicatesReceived += st.DuplicatesReceived
+		t.AcksSent += st.AcksSent
+		t.Abandoned += st.Abandoned
+	}
+	return t
+}
 
 // PacketsFor returns the number of data packets a payload of the given
 // size occupies under this stack's MTU.
@@ -294,12 +360,25 @@ func (s *Stack) Send(m *Message) uint64 {
 	if m.Src == m.Dst {
 		panic("transport: loopback messages are not modeled")
 	}
-	s.nextID++
-	m.id = s.nextID
+	eng := s.eng
+	if s.par {
+		// Per-source message ids: host-unique without shared state.
+		// The id feeds the spray flow key, so sharded and legacy runs
+		// draw different (but each internally deterministic) spray
+		// sequences — see DESIGN.md decision 12.
+		h := &s.hosts[m.Src]
+		h.nextSeq++
+		m.id = (uint64(m.Src)+1)<<40 | h.nextSeq
+		eng = h.eng
+	} else {
+		s.nextID++
+		m.id = s.nextID
+	}
 	m.packets = s.PacketsFor(m.Bytes)
 
 	st := &sendState{
 		s:        s,
+		eng:      eng,
 		msg:      m,
 		acked:    make([]bool, m.packets),
 		deadline: make([]sim.Time, m.packets),
@@ -309,13 +388,33 @@ func (s *Stack) Send(m *Message) uint64 {
 	for i := range st.deadline {
 		st.deadline[i] = sim.Never
 	}
-	s.sends[m.id] = st
-	s.stats.MessagesSent++
+	if s.par {
+		s.hosts[m.Src].sends[m.id] = st
+	} else {
+		s.sends[m.id] = st
+	}
+	s.statsAt(m.Src).MessagesSent++
 
 	for seq := 0; seq < m.packets; seq++ {
 		s.sendData(st, seq, false)
 	}
 	return m.id
+}
+
+// statsAt returns the counter block a host's events update.
+func (s *Stack) statsAt(h topology.HostID) *Stats {
+	if s.par {
+		return &s.hosts[h].stats
+	}
+	return &s.stats
+}
+
+// sendsAt returns the in-flight send map owned by a source host.
+func (s *Stack) sendsAt(h topology.HostID) map[uint64]*sendState {
+	if s.par {
+		return s.hosts[h].sends
+	}
+	return s.sends
 }
 
 func (s *Stack) payloadBytes(m *Message, seq int) int {
@@ -328,9 +427,9 @@ func (s *Stack) payloadBytes(m *Message, seq int) int {
 func (s *Stack) sendData(st *sendState, seq int, retx bool) {
 	m := st.msg
 	if retx {
-		s.stats.Retransmits++
+		s.statsAt(m.Src).Retransmits++
 	} else {
-		s.stats.DataPacketsSent++
+		s.statsAt(m.Src).DataPacketsSent++
 	}
 	s.net.Send(fabric.SendSpec{
 		Src:      m.Src,
@@ -342,6 +441,10 @@ func (s *Stack) sendData(st *sendState, seq int, retx bool) {
 		Msg:      m.id,
 		Seq:      seq,
 		Retx:     retx,
+		// The message rides along so a sharded receiver can build its
+		// state without reaching into the sender's domain. Immutable
+		// once the first packet is on the wire.
+		Ctx: m,
 	})
 }
 
@@ -350,7 +453,7 @@ func (s *Stack) onWireOut(now sim.Time, p *fabric.Packet) {
 	if p.Kind != fabric.Data {
 		return
 	}
-	st := s.sends[p.Msg]
+	st := s.sendsAt(p.Src)[p.Msg]
 	if st == nil || st.acked[p.Seq] {
 		return
 	}
@@ -376,12 +479,12 @@ func (s *Stack) onTimeout(st *sendState, seq int, _ sim.Time) {
 		return
 	}
 	if st.retries[seq] >= s.cfg.MaxRetries {
-		s.stats.Abandoned++
+		s.statsAt(st.msg.Src).Abandoned++
 		return
 	}
 	st.retries[seq]++
 	if DebugRetx != nil {
-		DebugRetx(s.eng.Now(), st.msg.ID(), seq, st.retries[seq])
+		DebugRetx(st.eng.Now(), st.msg.ID(), seq, st.retries[seq])
 	}
 	s.sendData(st, seq, true)
 }
@@ -396,6 +499,10 @@ func (s *Stack) onReceive(now sim.Time, p *fabric.Packet) {
 }
 
 func (s *Stack) onData(now sim.Time, p *fabric.Packet) {
+	if s.par {
+		s.onDataSharded(now, p)
+		return
+	}
 	st := s.recvs[p.Msg]
 	if st == nil {
 		// First packet of the message to arrive. Look up the sender's
@@ -418,16 +525,7 @@ func (s *Stack) onData(now sim.Time, p *fabric.Packet) {
 	// Always acknowledge, even duplicates: the original ACK may have
 	// been lost, and an unacked sender retransmits forever.
 	s.stats.AcksSent++
-	s.net.Send(fabric.SendSpec{
-		Src:      st.msg.Dst,
-		Dst:      st.msg.Src,
-		Size:     s.cfg.AckBytes,
-		Priority: fabric.Ctrl,
-		Kind:     fabric.Ack,
-		Tag:      fabric.FlowTag{}, // ACKs are never part of the measured collective
-		Msg:      p.Msg,
-		Seq:      p.Seq,
-	})
+	s.sendAck(p)
 	if fresh && st.nGot == st.msg.packets {
 		s.stats.MessagesDelivered++
 		if st.msg.OnDelivered != nil {
@@ -436,8 +534,69 @@ func (s *Stack) onData(now sim.Time, p *fabric.Packet) {
 	}
 }
 
+// onDataSharded is the receive path over a sharded fabric: it runs on
+// the destination host's engine and touches only that host's state.
+// Message metadata comes from the packet's Ctx instead of the sender's
+// send map (another domain), and reception state is reaped here when
+// the last payload byte lands rather than by the sender's final ACK.
+func (s *Stack) onDataSharded(now sim.Time, p *fabric.Packet) {
+	h := &s.hosts[p.Dst]
+	st := h.recvs[p.Msg]
+	if st == nil {
+		if h.recvDone[p.Msg] {
+			// Straggler duplicate of a fully received message: ACK it
+			// again (the copy that completed the message may have been
+			// a retransmit whose original ACK was lost).
+			h.stats.DuplicatesReceived++
+			h.stats.AcksSent++
+			s.sendAck(p)
+			return
+		}
+		msg, _ := p.Ctx.(*Message)
+		if msg == nil {
+			return
+		}
+		st = &recvState{msg: msg, got: make([]bool, msg.packets)}
+		h.recvs[p.Msg] = st
+	}
+	fresh := !st.got[p.Seq]
+	if fresh {
+		st.got[p.Seq] = true
+		st.nGot++
+	} else {
+		h.stats.DuplicatesReceived++
+	}
+	h.stats.AcksSent++
+	s.sendAck(p)
+	if fresh && st.nGot == st.msg.packets {
+		h.stats.MessagesDelivered++
+		if st.msg.OnDelivered != nil {
+			st.msg.OnDelivered(now, st.msg)
+		}
+		delete(h.recvs, p.Msg)
+		h.recvDone[p.Msg] = true
+	}
+}
+
+// sendAck acknowledges one data packet back to its source.
+func (s *Stack) sendAck(p *fabric.Packet) {
+	s.net.Send(fabric.SendSpec{
+		Src:      p.Dst,
+		Dst:      p.Src,
+		Size:     s.cfg.AckBytes,
+		Priority: fabric.Ctrl,
+		Kind:     fabric.Ack,
+		Tag:      fabric.FlowTag{}, // ACKs are never part of the measured collective
+		Msg:      p.Msg,
+		Seq:      p.Seq,
+	})
+}
+
 func (s *Stack) onAck(now sim.Time, p *fabric.Packet) {
-	st := s.sends[p.Msg]
+	// ACKs arrive at the message's source host, which owns the send
+	// state in sharded mode.
+	sends := s.sendsAt(p.Dst)
+	st := sends[p.Msg]
 	if st == nil || st.finished {
 		return
 	}
@@ -462,12 +621,12 @@ func (s *Stack) onAck(now sim.Time, p *fabric.Packet) {
 		// The packet was retransmitted at least once before this first
 		// ACK came back; receiver-side dedup measures how many of those
 		// copies were unnecessary.
-		s.stats.SpuriousRetransmits++
+		s.statsAt(st.msg.Src).SpuriousRetransmits++
 	}
 	if st.nAcked == st.msg.packets {
 		st.finished = true
 		if st.timer.Valid() {
-			s.eng.Cancel(st.timer)
+			st.eng.Cancel(st.timer)
 			st.timer = sim.EventRef{}
 		}
 		if st.msg.OnAcked != nil {
@@ -475,8 +634,12 @@ func (s *Stack) onAck(now sim.Time, p *fabric.Packet) {
 		}
 		// Reap transport state. Straggler duplicates of this message
 		// (already-acked retransmits in flight) are ignored on arrival.
-		delete(s.sends, p.Msg)
-		delete(s.recvs, p.Msg)
+		// The receiver's state is reaped here in legacy mode, at
+		// reception completion in sharded mode (another domain).
+		delete(sends, p.Msg)
+		if !s.par {
+			delete(s.recvs, p.Msg)
+		}
 	}
 }
 

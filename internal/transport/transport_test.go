@@ -288,7 +288,7 @@ func TestEarliestDeadlineTimerMechanics(t *testing.T) {
 	s := r.stack
 	m := &Message{Src: 0, Dst: 3, Bytes: 3 * 4096, packets: 3, id: 77}
 	st := &sendState{
-		s: s, msg: m,
+		s: s, eng: s.eng, msg: m,
 		acked:    make([]bool, 3),
 		deadline: []sim.Time{300, 100, 200},
 		retries:  make([]int, 3),

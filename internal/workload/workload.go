@@ -224,11 +224,22 @@ func (b *Background) sendOne() {
 	for dst == src {
 		dst = b.cfg.Hosts[b.rng.PickN(len(b.cfg.Hosts))]
 	}
-	b.stack.Send(&transport.Message{
+	m := &transport.Message{
 		Src:      src,
 		Dst:      dst,
 		Bytes:    b.cfg.MessageBytes,
 		Priority: fabric.Low,
-	})
+	}
+	// The generator (and its RNG) lives on the control engine, but a
+	// sharded stack may only be entered from the domain owning the
+	// source host. The lax post rounds the injection instant up to the
+	// next window boundary — at most one lookahead late, and equally so
+	// for every worker count.
+	net := b.stack.Network()
+	if g := net.Group(); g != nil {
+		g.PostLax(0, net.DomainOf(src), b.eng.Now(), func(sim.Time) { b.stack.Send(m) })
+	} else {
+		b.stack.Send(m)
+	}
 	b.MessagesSent++
 }
