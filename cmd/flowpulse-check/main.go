@@ -9,6 +9,7 @@
 // Scan a seed range:
 //
 //	flowpulse-check -seeds 200
+//	flowpulse-check -seeds 200 -resilience   # every control-loop seed also re-plans
 //
 // Reproduce a failure:
 //
@@ -37,11 +38,16 @@ func main() {
 		noShrink = flag.Bool("no-shrink", false, "report failures unshrunk")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel seed workers (clamped to the seed count)")
 		shards   = flag.Int("shards", 0, "engine worker shards per simulation (0 = classic single-threaded engine); fingerprints depend on the mode (0 vs >= 1) but not on the count, so reproduce failures with the same -shards mode")
+		resil    = flag.Bool("resilience", false, "force the workload re-planner on for every remediated seed, so each control-loop scenario exercises the full quarantine -> re-plan -> recover path (forced specs repro via -spec, not -seed)")
 		verbose  = flag.Bool("v", false, "print a line per seed")
 	)
 	flag.Parse()
 
 	opts := simtest.Options{Deadline: *deadline, Shards: *shards}
+	gen := simtest.Generate
+	if *resil {
+		gen = func(s uint64) simtest.Spec { return simtest.WithResilience(simtest.Generate(s)) }
+	}
 	switch {
 	case *specJSON != "":
 		spec, err := simtest.ParseSpec(*specJSON)
@@ -51,9 +57,9 @@ func main() {
 		}
 		os.Exit(runOne(spec, opts, *noShrink))
 	case *seeds > 0:
-		os.Exit(scan(*start, *seeds, *workers, opts, *noShrink, *verbose))
+		os.Exit(scan(gen, *start, *seeds, *workers, opts, *noShrink, *verbose))
 	default:
-		os.Exit(runOne(simtest.Generate(*seed), opts, *noShrink))
+		os.Exit(runOne(gen(*seed), opts, *noShrink))
 	}
 }
 
@@ -74,7 +80,7 @@ func runOne(spec simtest.Spec, opts simtest.Options, noShrink bool) int {
 // clamped to the seed count so small scans don't spawn idle
 // goroutines, and each seed's wall time is measured so slow or
 // degenerate scenarios stand out.
-func scan(start uint64, n, workers int, opts simtest.Options, noShrink, verbose bool) int {
+func scan(gen func(uint64) simtest.Spec, start uint64, n, workers int, opts simtest.Options, noShrink, verbose bool) int {
 	if workers < 1 {
 		workers = 1
 	}
@@ -95,7 +101,7 @@ func scan(start uint64, n, workers int, opts simtest.Options, noShrink, verbose 
 			defer wg.Done()
 			for s := range seedCh {
 				s0 := time.Now()
-				res := simtest.Run(simtest.Generate(s), opts)
+				res := simtest.Run(gen(s), opts)
 				results <- timedResult{res, time.Since(s0)}
 			}
 		}()

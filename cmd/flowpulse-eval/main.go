@@ -11,7 +11,7 @@
 //
 // Experiments: fig2, fig3, fig4, fig5a, fig5b, fig5c, preexisting,
 // headline, faulttypes, jitter, trunks, clos3, blocking, remediate,
-// ablation, all.
+// resilience, paralleljobs, ablation, all.
 package main
 
 import (
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5a|fig5b|fig5c|preexisting|headline|faulttypes|jitter|trunks|clos3|blocking|remediate|ablation|all)")
+		exp    = flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5a|fig5b|fig5c|preexisting|headline|faulttypes|jitter|trunks|clos3|blocking|remediate|resilience|paralleljobs|ablation|all)")
 		quick  = flag.Bool("quick", false, "scaled-down configuration (smaller fabric and collectives)")
 		sizeMB = flag.Int64("size", 0, "override collective size per rank in MiB")
 		drop   = flag.Float64("drop", 0, "override injected drop rate (headline)")

@@ -15,6 +15,9 @@
 //	    -fault-leaf 4 -drop 0.3 -flap-period 2040 -flap-down 1020
 //	flowpulse-sim -jobs 2 -leaves 8 -spines 4 -size 4 -remediate
 //	                                               # two jobs, one shared plane
+//	flowpulse-sim -resilience -interleave -leaves 8 -spines 2 -hosts 4 \
+//	    -size 2 -iters 20 -fault-leaf 4 -fault-spine 0 -drop 0.05
+//	                                               # quarantine + ring re-plan
 package main
 
 import (
@@ -49,6 +52,8 @@ func main() {
 		preDown    = flag.Int("preexisting", 0, "number of pre-existing disconnected links")
 		jitterUS   = flag.Int64("jitter", 0, "per-rank start jitter (µs)")
 		remediated = flag.Bool("remediate", false, "close the loop: confirm, quarantine, probe, re-admit")
+		resilient  = flag.Bool("resilience", false, "extend the loop into the workload: re-plan the ring when a quarantine degrades a leaf below 90% capacity (implies -remediate)")
+		interleave = flag.Bool("interleave", false, "interleave the ring across leaves (placement-oblivious rank order) so every ring edge crosses the fabric")
 		flapPeriod = flag.Int64("flap-period", 0, "make the fault a lossy flap with this period (µs, 0 = persistent)")
 		flapDown   = flag.Int64("flap-down", 0, "flap down-phase length (µs, default period/2)")
 		jobs       = flag.Int("jobs", 1, "concurrent training jobs on one shared monitoring plane")
@@ -73,17 +78,21 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *resilient {
+		*remediated = true
+	}
 	if *jobs > 1 && *hosts < *jobs {
 		*hosts = *jobs // one host column per job
 	}
 	sc := flowpulse.Scenario{
 		Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts,
-		Collective:   flowpulse.CollectiveKind(*coll),
-		BytesPerRank: *sizeMB << 20,
-		Iterations:   *iters,
-		JitterMax:    flowpulse.Duration(*jitterUS) * flowpulse.Microsecond,
-		Seed:         *seed,
-		Shards:       *shards,
+		Collective:     flowpulse.CollectiveKind(*coll),
+		InterleaveRing: *interleave,
+		BytesPerRank:   *sizeMB << 20,
+		Iterations:     *iters,
+		JitterMax:      flowpulse.Duration(*jitterUS) * flowpulse.Microsecond,
+		Seed:           *seed,
+		Shards:         *shards,
 	}
 	for j := 1; j <= *jobs && *jobs > 1; j++ {
 		sc.Jobs = append(sc.Jobs, flowpulse.JobSpec{Job: uint16(j), HostIx: j - 1})
@@ -110,10 +119,17 @@ func main() {
 	if *remediated {
 		monCfg.Remediate = &flowpulse.RemediateConfig{}
 	}
+	if *resilient {
+		monCfg.Resilience = &flowpulse.ResilienceConfig{}
+	}
 	mon, err := cluster.Monitor(monCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	var goodput *flowpulse.GoodputTimeline
+	if *resilient && *jobs <= 1 {
+		goodput = cluster.TrackGoodput()
 	}
 
 	target := flowpulse.Link{LeafOrd: *faultLeaf, SpineOrd: *faultSpine}
@@ -152,6 +168,9 @@ func main() {
 	inject := func() {
 		if *drop <= 0 {
 			return
+		}
+		if goodput != nil {
+			goodput.MarkFault(int64(cluster.Now()))
 		}
 		if *flapPeriod > 0 {
 			period := flowpulse.Duration(*flapPeriod) * flowpulse.Microsecond
@@ -195,6 +214,9 @@ func main() {
 	}
 	if *remediated {
 		fmt.Println("remediation: enabled (confirm K=3, probe M=3, flap damping)")
+	}
+	if *resilient {
+		fmt.Println("resilience: enabled (ring re-plan when a quarantine degrades a leaf)")
 	}
 	fmt.Println()
 
@@ -283,6 +305,25 @@ func main() {
 			rs.Confirmations, rs.Quarantines, rs.ProbeRounds, rs.Readmissions, rs.SuppressedReadmits)
 		if q := mon.Quarantined(); len(q) > 0 {
 			fmt.Printf("still quarantined: links %v\n", q)
+		}
+	}
+
+	if goodput != nil {
+		rep := goodput.Report(0.9)
+		fmt.Println()
+		fmt.Printf("goodput: baseline=%.3f it/ms during=%.3f it/ms stall=%v\n",
+			rep.Baseline*float64(flowpulse.Millisecond),
+			rep.During*float64(flowpulse.Millisecond),
+			flowpulse.Duration(rep.Stall))
+		switch {
+		case !rep.Faulted:
+			fmt.Println("recovery: n/a (no fault marked)")
+		case rep.Recovered:
+			fmt.Printf("recovery: %v after the fault (iteration %d, post rate %.3f it/ms)\n",
+				flowpulse.Duration(rep.RecoveryTime), rep.RecoveryIter,
+				rep.Post*float64(flowpulse.Millisecond))
+		default:
+			fmt.Println("recovery: NOT RECOVERED (run ended below 90% of baseline)")
 		}
 	}
 

@@ -30,8 +30,10 @@ import (
 	"flowpulse/internal/detect"
 	"flowpulse/internal/fabric"
 	"flowpulse/internal/localize"
+	"flowpulse/internal/metrics"
 	"flowpulse/internal/monitor"
 	"flowpulse/internal/remediate"
+	"flowpulse/internal/resilience"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
 	"flowpulse/internal/topology"
@@ -116,6 +118,21 @@ type RemediationAction = remediate.Action
 // RemediationStats counts remediation activity.
 type RemediationStats = remediate.Stats
 
+// ResilienceConfig tunes the workload re-planner: the goodput fraction
+// below which a quarantined leaf triggers a collective re-plan, and
+// the smallest ring degraded mode may leave. The zero value uses the
+// documented defaults (0.9, 2).
+type ResilienceConfig = resilience.Config
+
+// GoodputTimeline accumulates per-iteration training throughput; arm
+// one with Cluster.TrackGoodput before Train and read its Report
+// afterwards.
+type GoodputTimeline = metrics.GoodputTimeline
+
+// GoodputReport summarizes a training run's throughput around a fault:
+// baseline/during/post rates, total stall, and time-to-recovery.
+type GoodputReport = metrics.GoodputReport
+
 // MonitorConfig tunes the FlowPulse deployment on a cluster.
 type MonitorConfig struct {
 	// Predictor selects the load model; defaults to Analytical (the
@@ -133,6 +150,14 @@ type MonitorConfig struct {
 	// re-admission, with flap damping. Use &RemediateConfig{} for the
 	// defaults.
 	Remediate *RemediateConfig
+	// Resilience, when non-nil (requires Remediate), extends the loop
+	// into the workload: a quarantine that degrades a leaf below the
+	// recovery target re-plans the training collective (ring re-rank,
+	// or a degraded-mode ring when the leaf is unreachable) at the next
+	// iteration barrier, and the load model re-baselines against the
+	// new demand matrix. Use &ResilienceConfig{} for the defaults. Not
+	// supported with the Simulation predictor.
+	Resilience *ResilienceConfig
 	// TracePath records the run — every measurement window with the
 	// prediction in effect, every detection, every remediation action,
 	// and the fault schedule — to a .fpt trace file for offline replay
@@ -175,13 +200,14 @@ func (c *Cluster) Monitor(cfg MonitorConfig) (*Monitor, error) {
 		return c.monitorShared(cfg)
 	}
 	coreCfg := core.Config{
-		Net:       c.rt.Net,
-		Stack:     c.rt.Stack,
-		Demand:    c.rt.Coll.Demand(),
-		Kind:      cfg.Predictor,
-		Job:       int(c.rt.Scenario.Job),
+		Net:        c.rt.Net,
+		Stack:      c.rt.Stack,
+		Demand:     c.rt.Coll.Demand(),
+		Kind:       cfg.Predictor,
+		Job:        int(c.rt.Scenario.Job),
 		Detect:     detect.Config{Threshold: cfg.Threshold},
 		Remediate:  cfg.Remediate,
+		Resilience: cfg.Resilience,
 		TracePath:  cfg.TracePath,
 		TraceLabel: cfg.TraceLabel,
 		OnEvent: func(e Event) {
@@ -223,7 +249,8 @@ func (c *Cluster) monitorShared(cfg MonitorConfig) (*Monitor, error) {
 	}
 	scfg := core.SharedConfig{
 		Net: c.rt.Net, Stack: c.rt.Stack, Remediate: cfg.Remediate,
-		TracePath: cfg.TracePath, TraceLabel: cfg.TraceLabel,
+		Resilience: cfg.Resilience,
+		TracePath:  cfg.TracePath, TraceLabel: cfg.TraceLabel,
 	}
 	for _, jr := range c.rt.Jobs {
 		scfg.Jobs = append(scfg.Jobs, core.SharedJobConfig{
@@ -279,6 +306,17 @@ func (c *Cluster) FlapLink(l Link, period, downFor, phase Duration, lossRate flo
 	c.rt.InjectLossyFlap(l, period, downFor, phase, lossRate)
 }
 
+// TrackGoodput arms the per-iteration goodput timeline on the
+// (single-job) training loop and returns it. Call before Train; mark
+// fault onset on the returned timeline (MarkFault) and read Report
+// after training. Repeated calls return the same timeline.
+func (c *Cluster) TrackGoodput() *GoodputTimeline {
+	if c.rt.Goodput == nil {
+		c.rt.Goodput = &metrics.GoodputTimeline{}
+	}
+	return c.rt.Goodput
+}
+
 // Train runs the scenario's training job to completion. onIteration
 // (optional) fires after each iteration with the simulated time and
 // iteration number — inject or heal faults from it to script
@@ -288,7 +326,12 @@ func (c *Cluster) Train(onIteration func(now Duration, iter uint32)) {
 	if onIteration != nil {
 		cb = func(now sim.Time, iter uint32) { onIteration(Duration(now), iter) }
 	}
-	c.rt.StartTraining(cb, nil)
+	job := c.rt.StartTraining(cb, nil)
+	if c.sys != nil {
+		if err := c.sys.BindWorkload(job); err != nil {
+			panic(err) // scenario collective changed after Monitor validated it
+		}
+	}
 	c.rt.Run()
 	c.flush()
 }
@@ -311,7 +354,14 @@ func (c *Cluster) TrainAll(onIteration func(now Duration, job uint16, iter uint3
 	if onIteration != nil {
 		cb = func(now sim.Time, job uint16, iter uint32) { onIteration(Duration(now), job, iter) }
 	}
-	c.rt.StartAllJobs(cb, nil)
+	jobs := c.rt.StartAllJobs(cb, nil)
+	if c.shared != nil {
+		for i, j := range jobs {
+			if err := c.shared.BindWorkload(c.rt.Jobs[i].Spec.Job, j); err != nil {
+				panic(err) // job specs validated when the monitor attached
+			}
+		}
+	}
 	c.rt.Run()
 	c.flush()
 }

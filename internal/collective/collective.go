@@ -129,6 +129,21 @@ type Collective interface {
 	Run(ctx *RunContext)
 }
 
+// Replannable is a collective that can rebuild itself over a new rank
+// order or membership — the workload half of closed-loop remediation:
+// after a quarantine degrades part of the fabric, the resilience
+// re-planner derives a new group (re-ranked around the degraded leaf,
+// or excluding unreachable hosts) and the collective re-extracts its
+// demand matrix from it.
+type Replannable interface {
+	Collective
+	// Replan returns a new collective of the same pattern and message
+	// size over the given group. The receiver is not modified — an
+	// in-flight iteration keeps its plan; the workload driver swaps at
+	// the next iteration barrier.
+	Replan(group []topology.HostID) Collective
+}
+
 // chunkSizes splits bytes into n chunks, the first bytes%n chunks one
 // byte larger, never returning a zero-size chunk.
 func chunkSizes(bytes int64, n int) ([]int64, error) {

@@ -38,6 +38,14 @@ func (r *RingAllReduce) Run(ctx *RunContext) {
 	runRing(ctx, r.Group, r.BytesPerRank, r.Steps(), ringChunkAllReduce, len(r.Group)-1)
 }
 
+// Replan implements Replannable: the same D over a new ring order (or
+// a smaller surviving membership in degraded mode — the dropped ranks'
+// chunks are re-split across the survivors, so the reduction still
+// covers the full D bytes, proxied by the remaining ring).
+func (r *RingAllReduce) Replan(group []topology.HostID) Collective {
+	return &RingAllReduce{Group: append([]topology.HostID(nil), group...), BytesPerRank: r.BytesPerRank}
+}
+
 // ReduceScatter is the first half of the ring: after N-1 steps rank i
 // owns the fully reduced chunk (i+1) mod N. On 32 nodes this is the
 // paper's "31-stage" collective.

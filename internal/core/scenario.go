@@ -6,6 +6,7 @@ import (
 	"flowpulse/internal/collective"
 	"flowpulse/internal/fabric"
 	"flowpulse/internal/fault"
+	"flowpulse/internal/metrics"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/spray"
 	"flowpulse/internal/telemetry"
@@ -46,6 +47,15 @@ type Scenario struct {
 	Transport transport.Config
 	// Collective selects the workload (default RingAllReduce).
 	Collective CollectiveKind
+	// InterleaveRing orders the (single-job) collective's ranks
+	// column-major across leaves — host (leaf, ix) gets rank
+	// ix·Leaves + leaf — instead of the default leaf-major order. Every
+	// ring edge then crosses leaves: the placement-oblivious schedule
+	// whose goodput a leaf's uplink capacity actually gates, and the
+	// regime where resilience re-planning has something to repair (a
+	// leaf-major ring keeps each leaf at two crossing edges and is
+	// NIC-bound; see internal/resilience).
+	InterleaveRing bool
 	// BytesPerRank is the collective size D (default 4 MiB).
 	BytesPerRank int64
 	// Iterations is the training length (default 8).
@@ -157,6 +167,11 @@ type Runtime struct {
 	// Jobs holds the per-job runtimes of a multi-job scenario (empty
 	// for the classic single-job form).
 	Jobs []JobRuntime
+	// Goodput, when set before StartTraining, receives every completed
+	// iteration of the (single-job) training loop — the raw material of
+	// the goodput/stall/recovery metric family. Call MarkFault on it at
+	// fault onset to split the timeline.
+	Goodput *metrics.GoodputTimeline
 
 	bg      *workload.Background
 	running int // jobs still training (multi-job Background gating)
@@ -215,8 +230,20 @@ func (sc Scenario) Build() (*Runtime, error) {
 	stack := transport.NewStack(net, sc.Transport)
 
 	group := make([]topology.HostID, len(topo.Hosts))
-	for i := range group {
-		group[i] = topology.HostID(i)
+	if sc.InterleaveRing {
+		// Column-major: hosts are leaf-major (leaf*HostsPerLeaf + ix),
+		// ranks walk leaves fastest.
+		k := 0
+		for ix := 0; ix < sc.HostsPerLeaf; ix++ {
+			for leaf := 0; leaf < sc.Leaves; leaf++ {
+				group[k] = topology.HostID(leaf*sc.HostsPerLeaf + ix)
+				k++
+			}
+		}
+	} else {
+		for i := range group {
+			group[i] = topology.HostID(i)
+		}
 	}
 	coll, err := buildCollective(sc.Collective, group, sc.BytesPerRank)
 	if err != nil {
@@ -436,6 +463,7 @@ func (rt *Runtime) StartTraining(onIter func(now sim.Time, iter uint32), onDone 
 		Priority:   fabric.High,
 		Sentinel:   true,
 		Seed:       rt.Scenario.Seed,
+		Goodput:    rt.Goodput,
 		OnIteration: func(now sim.Time, iter uint32, _ *collective.Result) {
 			if onIter != nil {
 				onIter(now, iter)

@@ -10,10 +10,13 @@ import (
 	"flowpulse/internal/monitor"
 	"flowpulse/internal/predict"
 	"flowpulse/internal/remediate"
+	"flowpulse/internal/resilience"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
 	"flowpulse/internal/trace"
 	"flowpulse/internal/transport"
+	"flowpulse/internal/workload"
 )
 
 // SharedJobConfig configures one job's pipeline on the shared
@@ -53,6 +56,13 @@ type SharedConfig struct {
 	// job's windows — or corroborated across jobs — is quarantined
 	// exactly once.
 	Remediate *remediate.Config
+	// Resilience, when set (requires Remediate), re-plans every bound
+	// job's collective when a quarantine degrades a leaf below the
+	// recovery target. Quarantine is fabric-scoped, so one event can
+	// re-plan several jobs; each keeps its own re-planner (its own ring,
+	// its own capacity exposure). Bind jobs with BindWorkload. Not
+	// supported for jobs on the simulation model.
+	Resilience *resilience.Config
 	// TracePath records the whole plane — every job's windows, events,
 	// and the shared remediation stream — to one .fpt trace file (see
 	// internal/trace); Trace streams to an existing Writer instead. Set
@@ -73,6 +83,18 @@ type SharedSystem struct {
 	remediator *remediate.Remediator // nil unless SharedConfig.Remediate set
 	trc        *trace.Writer         // nil unless tracing
 	preds      map[uint16]predict.Predictor
+
+	// bound tracks the jobs wired into the resilience loop, in binding
+	// order (deterministic multi-job re-plan fan-out).
+	bound []*sharedBinding
+}
+
+// sharedBinding pairs one bound job with its re-planner.
+type sharedBinding struct {
+	job    uint16
+	j      *workload.Job
+	replan *resilience.Replanner
+	pred   predict.Predictor
 }
 
 // AttachShared deploys the shared monitoring plane. Every job's
@@ -111,6 +133,25 @@ func AttachShared(cfg SharedConfig) (*SharedSystem, error) {
 	}
 	if cfg.Remediate != nil {
 		s.remediator = remediate.New(cfg.Net, s.faults, func() { s.Rebaseline() }, *cfg.Remediate)
+	}
+	if cfg.Resilience != nil {
+		if s.remediator == nil {
+			return nil, fmt.Errorf("core: SharedConfig.Resilience requires SharedConfig.Remediate")
+		}
+		// Re-plans migrate paths mid-job; see the same call in Attach.
+		cfg.Stack.EnableMigrationHardening()
+		// One fabric event fans out to every bound job, in binding
+		// order; the hooks fire before the loop's shared rebaseline.
+		s.remediator.OnQuarantine = func(now sim.Time, link topology.LinkID) {
+			for _, b := range s.bound {
+				s.applySharedPlan(b, b.replan.NoteQuarantine(now, link), link)
+			}
+		}
+		s.remediator.OnReadmit = func(now sim.Time, link topology.LinkID) {
+			for _, b := range s.bound {
+				s.applySharedPlan(b, b.replan.NoteReadmit(now, link), link)
+			}
+		}
 	}
 	trc, err := resolveTraceWriter(cfg.TracePath, cfg.Trace)
 	if err != nil {
@@ -209,6 +250,58 @@ func (s *SharedSystem) Remediator() *remediate.Remediator { return s.remediator 
 
 // KnownFaults returns the shared known-fault set.
 func (s *SharedSystem) KnownFaults() *predict.FaultSet { return s.faults }
+
+// BindWorkload connects one monitored job's training loop to the
+// resilience re-planner. Each bound job gets its own re-planner over
+// its own ring; a fabric-scoped quarantine then re-plans every bound
+// job it degrades, in binding order. A no-op when
+// SharedConfig.Resilience was not set.
+func (s *SharedSystem) BindWorkload(job uint16, j *workload.Job) error {
+	if s.cfg.Resilience == nil {
+		return nil
+	}
+	pred, ok := s.preds[job]
+	if !ok {
+		return fmt.Errorf("core: BindWorkload: job %d is not monitored", job)
+	}
+	if _, ok := pred.(*predict.Simulation); ok {
+		return fmt.Errorf("core: job %d: resilience is not supported with the simulation model", job)
+	}
+	coll := j.Collective()
+	if _, ok := coll.(collective.Replannable); !ok {
+		return fmt.Errorf("core: job %d: resilience needs a re-plannable collective, %s is not", job, coll.Name())
+	}
+	s.bound = append(s.bound, &sharedBinding{
+		job:    job,
+		j:      j,
+		replan: resilience.New(s.cfg.Net.Topology(), coll.Demand().Hosts, *s.cfg.Resilience),
+		pred:   pred,
+	})
+	return nil
+}
+
+// applySharedPlan executes one bound job's re-plan decision; see
+// System.applyPlan for the single-job flow it mirrors.
+func (s *SharedSystem) applySharedPlan(b *sharedBinding, p *resilience.Plan, link topology.LinkID) {
+	if p == nil {
+		return
+	}
+	kind := remediate.ActionReplan
+	if p.Kind == resilience.PlanRestore {
+		kind = remediate.ActionRestore
+	}
+	s.remediator.RecordWorkload(remediate.Action{
+		At: p.At, Kind: kind, Link: link,
+		Detail: fmt.Sprintf("job %d: %s", b.job, p.Detail),
+	})
+	next := b.j.Collective().(collective.Replannable).Replan(p.Group)
+	b.j.Replan(next)
+	if ds, ok := b.pred.(interface {
+		SetDemand(*collective.DemandMatrix)
+	}); ok {
+		ds.SetDemand(next.Demand())
+	}
+}
 
 // Rebaseline recomputes every job's load-model baseline against the
 // current routing state; it reports false if any model could not

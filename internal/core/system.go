@@ -14,11 +14,13 @@ import (
 	"flowpulse/internal/monitor"
 	"flowpulse/internal/predict"
 	"flowpulse/internal/remediate"
+	"flowpulse/internal/resilience"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
 	"flowpulse/internal/topology"
 	"flowpulse/internal/trace"
 	"flowpulse/internal/transport"
+	"flowpulse/internal/workload"
 )
 
 // PredictorKind selects one of §5.2's load models.
@@ -71,6 +73,14 @@ type Config struct {
 	// re-admission with flap damping. Use &remediate.Config{} for the
 	// defaults.
 	Remediate *remediate.Config
+	// Resilience, when set (requires Remediate), extends the loop into
+	// the workload: quarantines that degrade a leaf below the recovery
+	// target re-plan the collective (re-rank or degraded-mode ring) on
+	// the job bound via BindWorkload, and the predictors re-baseline
+	// against the new demand matrix. Use &resilience.Config{} for the
+	// defaults. Not supported with the simulation model, whose
+	// reference run cannot be re-derived for a new schedule.
+	Resilience *resilience.Config
 	// TracePath, when set, records the run — windows with their live
 	// predictions, events, remediation, fault schedule — to a .fpt
 	// trace file for offline replay (see internal/trace). Trace streams
@@ -94,6 +104,9 @@ type System struct {
 	faults     *predict.FaultSet
 	remediator *remediate.Remediator // nil unless Config.Remediate set
 	trc        *trace.Writer         // nil unless tracing
+
+	replanner *resilience.Replanner // nil unless Config.Resilience set
+	job       *workload.Job         // set by BindWorkload
 
 	*monitor.Pipeline
 }
@@ -127,6 +140,34 @@ func Attach(cfg Config) (*System, error) {
 	s.localizer = localize.New(topo, s.detector.Threshold(), 0)
 	if cfg.Remediate != nil {
 		s.remediator = remediate.New(cfg.Net, s.faults, func() { s.Rebaseline() }, *cfg.Remediate)
+	}
+	if cfg.Resilience != nil {
+		if s.remediator == nil {
+			return nil, fmt.Errorf("core: Config.Resilience requires Config.Remediate (re-plans are quarantine-triggered)")
+		}
+		if cfg.Kind == SimulationModel {
+			return nil, fmt.Errorf("core: Resilience is not supported with the simulation model: its reference run was recorded for the original schedule and cannot be re-derived mid-job")
+		}
+		// A re-plan migrates flows onto surviving paths whose RTTs the
+		// transport's per-pair estimators have not seen; without pair-
+		// level timer backoff the stale timeouts melt down into a
+		// self-sustaining spurious-retransmission storm on the repair
+		// seam (see transport.Config.PairBackoff).
+		cfg.Stack.EnableMigrationHardening()
+		// The hooks fire before the remediation loop's own rebaseline,
+		// so the re-planned demand matrix is what the single
+		// post-quarantine (or post-re-admission) rebaseline computes
+		// from. They no-op until BindWorkload supplies the job.
+		s.remediator.OnQuarantine = func(now sim.Time, link topology.LinkID) {
+			if s.replanner != nil {
+				s.applyPlan(s.replanner.NoteQuarantine(now, link), link)
+			}
+		}
+		s.remediator.OnReadmit = func(now sim.Time, link topology.LinkID) {
+			if s.replanner != nil {
+				s.applyPlan(s.replanner.NoteReadmit(now, link), link)
+			}
+		}
 	}
 	if err := s.attachTrace(topo, cfg); err != nil {
 		return nil, err
@@ -226,15 +267,64 @@ func (s *System) Learned() *predict.Learned { return s.learned }
 // Config.Remediate was not set.
 func (s *System) Remediator() *remediate.Remediator { return s.remediator }
 
+// Replanner returns the workload re-planner, or nil until a job is
+// bound (or when Config.Resilience was not set).
+func (s *System) Replanner() *resilience.Replanner { return s.replanner }
+
+// BindWorkload connects the training job the resilience loop repairs.
+// The re-planner is armed with the job's current ring order; from then
+// on a quarantine that degrades a leaf below the recovery target
+// re-plans the collective at the job's next iteration barrier. A no-op
+// when Config.Resilience was not set; errors when the job's collective
+// cannot be re-planned.
+func (s *System) BindWorkload(j *workload.Job) error {
+	if s.cfg.Resilience == nil {
+		return nil
+	}
+	coll := j.Collective()
+	if _, ok := coll.(collective.Replannable); !ok {
+		return fmt.Errorf("core: resilience needs a re-plannable collective, %s is not", coll.Name())
+	}
+	s.job = j
+	s.replanner = resilience.New(s.cfg.Net.Topology(), coll.Demand().Hosts, *s.cfg.Resilience)
+	return nil
+}
+
+// applyPlan executes one re-plan decision: record it on the
+// remediation timeline (and in the trace), swap the job's collective
+// at its next iteration barrier, and point the analytical model at the
+// new demand matrix. The caller is the quarantine/re-admission hook,
+// which fires before the remediation loop's own rebaseline — that
+// single rebaseline then recomputes the baseline for the new schedule.
+func (s *System) applyPlan(p *resilience.Plan, link topology.LinkID) {
+	if p == nil || s.job == nil {
+		return
+	}
+	kind := remediate.ActionReplan
+	if p.Kind == resilience.PlanRestore {
+		kind = remediate.ActionRestore
+	}
+	s.remediator.RecordWorkload(remediate.Action{At: p.At, Kind: kind, Link: link, Detail: p.Detail})
+	next := s.job.Collective().(collective.Replannable).Replan(p.Group)
+	s.job.Replan(next)
+	if ds, ok := s.pred.(interface {
+		SetDemand(*collective.DemandMatrix)
+	}); ok {
+		ds.SetDemand(next.Demand())
+	}
+}
+
 // KnownFaults returns the control plane's known-fault set: links
 // confirmed faulty and currently quarantined. The analytical model and
 // the detector consult it; quarantine mutates it.
 func (s *System) KnownFaults() *predict.FaultSet { return s.faults }
 
 // Rebaseline asks the active load model to recompute its baseline
-// against the current routing state and known-fault set. It reports
-// false for the simulation model, whose reference windows were
-// recorded under the old routing state and cannot be refreshed.
+// against the current routing state, known-fault set, and demand
+// matrix, and reports whether the model supports it. The simulation
+// model responds by discarding its stale per-iteration reference
+// windows (falling back to its run-average profile) — honest
+// blindness, since its reference run cannot be re-derived online.
 func (s *System) Rebaseline() bool {
 	rb, ok := s.pred.(predict.Rebaseliner)
 	if ok {

@@ -34,7 +34,7 @@ type EvalOverrides struct {
 var EvalOrder = []string{
 	"fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "preexisting",
 	"headline", "faulttypes", "jitter", "trunks", "clos3", "blocking",
-	"remediate", "paralleljobs", "ablation",
+	"remediate", "resilience", "paralleljobs", "ablation",
 }
 
 // EvalExperiments returns the experiment registry under the given
@@ -181,6 +181,18 @@ func EvalExperiments(o EvalOverrides) map[string]func() (fmt.Stringer, error) {
 				cfg.BytesPerRank = o.SizeMB << 20
 			}
 			return Remediation(cfg)
+		},
+		"resilience": func() (fmt.Stringer, error) {
+			// Already small-scale (8×2×4); Quick only trims the run
+			// length.
+			cfg := ResilienceConfig{Seed: o.Seed, DropRate: o.Drop}
+			if o.Quick {
+				cfg.Iterations = 12
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Resilience(cfg)
 		},
 		"paralleljobs": func() (fmt.Stringer, error) {
 			// Already small-scale (8×4); Quick only trims the collective.

@@ -19,6 +19,9 @@ type SendSpec struct {
 	Msg      uint64
 	Seq      int
 	Retx     bool
+	// Stamp seeds Packet.Stamp (ACKs echo the acknowledged copy's
+	// wire-out time here; data packets are stamped at NIC dequeue).
+	Stamp sim.Time
 	// Ctx rides along on the packet for the receiving endpoint
 	// (immutable after Send). The sharded transport uses it to carry
 	// message metadata across domains without a sender-side map lookup.
@@ -42,6 +45,7 @@ func (n *Network) Send(spec SendSpec) {
 	p.Kind = spec.Kind
 	p.Tag = spec.Tag
 	p.Msg, p.Seq, p.Retx = spec.Msg, spec.Seq, spec.Retx
+	p.Stamp = spec.Stamp
 	p.Ctx = spec.Ctx
 
 	hs.d.stats.Sent++

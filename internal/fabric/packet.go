@@ -9,6 +9,7 @@ package fabric
 import (
 	"fmt"
 
+	"flowpulse/internal/sim"
 	"flowpulse/internal/topology"
 )
 
@@ -97,6 +98,13 @@ type Packet struct {
 	Seq int
 	// Retx marks retransmissions.
 	Retx bool
+	// Stamp is the instant this copy left the source NIC (data
+	// packets, set by the transport's dequeue hook) or the echoed
+	// stamp of the data copy being acknowledged (ACKs) — the TCP
+	// timestamp option, which lets the sender measure RTT without
+	// retransmission ambiguity. Metadata only; never affects
+	// forwarding.
+	Stamp sim.Time
 	// Ctx is opaque sender-attached context (see SendSpec.Ctx). It
 	// must be immutable while the packet is in flight: in sharded mode
 	// the receiving domain reads it after the window barrier.

@@ -1,0 +1,152 @@
+package metrics
+
+// GoodputTimeline collects per-iteration training throughput samples —
+// the metric family that measures what a fault costs the *workload*
+// (iterations/sec, stall time, time-to-recovery), complementing the
+// detector-centric FPR/FNR family above. Time units are whatever the
+// caller samples in (the simulator uses picoseconds); rates come back
+// in iterations per time unit.
+type GoodputTimeline struct {
+	points   []IterPoint
+	faultAt  int64
+	hasFault bool
+}
+
+// IterPoint is one completed training iteration.
+type IterPoint struct {
+	// Iter is the iteration number.
+	Iter uint32
+	// End is the completion time.
+	End int64
+	// Dur is the iteration's duration (completion minus start).
+	Dur int64
+}
+
+// Add records one completed iteration.
+func (t *GoodputTimeline) Add(iter uint32, end, dur int64) {
+	t.points = append(t.points, IterPoint{Iter: iter, End: end, Dur: dur})
+}
+
+// MarkFault records the fault injection time. Iterations completing at
+// or before the mark form the pre-fault baseline; everything after is
+// scored against it. Only the first mark is kept.
+func (t *GoodputTimeline) MarkFault(at int64) {
+	if !t.hasFault {
+		t.faultAt, t.hasFault = at, true
+	}
+}
+
+// Points returns the recorded samples in completion order.
+func (t *GoodputTimeline) Points() []IterPoint { return t.points }
+
+// GoodputReport reduces a timeline to the before/during/after numbers.
+type GoodputReport struct {
+	// Iterations is the number of samples.
+	Iterations int
+	// Faulted reports whether a fault was marked.
+	Faulted bool
+	// Baseline is the pre-fault rate (iterations per time unit). With
+	// no fault marked it covers the whole run.
+	Baseline float64
+	// During is the rate between the fault and recovery (or the end of
+	// the run when recovery never happens). Zero without a fault.
+	During float64
+	// Post is the rate from the recovery iteration on. Zero when the
+	// run never recovered.
+	Post float64
+	// Stall is total excess time over the baseline iteration duration,
+	// summed across post-fault iterations.
+	Stall int64
+	// Recovered reports whether any post-fault iteration reached the
+	// target fraction of the baseline rate. Vacuously true without a
+	// fault; always false when the fault precedes the first completed
+	// iteration (no baseline to recover to).
+	Recovered bool
+	// RecoveryTime is the recovery iteration's completion time minus
+	// the fault time (0 unless Faulted && Recovered: an unrecovered run
+	// reports Recovered=false, never a zero recovery time).
+	RecoveryTime int64
+	// RecoveryIter is the first iteration back at target rate.
+	RecoveryIter uint32
+}
+
+// sustainIters is how many consecutive at-target iterations recovery
+// requires (see Report).
+const sustainIters = 3
+
+// rate converts a sample subset to iterations per time unit.
+func rate(points []IterPoint) float64 {
+	var sum int64
+	for _, p := range points {
+		sum += p.Dur
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return float64(len(points)) / float64(sum)
+}
+
+// Report scores the timeline: recovery means an iteration whose rate
+// is back to at least target (e.g. 0.9) times the pre-fault baseline,
+// i.e. Dur ≤ baselineDur/target.
+func (t *GoodputTimeline) Report(target float64) GoodputReport {
+	r := GoodputReport{Iterations: len(t.points), Faulted: t.hasFault}
+	if !t.hasFault {
+		r.Baseline = rate(t.points)
+		r.Recovered = true
+		return r
+	}
+	var pre, post []IterPoint
+	for _, p := range t.points {
+		if p.End <= t.faultAt {
+			pre = append(pre, p)
+		} else {
+			post = append(post, p)
+		}
+	}
+	r.Baseline = rate(pre)
+	if len(pre) == 0 || r.Baseline == 0 {
+		// Fault before the first completed iteration: no baseline, so
+		// "recovery" is undefined — report honestly as unrecovered.
+		r.During = rate(post)
+		return r
+	}
+	baseDur := 1 / r.Baseline // mean pre-fault iteration duration
+	// Recovery must be sustained: one lucky iteration during a degraded
+	// phase (a fast retransmit run, a window straddling a repair) must
+	// not count, so the recovery point is the first iteration opening a
+	// run of sustainIters consecutive at-target iterations (or reaching
+	// the end of the run still at target).
+	recoverAt := -1
+	atTarget := func(p IterPoint) bool {
+		return p.Dur > 0 && float64(p.Dur) <= baseDur/target
+	}
+	for i := range post {
+		ok := true
+		for j := i; j < len(post) && j < i+sustainIters; j++ {
+			if !atTarget(post[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			recoverAt = i
+			break
+		}
+	}
+	for _, p := range post {
+		if excess := p.Dur - int64(baseDur); excess > 0 {
+			r.Stall += excess
+		}
+	}
+	if recoverAt < 0 {
+		r.During = rate(post)
+		return r
+	}
+	r.Recovered = true
+	r.During = rate(post[:recoverAt])
+	r.Post = rate(post[recoverAt:])
+	r.RecoveryTime = post[recoverAt].End - t.faultAt
+	r.RecoveryIter = post[recoverAt].Iter
+	return r
+}

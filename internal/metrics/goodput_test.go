@@ -1,0 +1,110 @@
+package metrics
+
+import "testing"
+
+func TestGoodputZeroLengthRun(t *testing.T) {
+	var tl GoodputTimeline
+	r := tl.Report(0.9)
+	if r.Iterations != 0 || r.Faulted || r.Baseline != 0 || r.Stall != 0 {
+		t.Fatalf("zero-length run: %+v", r)
+	}
+	if !r.Recovered {
+		t.Fatalf("no fault was marked; a zero-length run is vacuously recovered: %+v", r)
+	}
+
+	// Zero-length but with a fault marked: nothing completed, nothing
+	// recovered.
+	tl.MarkFault(100)
+	r = tl.Report(0.9)
+	if !r.Faulted || r.Recovered || r.RecoveryTime != 0 {
+		t.Fatalf("zero-length faulted run must be unrecovered: %+v", r)
+	}
+}
+
+func TestGoodputSingleIteration(t *testing.T) {
+	var tl GoodputTimeline
+	tl.Add(1, 1000, 1000)
+	r := tl.Report(0.9)
+	if r.Iterations != 1 || !r.Recovered || r.Faulted {
+		t.Fatalf("single clean iteration: %+v", r)
+	}
+	if want := 1.0 / 1000; r.Baseline != want {
+		t.Fatalf("baseline rate = %v, want %v", r.Baseline, want)
+	}
+
+	// Same single iteration, fault after it: baseline exists but no
+	// post-fault samples → unrecovered, zero stall.
+	tl.MarkFault(1500)
+	r = tl.Report(0.9)
+	if r.Recovered || r.Stall != 0 || r.During != 0 {
+		t.Fatalf("faulted single-iteration run must be unrecovered with zero stall: %+v", r)
+	}
+	if want := 1.0 / 1000; r.Baseline != want {
+		t.Fatalf("baseline rate = %v, want %v", r.Baseline, want)
+	}
+}
+
+func TestGoodputFaultAtIterationZero(t *testing.T) {
+	var tl GoodputTimeline
+	tl.MarkFault(0)
+	tl.Add(1, 2000, 2000)
+	tl.Add(2, 4000, 2000)
+	r := tl.Report(0.9)
+	if r.Baseline != 0 {
+		t.Fatalf("no pre-fault iterations, baseline must be 0: %+v", r)
+	}
+	if r.Recovered || r.RecoveryTime != 0 {
+		t.Fatalf("recovery is undefined without a baseline, must report unrecovered: %+v", r)
+	}
+	if want := 2.0 / 4000; r.During != want {
+		t.Fatalf("during rate = %v, want %v", r.During, want)
+	}
+}
+
+func TestGoodputNeverRecovers(t *testing.T) {
+	var tl GoodputTimeline
+	tl.Add(1, 1000, 1000)
+	tl.Add(2, 2000, 1000)
+	tl.MarkFault(2000)
+	// Post-fault iterations stuck at 2x the baseline duration — 50% of
+	// baseline goodput, below the 90% target forever.
+	tl.Add(3, 4000, 2000)
+	tl.Add(4, 6000, 2000)
+	tl.Add(5, 8000, 2000)
+	r := tl.Report(0.9)
+	if r.Recovered {
+		t.Fatalf("run never reached 90%% of baseline, must be unrecovered: %+v", r)
+	}
+	if r.RecoveryTime != 0 || r.Post != 0 {
+		t.Fatalf("unrecovered run must not report a recovery time or post rate: %+v", r)
+	}
+	if want := int64(3 * 1000); r.Stall != want {
+		t.Fatalf("stall = %d, want %d (three iterations each 1000 over baseline)", r.Stall, want)
+	}
+	if want := 3.0 / 6000; r.During != want {
+		t.Fatalf("during rate = %v, want %v", r.During, want)
+	}
+}
+
+func TestGoodputRecovery(t *testing.T) {
+	var tl GoodputTimeline
+	tl.Add(1, 1000, 1000)
+	tl.Add(2, 2000, 1000)
+	tl.MarkFault(2000)
+	tl.Add(3, 7000, 5000) // stalled under the fault
+	tl.Add(4, 8050, 1050) // quarantine + re-plan: back above 90%
+	tl.Add(5, 9100, 1050)
+	r := tl.Report(0.9)
+	if !r.Recovered {
+		t.Fatalf("must recover: %+v", r)
+	}
+	if r.RecoveryIter != 4 || r.RecoveryTime != 8050-2000 {
+		t.Fatalf("recovery point: %+v", r)
+	}
+	if want := int64(4000 + 50 + 50); r.Stall != want {
+		t.Fatalf("stall = %d, want %d", r.Stall, want)
+	}
+	if r.Post <= r.During {
+		t.Fatalf("post rate must exceed the stalled rate: %+v", r)
+	}
+}

@@ -1,6 +1,8 @@
 package predict
 
 import (
+	"math/bits"
+
 	"flowpulse/internal/collective"
 	"flowpulse/internal/topology"
 )
@@ -17,6 +19,18 @@ import (
 // admin-up (spine, trunk) pair on the source side, and each spine's
 // share splits evenly again over the admin-up trunks on the
 // destination side.
+//
+// When a quarantine leaves different senders with *different* spray
+// sets toward the same destination leaf (one sender forced onto a
+// subset of spines, another free to use all of them), the per-pair
+// even split stops describing the fabric: adaptive spraying drains the
+// flexible senders away from the ports the constrained sender is
+// forced onto, equalizing total ingress per port wherever it can. For
+// those destination leaves the model solves that equilibrium exactly —
+// min-max water-filling over the senders' allowed port sets — instead
+// of summing even splits. Destinations whose senders all share one
+// spray set (every fault-free fabric, and most faulted ones) keep the
+// closed-form path bit-for-bit.
 type Analytical struct {
 	topo   *topology.Topology
 	fib    FIBView
@@ -44,6 +58,14 @@ func NewAnalytical(topo *topology.Topology, fib FIBView, wire WireSizer, demand 
 	a.Rebaseline()
 	return a
 }
+
+// SetDemand swaps the demand matrix the closed form is computed from —
+// the predictor half of a workload re-plan: after the resilience layer
+// re-ranks or shrinks the collective, its traffic pattern changes and
+// the old per-port shares would raise false alerts on a healthy
+// fabric. Call Rebaseline after the swap (the re-plan path does, via
+// the remediator's single rebaseline hook).
+func (a *Analytical) SetDemand(d *collective.DemandMatrix) { a.demand = d }
 
 // SetFaults attaches a mutable known-fault set: links in the set are
 // excluded from spray geometry in addition to admin-down links, so the
@@ -77,6 +99,13 @@ func (a *Analytical) Rebaseline() {
 		}
 	}
 
+	// First pass: per destination leaf, find whether every sender's
+	// spray set lands on the same ingress port set. Where they differ
+	// (only possible with faults or admin-down asymmetry), the even
+	// split is replaced by the water-filling equilibrium below.
+	asym := a.findAsymmetric()
+
+	var contribs map[int][]contrib
 	for i, srcHost := range a.demand.Hosts {
 		for j, dstHost := range a.demand.Hosts {
 			payload := a.demand.Bytes[i][j]
@@ -91,7 +120,209 @@ func (a *Analytical) Rebaseline() {
 			for _, msg := range a.demand.Msgs[i][j] {
 				wireBytes += float64(a.wire.WireBytesFor(int(msg)))
 			}
+			dl := topo.LeafOrdinal(dstLeaf)
+			if asym[dl] {
+				mask := a.pairPortMask(srcLeaf, dstLeaf)
+				if mask != 0 {
+					if contribs == nil {
+						contribs = map[int][]contrib{}
+					}
+					contribs[dl] = append(contribs[dl], contrib{
+						src: topo.LeafOrdinal(srcLeaf), mask: mask, bytes: wireBytes,
+					})
+				}
+				continue
+			}
 			a.spread(srcLeaf, dstLeaf, wireBytes)
+		}
+	}
+	for dl, cs := range contribs {
+		a.waterfill(dl, cs)
+	}
+}
+
+// contrib is one sender's crossing volume toward a destination leaf,
+// with the ingress ports (bitmask) its spray set can land on.
+type contrib struct {
+	src   int
+	mask  uint64
+	bytes float64
+}
+
+// findAsymmetric returns, per destination leaf ordinal, whether two
+// senders with demand toward it have different ingress port sets. Port
+// indexes ≥ 64 (beyond the bitmask) conservatively report symmetric,
+// falling back to the even-split path.
+func (a *Analytical) findAsymmetric() []bool {
+	topo := a.topo
+	nLeaf := len(topo.Leaves())
+	asym := make([]bool, nLeaf)
+	seen := make([]uint64, nLeaf) // first sender's mask, 0 = none yet
+	wide := make([]bool, nLeaf)   // some port index does not fit the mask
+	for i, srcHost := range a.demand.Hosts {
+		for j, dstHost := range a.demand.Hosts {
+			if a.demand.Bytes[i][j] == 0 {
+				continue
+			}
+			srcLeaf, dstLeaf := topo.LeafOf(srcHost), topo.LeafOf(dstHost)
+			if srcLeaf == dstLeaf {
+				continue
+			}
+			dl := topo.LeafOrdinal(dstLeaf)
+			mask := a.pairPortMask(srcLeaf, dstLeaf)
+			if mask == maskOverflow {
+				wide[dl] = true
+				continue
+			}
+			if mask == 0 {
+				continue
+			}
+			switch {
+			case seen[dl] == 0:
+				seen[dl] = mask
+			case seen[dl] != mask:
+				asym[dl] = true
+			}
+		}
+	}
+	for dl := range asym {
+		if wide[dl] {
+			asym[dl] = false
+		}
+	}
+	return asym
+}
+
+// maskOverflow marks a pair whose ingress ports exceed the 64-bit
+// mask; such destinations keep the even-split path.
+const maskOverflow = ^uint64(0)
+
+// pairPortMask returns the destination-leaf ingress ports (as a
+// bitmask) one source leaf's spray set can land on, mirroring spread's
+// pruning exactly.
+func (a *Analytical) pairPortMask(srcLeaf, dstLeaf topology.SwitchID) uint64 {
+	topo := a.topo
+	hostPorts := len(topo.HostsOf(dstLeaf))
+	var mask uint64
+	for _, p := range a.fib.LeafUplinkCandidates(srcLeaf, dstLeaf) {
+		if a.faults != nil && a.faults.Len() > 0 &&
+			a.faults.Has(topo.Switch(srcLeaf).Ports[p].Link) {
+			continue
+		}
+		so, _ := topo.SpineOrdinalOfLeafPort(srcLeaf, p)
+		for k, link := range topo.TrunkLinks(topo.Spines()[so], dstLeaf) {
+			if !a.linkUp(link) {
+				continue
+			}
+			u := topo.LeafUpPort(dstLeaf, so, k) - hostPorts
+			if u >= 64 {
+				return maskOverflow
+			}
+			mask |= 1 << u
+		}
+	}
+	return mask
+}
+
+// waterfill fills one destination leaf's ingress ports with the
+// min-max equilibrium of its senders: adaptive spraying pushes every
+// flexible sender away from overloaded ports until no port can be
+// relieved, which is exactly the divisible restricted-assignment
+// optimum. The optimum is found by the classic binding-set recursion:
+// the most-loaded port set B maximizes W(B)/|B| over subsets (W(B) =
+// total bytes of senders confined to B), its ports all carry that
+// level, and the remaining senders place nothing on B.
+func (a *Analytical) waterfill(dl int, cs []contrib) {
+	var union uint64
+	for _, c := range cs {
+		union |= c.mask
+	}
+	for len(cs) > 0 && union != 0 {
+		bestMask, bestRatio, bestBits := uint64(0), -1.0, 0
+		for b := union; b != 0; b = (b - 1) & union {
+			var w float64
+			for _, c := range cs {
+				if c.mask&^b == 0 {
+					w += c.bytes
+				}
+			}
+			n := bits.OnesCount64(b)
+			ratio := w / float64(n)
+			if ratio > bestRatio || (ratio == bestRatio && n > bestBits) {
+				bestMask, bestRatio, bestBits = b, ratio, n
+			}
+		}
+		if bestRatio <= 0 {
+			return // only zero-byte senders remain
+		}
+		var in, rest []contrib
+		for _, c := range cs {
+			if c.mask&^bestMask == 0 {
+				in = append(in, c)
+			} else {
+				c.mask &^= bestMask
+				rest = append(rest, c)
+			}
+		}
+		for b := bestMask; b != 0; b &= b - 1 {
+			a.ports[dl][bits.TrailingZeros64(b)] = bestRatio
+		}
+		a.attribute(dl, bestMask, bestRatio, in)
+		union &^= bestMask
+		cs = rest
+	}
+}
+
+// attribute splits one binding set's port loads back into per-sender
+// shares (the localizer's reference) by iterative proportional
+// fitting: rows converge to each sender's volume, columns to the
+// common port level. Port totals are set exactly by waterfill; the
+// sender breakdown is the IPF fixed point, which the feasibility of
+// the binding set guarantees exists.
+func (a *Analytical) attribute(dl int, mask uint64, level float64, cs []contrib) {
+	var ports []int
+	for b := mask; b != 0; b &= b - 1 {
+		ports = append(ports, bits.TrailingZeros64(b))
+	}
+	f := make([][]float64, len(cs))
+	for i, c := range cs {
+		f[i] = make([]float64, len(ports))
+		even := c.bytes / float64(bits.OnesCount64(c.mask))
+		for j, p := range ports {
+			if c.mask&(1<<p) != 0 {
+				f[i][j] = even
+			}
+		}
+	}
+	for it := 0; it < 64; it++ {
+		for j := range ports {
+			var col float64
+			for i := range f {
+				col += f[i][j]
+			}
+			if col > 0 {
+				s := level / col
+				for i := range f {
+					f[i][j] *= s
+				}
+			}
+		}
+		for i, c := range cs {
+			var row float64
+			for j := range ports {
+				row += f[i][j]
+			}
+			if row > 0 {
+				s := c.bytes / row
+				for j := range ports {
+					f[i][j] *= s
+				}
+			}
+		}
+	}
+	for i, c := range cs {
+		for j, p := range ports {
+			a.senders[dl][p][c.src] += f[i][j]
 		}
 	}
 }

@@ -511,3 +511,73 @@ func TestPortCV(t *testing.T) {
 		t.Fatal("empty input not handled")
 	}
 }
+
+// multiDemand builds a demand matrix from (src, dst, bytes) triples.
+func multiDemand(hosts []topology.HostID, pairs [][3]int64) *collective.DemandMatrix {
+	n := len(hosts)
+	d := &collective.DemandMatrix{Hosts: hosts, Bytes: make([][]int64, n), Msgs: make([][][]int64, n)}
+	for i := range d.Bytes {
+		d.Bytes[i] = make([]int64, n)
+		d.Msgs[i] = make([][]int64, n)
+	}
+	for _, p := range pairs {
+		src, dst, bytes := p[0], p[1], p[2]
+		d.Bytes[src][dst] = bytes
+		d.Msgs[src][dst] = []int64{bytes}
+	}
+	return d
+}
+
+// TestAnalyticalWaterFillEqualizesAsymmetricSenders reproduces the
+// post-quarantine regime the re-planner creates: one sender is forced
+// onto a single spine (its own uplink to the other spine is admin-
+// down), another is free to use both. Adaptive spraying equalizes the
+// destination's two ingress ports; the per-pair even split would
+// predict a 3:5 imbalance and raise a false deficit alert on a healthy
+// link. The model must predict the equalized split.
+func TestAnalyticalWaterFillEqualizesAsymmetricSenders(t *testing.T) {
+	topo, net := buildNet(t, topology.FatTreeConfig{Leaves: 4, Spines: 2})
+	hosts := hostsOf(topo)
+	// host1 (leaf1) → host2 (leaf2): 2 MiB, forced via spine 1 below.
+	// host0 (leaf0) → host2 (leaf2): 6 MiB, flexible.
+	dm := multiDemand(hosts, [][3]int64{{1, 2, 2 << 20}, {0, 2, 6 << 20}})
+	net.DisconnectLink(topo.TrunkLinks(topo.Spines()[0], topo.LeafOf(1))[0])
+	a := NewAnalytical(topo, net, wire4k{}, dm)
+
+	wForced := float64(wire4k{}.WireBytesFor(2 << 20))
+	wFlex := float64(wire4k{}.WireBytesFor(6 << 20))
+	half := (wForced + wFlex) / 2
+	ports := a.PortLoad(2)
+	if math.Abs(ports[0]-half) > 1e-6 || math.Abs(ports[1]-half) > 1e-6 {
+		t.Fatalf("asymmetric senders not equalized: %v, want %v each", ports, half)
+	}
+	// Sender attribution: the forced sender sits entirely on port 1;
+	// the flexible sender fills the rest of both ports.
+	senders := a.SenderLoad(2)
+	if math.Abs(senders[1][1]-wForced) > 1e-3 {
+		t.Fatalf("forced sender on port 1 = %v, want %v", senders[1][1], wForced)
+	}
+	if math.Abs(senders[0][0]-half) > 1e-3 || math.Abs(senders[1][0]-(half-wForced)) > 1e-3 {
+		t.Fatalf("flexible sender split = %v/%v, want %v/%v",
+			senders[0][0], senders[1][0], half, half-wForced)
+	}
+}
+
+// TestAnalyticalWaterFillBindingSubset drives the recursion: the
+// forced sender alone overloads its port beyond the global average, so
+// that port becomes the binding set at the forced volume and the
+// flexible sender keeps the remaining port to itself.
+func TestAnalyticalWaterFillBindingSubset(t *testing.T) {
+	topo, net := buildNet(t, topology.FatTreeConfig{Leaves: 4, Spines: 2})
+	hosts := hostsOf(topo)
+	dm := multiDemand(hosts, [][3]int64{{1, 2, 8 << 20}, {0, 2, 2 << 20}})
+	net.DisconnectLink(topo.TrunkLinks(topo.Spines()[0], topo.LeafOf(1))[0])
+	a := NewAnalytical(topo, net, wire4k{}, dm)
+
+	wForced := float64(wire4k{}.WireBytesFor(8 << 20))
+	wFlex := float64(wire4k{}.WireBytesFor(2 << 20))
+	ports := a.PortLoad(2)
+	if math.Abs(ports[1]-wForced) > 1e-6 || math.Abs(ports[0]-wFlex) > 1e-6 {
+		t.Fatalf("binding subset not honoured: %v, want [%v %v]", ports, wFlex, wForced)
+	}
+}

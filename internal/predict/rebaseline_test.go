@@ -1,0 +1,64 @@
+package predict
+
+import (
+	"testing"
+
+	"flowpulse/internal/telemetry"
+)
+
+// refWindows builds two leaves' reference windows over two iterations
+// with per-iteration spray splits that differ from their average.
+func refWindows() []*telemetry.Window {
+	w := func(leaf int, iter uint32, ports []int64) *telemetry.Window {
+		senders := make([][]int64, len(ports))
+		for u := range senders {
+			senders[u] = []int64{ports[u], 0}
+		}
+		return &telemetry.Window{LeafOrdinal: leaf, Iter: iter, PortBytes: ports, SenderBytes: senders}
+	}
+	return []*telemetry.Window{
+		w(0, 1, []int64{100, 300}),
+		w(0, 2, []int64{300, 100}),
+		w(1, 1, []int64{200, 200}),
+		w(1, 2, []int64{200, 200}),
+	}
+}
+
+// TestSimulationRebaselineResetsIterWindows is the regression test for
+// the quarantine-rebaseline gap: System.Rebaseline used to reset the
+// learned model but leave the simulation model's per-iteration
+// reference windows (the IterPredictor path) serving pre-quarantine
+// spray splits. Both must go through the one Rebaseline path.
+func TestSimulationRebaselineResetsIterWindows(t *testing.T) {
+	s, err := NewSimulation(2, refWindows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ Rebaseliner = s // the one rebaseline path must reach it
+	var _ IterPredictor = s
+
+	if got := s.PortLoadAt(0, 1); got[0] != 100 || got[1] != 300 {
+		t.Fatalf("pre-rebaseline iteration window = %v, want the exact reference split", got)
+	}
+	if !s.Ready(0) || !s.Ready(1) {
+		t.Fatal("reference-backed leaves must start Ready")
+	}
+
+	s.Rebaseline()
+
+	// The reference run no longer describes the (re-routed) fabric:
+	// every leaf must go blind rather than keep serving stale windows.
+	for lo := 0; lo < 2; lo++ {
+		if s.Ready(lo) {
+			t.Fatalf("leaf %d still Ready after Rebaseline — stale reference windows would feed the detector", lo)
+		}
+	}
+	// And the iteration-exact view must be gone too, not just the
+	// averages' Ready bit.
+	if got := s.PortLoadAt(0, 1); got != nil && len(got) == 2 && got[0] == 100 && got[1] == 300 {
+		t.Fatalf("PortLoadAt still serves the pre-quarantine per-iteration window %v after Rebaseline", got)
+	}
+	if got := s.SenderLoadAt(0, 2); got != nil && len(got) == 2 && len(got[0]) == 2 && got[0][0] == 300 {
+		t.Fatalf("SenderLoadAt still serves the pre-quarantine per-iteration window after Rebaseline")
+	}
+}

@@ -109,6 +109,24 @@ func NewSimulation(nLeaves int, windows []*telemetry.Window) (*Simulation, error
 // Name implements Predictor.
 func (s *Simulation) Name() string { return "simulation" }
 
+// Rebaseline implements Rebaseliner. The reference run was recorded on
+// the pre-quarantine fabric, so after routing changes BOTH views of it
+// are stale: the cross-iteration averages and the per-iteration
+// windows IterPredictor serves (the latter used to survive a
+// quarantine untouched and keep feeding the detector pre-quarantine
+// spray splits). A reference run cannot be re-recorded mid-job, so the
+// model goes honestly blind instead — every leaf reports not-Ready and
+// the iteration-indexed windows are dropped — mirroring the learned
+// model's warm-up blindness rather than predicting a fabric that no
+// longer exists.
+func (s *Simulation) Rebaseline() {
+	for lo := range s.have {
+		s.have[lo] = false
+	}
+	clear(s.iterPorts)
+	clear(s.iterSenders)
+}
+
 // Ready implements Predictor.
 func (s *Simulation) Ready(leafOrdinal int) bool { return s.have[leafOrdinal] }
 

@@ -117,6 +117,12 @@ const (
 	// ActionSuppress: a link earned re-admission but flap damping
 	// held it down.
 	ActionSuppress
+	// ActionReplan: the resilience layer rebuilt the collective around
+	// a quarantine-degraded leaf (workload-level; see Workload).
+	ActionReplan
+	// ActionRestore: a re-admission restored the original collective
+	// plan (workload-level).
+	ActionRestore
 )
 
 // String names the action.
@@ -130,9 +136,20 @@ func (k ActionKind) String() string {
 		return "readmit"
 	case ActionSuppress:
 		return "suppress"
+	case ActionReplan:
+		return "replan"
+	case ActionRestore:
+		return "restore"
 	}
 	return "unknown"
 }
+
+// Workload reports whether the action is a workload-level repair
+// (re-plan/restore) rather than a fabric action. Workload actions are
+// recorded in traces like ground-truth fault records — as data, not as
+// fingerprint material — because the offline replay re-derives fabric
+// actions only (it has no workload to re-plan).
+func (k ActionKind) Workload() bool { return k == ActionReplan || k == ActionRestore }
 
 // Action is one remediation timeline entry.
 type Action struct {
@@ -229,6 +246,15 @@ type Remediator struct {
 	// (trace capture taps both).
 	OnAction     func(a Action)
 	OnProbeRound func(now sim.Time, link topology.LinkID, sent, lost int)
+
+	// OnQuarantine and OnReadmit, when set, observe fabric state
+	// changes as they happen — the resilience layer's trigger to
+	// re-plan the workload. OnQuarantine fires before the
+	// post-confirmation rebaseline and OnReadmit before the
+	// post-re-admission one, so a hook that swaps the predictors'
+	// demand matrix is covered by the loop's own single rebaseline.
+	OnQuarantine func(now sim.Time, link topology.LinkID)
+	OnReadmit    func(now sim.Time, link topology.LinkID)
 
 	streaks map[streakKey]*streak
 	// flags records, per trunk, when each job last held a
@@ -422,6 +448,19 @@ func (r *Remediator) quarantine(link topology.LinkID, now sim.Time) {
 		At: now, Kind: ActionQuarantine, Link: link,
 		Detail: fmt.Sprintf("admin-down, penalty %.0f", d.penalty),
 	})
+	if r.OnQuarantine != nil {
+		r.OnQuarantine(now, link)
+	}
+}
+
+// RecordWorkload appends a workload-level action (re-plan/restore) to
+// the timeline, so fabric and workload repairs interleave in one
+// operator log and one trace stream.
+func (r *Remediator) RecordWorkload(a Action) {
+	if !a.Kind.Workload() {
+		panic("remediate: RecordWorkload is for workload-level actions only")
+	}
+	r.record(a)
 }
 
 // Tick advances the probing and re-admission state machine. core calls
@@ -454,6 +493,9 @@ func (r *Remediator) Tick(now sim.Time) {
 					At: now, Kind: ActionReadmit, Link: q.link,
 					Detail: fmt.Sprintf("%d clean probe rounds", q.cleanRounds),
 				})
+				if r.OnReadmit != nil {
+					r.OnReadmit(now, q.link)
+				}
 				changed = true
 				continue
 			}

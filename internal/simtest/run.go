@@ -12,8 +12,10 @@ import (
 	"flowpulse/internal/detect"
 	"flowpulse/internal/fabric"
 	"flowpulse/internal/fault"
+	"flowpulse/internal/metrics"
 	"flowpulse/internal/predict"
 	"flowpulse/internal/remediate"
+	"flowpulse/internal/resilience"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/telemetry"
 	"flowpulse/internal/topology"
@@ -73,6 +75,8 @@ type runData struct {
 	timeline    []remediate.Action
 	quarantined []topology.LinkID
 	blamedGroup []topology.LinkID // trunk group of the faulted pair
+	// Resilience runs: the goodput report at the 90% recovery target.
+	goodput metrics.GoodputReport
 
 	// Shared plane (2-job fat tree): per-job pipeline events, in the
 	// plane's registration order.
@@ -137,12 +141,13 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 	sc := core.Scenario{
 		Leaves: spec.Topo.Leaves, Spines: spec.Topo.Spines,
 		HostsPerLeaf: spec.Topo.HostsPerLeaf, Trunk: spec.Topo.Trunk,
-		Collective:   spec.Work.Collective,
-		BytesPerRank: spec.Work.BytesPerRank,
-		Iterations:   spec.Work.Iterations,
-		JitterMax:    sim.Duration(spec.Work.JitterPS),
-		Seed:         spec.Seed,
-		Shards:       opts.Shards,
+		Collective:     spec.Work.Collective,
+		InterleaveRing: spec.Work.Resilience,
+		BytesPerRank:   spec.Work.BytesPerRank,
+		Iterations:     spec.Work.Iterations,
+		JitterMax:      sim.Duration(spec.Work.JitterPS),
+		Seed:           spec.Seed,
+		Shards:         opts.Shards,
 	}
 	var refWindows []*telemetry.Window
 	if spec.Work.Predictor == core.SimulationModel {
@@ -165,12 +170,18 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 	if spec.Work.Remediate {
 		remCfg = &remediate.Config{}
 	}
+	var resCfg *resilience.Config
+	if spec.Work.Resilience {
+		resCfg = &resilience.Config{}
+		rt.Goodput = &metrics.GoodputTimeline{}
+	}
 	var traceBuf bytes.Buffer
 	sys, err := core.Attach(core.Config{
 		Net: rt.Net, Stack: rt.Stack, Demand: rt.Coll.Demand(),
 		Kind: spec.Work.Predictor, ReferenceWindows: refWindows,
 		Detect: detCfg, Job: int(sc.Job), Remediate: remCfg,
-		Trace: trace.NewWriter(&traceBuf), TraceLabel: "simtest",
+		Resilience: resCfg,
+		Trace:      trace.NewWriter(&traceBuf), TraceLabel: "simtest",
 	})
 	if err != nil {
 		return nil, err
@@ -193,17 +204,27 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 			succ := rt.Topo.Leaves()[(f.Leaf+1)%spec.Topo.Leaves]
 			data.blamedGroup = append(data.blamedGroup, rt.Topo.TrunkLinks(succ, spine)...)
 		}
-		inject = func() { injectFatTree(rt, ref, f) }
+		inject = func() {
+			if rt.Goodput != nil {
+				rt.Goodput.MarkFault(int64(rt.Engine.Now()))
+			}
+			injectFatTree(rt, ref, f)
+		}
 	}
 	if f.Kind != FaultNone && f.Onset == 0 {
 		inject()
 	}
-	rt.StartTraining(func(_ sim.Time, iter uint32) {
+	job := rt.StartTraining(func(_ sim.Time, iter uint32) {
 		data.itersDone++
 		if f.Kind != FaultNone && int(iter) == f.Onset && f.Onset > 0 {
 			inject()
 		}
 	}, nil)
+	if resCfg != nil {
+		if err := sys.BindWorkload(job); err != nil {
+			return nil, fmt.Errorf("bind workload: %w", err)
+		}
+	}
 	rt.Run()
 	sys.Flush(rt.Engine.Now())
 
@@ -214,6 +235,9 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 	if rem := sys.Remediator(); rem != nil {
 		data.timeline = rem.Timeline
 		data.quarantined = rem.Quarantined()
+	}
+	if rt.Goodput != nil {
+		data.goodput = rt.Goodput.Report(0.9)
 	}
 	data.fingerprint = fingerprintFatTree(rt, sys)
 	data.traceViolations = checkTraceReplay(sys.TraceWriter(), &traceBuf)
@@ -504,6 +528,50 @@ func checkOracles(spec Spec, opts Options, d *runData) []string {
 	// and flap damping bounds re-quarantine churn.
 	if spec.Work.Remediate {
 		bad = append(bad, checkRemediation(spec, d)...)
+	}
+	// Oracle 5: a quarantine that halved the victim leaf must have
+	// re-planned the ring, and the workload must have recovered.
+	if spec.Work.Resilience {
+		bad = append(bad, checkResilience(spec, d)...)
+	}
+	return bad
+}
+
+// checkResilience is the workload-repair oracle. It is conditional on
+// the true link actually being quarantined (oracle 4 enforces that for
+// persistent faults): once the control plane halves the victim leaf,
+// the re-planner must fire, and the goodput timeline must show a
+// sustained return to ≥90% of the pre-fault baseline — remediation
+// that repairs the fabric but strands the workload is a failure. The
+// clean-run side (no replan actions on a healthy fabric) is already
+// covered by oracle 2's empty-timeline check.
+func checkResilience(spec Spec, d *runData) []string {
+	trueQuar := false
+	for _, a := range d.timeline {
+		if a.Kind == remediate.ActionQuarantine && linkInGroup(a.Link, d.blamedGroup) {
+			trueQuar = true
+			break
+		}
+	}
+	if !trueQuar {
+		return nil
+	}
+	var bad []string
+	replans := 0
+	for _, a := range d.timeline {
+		if a.Kind == remediate.ActionReplan {
+			replans++
+		}
+	}
+	f := spec.Fault
+	if replans == 0 {
+		bad = append(bad, fmt.Sprintf(
+			"resilience: quarantine halved leaf %d but the ring was never re-planned", f.Leaf))
+	}
+	if !d.goodput.Recovered {
+		bad = append(bad, fmt.Sprintf(
+			"resilience: goodput never recovered to 90%% of baseline after the leaf %d / spine %d quarantine (baseline %.4g it/ps, during %.4g)",
+			f.Leaf, f.Spine, d.goodput.Baseline, d.goodput.During))
 	}
 	return bad
 }

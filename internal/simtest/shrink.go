@@ -99,6 +99,16 @@ var shrinkSteps = []shrinkStep{
 		s.Fault.Onset = 0
 		return true
 	}},
+	{"no-resilience", func(s *Spec) bool {
+		// Drop the workload re-planner before the control loop: a bug
+		// that survives as a plain remediated run reproduces without the
+		// re-rank machinery (and frees the oversubscribed-shape pins).
+		if !s.Work.Resilience {
+			return false
+		}
+		s.Work.Resilience = false
+		return true
+	}},
 	{"no-remediation", func(s *Spec) bool {
 		if !s.Work.Remediate {
 			return false

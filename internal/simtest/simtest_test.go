@@ -89,6 +89,18 @@ func TestGenerateEnvelope(t *testing.T) {
 				t.Fatalf("seed %d: 2-job spec with fault %s (upstream=%v): %s", seed, f.Kind, f.Upstream, spec.MarshalCompact())
 			}
 		}
+		if spec.Work.Resilience {
+			// The resilience envelope normalize() promises the runner.
+			if !spec.Work.Remediate || spec.Topo.Kind != FatTree2 ||
+				spec.Topo.Spines != 2 || spec.Topo.HostsPerLeaf != 4 ||
+				spec.Topo.Trunk != 1 || spec.Work.BytesPerRank != 2<<20 {
+				t.Fatalf("seed %d: resilience spec outside its envelope: %s", seed, spec.MarshalCompact())
+			}
+			if f.Kind != FaultNone && (f.Kind != FaultBernoulli || f.Upstream || f.Onset < 2) {
+				t.Fatalf("seed %d: resilience spec with fault %s (upstream=%v, onset=%d): %s",
+					seed, f.Kind, f.Upstream, f.Onset, spec.MarshalCompact())
+			}
+		}
 	}
 }
 
@@ -129,6 +141,61 @@ func TestSharedPlaneSeedsRun(t *testing.T) {
 	}
 	if ran == 0 {
 		t.Fatal("no faulted 2-job spec in 300 seeds — generation broken")
+	}
+}
+
+// TestResilienceSeedsRun drives faulted resilience specs through the
+// full oracle set: the quarantine must trigger a ring re-plan and the
+// goodput timeline must show a sustained recovery to ≥90% of the
+// pre-fault baseline (oracle 5), on top of every fabric-level oracle.
+func TestResilienceSeedsRun(t *testing.T) {
+	want := 3
+	if testing.Short() {
+		want = 1
+	}
+	ran := 0
+	for seed := uint64(0); seed < 400 && ran < want; seed++ {
+		spec := Generate(seed)
+		if !spec.Work.Resilience || spec.Fault.Kind == FaultNone {
+			continue
+		}
+		if res := Run(spec, Options{}); !res.OK() {
+			t.Errorf("seed %d: %v", seed, res.Violations)
+		}
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no faulted resilience spec in 400 seeds — generation broken")
+	}
+}
+
+// TestWithResilienceForcesEnvelope: the -resilience sweep helper turns
+// remediated seeds into normalized resilience specs and leaves the
+// rest untouched.
+func TestWithResilienceForcesEnvelope(t *testing.T) {
+	forced, plain := 0, 0
+	for seed := uint64(0); seed < 200; seed++ {
+		spec := Generate(seed)
+		got := WithResilience(spec)
+		if !spec.Work.Remediate {
+			plain++
+			if got != spec {
+				t.Fatalf("seed %d: WithResilience changed an unremediated spec", seed)
+			}
+			continue
+		}
+		forced++
+		if !got.Work.Resilience {
+			t.Fatalf("seed %d: WithResilience left a remediated spec un-replanned", seed)
+		}
+		norm := got
+		norm.normalize()
+		if norm != got {
+			t.Fatalf("seed %d: WithResilience returned a non-normalized spec: %s", seed, got.MarshalCompact())
+		}
+	}
+	if forced == 0 || plain == 0 {
+		t.Fatalf("degenerate sample: %d forced, %d plain", forced, plain)
 	}
 }
 

@@ -81,6 +81,16 @@ type WorkSpec struct {
 	// ring, analytical model, no remediation, at most a downstream
 	// Bernoulli fault. 0 is the classic single-job run.
 	Jobs int `json:"jobs,omitempty"`
+	// Resilience extends the remediation loop into the workload
+	// (remediated fat-tree runs only): the ring is interleaved across
+	// leaves, and a quarantine that cuts a leaf below the recovery
+	// target re-ranks it contiguous at the next iteration barrier.
+	// normalize() pins the envelope the re-planner is specified for —
+	// the 2:1 oversubscribed shape (2 spines, 4 hosts/leaf, untrunked,
+	// 2 MiB ranks) under at most a downstream Bernoulli fault with
+	// onset ≥ 2, so the quarantine halves the victim leaf's uplink
+	// capacity and the re-rank restores the uplink-gated baseline.
+	Resilience bool `json:"resilience,omitempty"`
 }
 
 // DetectThreshold is the detection threshold a spec's pipeline runs at.
@@ -104,6 +114,11 @@ func (s Spec) DetectThreshold() float64 {
 			// A contiguous ring crosses each leaf boundary once per
 			// direction: ~2·D(N−1)/N ingress per leaf.
 			perPort = 1.8 * d / st
+			if s.Work.Resilience {
+				// The interleaved ring crosses once per RANK, not once
+				// per leaf: H× the contiguous ring's boundary traffic.
+				perPort *= float64(s.Topo.HostsPerLeaf)
+			}
 		} else {
 			perPort = 0.9 * float64(s.Topo.HostsPerLeaf) * d / st
 		}
@@ -258,6 +273,14 @@ func Generate(seed uint64) Spec {
 		(s.Fault.Kind == FaultNone || (s.Fault.Kind == FaultBernoulli && !s.Fault.Upstream)) &&
 		jobsRNG.Float64() < 0.3 {
 		s.Work.Jobs = 2
+	}
+
+	// The workload re-planner rides on the control loop. Its own named
+	// stream keeps every earlier draw stable, and only remediated seeds
+	// (already analytical + ring) opt in.
+	resRNG := sim.NewRNG(seed, "simtest/resilience")
+	if s.Work.Remediate && resRNG.Float64() < 0.5 {
+		s.Work.Resilience = true
 	}
 
 	s.normalize()
@@ -431,6 +454,28 @@ func (s *Spec) normalize() {
 		f.Upstream = false
 	}
 
+	// The resilience envelope (see WorkSpec.Resilience): the workload
+	// re-planner rides the control loop on the 2:1 oversubscribed
+	// interleaved ring, under at most a downstream Bernoulli fault —
+	// exactly the geometry where a quarantine halves the victim leaf's
+	// capacity and the re-rank provably restores the uplink-gated
+	// baseline (DESIGN.md decision 13).
+	if !w.Remediate || t.Kind != FatTree2 {
+		w.Resilience = false
+	}
+	if w.Resilience {
+		t.Spines = 2
+		t.HostsPerLeaf = 4
+		t.Trunk = 1
+		w.BytesPerRank = 2 << 20
+		if f.Kind != FaultNone && f.Kind != FaultBernoulli {
+			f.Kind = FaultBernoulli
+		}
+		f.Upstream = false
+		f.Trunk = 0
+		f.Spine = clamp(f.Spine, 0, 1)
+	}
+
 	switch f.Kind {
 	case FaultNone, FaultBernoulli, FaultBlackHole, FaultGE, FaultFlap:
 	default:
@@ -520,9 +565,15 @@ func (s *Spec) normalize() {
 	if w.Predictor == core.LearnedModel {
 		minOnset = 4 // past warm-up, so the baseline stays clean
 	}
+	if w.Resilience {
+		minOnset = 2 // the goodput baseline needs pre-fault iterations
+	}
 	maxOnset := w.Iterations - 4 // leave the detection deadline room
 	if w.Remediate {
 		maxOnset = w.Iterations - 5 // confirmation takes K=3 windows
+	}
+	if w.Resilience {
+		maxOnset = w.Iterations - 9 // confirm + re-plan + sustained recovery
 	}
 	if f.Kind == FaultGE {
 		maxOnset = w.Iterations - 8 // the oracle doubles GE's deadline
@@ -565,6 +616,18 @@ func clampF(v, lo, hi float64) float64 {
 		v = hi
 	}
 	return v
+}
+
+// WithResilience forces the workload re-planner on for specs inside
+// the remediated envelope (a no-op on the rest) — the -resilience
+// sweep of flowpulse-check, which turns every control-loop seed into
+// a full remediate → re-plan → recover exercise.
+func WithResilience(s Spec) Spec {
+	if s.Work.Remediate {
+		s.Work.Resilience = true
+		s.normalize()
+	}
+	return s
 }
 
 // MarshalCompact renders the spec as the one-line JSON the repro

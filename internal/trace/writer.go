@@ -255,12 +255,18 @@ func (w *Writer) Event(ev monitor.Event) {
 }
 
 // Action records one remediation action and folds it into the stream
-// fingerprint.
+// fingerprint. Workload-level actions (re-plan/restore) are recorded
+// for the operator timeline but kept OUT of the fingerprint: offline
+// replay re-derives the fabric control loop from the windows, not the
+// workload loop, so fingerprinting them would make every resilient
+// run fail verification against its own trace.
 func (w *Writer) Action(a remediate.Action) {
 	if !w.recordable() {
 		return
 	}
-	fpAction(&w.fp, &a)
+	if !a.Kind.Workload() {
+		fpAction(&w.fp, &a)
+	}
 	w.e.reset()
 	encodeAction(&w.e, &a, w.lastTime)
 	w.lastTime = a.At

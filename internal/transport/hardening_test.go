@@ -1,0 +1,124 @@
+package transport
+
+// Tests for the migration-hardened loss-recovery profile (per-pair RTO
+// backoff, timestamp-echo RTT sampling, tail-margin RTO) the resilience
+// loop enables — see Config.PairBackoff and Config.TimestampRTT.
+
+import (
+	"testing"
+
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/fault"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+func TestTailMarginDoublesSmoothedTerm(t *testing.T) {
+	var e rttEstimator
+	if e.rto(5000, true) != 5000 {
+		t.Fatal("uninitialized estimator must return the floor regardless of margin")
+	}
+	for i := 0; i < 200; i++ {
+		e.observe(20000)
+	}
+	// Converged: srtt=20000, rttvar→~0. Without the margin the timer
+	// sits right on the mean; with it, at twice the mean.
+	plain, hard := e.rto(5000, false), e.rto(5000, true)
+	if plain < 20000 || plain > 22000 {
+		t.Fatalf("plain rto %d, want ~srtt 20000", plain)
+	}
+	if hard < 40000 || hard > 42000 {
+		t.Fatalf("tail-margin rto %d, want ~2·srtt 40000", hard)
+	}
+}
+
+// TestPairBackoffInheritedByNewMessages: the property that breaks the
+// post-replan meltdown. A pair whose packets are timing out backs off
+// as a pair, so a NEW message's first RTO starts from the backed-off
+// timeout instead of the stale short one.
+func TestPairBackoffInheritedByNewMessages(t *testing.T) {
+	firstRetxGap := func(pairBackoff bool) sim.Duration {
+		topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine()
+		net := fabric.MustNew(fabric.Config{Topo: topo, Engine: eng, Seed: 7})
+		stack := NewStack(net, Config{MaxRetries: 3, FixedRTO: true, PairBackoff: pairBackoff})
+		link := topo.TrunkLinks(topo.Spines()[0], topo.LeafOf(1))[0]
+		net.InjectFault(link, fabric.DirBoth, fault.BlackHole{})
+
+		// Message 1 burns its retries into the black hole, backing the
+		// pair off (when enabled). Message 2 starts fresh per-packet
+		// state on the same pair.
+		var msg2Sent, msg2FirstRetx sim.Time
+		stack.Send(&Message{Src: 0, Dst: 1, Bytes: 100})
+		eng.After(200*sim.Microsecond, func(now sim.Time) {
+			msg2Sent = now
+			DebugRetx = func(now sim.Time, _ uint64, _ int, _ int) {
+				if msg2FirstRetx == 0 {
+					msg2FirstRetx = now
+				}
+			}
+			stack.Send(&Message{Src: 0, Dst: 1, Bytes: 100})
+		})
+		eng.Run()
+		DebugRetx = nil
+		if msg2FirstRetx == 0 {
+			t.Fatal("message 2 never retransmitted into the black hole")
+		}
+		return msg2FirstRetx.Sub(msg2Sent)
+	}
+
+	plain, hardened := firstRetxGap(false), firstRetxGap(true)
+	// MaxRetries=3 timeouts back the pair off to 3 → first RTO 8×.
+	if hardened < 6*plain {
+		t.Fatalf("pair backoff not inherited: first retx after %v hardened vs %v plain", hardened, plain)
+	}
+}
+
+// TestTimestampEchoDefeatsKarnStarvation: with an RTO floor below the
+// path's real round-trip time, every packet is retransmitted at least
+// once, so Karn's rule discards every sample and the estimator never
+// learns — the spurious-retransmission loop stays stable. The
+// timestamp echo keeps sampling through the storm.
+func TestTimestampEchoDefeatsKarnStarvation(t *testing.T) {
+	run := func(timestamps bool) (Stats, rttEstimator) {
+		topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 2, Spines: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine()
+		net := fabric.MustNew(fabric.Config{Topo: topo, Engine: eng, Seed: 11})
+		// 1 µs RTO floor: a 1 MiB message queues far more than 1 µs of
+		// serialization at the NIC, so mid-message round trips dwarf
+		// the timer. DisableBackoff keeps the per-packet escape hatch
+		// shut — recovery must come from learning the RTT.
+		stack := NewStack(net, Config{RTO: sim.Microsecond, DisableBackoff: true, TimestampRTT: timestamps})
+		delivered := false
+		stack.Send(&Message{Src: 0, Dst: 1, Bytes: 1 << 20,
+			OnDelivered: func(sim.Time, *Message) { delivered = true }})
+		eng.Run()
+		if !delivered {
+			t.Fatal("message not delivered")
+		}
+		return stack.Stats(), stack.rtts[0*stack.nHosts+1]
+	}
+
+	karn, karnEst := run(false)
+	echo, echoEst := run(true)
+	if karn.SpuriousRetransmits == 0 {
+		t.Fatal("scenario not stressful enough: no spurious retransmissions under Karn sampling")
+	}
+	if echo.SpuriousRetransmits*2 > karn.SpuriousRetransmits {
+		t.Fatalf("timestamp echo did not tame the storm: %d spurious vs %d under Karn",
+			echo.SpuriousRetransmits, karn.SpuriousRetransmits)
+	}
+	if !echoEst.valid {
+		t.Fatal("timestamp echo fed no samples")
+	}
+	if karnEst.valid && karnEst.srtt >= echoEst.srtt {
+		t.Fatalf("Karn sampling should under-estimate the congested path: karn srtt %.0f >= echo srtt %.0f",
+			karnEst.srtt, echoEst.srtt)
+	}
+}

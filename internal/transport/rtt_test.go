@@ -11,7 +11,7 @@ import (
 
 func TestRTTEstimatorConverges(t *testing.T) {
 	var e rttEstimator
-	if e.rto(5000) != 5000 {
+	if e.rto(5000, false) != 5000 {
 		t.Fatal("uninitialized estimator must return the floor")
 	}
 	for i := 0; i < 100; i++ {
@@ -19,17 +19,17 @@ func TestRTTEstimatorConverges(t *testing.T) {
 	}
 	// Steady 2000ps RTT: srtt→2000, rttvar→small; rto stays at floor
 	// when srtt+4var < floor.
-	if got := e.rto(5000); got != 5000 {
+	if got := e.rto(5000, false); got != 5000 {
 		t.Fatalf("rto below floor not clamped: %d", got)
 	}
 	// Much larger observed RTTs push the rto above the floor.
 	for i := 0; i < 100; i++ {
 		e.observe(50000)
 	}
-	if got := e.rto(5000); got <= 5000 {
+	if got := e.rto(5000, false); got <= 5000 {
 		t.Fatalf("rto did not rise above floor: %d", got)
 	}
-	if got := e.rto(5000); float64(got) < 50000 {
+	if got := e.rto(5000, false); float64(got) < 50000 {
 		t.Fatalf("rto %d below converged srtt", got)
 	}
 }

@@ -51,6 +51,31 @@ type Config struct {
 	// retry, capped at 64x) breaks the feedback loop; disabling it
 	// exists for ablation.
 	DisableBackoff bool
+	// PairBackoff extends RTO backoff from per-packet to per-pair (the
+	// TCP discipline: timer backoff is connection state, cleared by the
+	// next unambiguous sample). Without it, a routing change that
+	// lengthens a pair's RTT past its learned RTO — a quarantine
+	// funneling the pair onto one congested path — is a stable
+	// meltdown: every packet is retransmitted at least once, so Karn's
+	// rule starves the estimator of samples and the RTO never rises;
+	// each NEW packet restarts from the stale timeout no matter how
+	// high its predecessors backed off. Per-pair backoff lets new
+	// packets inherit the pair's backoff, their first copies then
+	// survive to a clean ACK, and the estimator re-learns the path.
+	// Off by default to keep historical runs byte-identical; the
+	// resilience loop enables it (re-plans migrate paths mid-job).
+	PairBackoff bool
+	// TimestampRTT samples RTT from a wire-out timestamp echoed in
+	// every ACK (the TCP-timestamps discipline) instead of Karn's
+	// rule. Karn's sampling is systematically biased under congestion:
+	// a packet whose RTT exceeded the RTO was retransmitted, so its
+	// sample is discarded — the estimator only ever sees uncongested
+	// round trips and re-arms the same too-short timeout at the head
+	// of every collective burst. The echo removes the retransmission
+	// ambiguity, so congested round trips feed the estimator too. Off
+	// by default for byte-identity with historical runs; enabled with
+	// PairBackoff by the resilience loop.
+	TimestampRTT bool
 }
 
 func (c *Config) setDefaults() {
@@ -193,10 +218,13 @@ type recvState struct {
 	nGot int
 }
 
-// rttEstimator is the standard SRTT/RTTVAR filter (RFC 6298 style).
+// rttEstimator is the standard SRTT/RTTVAR filter (RFC 6298 style),
+// plus the pair's timer-backoff exponent (used only under PairBackoff:
+// bumped on every timeout, cleared by the next Karn-unambiguous ACK).
 type rttEstimator struct {
 	srtt, rttvar float64
 	valid        bool
+	backoff      int
 }
 
 func (e *rttEstimator) observe(rtt float64) {
@@ -213,11 +241,23 @@ func (e *rttEstimator) observe(rtt float64) {
 	e.srtt = (1-alpha)*e.srtt + alpha*rtt
 }
 
-func (e *rttEstimator) rto(floor sim.Duration) sim.Duration {
+// rto computes the pair's retransmission timeout. With tailMargin the
+// smoothed term is doubled: RTO is this transport's only loss-recovery
+// mechanism, and near a saturated queue the RTT distribution grows a
+// bursty tail that RTTVAR — tracking the mostly-smooth bulk, decayed
+// by every quiet sample — systematically underestimates (TCP's answer
+// is the same shape: a minimum variance term so the timer never
+// converges onto the mean). The margin scales with the path's queue
+// depth instead of a fixed constant.
+func (e *rttEstimator) rto(floor sim.Duration, tailMargin bool) sim.Duration {
 	if !e.valid {
 		return floor
 	}
-	if est := sim.Duration(e.srtt + 4*e.rttvar); est > floor {
+	srtt := e.srtt
+	if tailMargin {
+		srtt *= 2
+	}
+	if est := sim.Duration(srtt + 4*e.rttvar); est > floor {
 		return est
 	}
 	return floor
@@ -304,6 +344,17 @@ func NewStack(net *fabric.Network, cfg Config) *Stack {
 
 // Config returns the stack's effective configuration.
 func (s *Stack) Config() Config { return s.cfg }
+
+// EnableMigrationHardening switches on the two loss-recovery
+// disciplines a path-migrating workload needs — per-pair RTO backoff
+// and timestamp-echo RTT sampling (see Config.PairBackoff and
+// Config.TimestampRTT) — on an already-built stack. The resilience
+// loop calls it at attach time, before any traffic; calling it mid-run
+// is not supported (sharded hosts read cfg unsynchronized).
+func (s *Stack) EnableMigrationHardening() {
+	s.cfg.PairBackoff = true
+	s.cfg.TimestampRTT = true
+}
 
 // Engine returns the engine driving this stack's network (the control
 // engine over a sharded fabric).
@@ -453,18 +504,25 @@ func (s *Stack) onWireOut(now sim.Time, p *fabric.Packet) {
 	if p.Kind != fabric.Data {
 		return
 	}
+	// Stamp this copy's wire-out instant; the receiver echoes it in
+	// the ACK (see Config.TimestampRTT).
+	p.Stamp = now
 	st := s.sendsAt(p.Src)[p.Msg]
 	if st == nil || st.acked[p.Seq] {
 		return
 	}
 	seq := p.Seq
 	st.wireOut[seq] = now
+	pair := &s.rtts[int(st.msg.Src)*s.nHosts+int(st.msg.Dst)]
 	rto := s.cfg.RTO
 	if !s.cfg.FixedRTO {
-		rto = s.rtts[int(st.msg.Src)*s.nHosts+int(st.msg.Dst)].rto(s.cfg.RTO)
+		rto = pair.rto(s.cfg.RTO, s.cfg.TimestampRTT)
 	}
 	if !s.cfg.DisableBackoff {
 		shift := st.retries[seq]
+		if s.cfg.PairBackoff && pair.backoff > shift {
+			shift = pair.backoff
+		}
 		if shift > 6 {
 			shift = 6
 		}
@@ -483,6 +541,15 @@ func (s *Stack) onTimeout(st *sendState, seq int, _ sim.Time) {
 		return
 	}
 	st.retries[seq]++
+	if s.cfg.PairBackoff {
+		if pair := &s.rtts[int(st.msg.Src)*s.nHosts+int(st.msg.Dst)]; pair.backoff < 6 {
+			pair.backoff++
+		}
+	}
+	if DebugTimeout != nil {
+		pair := s.rtts[int(st.msg.Src)*s.nHosts+int(st.msg.Dst)]
+		DebugTimeout(st.eng.Now(), st.msg.Src, st.msg.Dst, seq, st.retries[seq], pair.backoff, pair.srtt, pair.rttvar)
+	}
 	if DebugRetx != nil {
 		DebugRetx(st.eng.Now(), st.msg.ID(), seq, st.retries[seq])
 	}
@@ -589,6 +656,7 @@ func (s *Stack) sendAck(p *fabric.Packet) {
 		Tag:      fabric.FlowTag{}, // ACKs are never part of the measured collective
 		Msg:      p.Msg,
 		Seq:      p.Seq,
+		Stamp:    p.Stamp, // timestamp echo: which copy, sent when
 	})
 }
 
@@ -606,10 +674,32 @@ func (s *Stack) onAck(now sim.Time, p *fabric.Packet) {
 	if DebugAck != nil {
 		DebugAck(now, p.Msg, p.Seq, now.Sub(st.wireOut[p.Seq]))
 	}
-	// Karn's rule: only unambiguous (never-retransmitted) packets feed
-	// the RTT estimator.
-	if !s.cfg.FixedRTO && st.retries[p.Seq] == 0 {
-		s.rtts[int(st.msg.Src)*s.nHosts+int(st.msg.Dst)].observe(float64(now.Sub(st.wireOut[p.Seq])))
+	// RTT sampling. Every sample also decays the pair's timer backoff
+	// — by one step, not to zero: a collective re-bursts every
+	// iteration, and a backoff cleared outright by the quiet tail of
+	// one burst would melt down again at the head of the next.
+	pair := &s.rtts[int(st.msg.Src)*s.nHosts+int(st.msg.Dst)]
+	switch {
+	case s.cfg.TimestampRTT && p.Stamp > 0:
+		// Timestamp echo: the ACK names the copy it acknowledges and
+		// that copy's wire-out instant, so even a retransmitted packet
+		// yields an unambiguous — and, crucially, possibly congested —
+		// RTT sample.
+		if !s.cfg.FixedRTO {
+			pair.observe(float64(now.Sub(p.Stamp)))
+		}
+		if pair.backoff > 0 {
+			pair.backoff--
+		}
+	case st.retries[p.Seq] == 0:
+		// Karn's rule: only unambiguous (never-retransmitted) packets
+		// feed the RTT estimator.
+		if !s.cfg.FixedRTO {
+			pair.observe(float64(now.Sub(st.wireOut[p.Seq])))
+		}
+		if pair.backoff > 0 {
+			pair.backoff--
+		}
 	}
 	st.acked[p.Seq] = true
 	st.nAcked++
@@ -645,6 +735,10 @@ func (s *Stack) onAck(now sim.Time, p *fabric.Packet) {
 
 // DebugRetx, when non-nil, observes every retransmission (test hook).
 var DebugRetx func(now sim.Time, msg uint64, seq, retries int)
+
+// DebugTimeout, when non-nil, observes every timeout with the pair's
+// estimator state (test hook).
+var DebugTimeout func(now sim.Time, src, dst topology.HostID, seq, retries, backoff int, srtt, rttvar float64)
 
 // DebugAck, when non-nil, observes every first ACK with its RTT from
 // the latest wire-out (test hook).

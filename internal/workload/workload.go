@@ -9,6 +9,7 @@ import (
 
 	"flowpulse/internal/collective"
 	"flowpulse/internal/fabric"
+	"flowpulse/internal/metrics"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/topology"
 	"flowpulse/internal/transport"
@@ -41,6 +42,10 @@ type JobConfig struct {
 	TrackValues bool
 	// Seed feeds the jitter stream.
 	Seed uint64
+	// Goodput, when non-nil, receives one sample per completed
+	// iteration (iteration number, completion time, duration) — the
+	// training-throughput timeline the resilience experiments score.
+	Goodput *metrics.GoodputTimeline
 
 	// OnIteration fires after each completed iteration.
 	OnIteration func(now sim.Time, iter uint32, res *collective.Result)
@@ -58,6 +63,7 @@ type Job struct {
 	iter      uint32
 	remaining int
 	values    [][]float64
+	pending   collective.Collective
 
 	// CompletedIterations counts finished iterations.
 	CompletedIterations int
@@ -109,7 +115,44 @@ func (j *Job) ranks() int {
 	return len(j.cfg.Collective.Demand().Hosts)
 }
 
+// Collective returns the plan currently driving iterations.
+func (j *Job) Collective() collective.Collective { return j.cfg.Collective }
+
+// Replan swaps the job onto a new collective at the next iteration
+// barrier: the in-flight iteration completes under its original plan
+// (its transport messages are already scheduled), and every subsequent
+// iteration runs the new one. A second Replan before the barrier
+// simply replaces the pending plan.
+func (j *Job) Replan(c collective.Collective) {
+	if c == nil {
+		panic("workload: Replan needs a collective")
+	}
+	j.pending = c
+}
+
+// adoptPending installs a pending re-plan at the iteration barrier.
+// Value tracking is per-plan (chunk ownership follows the group), so
+// checksum bookkeeping restarts from the new membership.
+func (j *Job) adoptPending() {
+	if j.pending == nil {
+		return
+	}
+	j.cfg.Collective = j.pending
+	j.pending = nil
+	if j.values != nil {
+		n := j.ranks()
+		j.values = make([][]float64, n)
+		for i := range j.values {
+			j.values[i] = make([]float64, n)
+			for c := range j.values[i] {
+				j.values[i][c] = float64(i*1000 + c)
+			}
+		}
+	}
+}
+
 func (j *Job) startIteration() {
+	j.adoptPending()
 	j.started = j.eng.Now()
 	n := j.ranks()
 	var offsets []sim.Duration
@@ -136,6 +179,9 @@ func (j *Job) startIteration() {
 func (j *Job) onIterationDone(now sim.Time, iter uint32, res *collective.Result) {
 	j.CompletedIterations++
 	j.LastIterationTime = now.Sub(j.started)
+	if j.cfg.Goodput != nil {
+		j.cfg.Goodput.Add(iter, int64(now), int64(j.LastIterationTime))
+	}
 	if res.Values != nil {
 		j.values = res.Values
 	}
