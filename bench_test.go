@@ -18,6 +18,7 @@ import (
 	"flowpulse/internal/spray"
 	"flowpulse/internal/telemetry"
 	"flowpulse/internal/topology"
+	"flowpulse/internal/transport"
 )
 
 // BenchmarkFig2AnalyticalVsSim regenerates Figure 2: analytical
@@ -290,6 +291,46 @@ func BenchmarkFabricForwarding(b *testing.B) {
 	}
 	eng.Run()
 	b.ReportMetric(float64(delivered)/float64(b.N), "delivered/op")
+}
+
+// BenchmarkECNDCQCNTransport measures the transport-loop cost of the
+// congestion machinery: "off" is the plain stack, "on" adds fabric CE
+// marking at a sensitive knee plus DCQCN pacing reacting to the echoed
+// marks. One op is one 64 KiB message in a 7→1 incast — the traffic
+// shape that actually exercises marking — so the delta prices the whole
+// ECN→ACK-echo→rate-limiter loop, not just the mark branch.
+func BenchmarkECNDCQCNTransport(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 8, Spines: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := sim.NewEngine()
+			cfg := fabric.Config{Topo: topo, Engine: eng, Seed: 1}
+			if mode.on {
+				cfg.ECN = fabric.ECNConfig{Enabled: true, KMinBytes: 16 << 10, KMaxBytes: 64 << 10}
+			}
+			net := fabric.MustNew(cfg)
+			stack := transport.NewStack(net, transport.Config{DCQCN: transport.DCQCNConfig{Enabled: mode.on}})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stack.Send(&transport.Message{
+					Src:   topology.HostID(1 + i%7),
+					Dst:   0,
+					Bytes: 64 << 10,
+				})
+				if i%64 == 63 {
+					eng.Run()
+				}
+			}
+			eng.Run()
+		})
+	}
 }
 
 // BenchmarkSharedTapMultiJob measures the per-packet dataplane cost of

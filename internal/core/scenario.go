@@ -73,6 +73,10 @@ type Scenario struct {
 	Background sim.Duration
 	// BackgroundBytes is the background message payload (default 64 KiB).
 	BackgroundBytes int
+	// Congestion bundles the adversarial-traffic and ECN/DCQCN knobs.
+	// The zero value is fully off, and a scenario with it off builds
+	// byte-identically to earlier releases.
+	Congestion CongestionSpec
 	// Job is the training job id.
 	Job uint16
 	// Jobs, when non-empty, makes this a multi-job scenario (§7
@@ -93,6 +97,59 @@ type Scenario struct {
 	// Sharded runtimes must be driven via Runtime.Run/RunUntil and
 	// released with Runtime.Close.
 	Shards int
+}
+
+// CongestionSpec describes a scenario's congestion regime: transport
+// congestion control (ECN marking + DCQCN reaction) and the adversarial
+// traffic generators whose queue build-up mimics loss without any
+// fault. Generators start with training and stop when the last job
+// finishes, like the Background generator.
+type CongestionSpec struct {
+	// ECN enables RED-style CE marking at every switch egress queue
+	// (fabric.ECNConfig defaults: 100 KiB / 400 KiB knees, 20% max
+	// probability — under the PFC Xoff threshold, so marking reacts
+	// before pauses). ECNKMin/ECNKMax override the knees (bytes; zero
+	// keeps the defaults): sensitive fabrics mark mild queue build-up
+	// that the default knee lets pass unmarked, trading mark volume for
+	// congestion evidence on lightly perturbed windows.
+	ECN              bool
+	ECNKMin, ECNKMax int64
+	// DCQCN enables the transport's per-pair rate limiter, the reaction
+	// point of the ECN loop. Meaningful only with ECN (no marks, no
+	// cuts).
+	DCQCN bool
+	// Incast, when positive, runs an N→1 burst generator with this mean
+	// inter-burst gap: IncastFanout sources (default: every non-victim
+	// host) each fire IncastBytes (default 128 KiB) at a random host of
+	// leaf IncastLeaf. IncastHigh runs the bursts in the measured
+	// traffic class instead of Low — the adversarial tenant whose queue
+	// build-up both delays the collective (mimicking loss) and draws CE
+	// marks onto the measured packets behind it, which is exactly the
+	// signal detect.Config.CEDiscount keys on.
+	Incast       sim.Duration
+	IncastLeaf   int
+	IncastFanout int
+	IncastBytes  int
+	IncastHigh   bool
+	// Storm, when positive, runs a bursty on/off heavy-flow generator —
+	// a multi-tenant neighbor in the measured traffic class — with this
+	// mean in-burst message gap (StormBytes per message, default
+	// 256 KiB; default 50 µs on / 150 µs off phases).
+	Storm      sim.Duration
+	StormBytes int
+	// Straggler, when positive, delays the ranks hosted on leaf
+	// StragglerLeaf by this fixed offset at every iteration start — the
+	// topology-asymmetric straggler that skews temporal symmetry with
+	// no network involvement at all.
+	Straggler     sim.Duration
+	StragglerLeaf int
+}
+
+// Active reports whether any congestion source (traffic generator or
+// straggler) is configured; ECN/DCQCN alone are transport features,
+// not congestion sources.
+func (c *CongestionSpec) Active() bool {
+	return c.Incast > 0 || c.Storm > 0 || c.Straggler > 0
 }
 
 // JobScenario describes one training job of a multi-job scenario.
@@ -174,6 +231,8 @@ type Runtime struct {
 	Goodput *metrics.GoodputTimeline
 
 	bg      *workload.Background
+	incast  *workload.Incast
+	storm   *workload.Storm
 	running int // jobs still training (multi-job Background gating)
 }
 
@@ -210,7 +269,14 @@ func (sc Scenario) Build() (*Runtime, error) {
 	} else {
 		eng = sim.NewEngine()
 	}
-	net, err := fabric.New(fabric.Config{Topo: topo, Engine: eng, Group: grp, Partition: part, Spray: sc.Spray, Seed: sc.Seed})
+	net, err := fabric.New(fabric.Config{
+		Topo: topo, Engine: eng, Group: grp, Partition: part, Spray: sc.Spray, Seed: sc.Seed,
+		ECN: fabric.ECNConfig{
+			Enabled:   sc.Congestion.ECN,
+			KMinBytes: sc.Congestion.ECNKMin,
+			KMaxBytes: sc.Congestion.ECNKMax,
+		},
+	})
 	if err != nil {
 		if grp != nil {
 			grp.Close()
@@ -226,6 +292,9 @@ func (sc Scenario) Build() (*Runtime, error) {
 			return nil, err
 		}
 		net.SetLinkAdmin(link, false)
+	}
+	if sc.Congestion.DCQCN {
+		sc.Transport.DCQCN.Enabled = true
 	}
 	stack := transport.NewStack(net, sc.Transport)
 
@@ -455,15 +524,16 @@ func (rt *Runtime) StartTraining(onIter func(now sim.Time, iter uint32), onDone 
 	rt.startBackground()
 	rt.running = 1
 	job := workload.StartJob(rt.Stack, workload.JobConfig{
-		Job:        rt.Scenario.Job,
-		Collective: rt.Coll,
-		Iterations: rt.Scenario.Iterations,
-		ComputeGap: rt.Scenario.ComputeGap,
-		JitterMax:  rt.Scenario.JitterMax,
-		Priority:   fabric.High,
-		Sentinel:   true,
-		Seed:       rt.Scenario.Seed,
-		Goodput:    rt.Goodput,
+		Job:              rt.Scenario.Job,
+		Collective:       rt.Coll,
+		Iterations:       rt.Scenario.Iterations,
+		ComputeGap:       rt.Scenario.ComputeGap,
+		JitterMax:        rt.Scenario.JitterMax,
+		Priority:         fabric.High,
+		Sentinel:         true,
+		Seed:             rt.Scenario.Seed,
+		StragglerOffsets: rt.stragglerOffsets(rt.Group),
+		Goodput:          rt.Goodput,
 		OnIteration: func(now sim.Time, iter uint32, _ *collective.Result) {
 			if onIter != nil {
 				onIter(now, iter)
@@ -489,14 +559,15 @@ func (rt *Runtime) StartAllJobs(onIter func(now sim.Time, job uint16, iter uint3
 	for i, jr := range rt.Jobs {
 		spec := jr.Spec
 		jobs[i] = workload.StartJob(rt.Stack, workload.JobConfig{
-			Job:        spec.Job,
-			Collective: jr.Coll,
-			Iterations: spec.Iterations,
-			ComputeGap: spec.ComputeGap,
-			JitterMax:  spec.JitterMax,
-			Priority:   fabric.High,
-			Sentinel:   true,
-			Seed:       rt.Scenario.Seed, // streams are per-job-id inside workload
+			Job:              spec.Job,
+			Collective:       jr.Coll,
+			Iterations:       spec.Iterations,
+			ComputeGap:       spec.ComputeGap,
+			JitterMax:        spec.JitterMax,
+			Priority:         fabric.High,
+			Sentinel:         true,
+			Seed:             rt.Scenario.Seed, // streams are per-job-id inside workload
+			StragglerOffsets: rt.stragglerOffsets(jr.Group),
 			OnIteration: func(now sim.Time, iter uint32, _ *collective.Result) {
 				if onIter != nil {
 					onIter(now, spec.Job, iter)
@@ -519,7 +590,76 @@ func (rt *Runtime) startBackground() {
 			Seed:         rt.Scenario.Seed + 1,
 		})
 	}
+	rt.startCongestion()
 }
+
+// startCongestion launches the scenario's adversarial traffic
+// generators (idempotent, like startBackground; they stop with the
+// last job). Seeds are offset from the scenario seed the same way the
+// background generator's is, and each generator draws from its own
+// named stream, so enabling one never perturbs another.
+func (rt *Runtime) startCongestion() {
+	cg := rt.Scenario.Congestion
+	if cg.Incast > 0 && rt.incast == nil {
+		victimLeaf := rt.Topo.Leaves()[cg.IncastLeaf]
+		victims := rt.Topo.HostsOf(victimLeaf)
+		var sources []topology.HostID
+		for h := range rt.Topo.Hosts {
+			if rt.Topo.LeafOf(topology.HostID(h)) != victimLeaf {
+				sources = append(sources, topology.HostID(h))
+			}
+		}
+		prio := fabric.Low
+		if cg.IncastHigh {
+			prio = fabric.High
+		}
+		rt.incast = workload.StartIncast(rt.Stack, workload.IncastConfig{
+			Sources:      sources,
+			Victims:      victims,
+			MessageBytes: cg.IncastBytes,
+			MeanGap:      cg.Incast,
+			Fanout:       cg.IncastFanout,
+			Priority:     prio,
+			Seed:         rt.Scenario.Seed + 2,
+		})
+	}
+	if cg.Storm > 0 && rt.storm == nil {
+		rt.storm = workload.StartStorm(rt.Stack, workload.StormConfig{
+			Hosts:        rt.Group,
+			MessageBytes: cg.StormBytes,
+			MeanGap:      cg.Storm,
+			Seed:         rt.Scenario.Seed + 3,
+		})
+	}
+}
+
+// stragglerOffsets maps the scenario's straggler spec onto one job's
+// rank order: every rank hosted under the straggler leaf starts late.
+// Nil when the scenario has no straggler (the offsets-free fast path).
+func (rt *Runtime) stragglerOffsets(group []topology.HostID) []sim.Duration {
+	cg := rt.Scenario.Congestion
+	if cg.Straggler <= 0 {
+		return nil
+	}
+	leaf := rt.Topo.Leaves()[cg.StragglerLeaf]
+	var offs []sim.Duration
+	for i, h := range group {
+		if rt.Topo.LeafOf(h) == leaf {
+			if offs == nil {
+				offs = make([]sim.Duration, len(group))
+			}
+			offs[i] = cg.Straggler
+		}
+	}
+	return offs
+}
+
+// IncastGen and StormGen expose the running congestion generators for
+// harness assertions (nil when off or training has not started).
+func (rt *Runtime) IncastGen() *workload.Incast { return rt.incast }
+
+// StormGen returns the running storm generator, or nil.
+func (rt *Runtime) StormGen() *workload.Storm { return rt.storm }
 
 // jobDone gates shared teardown on the last job's completion.
 func (rt *Runtime) jobDone(now sim.Time, onDone func(now sim.Time)) {
@@ -529,6 +669,12 @@ func (rt *Runtime) jobDone(now sim.Time, onDone func(now sim.Time)) {
 	}
 	if rt.bg != nil {
 		rt.bg.Stop()
+	}
+	if rt.incast != nil {
+		rt.incast.Stop()
+	}
+	if rt.storm != nil {
+		rt.storm.Stop()
 	}
 	if onDone != nil {
 		onDone(now)
@@ -545,6 +691,11 @@ func ReferenceRun(sc Scenario, iterations int) ([]*telemetry.Window, error) {
 	if iterations > 0 {
 		sc.Iterations = iterations
 	}
+	// The reference predicts CLEAN conditions: congestion generators and
+	// stragglers are environmental noise, excluded exactly as silent
+	// faults are. ECN and DCQCN stay on — they are properties of the
+	// fabric and transport that shape the healthy run's windows too.
+	sc.Congestion.Incast, sc.Congestion.Storm, sc.Congestion.Straggler = 0, 0, 0
 	rt, err := sc.Build()
 	if err != nil {
 		return nil, err

@@ -190,6 +190,7 @@ func AttachShared(cfg SharedConfig) (*SharedSystem, error) {
 				Threshold:         dc.Threshold,
 				MinPredicted:      dc.MinPredicted,
 				AggregateSymmetry: dc.AggregateSymmetry,
+				CEDiscount:        dc.CEDiscount,
 			})
 			jobPred, userEvent, userWindow := pred, jc.OnEvent, jc.OnWindow
 			pc.OnEvent = func(e Event) {

@@ -22,6 +22,7 @@ func (s *System) attachTrace(topo *topology.Topology, cfg Config) error {
 		Threshold:         dc.Threshold,
 		MinPredicted:      dc.MinPredicted,
 		AggregateSymmetry: dc.AggregateSymmetry,
+		CEDiscount:        dc.CEDiscount,
 	}})
 	if err != nil {
 		return err

@@ -40,6 +40,18 @@ type Config struct {
 	// references. A uniform all-ports degradation is invisible to this
 	// basis; it is not a localizable single-link fault.
 	AggregateSymmetry bool
+	// CEDiscount attributes deviations in congestion-marked windows to
+	// the congestion the fabric itself vouches for: each port deviation
+	// is multiplied by max(0, 1 − CEDiscount·ceFrac), where ceFrac is
+	// the fraction of the window's tagged bytes that carried the ECN
+	// congestion-experienced codepoint. A window whose bytes were
+	// (almost) all marked had its volume shaped by queue build-up and
+	// PFC pauses, not loss — its deviation is explained away entirely —
+	// while silent faults drop without marking (ceFrac ≈ 0) and keep
+	// their full deviation. With the default strength 2, windows with
+	// at least half their bytes marked are fully suppressed. Zero
+	// disables (the default).
+	CEDiscount float64
 }
 
 func (c *Config) setDefaults() {
@@ -199,6 +211,31 @@ func (d *Detector) basis(w *telemetry.Window) (obs []int64, pred []float64) {
 	return w.PortBytes, d.portLoadFor(w)
 }
 
+// ceScale returns the deviation multiplier for one window under the
+// CEDiscount mitigation: max(0, 1 − CEDiscount·(CEBytes/Total)). The
+// marked fraction is the share of the window the fabric certifies was
+// shaped by congestion; the remainder keeps its full evidentiary
+// weight. Windows without marks — every window on a fabric without
+// ECN — scale by 1, keeping the detector byte-identical with the
+// discount unset.
+func (d *Detector) ceScale(w *telemetry.Window) float64 {
+	if d.cfg.CEDiscount <= 0 || w.CEBytes == 0 {
+		return 1
+	}
+	total := w.Total()
+	if total <= 0 {
+		return 1
+	}
+	frac := float64(w.CEBytes) / float64(total)
+	if frac > 1 {
+		frac = 1
+	}
+	if s := 1 - d.cfg.CEDiscount*frac; s > 0 {
+		return s
+	}
+	return 0
+}
+
 // Check compares one closed window against the model and returns the
 // alerts (nil if the window is clean or the model is not ready).
 func (d *Detector) Check(w *telemetry.Window) []Alert {
@@ -208,12 +245,19 @@ func (d *Detector) Check(w *telemetry.Window) []Alert {
 	}
 	d.stats.WindowsChecked++
 	obsPorts, pred := d.basis(w)
+	scale := d.ceScale(w)
+	if scale == 0 {
+		// Fully congestion-attributed window (and 0·±Inf on a ghost
+		// port would be NaN, not suppression).
+		return nil
+	}
 	var alerts []Alert
 	for u, obs := range obsPorts {
 		if d.portQuarantined(w, u) {
 			continue
 		}
 		dev, ok := Deviation(float64(obs), pred[u], d.cfg.MinPredicted)
+		dev *= scale
 		if !ok || math.Abs(dev) <= d.cfg.Threshold {
 			continue
 		}
@@ -249,13 +293,17 @@ func (d *Detector) Score(w *telemetry.Window) (score float64, ok bool) {
 		return 0, false
 	}
 	obsPorts, pred := d.basis(w)
+	scale := d.ceScale(w)
+	if scale == 0 {
+		return 0, true
+	}
 	for u, obs := range obsPorts {
 		if d.portQuarantined(w, u) {
 			continue
 		}
 		dev, valid := Deviation(float64(obs), pred[u], d.cfg.MinPredicted)
-		if valid && math.Abs(dev) > score {
-			score = math.Abs(dev)
+		if valid && math.Abs(dev)*scale > score {
+			score = math.Abs(dev) * scale
 		}
 	}
 	return score, true

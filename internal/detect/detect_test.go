@@ -182,3 +182,87 @@ func TestAlertString(t *testing.T) {
 		t.Fatal("empty alert string")
 	}
 }
+
+func ceWindow(ports []int64, ce int64) *telemetry.Window {
+	w := window(0, 1, ports)
+	w.CEBytes = ce
+	return w
+}
+
+func TestCEDiscountScalesDeviation(t *testing.T) {
+	topo := testTopo(t)
+	pred := &stubPred{ports: [][]float64{{1e6, 1e6, 1e6, 1e6}}, ready: []bool{true}}
+	d := New(topo, pred, Config{Threshold: 0.01, CEDiscount: 2})
+
+	// Quarter of the bytes marked: scale = 1 − 2·0.25 = 0.5. A 4%
+	// deficit survives at 2% effective; a 1.5% deficit is absorbed.
+	ports := []int64{960_000, 1_000_000, 1_000_000, 1_000_000}
+	alerts := d.Check(ceWindow(ports, sum64(ports)/4))
+	if len(alerts) != 1 || math.Abs(alerts[0].Deviation+0.02) > 1e-9 {
+		t.Fatalf("quarter-marked 4%% deficit: %+v", alerts)
+	}
+	mild := []int64{985_000, 1_000_000, 1_000_000, 1_000_000}
+	if alerts := d.Check(ceWindow(mild, sum64(mild)/4)); alerts != nil {
+		t.Fatalf("quarter-marked 1.5%% deficit should be absorbed: %v", alerts)
+	}
+
+	// Half marked at strength 2: fully congestion-attributed, Check is
+	// silent and Score reports a clean zero for ANY deviation.
+	heavy := []int64{500_000, 1_000_000, 1_000_000, 1_000_000}
+	if alerts := d.Check(ceWindow(heavy, sum64(heavy)/2)); alerts != nil {
+		t.Fatalf("fully attributed window alerted: %v", alerts)
+	}
+	if score, ok := d.Score(ceWindow(heavy, sum64(heavy)/2)); !ok || score != 0 {
+		t.Fatalf("fully attributed score = %v ok=%v, want 0", score, ok)
+	}
+
+	// Score scales the max |deviation| by the same multiplier.
+	if score, ok := d.Score(ceWindow(ports, sum64(ports)/4)); !ok || math.Abs(score-0.02) > 1e-9 {
+		t.Fatalf("quarter-marked score = %v ok=%v, want 0.02", score, ok)
+	}
+}
+
+func TestCEDiscountGhostPortNoNaN(t *testing.T) {
+	// A ghost port (+Inf deviation) inside a fully marked window: the
+	// zero scale must short-circuit, not produce 0·Inf = NaN — NaN
+	// fails every threshold compare and would fire a bogus alert.
+	topo := testTopo(t)
+	pred := &stubPred{ports: [][]float64{{0, 1e6}}, ready: []bool{true}}
+	d := New(topo, pred, Config{Threshold: 0.01, CEDiscount: 2})
+	w := ceWindow([]int64{1_000_000, 1_000_000}, 2_000_000)
+	if alerts := d.Check(w); alerts != nil {
+		t.Fatalf("NaN leak: %v", alerts)
+	}
+	if score, ok := d.Score(w); !ok || score != 0 {
+		t.Fatalf("score = %v ok=%v", score, ok)
+	}
+}
+
+func TestCEDiscountDisabledAndUnmarked(t *testing.T) {
+	topo := testTopo(t)
+	pred := &stubPred{ports: [][]float64{{1e6}}, ready: []bool{true}}
+	// Discount off: marks are ignored entirely.
+	d := New(topo, pred, Config{Threshold: 0.01})
+	if alerts := d.Check(ceWindow([]int64{960_000}, 960_000)); len(alerts) != 1 {
+		t.Fatal("zero discount must not suppress")
+	}
+	// Discount on, no marks: full deviation passes through.
+	d2 := New(topo, pred, Config{Threshold: 0.01, CEDiscount: 2})
+	alerts := d2.Check(ceWindow([]int64{960_000}, 0))
+	if len(alerts) != 1 || math.Abs(alerts[0].Deviation+0.04) > 1e-9 {
+		t.Fatalf("unmarked window scaled: %+v", alerts)
+	}
+	// Straggler marks can push CEBytes past Total; frac clamps at 1 and
+	// the window is attributed, not inverted into a negative scale.
+	if alerts := d2.Check(ceWindow([]int64{960_000}, 2_000_000)); alerts != nil {
+		t.Fatalf("over-full CE fraction alerted: %v", alerts)
+	}
+}
+
+func sum64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

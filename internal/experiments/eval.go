@@ -34,7 +34,7 @@ type EvalOverrides struct {
 var EvalOrder = []string{
 	"fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "preexisting",
 	"headline", "faulttypes", "jitter", "trunks", "clos3", "blocking",
-	"remediate", "resilience", "paralleljobs", "ablation",
+	"remediate", "resilience", "paralleljobs", "congestion", "ablation",
 }
 
 // EvalExperiments returns the experiment registry under the given
@@ -204,6 +204,16 @@ func EvalExperiments(o EvalOverrides) map[string]func() (fmt.Stringer, error) {
 				cfg.BytesPerRank = o.SizeMB << 20
 			}
 			return ParallelJobs(cfg)
+		},
+		"congestion": func() (fmt.Stringer, error) {
+			cfg := CongestionConfig{Seed: o.Seed, Trials: o.Trials, DropRate: o.Drop}
+			if o.Quick {
+				cfg.Leaves, cfg.Spines, cfg.BytesPerRank, cfg.Trials = 8, 4, 4<<20, 1
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Congestion(cfg)
 		},
 		"ablation": func() (fmt.Stringer, error) {
 			cfg := AblationConfig{Seed: o.Seed}

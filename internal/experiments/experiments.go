@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"flowpulse/internal/core"
+	"flowpulse/internal/detect"
 	"flowpulse/internal/metrics"
 	"flowpulse/internal/remediate"
 	"flowpulse/internal/sim"
@@ -37,6 +38,10 @@ type Trial struct {
 	Upstream bool
 	// CleanIters and FaultIters split the run.
 	CleanIters, FaultIters int
+	// Detect tunes the detector; the zero value keeps the paper
+	// defaults. Experiments that sweep detector mitigations (the
+	// congestion study's CE discount) set it per trial.
+	Detect detect.Config
 	// Remediate attaches the default closed-loop control plane.
 	Remediate bool
 	// TracePath records the run (windows, events, remediation, fault
@@ -76,7 +81,7 @@ func (tr Trial) Run() (*TrialResult, error) {
 	defer rt.Close()
 	cfg := core.Config{
 		Net: rt.Net, Stack: rt.Stack, Demand: rt.Coll.Demand(),
-		Kind: tr.Kind, Job: int(sc.Job),
+		Kind: tr.Kind, Detect: tr.Detect, Job: int(sc.Job),
 		TracePath: tr.TracePath, TraceLabel: tr.TraceLabel,
 	}
 	if tr.Remediate {

@@ -15,7 +15,7 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata/eval_quick.golde
 // the golden file: enough coverage (fat tree, Clos, trunking,
 // blocking, ablation) to catch an output or behavior drift, small
 // enough to run in seconds.
-var goldenSubset = []string{"fig2", "fig3", "fig4", "fig5b", "trunks", "clos3", "blocking", "ablation", "paralleljobs"}
+var goldenSubset = []string{"fig2", "fig3", "fig4", "fig5b", "trunks", "clos3", "blocking", "congestion", "ablation", "paralleljobs"}
 
 // TestEvalGolden pins the exact text flowpulse-eval prints for a
 // quick-scale run at seed 1. The whole pipeline is deterministic, so

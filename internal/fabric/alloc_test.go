@@ -97,6 +97,50 @@ func TestShardedForwardingSteadyStateAllocsZero(t *testing.T) {
 	}
 }
 
+// TestECNForwardingAllocsZero: turning on ECN must not cost the hot
+// path anything — marking is a bit set on the pooled packet plus an
+// integer compare against the queue depth. The knee is pinned below a
+// single frame so every hop takes the always-mark branch, the most
+// work the CE stage ever does.
+func TestECNForwardingAllocsZero(t *testing.T) {
+	topo, err := topology.NewFatTree(topology.FatTreeConfig{Leaves: 4, Spines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	net := MustNew(Config{
+		Topo: topo, Engine: eng, Seed: 1,
+		ECN: ECNConfig{Enabled: true, KMinBytes: 1, KMaxBytes: 2},
+	})
+	marked := 0
+	net.SetReceiver(topology.HostID(3), func(_ sim.Time, p *Packet) {
+		if p.CE {
+			marked++
+		}
+	})
+
+	msg := uint64(0)
+	send := func() {
+		msg++
+		net.Send(SendSpec{Src: 0, Dst: 3, Size: 4096, Msg: msg})
+	}
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	eng.Run()
+
+	avg := testing.AllocsPerRun(200, func() {
+		send()
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("ECN-enabled forwarding allocates %.2f per packet, want 0", avg)
+	}
+	if marked == 0 {
+		t.Fatal("no packet carried a CE mark despite a sub-frame knee")
+	}
+}
+
 // A single hop (host NIC onto the wire) must also be allocation-free —
 // the finer-grained version of the steady-state gate, pinning the
 // kick/serialize/arrive path specifically.

@@ -19,6 +19,10 @@ type SendSpec struct {
 	Msg      uint64
 	Seq      int
 	Retx     bool
+	// CE seeds Packet.CE: ACKs echo the acknowledged data copy's
+	// congestion mark here so the sender's rate limiter learns of
+	// queue buildup (data packets are marked by switches, not senders).
+	CE bool
 	// Stamp seeds Packet.Stamp (ACKs echo the acknowledged copy's
 	// wire-out time here; data packets are stamped at NIC dequeue).
 	Stamp sim.Time
@@ -45,6 +49,7 @@ func (n *Network) Send(spec SendSpec) {
 	p.Kind = spec.Kind
 	p.Tag = spec.Tag
 	p.Msg, p.Seq, p.Retx = spec.Msg, spec.Seq, spec.Retx
+	p.CE = spec.CE
 	p.Stamp = spec.Stamp
 	p.Ctx = spec.Ctx
 
@@ -179,15 +184,26 @@ func (n *Network) switchReceive(sw topology.SwitchID, port int, p *Packet, now s
 		n.pauseUpstream(ss, port, prio, true)
 	}
 
+	// Local delivery: destination host hangs off this switch. The
+	// egress port — and hence the CE decision — is known before the
+	// ingress hooks run, so mark first: the monitor is an ingress
+	// observer, and the last-hop host-port queue is exactly where
+	// incast builds. A mark applied after the hooks would be invisible
+	// to the measurement plane, which on real hardware taps the
+	// pipeline after the MMU's ECN stage.
+	localPort := -1
+	dstLeafOrd := n.fib.hostDstLeaf[p.Dst]
+	if ss.kind == topology.Leaf && ss.ord == dstLeafOrd {
+		localPort = n.topo.Host(p.Dst).LeafPort
+		n.markECN(ss.egress[localPort], p)
+	}
+
 	for _, hook := range n.ingressHooks[sw] {
 		hook(now, port, p)
 	}
 
-	// Local delivery: destination host hangs off this switch.
-	dstLeafOrd := n.fib.hostDstLeaf[p.Dst]
-	if ss.kind == topology.Leaf && ss.ord == dstLeafOrd {
-		hp := n.topo.Host(p.Dst).LeafPort
-		eg := ss.egress[hp]
+	if localPort >= 0 {
+		eg := ss.egress[localPort]
 		eg.queues[prio].push(p)
 		n.kick(eg)
 		return
@@ -215,11 +231,40 @@ func (n *Network) switchReceive(sw topology.SwitchID, port int, p *Packet, now s
 	}
 
 	eg := ss.egress[egressPort]
+	n.markECN(eg, p)
 	eg.queues[prio].push(p)
 	if MaxQueueObserver != nil {
 		MaxQueueObserver(now, eg.sender, eg.queuedBytes())
 	}
 	n.kick(eg)
+}
+
+// markECN applies RED-style CE marking at a switch egress enqueue:
+// below KMin nothing is marked, above KMax every data packet is,
+// between the two the probability ramps linearly up to PMax. The queue
+// depth is the packet's own class including the arriving frame, so an
+// incast burst sees its own buildup immediately. Disabled networks
+// never reach the RNG (the per-direction streams are not even
+// allocated), keeping runs byte-identical to pre-ECN builds.
+func (n *Network) markECN(ld *linkDir, p *Packet) {
+	if !n.cfg.ECN.Enabled || p.Kind != Data {
+		return
+	}
+	depth := ld.queues[p.Priority].byteLen() + int64(p.Size)
+	if depth <= n.cfg.ECN.KMinBytes {
+		return
+	}
+	if depth >= n.cfg.ECN.KMaxBytes {
+		p.CE = true
+	} else {
+		frac := float64(depth-n.cfg.ECN.KMinBytes) / float64(n.cfg.ECN.KMaxBytes-n.cfg.ECN.KMinBytes)
+		if !ld.ecnRNG.Bernoulli(n.cfg.ECN.PMax * frac) {
+			return
+		}
+		p.CE = true
+	}
+	ld.sendD.stats.CEMarked++
+	ld.ceMarked++
 }
 
 // releaseCredit returns a packet's PFC buffer credit to its ingress

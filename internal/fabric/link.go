@@ -84,6 +84,12 @@ type linkDir struct {
 
 	flt fault.Model // nil when healthy
 
+	// ecnRNG drives probabilistic CE marking on this direction's egress
+	// queue; nil unless Config.ECN is enabled and the sender is a
+	// switch. ceMarked counts marks (sender-domain owned, like sent*).
+	ecnRNG   *sim.RNG
+	ceMarked uint64
+
 	queues [numPriorities]fifo
 	busy   bool
 	paused [numPriorities]bool
@@ -184,6 +190,7 @@ type LinkDirStats struct {
 	FaultDroppedBytes uint64
 	AdminDropped      uint64
 	AdminDroppedBytes uint64
+	CEMarked          uint64
 }
 
 // DirToward resolves the Direction of a link whose receiver is the
@@ -316,6 +323,7 @@ func (n *Network) LinkStats(link topology.LinkID, dir Direction) LinkDirStats {
 		Delivered: ld.delivered, DeliveredBytes: ld.deliveredBytes,
 		FaultDropped: ld.faultDropped, FaultDroppedBytes: ld.faultDroppedBytes,
 		AdminDropped: ld.adminDropped, AdminDroppedBytes: ld.adminDroppedBytes,
+		CEMarked:     ld.ceMarked,
 	}
 }
 

@@ -37,6 +37,24 @@ type Config struct {
 	// 5 µs default; negative disables the memory term, reducing
 	// adaptive spraying to instantaneous queue depth.
 	SprayMemory sim.Duration
+	// ECN configures congestion-experienced marking at switch egress
+	// queues. Zero value = disabled: no per-direction RNG streams are
+	// allocated and the data path is byte-identical to pre-ECN builds.
+	ECN ECNConfig
+}
+
+// ECNConfig is the RED-style marking profile every switch egress queue
+// applies when enabled: a packet enqueued with its class's queue depth
+// above KMaxBytes is always marked CE, above KMinBytes with probability
+// PMax scaled linearly between the two thresholds.
+type ECNConfig struct {
+	Enabled bool
+	// KMinBytes and KMaxBytes bound the marking ramp. Defaults
+	// (when Enabled): 100 KiB and 400 KiB — comfortably under the 1 MiB
+	// PFC Xoff threshold, so ECN reacts before PFC ever pauses.
+	KMinBytes, KMaxBytes int64
+	// PMax is the marking probability at KMaxBytes (default 0.2).
+	PMax float64
 }
 
 func (c *Config) setDefaults() {
@@ -51,6 +69,17 @@ func (c *Config) setDefaults() {
 	}
 	if c.SprayMemory == 0 {
 		c.SprayMemory = 5 * sim.Microsecond
+	}
+	if c.ECN.Enabled {
+		if c.ECN.KMinBytes == 0 {
+			c.ECN.KMinBytes = 100 << 10
+		}
+		if c.ECN.KMaxBytes == 0 {
+			c.ECN.KMaxBytes = 400 << 10
+		}
+		if c.ECN.PMax == 0 {
+			c.ECN.PMax = 0.2
+		}
 	}
 }
 
@@ -77,6 +106,9 @@ type Stats struct {
 	AdminDropped uint64
 	// PFCPauses counts pause events issued.
 	PFCPauses uint64
+	// CEMarked counts data packets marked congestion-experienced at a
+	// switch egress queue (0 unless Config.ECN is enabled).
+	CEMarked uint64
 	// ProbesSent and ProbesLost count link-local OAM probes (ProbeLink)
 	// and the ones the fault process ate. Probes are not packets: they
 	// bypass the forwarding plane and do not enter the conservation
@@ -253,6 +285,12 @@ func New(cfg Config) (*Network, error) {
 			ld.sendD = n.domOfEndpoint(ld.sender)
 			ld.recvD = n.domOfEndpoint(ld.receiver)
 			ld.crossDom = ld.sendD != ld.recvD
+			// ECN marks at switch egress queues only; each direction's
+			// stream is drawn solely by the owning switch's domain, so
+			// marking stays bit-identical across worker counts.
+			if cfg.ECN.Enabled && ld.sender.Kind == topology.SwitchEnd {
+				ld.ecnRNG = sim.NewRNG(cfg.Seed, fmt.Sprintf("ecn/%d/%d", i, d))
+			}
 		}
 		// Bind the resident serialization timers once the dirs have
 		// their final addresses (the links slice never reallocates).
@@ -397,6 +435,7 @@ func (n *Network) Stats() Stats {
 		s.RouteDroppedBytes += d.RouteDroppedBytes
 		s.AdminDropped += d.AdminDropped
 		s.PFCPauses += d.PFCPauses
+		s.CEMarked += d.CEMarked
 		s.ProbesSent += d.ProbesSent
 		s.ProbesLost += d.ProbesLost
 	}

@@ -98,6 +98,11 @@ type Packet struct {
 	Seq int
 	// Retx marks retransmissions.
 	Retx bool
+	// CE is the ECN congestion-experienced codepoint: set by a switch
+	// when the packet was enqueued above the egress marking threshold
+	// (data packets), or echoed back by the receiver so the sender's
+	// DCQCN rate limiter sees the congestion notification (ACKs).
+	CE bool
 	// Stamp is the instant this copy left the source NIC (data
 	// packets, set by the transport's dequeue hook) or the echoed
 	// stamp of the data copy being acknowledged (ACKs) — the TCP

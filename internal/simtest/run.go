@@ -148,6 +148,19 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 		JitterMax:      sim.Duration(spec.Work.JitterPS),
 		Seed:           spec.Seed,
 		Shards:         opts.Shards,
+		Congestion: core.CongestionSpec{
+			ECN:           spec.Congest.ECN,
+			DCQCN:         spec.Congest.DCQCN,
+			Incast:        sim.Duration(spec.Congest.IncastGapPS),
+			IncastLeaf:    spec.Congest.IncastLeaf,
+			IncastFanout:  spec.Congest.IncastFanout,
+			IncastBytes:   spec.Congest.IncastBytes,
+			IncastHigh:    spec.Congest.IncastHigh,
+			Storm:         sim.Duration(spec.Congest.StormGapPS),
+			StormBytes:    spec.Congest.StormBytes,
+			Straggler:     sim.Duration(spec.Congest.StragglerPS),
+			StragglerLeaf: spec.Congest.StragglerLeaf,
+		},
 	}
 	var refWindows []*telemetry.Window
 	if spec.Work.Predictor == core.SimulationModel {
@@ -162,7 +175,10 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 		return nil, err
 	}
 	defer rt.Close()
-	detCfg := detect.Config{Threshold: spec.DetectThreshold()}
+	detCfg := detect.Config{
+		Threshold:  spec.DetectThreshold(),
+		CEDiscount: spec.Congest.CEDiscount,
+	}
 	if opts.MutateDetect != nil {
 		opts.MutateDetect(&detCfg)
 	}
@@ -447,7 +463,22 @@ func checkOracles(spec Spec, opts Options, d *runData) []string {
 	}
 
 	f := spec.Fault
+	congested := spec.Congest.Active()
 	if f.Kind == FaultNone {
+		if congested {
+			// Oracle 2 (congestion form): adversarial traffic may trip
+			// deviation alerts — incast queues and storms genuinely skew
+			// windows — but it must never *confirm* into a quarantine.
+			// Quarantining a healthy link because tenants sent traffic is
+			// exactly the false positive the paper's design forbids.
+			for _, a := range d.timeline {
+				if a.Kind == remediate.ActionQuarantine {
+					add("congestion: pure congestion (no fault) quarantined link %d: %s", a.Link, a)
+					break
+				}
+			}
+			return bad
+		}
 		// Oracle 2: a healthy fabric is silent.
 		for _, e := range d.events {
 			add("clean run: alert %s", e.Alert)
@@ -463,11 +494,15 @@ func checkOracles(spec Spec, opts Options, d *runData) []string {
 	// clean. The fault injects when iteration Onset completes, but that
 	// iteration's window only closes when the next iteration's traffic
 	// arrives — so window Onset straddles the injection and may
-	// legitimately catch the first retransmission spillover.
-	for _, e := range d.events {
-		if int(e.Alert.Iter) < f.Onset {
-			add("clean prefix: alert before fault onset %d: %s", f.Onset, e.Alert)
-			break
+	// legitimately catch the first retransmission spillover. Congested
+	// runs waive this: the storm skews pre-onset windows by design, and
+	// the quarantine/deadline oracles below carry the burden instead.
+	if !congested {
+		for _, e := range d.events {
+			if int(e.Alert.Iter) < f.Onset {
+				add("clean prefix: alert before fault onset %d: %s", f.Onset, e.Alert)
+				break
+			}
 		}
 	}
 
@@ -525,12 +560,16 @@ func checkOracles(spec Spec, opts Options, d *runData) []string {
 	}
 
 	// Oracle 4: remediation quarantines converge on the faulted group
-	// and flap damping bounds re-quarantine churn.
-	if spec.Work.Remediate {
+	// and flap damping bounds re-quarantine churn. Congested faulted
+	// runs waive it: storm-shifted spray balance can implicate
+	// bystanders the innocent-quarantine check would flag, and the
+	// combined envelope's burden is the detection deadline above.
+	if spec.Work.Remediate && !congested {
 		bad = append(bad, checkRemediation(spec, d)...)
 	}
 	// Oracle 5: a quarantine that halved the victim leaf must have
 	// re-planned the ring, and the workload must have recovered.
+	// (normalize disables Resilience whenever congestion is active.)
 	if spec.Work.Resilience {
 		bad = append(bad, checkResilience(spec, d)...)
 	}

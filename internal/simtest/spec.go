@@ -168,14 +168,55 @@ type FaultSpec struct {
 	FlapPhasePS  int64 `json:"flapPhasePS,omitempty"`
 }
 
+// CongestSpec is a spec's congestion regime: the ECN/DCQCN transport
+// loop, the detector's CE-discount mitigation, and the adversarial
+// traffic generators whose queue build-up mimics loss without any
+// fault. The zero value is fully off — the classic envelope every
+// existing seed maps to. Specs only gain congestion through
+// WithCongestion (the -congestion sweep), never from Generate, so the
+// scenarios existing seeds produce are untouched.
+type CongestSpec struct {
+	// ECN enables fabric CE marking; DCQCN the transport reaction point.
+	ECN   bool `json:"ecn,omitempty"`
+	DCQCN bool `json:"dcqcn,omitempty"`
+	// CEDiscount is the detector's congestion-mitigation weight.
+	CEDiscount float64 `json:"ceDiscount,omitempty"`
+	// IncastGapPS, when positive, runs the N→1 burst generator with
+	// this mean inter-burst gap, targeting IncastLeaf's hosts:
+	// IncastFanout sources (0: every non-victim host) firing
+	// IncastBytes per burst (0: the generator's 128 KiB default).
+	// IncastHigh runs the bursts in the measured traffic class, where
+	// their queue build-up delays the collective and draws CE marks
+	// onto measured packets.
+	IncastGapPS  int64 `json:"incastGapPS,omitempty"`
+	IncastLeaf   int   `json:"incastLeaf,omitempty"`
+	IncastFanout int   `json:"incastFanout,omitempty"`
+	IncastBytes  int   `json:"incastBytes,omitempty"`
+	IncastHigh   bool  `json:"incastHigh,omitempty"`
+	// StormGapPS, when positive, runs the on/off heavy-flow generator
+	// (StormBytes per message) in the measured traffic class.
+	StormGapPS int64 `json:"stormGapPS,omitempty"`
+	StormBytes int   `json:"stormBytes,omitempty"`
+	// StragglerPS, when positive, delays StragglerLeaf's ranks by this
+	// fixed offset every iteration.
+	StragglerPS   int64 `json:"stragglerPS,omitempty"`
+	StragglerLeaf int   `json:"stragglerLeaf,omitempty"`
+}
+
+// Active reports whether any congestion source is configured.
+func (c *CongestSpec) Active() bool {
+	return c.IncastGapPS > 0 || c.StormGapPS > 0 || c.StragglerPS > 0
+}
+
 // Spec is one complete fuzz scenario. The zero of every field is
 // meaningful, so a Spec round-trips through JSON losslessly and the
 // compact encoding is the repro format.
 type Spec struct {
-	Seed  uint64    `json:"seed"`
-	Topo  TopoSpec  `json:"topo"`
-	Work  WorkSpec  `json:"work"`
-	Fault FaultSpec `json:"fault"`
+	Seed    uint64      `json:"seed"`
+	Topo    TopoSpec    `json:"topo"`
+	Work    WorkSpec    `json:"work"`
+	Fault   FaultSpec   `json:"fault"`
+	Congest CongestSpec `json:"congest,omitempty"`
 }
 
 // Generate derives the Spec for a seed. Every draw comes from named
@@ -454,6 +495,54 @@ func (s *Spec) normalize() {
 		f.Upstream = false
 	}
 
+	// The congestion envelope (see CongestSpec): adversarial traffic
+	// on the single-job two-level fat tree only. Congestion never
+	// rides the resilience sweep — storm-perturbed goodput makes the
+	// recovery bound too noisy to oracle — but remediated seeds stay
+	// in, because they give the no-quarantine-under-pure-congestion
+	// oracle its teeth.
+	c := &s.Congest
+	if t.Kind != FatTree2 || w.Jobs != 0 {
+		*c = CongestSpec{}
+	}
+	c.CEDiscount = clampF(c.CEDiscount, 0, 4)
+	if c.IncastGapPS > 0 {
+		c.IncastGapPS = clamp64(c.IncastGapPS, int64(20*sim.Microsecond), int64(sim.Millisecond))
+		c.IncastLeaf = clamp(c.IncastLeaf, 0, t.Leaves-1)
+		if c.IncastFanout != 0 {
+			c.IncastFanout = clamp(c.IncastFanout, 1, (t.Leaves-1)*t.HostsPerLeaf)
+		}
+		if c.IncastBytes != 0 {
+			c.IncastBytes = clamp(c.IncastBytes, 4<<10, 256<<10)
+		}
+		if c.IncastHigh {
+			// In-class bursts contend with the collective directly; a
+			// full-fanout 128 KiB barrage would starve the victim leaf
+			// outright, so the adversarial-tenant shape is pinned to a
+			// modest burst.
+			c.IncastFanout = clamp(c.IncastFanout, 1, 3)
+			c.IncastBytes = clamp(c.IncastBytes, 4<<10, 64<<10)
+		}
+	} else {
+		c.IncastGapPS, c.IncastLeaf = 0, 0
+		c.IncastFanout, c.IncastBytes, c.IncastHigh = 0, 0, false
+	}
+	if c.StormGapPS > 0 {
+		c.StormGapPS = clamp64(c.StormGapPS, int64(2*sim.Microsecond), int64(sim.Millisecond))
+		c.StormBytes = clamp(c.StormBytes, 4<<10, 256<<10)
+	} else {
+		c.StormGapPS, c.StormBytes = 0, 0
+	}
+	if c.StragglerPS > 0 {
+		c.StragglerPS = clamp64(c.StragglerPS, int64(sim.Microsecond), int64(estIterTime(s)))
+		c.StragglerLeaf = clamp(c.StragglerLeaf, 0, t.Leaves-1)
+	} else {
+		c.StragglerPS, c.StragglerLeaf = 0, 0
+	}
+	if c.Active() {
+		w.Resilience = false
+	}
+
 	// The resilience envelope (see WorkSpec.Resilience): the workload
 	// re-planner rides the control loop on the 2:1 oversubscribed
 	// interleaved ring, under at most a downstream Bernoulli fault —
@@ -627,6 +716,61 @@ func WithResilience(s Spec) Spec {
 		s.Work.Resilience = true
 		s.normalize()
 	}
+	return s
+}
+
+// WithCongestion layers the adversarial-congestion regime onto a
+// generated spec — the -congestion sweep of flowpulse-check. The
+// ECN/DCQCN transport loop and the detector's CE discount are always
+// on; which traffic generators run is drawn from the spec's own seed
+// on a dedicated stream, so the congestion shape is as reproducible
+// as the rest of the scenario. Specs outside the single-job two-level
+// fat-tree envelope pass through unchanged.
+func WithCongestion(s Spec) Spec {
+	if s.Topo.Kind != FatTree2 || s.Work.Jobs != 0 {
+		return s
+	}
+	rng := sim.NewRNG(s.Seed, "simtest/congestion")
+	c := &s.Congest
+	c.ECN, c.DCQCN = true, true
+	// Discount 2 keeps the combined envelope sound: a fault window's
+	// deviation is multiplied by 1−2·ceFrac, and fault rates are
+	// pinned ≥3× the threshold, so detection survives as long as under
+	// a third of the fault leaf's bytes carry marks — congestion
+	// concentrates its marks on its own victim leaf, not the fault's.
+	c.CEDiscount = 2
+	if rng.Float64() < 0.6 {
+		c.IncastGapPS = int64(rng.Jitter(50*sim.Microsecond, 150*sim.Microsecond))
+		c.IncastLeaf = rng.IntN(s.Topo.Leaves)
+		if rng.Bernoulli(0.5) {
+			// In-class incast: the adversarial tenant whose bursts both
+			// delay the collective and draw CE marks onto measured
+			// packets — the hardest false-positive shape the discount
+			// must absorb. Kept to a modest burst (normalize pins the
+			// ceiling) so the victim is perturbed, not starved.
+			c.IncastHigh = true
+			c.IncastFanout = 2
+			c.IncastBytes = (32 + rng.IntN(3)*16) << 10 // 32/48/64 KiB
+		}
+	}
+	if rng.Float64() < 0.6 {
+		c.StormGapPS = int64(rng.Jitter(4*sim.Microsecond, 12*sim.Microsecond))
+		c.StormBytes = 64 << 10
+	}
+	if rng.Float64() < 0.4 {
+		// A fixed per-iteration delay of a third to a fifth of the
+		// iteration's wire time — enough to skew any timing-sensitive
+		// heuristic, invisible to the byte-conservation basis.
+		div := 3 + rng.IntN(3)
+		c.StragglerPS = int64(estIterTime(&s)) / int64(div)
+		c.StragglerLeaf = rng.IntN(s.Topo.Leaves)
+	}
+	if !c.Active() {
+		// Every congestion seed exercises at least one traffic source.
+		c.StormGapPS = int64(8 * sim.Microsecond)
+		c.StormBytes = 64 << 10
+	}
+	s.normalize()
 	return s
 }
 

@@ -45,6 +45,17 @@ type Window struct {
 	SenderBytes [][]int64
 	// Packets is the tagged packet count across all uplinks.
 	Packets int64
+	// CEBytes is the tagged byte count that arrived with the ECN
+	// congestion-experienced codepoint set while this window was open
+	// — the fabric's own signal that queue build-up, not loss, shaped
+	// the traffic. Late stragglers from earlier iterations count too:
+	// a marked packet that missed its own window is precisely the
+	// delayed-not-lost evidence that distinguishes congestion from a
+	// silent fault, and it can only ever surface in the successor
+	// window (its own closed before the queue drained). CEBytes may
+	// therefore exceed Total. Zero unless the fabric runs with ECN
+	// marking enabled.
+	CEBytes int64
 	// AggPortBytes[u] is the ALL-jobs sentinel byte count on uplink u
 	// over this window's interval, filled at close. Per-job spray
 	// shares comb under adaptive spraying when several jobs share a
@@ -183,6 +194,9 @@ func (m *LeafMonitor) OnPacket(now sim.Time, port int, pkt *fabric.Packet) {
 		m.LateBytes += int64(pkt.Size)
 		m.dx.late(pkt.Tag.Job, int64(pkt.Size))
 		m.aggCum[u] += int64(pkt.Size)
+		if pkt.CE {
+			w.CEBytes += int64(pkt.Size)
+		}
 		return
 	}
 
@@ -190,6 +204,9 @@ func (m *LeafMonitor) OnPacket(now sim.Time, port int, pkt *fabric.Packet) {
 	w.PortBytes[u] += int64(pkt.Size)
 	w.SenderBytes[u][m.srcLeafOrd[pkt.Src]] += int64(pkt.Size)
 	w.Packets++
+	if pkt.CE {
+		w.CEBytes += int64(pkt.Size)
+	}
 }
 
 // OpenWindow returns the job's currently open (unclosed) window, or

@@ -39,7 +39,11 @@ import (
 var Magic = [8]byte{'F', 'P', 'T', 'R', 'A', 'C', 'E', '\n'}
 
 // Version is the current format version, written into the header.
-const Version = 1
+// Version 2 appends ECN congestion fields: each job header carries the
+// detector's CEDiscount and each window record its CE-marked byte
+// count. Both are trailing fields, so version-1 traces decode with the
+// fields zero — exactly the pre-ECN semantics they recorded.
+const Version = 2
 
 // The record kinds of format version 1.
 const (
@@ -89,11 +93,13 @@ type Header struct {
 type JobHeader struct {
 	Job       uint16
 	Predictor string
-	// Threshold, MinPredicted, AggregateSymmetry are the effective
-	// (defaulted) detector configuration.
+	// Threshold, MinPredicted, AggregateSymmetry, CEDiscount are the
+	// effective (defaulted) detector configuration. CEDiscount is a
+	// format-v2 field; v1 traces decode it as zero (disabled).
 	Threshold         float64
 	MinPredicted      float64
 	AggregateSymmetry bool
+	CEDiscount        float64
 }
 
 // WindowRecord is one recorded measurement window plus the prediction
@@ -115,6 +121,9 @@ type WindowRecord struct {
 	Ready      bool
 	PortPred   []float64
 	SenderPred [][]float64
+	// CEBytes is the window's ECN congestion-experienced byte count
+	// (format v2; zero when replaying v1 traces or ECN-less fabrics).
+	CEBytes int64
 }
 
 // ProbeRecord is one completed OAM probe round on a quarantined link.
@@ -184,6 +193,7 @@ func encodeHeader(e *enc, h *Header) {
 		e.f(j.Threshold)
 		e.f(j.MinPredicted)
 		e.bit(j.AggregateSymmetry)
+		e.f(j.CEDiscount)
 	}
 	e.bit(h.Remediate != nil)
 	if h.Remediate != nil {
@@ -215,13 +225,17 @@ func decodeHeader(d *dec) *Header {
 	h.Shared = d.bit()
 	nJobs := d.count(12)
 	for i := 0; i < nJobs && d.err == nil; i++ {
-		h.Jobs = append(h.Jobs, JobHeader{
+		jh := JobHeader{
 			Job:               uint16(d.u()),
 			Predictor:         d.s(),
 			Threshold:         d.f(),
 			MinPredicted:      d.f(),
 			AggregateSymmetry: d.bit(),
-		})
+		}
+		if h.FormatVersion >= 2 {
+			jh.CEDiscount = d.f()
+		}
+		h.Jobs = append(h.Jobs, jh)
 	}
 	if d.bit() {
 		h.Remediate = &remediate.Config{

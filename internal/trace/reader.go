@@ -252,6 +252,9 @@ func (r *Reader) decodeWindow(d *dec) *WindowRecord {
 			d.fail("trace: sender prediction count %d, declared %d", k, nPred)
 		}
 	}
+	if r.hdr.FormatVersion >= 2 {
+		w.CEBytes = d.i()
+	}
 	if d.err == nil {
 		r.lastTime = w.ClosedAt
 	}

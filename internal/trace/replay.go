@@ -225,6 +225,7 @@ func Replay(src io.Reader, opts ReplayOptions) (*ReplayResult, error) {
 			Threshold:         jh.Threshold,
 			MinPredicted:      jh.MinPredicted,
 			AggregateSymmetry: jh.AggregateSymmetry,
+			CEDiscount:        jh.CEDiscount,
 		}
 		if opts.Threshold != 0 {
 			dcfg.Threshold = opts.Threshold
@@ -312,6 +313,7 @@ func Replay(src io.Reader, opts ReplayOptions) (*ReplayResult, error) {
 				PortBytes:    wr.PortBytes,
 				SenderBytes:  wr.SenderBytes,
 				Packets:      wr.Packets,
+				CEBytes:      wr.CEBytes,
 				AggPortBytes: wr.AggPortBytes,
 				OpenedAt:     wr.OpenedAt,
 				ClosedAt:     wr.ClosedAt,

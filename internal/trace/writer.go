@@ -236,6 +236,7 @@ func (w *Writer) Window(win *telemetry.Window, ready bool, port []float64, sende
 			}
 		}
 	}
+	e.i(win.CEBytes)
 	w.frame()
 	w.t.Windows++
 }

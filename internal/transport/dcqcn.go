@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"math"
+
+	"flowpulse/internal/fabric"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// DCQCNConfig parameterizes the per-pair DCQCN-style rate limiter (the
+// reaction point of the ECN loop: switches mark CE above a queue
+// threshold, receivers echo the mark on ACKs, and the sender cuts its
+// injection rate). Zero value = disabled: Send pushes every packet into
+// the NIC queue immediately, byte-identical to pre-DCQCN builds.
+type DCQCNConfig struct {
+	Enabled bool
+	// G is the alpha EWMA gain (default 1/16).
+	G float64
+	// CutInterval is the minimum spacing between rate cuts — one cut
+	// per congestion notification window, however many marked ACKs
+	// arrive inside it (default 50 µs).
+	CutInterval sim.Duration
+	// AlphaDecay is the alpha-decay period while no marks arrive
+	// (default 55 µs).
+	AlphaDecay sim.Duration
+	// IncPeriod is the rate-increase period (default 25 µs).
+	IncPeriod sim.Duration
+	// FastRecovery is the number of increase rounds that halve toward
+	// the pre-cut target before additive increase starts (default 5).
+	FastRecovery int
+	// AIRateBPS is the additive-increase step in bits/s (default
+	// line rate / 50); hyper increase (5x the step) starts after
+	// 3x FastRecovery uncut rounds.
+	AIRateBPS float64
+	// MinRateBPS floors the paced rate (default line rate / 1000).
+	MinRateBPS float64
+}
+
+func (c *DCQCNConfig) setDefaults(lineBPS float64) {
+	if !c.Enabled {
+		return
+	}
+	if c.G == 0 {
+		c.G = 1.0 / 16
+	}
+	if c.CutInterval == 0 {
+		c.CutInterval = 50 * sim.Microsecond
+	}
+	if c.AlphaDecay == 0 {
+		c.AlphaDecay = 55 * sim.Microsecond
+	}
+	if c.IncPeriod == 0 {
+		c.IncPeriod = 25 * sim.Microsecond
+	}
+	if c.FastRecovery == 0 {
+		c.FastRecovery = 5
+	}
+	if c.AIRateBPS == 0 {
+		c.AIRateBPS = lineBPS / 50
+	}
+	if c.MinRateBPS == 0 {
+		c.MinRateBPS = lineBPS / 1000
+	}
+}
+
+// pacedRef is one queued first transmission awaiting its pacing slot.
+// Retransmissions bypass the pacer entirely: RTO recovery must not sit
+// behind a throttled queue, and DCQCN reacts to marks, not losses.
+type pacedRef struct {
+	st  *sendState
+	seq int
+}
+
+// dcqcnState is one (src, dst) pair's rate limiter. It lives entirely
+// on the source host's engine — Send, the pacer timer, and the ACK path
+// all execute there — so sharded runs need no synchronization and stay
+// bit-identical across worker counts. Alpha decay and rate recovery are
+// computed lazily from elapsed time at each pacer or ACK event instead
+// of standing timers, so an idle pair costs nothing.
+type dcqcnState struct {
+	s        *Stack
+	eng      *sim.Engine
+	src      topology.HostID
+	line     float64 // source NIC line rate, bits/s
+	rc, rt    float64 // current / target rate, bits/s
+	alpha     float64
+	lastCut   sim.Time // spacing clock: at most one cut per CutInterval
+	lastAlpha sim.Time // decay clock: alpha halves-toward-0 while unmarked
+	lastInc   sim.Time
+	incStage  int
+
+	queue      []pacedRef
+	head       int
+	timerArmed bool
+}
+
+// Fire releases the next paced packet.
+func (d *dcqcnState) Fire(now sim.Time) {
+	d.timerArmed = false
+	d.s.pacerKick(d, now)
+}
+
+// advance applies the alpha decay and rate increases accrued since the
+// pair's last event. Fully recovered pairs snap their clocks forward so
+// long idle gaps never loop.
+func (d *dcqcnState) advance(now sim.Time) {
+	cfg := &d.s.cfg.DCQCN
+	if elapsed := now.Sub(d.lastAlpha); d.alpha > 0 && elapsed >= cfg.AlphaDecay {
+		d.alpha *= math.Pow(1-cfg.G, float64(elapsed/cfg.AlphaDecay))
+		if d.alpha < 1e-9 {
+			d.alpha = 0
+		}
+		d.lastAlpha = now.Add(-(elapsed % cfg.AlphaDecay))
+	}
+	if d.rc >= d.line {
+		d.rc, d.rt = d.line, d.line
+		d.lastInc = now
+		return
+	}
+	for now.Sub(d.lastInc) >= cfg.IncPeriod {
+		d.lastInc = d.lastInc.Add(cfg.IncPeriod)
+		d.incStage++
+		switch {
+		case d.incStage <= cfg.FastRecovery:
+			// Fast recovery: halve toward the pre-cut target.
+		case d.incStage > 3*cfg.FastRecovery:
+			d.rt += 5 * cfg.AIRateBPS // hyper increase
+		default:
+			d.rt += cfg.AIRateBPS // additive increase
+		}
+		if d.rt > d.line {
+			d.rt = d.line
+		}
+		d.rc = (d.rt + d.rc) / 2
+		if d.rc >= d.line {
+			d.rc, d.rt = d.line, d.line
+			d.lastInc = now
+			return
+		}
+	}
+}
+
+// cut reacts to one congestion notification (a CE-echoed ACK): EWMA the
+// congestion estimate up and multiplicatively cut the rate, at most
+// once per CutInterval.
+func (d *dcqcnState) cut(now sim.Time) {
+	cfg := &d.s.cfg.DCQCN
+	d.advance(now)
+	if d.lastCut != 0 && now.Sub(d.lastCut) < cfg.CutInterval {
+		return
+	}
+	d.alpha = (1-cfg.G)*d.alpha + cfg.G
+	d.rt = d.rc
+	d.rc *= 1 - d.alpha/2
+	if d.rc < cfg.MinRateBPS {
+		d.rc = cfg.MinRateBPS
+	}
+	d.incStage = 0
+	d.lastCut = now
+	d.lastAlpha = now
+	d.lastInc = now
+	d.s.statsAt(d.src).RateCuts++
+}
+
+// pacer returns (creating on first use) the rate limiter of a pair.
+func (s *Stack) pacer(src, dst topology.HostID) *dcqcnState {
+	ix := int(src)*s.nHosts + int(dst)
+	d := s.pacers[ix]
+	if d == nil {
+		line := float64(s.net.Topology().Link(s.net.Topology().Host(src).Link).RateBPS)
+		d = &dcqcnState{
+			s: s, eng: s.net.EngineOf(src), src: src,
+			line: line, rc: line, rt: line,
+		}
+		s.pacers[ix] = d
+	}
+	return d
+}
+
+// pacerEnqueue queues every first transmission of a message behind the
+// pair's pacer and starts it if idle.
+func (s *Stack) pacerEnqueue(st *sendState) {
+	d := s.pacer(st.msg.Src, st.msg.Dst)
+	for seq := 0; seq < st.msg.packets; seq++ {
+		d.queue = append(d.queue, pacedRef{st: st, seq: seq})
+	}
+	if !d.timerArmed {
+		s.pacerKick(d, d.eng.Now())
+	}
+}
+
+// pacerKick releases the next sendable packet and re-arms the pacer one
+// serialization-at-current-rate gap later. At line rate the gap equals
+// the NIC's own serialization time, so an unthrottled pair flows at
+// full speed; after a cut the gap stretches proportionally.
+func (s *Stack) pacerKick(d *dcqcnState, now sim.Time) {
+	for d.head < len(d.queue) {
+		ref := d.queue[d.head]
+		d.head++
+		if ref.st.finished || ref.st.acked[ref.seq] {
+			continue
+		}
+		d.advance(now)
+		size := s.payloadBytes(ref.st.msg, ref.seq) + s.cfg.HeaderBytes
+		s.sendData(ref.st, ref.seq, false)
+		d.timerArmed = true
+		d.eng.AfterTimer(sim.SerializationDelay(size, int64(d.rc)), d)
+		return
+	}
+	d.queue = d.queue[:0]
+	d.head = 0
+}
+
+// onCongestionNotification is the ACK-path hook: a CE-echoed ACK cuts
+// the pair's rate. Runs on the source host's engine.
+func (s *Stack) onCongestionNotification(now sim.Time, p *fabric.Packet) {
+	// The ACK arrived at the original sender: p.Dst is the message
+	// source, p.Src its destination.
+	s.pacer(p.Dst, p.Src).cut(now)
+}
+
+// PairRateBPS reports a pair's current paced rate in bits/s (the line
+// rate when DCQCN is disabled or the pair has never sent). Test and
+// experiment hook.
+func (s *Stack) PairRateBPS(src, dst topology.HostID) float64 {
+	if s.pacers == nil {
+		return float64(s.net.Topology().Link(s.net.Topology().Host(src).Link).RateBPS)
+	}
+	d := s.pacer(src, dst)
+	d.advance(s.net.EngineOf(src).Now())
+	return d.rc
+}

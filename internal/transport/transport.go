@@ -76,6 +76,11 @@ type Config struct {
 	// by default for byte-identity with historical runs; enabled with
 	// PairBackoff by the resilience loop.
 	TimestampRTT bool
+	// DCQCN configures the per-pair ECN-reacting rate limiter (see
+	// DCQCNConfig). It only has an effect when the fabric marks CE
+	// (fabric.Config.ECN); disabled by default for byte-identity with
+	// historical runs.
+	DCQCN DCQCNConfig
 }
 
 func (c *Config) setDefaults() {
@@ -116,6 +121,9 @@ type Stats struct {
 	AcksSent uint64
 	// Abandoned counts packets dropped after MaxRetries.
 	Abandoned uint64
+	// RateCuts counts DCQCN multiplicative rate cuts (0 unless
+	// Config.DCQCN is enabled and the fabric marked CE).
+	RateCuts uint64
 }
 
 // Message is a one-way bulk transfer between two hosts.
@@ -302,6 +310,7 @@ type Stack struct {
 	hosts []hostTP // sharded mode only
 
 	rtts   []rttEstimator // per (src, dst) pair, src*nHosts+dst; only src-side events touch a row
+	pacers []*dcqcnState  // per pair like rtts; nil unless Config.DCQCN is enabled
 	nHosts int
 
 	stats Stats
@@ -318,6 +327,11 @@ func NewStack(net *fabric.Network, cfg Config) *Stack {
 		par:    net.Group() != nil,
 		rtts:   make([]rttEstimator, len(net.Topology().Hosts)*len(net.Topology().Hosts)),
 		nHosts: len(net.Topology().Hosts),
+	}
+	if cfg.DCQCN.Enabled {
+		h0 := net.Topology().Host(0)
+		s.cfg.DCQCN.setDefaults(float64(net.Topology().Link(h0.Link).RateBPS))
+		s.pacers = make([]*dcqcnState, s.nHosts*s.nHosts)
 	}
 	if s.par {
 		s.hosts = make([]hostTP, s.nHosts)
@@ -384,6 +398,7 @@ func (s *Stack) Stats() Stats {
 		t.DuplicatesReceived += st.DuplicatesReceived
 		t.AcksSent += st.AcksSent
 		t.Abandoned += st.Abandoned
+		t.RateCuts += st.RateCuts
 	}
 	return t
 }
@@ -446,8 +461,14 @@ func (s *Stack) Send(m *Message) uint64 {
 	}
 	s.statsAt(m.Src).MessagesSent++
 
-	for seq := 0; seq < m.packets; seq++ {
-		s.sendData(st, seq, false)
+	if s.pacers != nil {
+		// DCQCN: first transmissions flow through the pair's pacer at
+		// its current rate instead of flooding the NIC queue.
+		s.pacerEnqueue(st)
+	} else {
+		for seq := 0; seq < m.packets; seq++ {
+			s.sendData(st, seq, false)
+		}
 	}
 	return m.id
 }
@@ -656,11 +677,18 @@ func (s *Stack) sendAck(p *fabric.Packet) {
 		Tag:      fabric.FlowTag{}, // ACKs are never part of the measured collective
 		Msg:      p.Msg,
 		Seq:      p.Seq,
+		CE:       p.CE,    // ECN echo: the sender's DCQCN reacts to it
 		Stamp:    p.Stamp, // timestamp echo: which copy, sent when
 	})
 }
 
 func (s *Stack) onAck(now sim.Time, p *fabric.Packet) {
+	if s.pacers != nil && p.CE {
+		// A CE-echoed ACK is a congestion notification whether or not
+		// the send state still exists (late ACKs of reaped messages
+		// still describe real queue buildup on the pair's path).
+		s.onCongestionNotification(now, p)
+	}
 	// ACKs arrive at the message's source host, which owns the send
 	// state in sharded mode.
 	sends := s.sendsAt(p.Dst)

@@ -30,6 +30,12 @@ type JobConfig struct {
 	// JitterMax is the per-rank, per-iteration uniform start delay —
 	// zero disables jitter.
 	JitterMax sim.Duration
+	// StragglerOffsets adds a fixed per-rank start delay on top of the
+	// jitter — the topology-asymmetric straggler: ranks on one leaf
+	// consistently late skew the temporal symmetry the detector leans
+	// on without any network fault. Nil disables; shorter slices pad
+	// with zero.
+	StragglerOffsets []sim.Duration
 	// Priority is the traffic class; the measured collective runs
 	// High (the default).
 	Priority fabric.Priority
@@ -156,10 +162,18 @@ func (j *Job) startIteration() {
 	j.started = j.eng.Now()
 	n := j.ranks()
 	var offsets []sim.Duration
-	if j.cfg.JitterMax > 0 {
+	if j.cfg.JitterMax > 0 || j.cfg.StragglerOffsets != nil {
 		offsets = make([]sim.Duration, n)
-		for i := range offsets {
-			offsets[i] = j.rng.UniformDuration(j.cfg.JitterMax)
+		if j.cfg.JitterMax > 0 {
+			for i := range offsets {
+				offsets[i] = j.rng.UniformDuration(j.cfg.JitterMax)
+			}
+		}
+		for i, d := range j.cfg.StragglerOffsets {
+			if i >= n {
+				break
+			}
+			offsets[i] += d
 		}
 	}
 	iter := j.iter
