@@ -11,6 +11,7 @@
 //	flowpulse-check -seeds 200
 //	flowpulse-check -seeds 200 -resilience   # every control-loop seed also re-plans
 //	flowpulse-check -seeds 200 -congestion   # adversarial traffic storms under ECN/DCQCN
+//	flowpulse-check -seeds 200 -divergence   # control-plane belief/truth faults on remediated seeds
 //
 // Reproduce a failure:
 //
@@ -41,6 +42,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "engine worker shards per simulation (0 = classic single-threaded engine); fingerprints depend on the mode (0 vs >= 1) but not on the count, so reproduce failures with the same -shards mode")
 		resil    = flag.Bool("resilience", false, "force the workload re-planner on for every remediated seed, so each control-loop scenario exercises the full quarantine -> re-plan -> recover path (forced specs repro via -spec, not -seed)")
 		congest  = flag.Bool("congestion", false, "run every fat-tree seed under ECN/DCQCN with seed-drawn incast bursts, traffic storms, and stragglers, checking that pure congestion never quarantines and faults still meet their deadlines (forced specs repro via -spec, not -seed)")
+		diverge  = flag.Bool("divergence", false, "inject seed-drawn control-plane belief/truth faults (failed pushes, stale LSDB advertisements) into every remediated seed, checking that belief reconverges to truth and no healthy link is left wrongly down (forced specs repro via -spec, not -seed)")
 		verbose  = flag.Bool("v", false, "print a line per seed")
 	)
 	flag.Parse()
@@ -53,6 +55,10 @@ func main() {
 	if *congest {
 		base := gen
 		gen = func(s uint64) simtest.Spec { return simtest.WithCongestion(base(s)) }
+	}
+	if *diverge {
+		base := gen
+		gen = func(s uint64) simtest.Spec { return simtest.WithDivergence(base(s)) }
 	}
 	switch {
 	case *specJSON != "":

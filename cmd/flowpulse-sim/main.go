@@ -18,6 +18,10 @@
 //	flowpulse-sim -resilience -interleave -leaves 8 -spines 2 -hosts 4 \
 //	    -size 2 -iters 20 -fault-leaf 4 -fault-spine 0 -drop 0.05
 //	                                               # quarantine + ring re-plan
+//	flowpulse-sim -remediate -fail-pushes 1        # drop the quarantine push;
+//	                                               # verify-own-writes re-pushes it
+//	flowpulse-sim -remediate -drop 0 -stale-at 900 # corrupt the LSDB mid-run;
+//	                                               # the audit reconciles it
 package main
 
 import (
@@ -57,6 +61,13 @@ func main() {
 		flapPeriod = flag.Int64("flap-period", 0, "make the fault a lossy flap with this period (µs, 0 = persistent)")
 		flapDown   = flag.Int64("flap-down", 0, "flap down-phase length (µs, default period/2)")
 		jobs       = flag.Int("jobs", 1, "concurrent training jobs on one shared monitoring plane")
+		failSkip   = flag.Int("fail-skip", 0, "divergence: let this many control-plane pushes through before dropping starts")
+		failPushes = flag.Int("fail-pushes", 0, "divergence: silently drop this many control-plane pushes after -fail-skip (verify-own-writes re-pushes; -unverified commits the lie)")
+		partialOps = flag.Int("partial-ops", 0, "divergence: land only the first N operations of the next multi-op ChangeSet")
+		staleAtUS  = flag.Int64("stale-at", 0, "divergence: corrupt the LSDB advertisement for the fault link at this time (µs); lands on the next remediation tick, so needs -remediate")
+		staleUp    = flag.Bool("stale-up", false, "advertise the stale link as up instead of down")
+		unverified = flag.Bool("unverified", false, "divergence baseline: the plane trusts every push — no verify-own-writes, no reconciliation, no audit")
+		auditUS    = flag.Int64("audit-every", 0, "divergence: audit belief against truth at this cadence (µs; verified planes only)")
 		tracePath  = flag.String("trace", "", "record the run to this .fpt trace file for offline replay (see flowpulse-trace)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "engine worker shards; results are identical for every value >= 1 (0 = classic single-threaded engine, byte-compatible with older releases)")
@@ -101,6 +112,20 @@ func main() {
 		sc.PreExisting = append(sc.PreExisting, flowpulse.Link{
 			LeafOrd:  (i*7 + 1) % *leaves,
 			SpineOrd: (i*3 + 2) % *spines,
+		})
+	}
+	sc.Divergence = flowpulse.DivergenceSpec{
+		FailSkip:   *failSkip,
+		FailPushes: *failPushes,
+		PartialOps: *partialOps,
+		Unverified: *unverified,
+		AuditEvery: flowpulse.Duration(*auditUS) * flowpulse.Microsecond,
+	}
+	if *staleAtUS > 0 {
+		sc.Divergence.Stale = append(sc.Divergence.Stale, flowpulse.StaleSpec{
+			At:   sim.Time(sim.Duration(*staleAtUS) * sim.Microsecond),
+			Link: flowpulse.Link{LeafOrd: *faultLeaf, SpineOrd: *faultSpine},
+			Up:   *staleUp,
 		})
 	}
 
@@ -218,6 +243,14 @@ func main() {
 	if *resilient {
 		fmt.Println("resilience: enabled (ring re-plan when a quarantine degrades a leaf)")
 	}
+	if sc.Divergence.Enabled() {
+		posture := "verified (verify-own-writes + reconciliation)"
+		if *unverified {
+			posture = "UNVERIFIED (pushes trusted blindly)"
+		}
+		fmt.Printf("control plane: %s; injecting fail-pushes=%d (skip %d) partial-ops=%d stale-flips=%d audit-every=%dµs\n",
+			posture, *failPushes, *failSkip, *partialOps, len(sc.Divergence.Stale), *auditUS)
+	}
 	fmt.Println()
 
 	if *faultIter <= 0 {
@@ -324,6 +357,21 @@ func main() {
 				rep.Post*float64(flowpulse.Millisecond))
 		default:
 			fmt.Println("recovery: NOT RECOVERED (run ended below 90% of baseline)")
+		}
+	}
+
+	if sc.Divergence.Enabled() {
+		plane := cluster.ControlPlane()
+		ps := plane.Stats()
+		fmt.Println()
+		fmt.Printf("control plane: changesets=%d committed=%d rolled-back=%d retries=%d verify-mismatches=%d pushes-dropped=%d\n",
+			ps.ChangeSets, ps.Committed, ps.RolledBack, ps.Retries, ps.VerifyMismatches, ps.PushesDropped)
+		fmt.Printf("divergence: episodes=%d reconciles=%d audits=%d audit-repairs=%d stale-adopted=%d total-diverged=%v\n",
+			ps.Divergences, ps.Reconciles, ps.Audits, ps.AuditRepairs, ps.StaleAdopted, ps.TotalDiverged)
+		if d := plane.Divergent(); len(d) > 0 {
+			fmt.Printf("STILL DIVERGENT at end of run: links %v\n", d)
+		} else {
+			fmt.Println("belief == truth at end of run")
 		}
 	}
 

@@ -26,6 +26,7 @@ package flowpulse
 import (
 	"fmt"
 
+	"flowpulse/internal/control"
 	"flowpulse/internal/core"
 	"flowpulse/internal/detect"
 	"flowpulse/internal/fabric"
@@ -57,6 +58,19 @@ type JobSpec = core.JobScenario
 
 // Link names a leaf-spine link by (leaf ordinal, spine ordinal, trunk).
 type Link = core.LeafSpineLink
+
+// DivergenceSpec configures Scenario.Divergence: injected control-plane
+// belief/truth splits and the control plane's verification posture.
+type DivergenceSpec = core.DivergenceSpec
+
+// StaleSpec is one scheduled link-state advertisement corruption for
+// DivergenceSpec.Stale.
+type StaleSpec = core.StaleSpec
+
+// ControlStats counts control-plane activity: ChangeSets committed and
+// rolled back, verification mismatches, reconciliations, and the
+// belief/truth divergence episodes with their durations.
+type ControlStats = control.Stats
 
 // LinkID is a raw topology link identifier (as reported by the
 // remediation timeline and localization verdicts).
@@ -201,6 +215,7 @@ func (c *Cluster) Monitor(cfg MonitorConfig) (*Monitor, error) {
 	}
 	coreCfg := core.Config{
 		Net:        c.rt.Net,
+		Control:    c.rt.Plane,
 		Stack:      c.rt.Stack,
 		Demand:     c.rt.Coll.Demand(),
 		Kind:       cfg.Predictor,
@@ -248,7 +263,7 @@ func (c *Cluster) monitorShared(cfg MonitorConfig) (*Monitor, error) {
 		return nil, fmt.Errorf("flowpulse: the Simulation predictor needs a per-job reference run and is not supported on multi-job clusters")
 	}
 	scfg := core.SharedConfig{
-		Net: c.rt.Net, Stack: c.rt.Stack, Remediate: cfg.Remediate,
+		Net: c.rt.Net, Control: c.rt.Plane, Stack: c.rt.Stack, Remediate: cfg.Remediate,
 		Resilience: cfg.Resilience,
 		TracePath:  cfg.TracePath, TraceLabel: cfg.TraceLabel,
 	}
@@ -290,12 +305,22 @@ func (c *Cluster) HealLink(l Link) { c.rt.ClearSilent(l) }
 // around it, exactly like a switch OS disabling a detected-faulty
 // port. FlowPulse's analytical model reads the updated routing state
 // only if the monitor is attached afterwards (known faults at job
-// start, as in §6).
-func (c *Cluster) DisconnectLink(l Link) { c.rt.Net.SetLinkAdmin(c.rt.Link(l), false) }
+// start, as in §6). The change goes through the control plane as a
+// verified ChangeSet, like every administrative mutation.
+func (c *Cluster) DisconnectLink(l Link) {
+	c.rt.Plane.Apply(c.rt.Engine.Now(), "disconnect", []control.Op{{Link: c.rt.Link(l), Up: false}})
+}
 
 // ReconnectLink administratively restores a disconnected link; routing
 // reconverges to include it again.
-func (c *Cluster) ReconnectLink(l Link) { c.rt.Net.SetLinkAdmin(c.rt.Link(l), true) }
+func (c *Cluster) ReconnectLink(l Link) {
+	c.rt.Plane.Apply(c.rt.Engine.Now(), "reconnect", []control.Op{{Link: c.rt.Link(l), Up: true}})
+}
+
+// ControlPlane exposes the cluster's control plane — the believed
+// topology view, the ChangeSet ledger, and the divergence episode
+// metrics — for advanced use.
+func (c *Cluster) ControlPlane() *control.Plane { return c.rt.Plane }
 
 // FlapLink makes a link periodically degrade: for downFor out of every
 // period it silently drops each packet with probability lossRate (both

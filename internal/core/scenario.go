@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flowpulse/internal/collective"
+	"flowpulse/internal/control"
 	"flowpulse/internal/fabric"
 	"flowpulse/internal/fault"
 	"flowpulse/internal/metrics"
@@ -77,6 +78,11 @@ type Scenario struct {
 	// The zero value is fully off, and a scenario with it off builds
 	// byte-identically to earlier releases.
 	Congestion CongestionSpec
+	// Divergence bundles the control-plane fault knobs: injected
+	// belief/truth splits and the plane's verification posture. The
+	// zero value is fully off — a verified plane whose belief tracks
+	// truth exactly — and runs byte-identically to earlier releases.
+	Divergence DivergenceSpec
 	// Job is the training job id.
 	Job uint16
 	// Jobs, when non-empty, makes this a multi-job scenario (§7
@@ -152,6 +158,55 @@ func (c *CongestionSpec) Active() bool {
 	return c.Incast > 0 || c.Storm > 0 || c.Straggler > 0
 }
 
+// DivergenceSpec describes a scenario's control-plane fault regime:
+// which belief/truth splits to inject (see fault.Divergence) and how
+// the control plane defends itself. Links are named by ordinals so the
+// spec survives rebuilds, like PreExisting.
+type DivergenceSpec struct {
+	// FailSkip and FailPushes drive fault.DivergeFailedPush: let
+	// FailSkip administrative pushes through untouched, then silently
+	// drop the next FailPushes. FailPushes 0 injects nothing.
+	FailSkip, FailPushes int
+	// PartialOps, when positive, drives fault.DivergePartialRollout:
+	// the next ChangeSet with more operations lands only its first
+	// PartialOps on the fabric.
+	PartialOps int
+	// Stale lists fault.DivergeStaleLSDB injections: advertisement
+	// corruptions that land at their times with no write involved.
+	Stale []StaleSpec
+	// Unverified disables verify-own-writes AND reconciliation: the
+	// control plane trusts that every push landed, committing intent
+	// straight to belief. This is the baseline arm of the divergence
+	// experiment — the posture most production controllers ship with.
+	Unverified bool
+	// AuditEvery, when positive, runs the periodic belief-vs-truth
+	// audit at this cadence on the remediation tick (verified planes
+	// only). The backstop that catches stale-LSDB decay even when no
+	// deviation ever reaches the remediator.
+	AuditEvery sim.Duration
+	// MaxRetries overrides the per-operation re-push budget during
+	// verification (0 keeps the control package default; negative
+	// means no retries).
+	MaxRetries int
+}
+
+// StaleSpec is one scheduled advertisement corruption.
+type StaleSpec struct {
+	// At is when the corruption lands (on the plane's next tick).
+	At sim.Time
+	// Link names the link whose advertisement is overwritten.
+	Link LeafSpineLink
+	// Up is the (wrong) advertised state.
+	Up bool
+}
+
+// Enabled reports whether any divergence is injected or the plane's
+// verification posture differs from the default. False means the run
+// is byte-identical to one built before this knob existed.
+func (d *DivergenceSpec) Enabled() bool {
+	return d.FailPushes > 0 || d.PartialOps > 0 || len(d.Stale) > 0 || d.Unverified
+}
+
 // JobScenario describes one training job of a multi-job scenario.
 // Zero-valued workload fields inherit the scenario-level values.
 type JobScenario struct {
@@ -218,9 +273,13 @@ type Runtime struct {
 	// Engine is then its control engine.
 	EngineGroup *sim.Group
 	Net         *fabric.Network
-	Stack       *transport.Stack
-	Group       []topology.HostID
-	Coll        collective.Collective
+	// Plane is the control plane holding the believed topology view.
+	// Pass it as Config.Control when attaching a monitor so injected
+	// divergence reaches the predictor and remediator.
+	Plane *control.Plane
+	Stack *transport.Stack
+	Group []topology.HostID
+	Coll  collective.Collective
 	// Jobs holds the per-job runtimes of a multi-job scenario (empty
 	// for the classic single-job form).
 	Jobs []JobRuntime
@@ -283,15 +342,48 @@ func (sc Scenario) Build() (*Runtime, error) {
 		}
 		return nil, err
 	}
-	for _, pf := range sc.PreExisting {
-		link, err := resolveLink(topo, pf)
+	// The control plane is built (and armed with any divergence faults)
+	// before the pre-existing disconnections are pushed, so a scenario
+	// can direct a failed push or partial rollout at the initial
+	// quarantine itself.
+	plane := control.New(control.Config{
+		Verify:     !sc.Divergence.Unverified,
+		MaxRetries: sc.Divergence.MaxRetries,
+		AuditEvery: sc.Divergence.AuditEvery,
+	}, net)
+	if sc.Divergence.FailPushes > 0 {
+		plane.Inject(fault.Divergence{Kind: fault.DivergeFailedPush, Skip: sc.Divergence.FailSkip, Count: sc.Divergence.FailPushes})
+	}
+	if sc.Divergence.PartialOps > 0 {
+		plane.Inject(fault.Divergence{Kind: fault.DivergePartialRollout, Ops: sc.Divergence.PartialOps})
+	}
+	for _, st := range sc.Divergence.Stale {
+		link, err := resolveLink(topo, st.Link)
 		if err != nil {
 			if grp != nil {
 				grp.Close()
 			}
 			return nil, err
 		}
-		net.SetLinkAdmin(link, false)
+		plane.Inject(fault.Divergence{Kind: fault.DivergeStaleLSDB, At: st.At, Link: link, Up: st.Up})
+	}
+	if len(sc.PreExisting) > 0 {
+		// One multi-op ChangeSet: the pre-existing disconnections are a
+		// single administrative decision, pushed link by link in spec
+		// order (the same SetLinkAdmin sequence earlier releases issued
+		// directly).
+		ops := make([]control.Op, 0, len(sc.PreExisting))
+		for _, pf := range sc.PreExisting {
+			link, err := resolveLink(topo, pf)
+			if err != nil {
+				if grp != nil {
+					grp.Close()
+				}
+				return nil, err
+			}
+			ops = append(ops, control.Op{Link: link, Up: false})
+		}
+		plane.Apply(0, "pre-existing", ops)
 	}
 	if sc.Congestion.DCQCN {
 		sc.Transport.DCQCN.Enabled = true
@@ -318,7 +410,7 @@ func (sc Scenario) Build() (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := &Runtime{Scenario: sc, Topo: topo, Engine: eng, EngineGroup: grp, Net: net, Stack: stack, Group: group, Coll: coll}
+	rt := &Runtime{Scenario: sc, Topo: topo, Engine: eng, EngineGroup: grp, Net: net, Plane: plane, Stack: stack, Group: group, Coll: coll}
 	if err := rt.buildJobs(); err != nil {
 		rt.Close()
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flowpulse/internal/collective"
+	"flowpulse/internal/control"
 	"flowpulse/internal/detect"
 	"flowpulse/internal/fabric"
 	"flowpulse/internal/localize"
@@ -63,6 +64,12 @@ type SharedConfig struct {
 	// its own capacity exposure). Bind jobs with BindWorkload. Not
 	// supported for jobs on the simulation model.
 	Resilience *resilience.Config
+	// Control is the (single, fabric-scoped) control plane holding the
+	// believed topology view. Exactly one per fabric: every job's
+	// predictor reads its believed FIB and the shared remediator
+	// mutates links only through it. Nil builds a fresh verified plane
+	// over Net.
+	Control *control.Plane
 	// TracePath records the whole plane — every job's windows, events,
 	// and the shared remediation stream — to one .fpt trace file (see
 	// internal/trace); Trace streams to an existing Writer instead. Set
@@ -79,6 +86,7 @@ type SharedConfig struct {
 type SharedSystem struct {
 	cfg        SharedConfig
 	plane      *monitor.Plane
+	ctrl       *control.Plane
 	faults     *predict.FaultSet
 	remediator *remediate.Remediator // nil unless SharedConfig.Remediate set
 	trc        *trace.Writer         // nil unless tracing
@@ -109,7 +117,10 @@ func AttachShared(cfg SharedConfig) (*SharedSystem, error) {
 		return nil, fmt.Errorf("core: SharedConfig.Jobs is empty")
 	}
 	topo := cfg.Net.Topology()
-	s := &SharedSystem{cfg: cfg, faults: predict.NewFaultSet(), preds: map[uint16]predict.Predictor{}}
+	if cfg.Control == nil {
+		cfg.Control = control.New(control.Config{Verify: true}, cfg.Net)
+	}
+	s := &SharedSystem{cfg: cfg, ctrl: cfg.Control, faults: predict.NewFaultSet(), preds: map[uint16]predict.Predictor{}}
 
 	// Predictors first: the remediator's rebaseline closure spans all
 	// of them.
@@ -122,7 +133,7 @@ func AttachShared(cfg SharedConfig) (*SharedSystem, error) {
 		if kind == "" {
 			kind = AnalyticalModel
 		}
-		pred, _, err := buildPredictor(topo, cfg.Net, cfg.Stack, kind, predictorOptions{
+		pred, _, err := buildPredictor(topo, s.ctrl, cfg.Stack, kind, predictorOptions{
 			Demand: jc.Demand, ReferenceWindows: jc.ReferenceWindows, Learned: jc.Learned,
 		}, s.faults)
 		if err != nil {
@@ -132,7 +143,7 @@ func AttachShared(cfg SharedConfig) (*SharedSystem, error) {
 		jobs = append(jobs, jc.Job)
 	}
 	if cfg.Remediate != nil {
-		s.remediator = remediate.New(cfg.Net, s.faults, func() { s.Rebaseline() }, *cfg.Remediate)
+		s.remediator = remediate.New(s.ctrl, s.faults, func() { s.Rebaseline() }, *cfg.Remediate)
 	}
 	if cfg.Resilience != nil {
 		if s.remediator == nil {
@@ -245,9 +256,13 @@ func (s *SharedSystem) Pipeline(job uint16) *monitor.Pipeline { return s.plane.P
 // Plane returns the underlying monitoring plane.
 func (s *SharedSystem) Plane() *monitor.Plane { return s.plane }
 
-// Remediator returns the shared control plane, or nil when
+// Remediator returns the shared remediation engine, or nil when
 // SharedConfig.Remediate was not set.
 func (s *SharedSystem) Remediator() *remediate.Remediator { return s.remediator }
+
+// ControlPlane returns the fabric-scoped control plane shared by every
+// pipeline. Never nil.
+func (s *SharedSystem) ControlPlane() *control.Plane { return s.ctrl }
 
 // KnownFaults returns the shared known-fault set.
 func (s *SharedSystem) KnownFaults() *predict.FaultSet { return s.faults }
@@ -291,10 +306,9 @@ func (s *SharedSystem) applySharedPlan(b *sharedBinding, p *resilience.Plan, lin
 	if p.Kind == resilience.PlanRestore {
 		kind = remediate.ActionRestore
 	}
-	s.remediator.RecordWorkload(remediate.Action{
-		At: p.At, Kind: kind, Link: link,
-		Detail: fmt.Sprintf("job %d: %s", b.job, p.Detail),
-	})
+	detail := fmt.Sprintf("job %d: %s", b.job, p.Detail)
+	s.remediator.RecordWorkload(remediate.Action{At: p.At, Kind: kind, Link: link, Detail: detail})
+	s.ctrl.Note(p.At, kind.String(), detail)
 	next := b.j.Collective().(collective.Replannable).Replan(p.Group)
 	b.j.Replan(next)
 	if ds, ok := b.pred.(interface {

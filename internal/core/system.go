@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"flowpulse/internal/collective"
+	"flowpulse/internal/control"
 	"flowpulse/internal/detect"
 	"flowpulse/internal/fabric"
 	"flowpulse/internal/localize"
@@ -62,6 +63,13 @@ type Config struct {
 	// Job filters measurement to one job id; telemetry.JobAny measures
 	// all sentinel-tagged traffic.
 	Job int
+	// Control is the control plane holding the believed topology view;
+	// the predictor consults its believed FIB and the remediator
+	// mutates the fabric only through it. Nil builds a fresh verified
+	// plane over Net (belief initialized from live state) — equivalent
+	// for every run that does not inject divergence. Scenario runs pass
+	// Runtime.Plane so injected divergence reaches the monitor.
+	Control *control.Plane
 	// OnEvent receives every localized detection as it happens.
 	OnEvent func(e Event)
 	// OnWindow receives every closed window after scoring but before
@@ -103,7 +111,8 @@ type System struct {
 	pred       predict.Predictor
 	faults     *predict.FaultSet
 	remediator *remediate.Remediator // nil unless Config.Remediate set
-	trc        *trace.Writer         // nil unless tracing
+	plane      *control.Plane
+	trc        *trace.Writer // nil unless tracing
 
 	replanner *resilience.Replanner // nil unless Config.Resilience set
 	job       *workload.Job         // set by BindWorkload
@@ -125,10 +134,19 @@ func Attach(cfg Config) (*System, error) {
 		cfg.Kind = AnalyticalModel
 	}
 	topo := cfg.Net.Topology()
+	if cfg.Control == nil {
+		cfg.Control = control.New(control.Config{Verify: true}, cfg.Net)
+	}
 
-	s := &System{cfg: cfg, faults: predict.NewFaultSet()}
+	s := &System{cfg: cfg, faults: predict.NewFaultSet(), plane: cfg.Control}
 	var err error
-	s.pred, s.learned, err = buildPredictor(topo, cfg.Net, cfg.Stack, cfg.Kind, predictorOptions{
+	// The predictor reads the control plane's *believed* FIB, not the
+	// fabric's: that seam is what lets an injected belief error
+	// propagate into wrong expectations the way a production
+	// controller's stale model would. Belief and truth are identical
+	// (bit for bit — same table-build code, same predicate) unless
+	// divergence is injected.
+	s.pred, s.learned, err = buildPredictor(topo, s.plane, cfg.Stack, cfg.Kind, predictorOptions{
 		Demand: cfg.Demand, ReferenceWindows: cfg.ReferenceWindows, Learned: cfg.Learned,
 	}, s.faults)
 	if err != nil {
@@ -139,7 +157,7 @@ func Attach(cfg Config) (*System, error) {
 	s.detector.SetKnownFaults(s.faults)
 	s.localizer = localize.New(topo, s.detector.Threshold(), 0)
 	if cfg.Remediate != nil {
-		s.remediator = remediate.New(cfg.Net, s.faults, func() { s.Rebaseline() }, *cfg.Remediate)
+		s.remediator = remediate.New(s.plane, s.faults, func() { s.Rebaseline() }, *cfg.Remediate)
 	}
 	if cfg.Resilience != nil {
 		if s.remediator == nil {
@@ -222,14 +240,14 @@ type predictorOptions struct {
 
 // buildPredictor constructs one of §5.2's load models; faults is the
 // known-fault set the analytical model consults.
-func buildPredictor(topo *topology.Topology, net *fabric.Network, stack *transport.Stack,
+func buildPredictor(topo *topology.Topology, fib predict.FIBView, stack *transport.Stack,
 	kind PredictorKind, o predictorOptions, faults *predict.FaultSet) (predict.Predictor, *predict.Learned, error) {
 	switch kind {
 	case AnalyticalModel:
 		if o.Demand == nil {
 			return nil, nil, fmt.Errorf("core: analytical model needs Config.Demand")
 		}
-		a := predict.NewAnalytical(topo, net, stack, o.Demand)
+		a := predict.NewAnalytical(topo, fib, stack, o.Demand)
 		a.SetFaults(faults)
 		return a, nil, nil
 	case SimulationModel:
@@ -263,9 +281,14 @@ func (s *System) Detector() *detect.Detector { return s.detector }
 // Learned returns the learned model, or nil for other kinds.
 func (s *System) Learned() *predict.Learned { return s.learned }
 
-// Remediator returns the closed-loop control plane, or nil when
+// Remediator returns the closed-loop remediation engine, or nil when
 // Config.Remediate was not set.
 func (s *System) Remediator() *remediate.Remediator { return s.remediator }
+
+// ControlPlane returns the control plane holding the believed topology
+// view. Never nil: Attach builds a verified plane when the caller does
+// not supply one.
+func (s *System) ControlPlane() *control.Plane { return s.plane }
 
 // Replanner returns the workload re-planner, or nil until a job is
 // bound (or when Config.Resilience was not set).
@@ -305,6 +328,10 @@ func (s *System) applyPlan(p *resilience.Plan, link topology.LinkID) {
 		kind = remediate.ActionRestore
 	}
 	s.remediator.RecordWorkload(remediate.Action{At: p.At, Kind: kind, Link: link, Detail: p.Detail})
+	// Re-plans change no fabric state, but they are control-plane
+	// decisions: log them on the ChangeSet ledger so an audit of "what
+	// did the controller decide and when" reads one source.
+	s.plane.Note(p.At, kind.String(), p.Detail)
 	next := s.job.Collective().(collective.Replannable).Replan(p.Group)
 	s.job.Replan(next)
 	if ds, ok := s.pred.(interface {

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flowpulse/internal/control"
+	"flowpulse/internal/core"
+	"flowpulse/internal/fault"
+	"flowpulse/internal/remediate"
+	"flowpulse/internal/sim"
+)
+
+// DivergenceConfig measures what ChangeSet verification buys when the
+// control plane's believed topology splits from fabric truth. Three
+// injection scenarios — a silently dropped re-admission push, a stale
+// LSDB advertisement, and a partially rolled-out multi-link ChangeSet —
+// each run twice: once with the verified plane (verify-own-writes,
+// reconciliation) and once with the unverified posture most production
+// controllers ship (push and trust). No scenario injects a data-plane
+// fault, so every quarantine the loop performs is an innocent link
+// taken out of service purely because belief lied.
+type DivergenceConfig struct {
+	// Leaves, Spines, BytesPerRank shape the fabric (defaults 8×4,
+	// 4 MiB — the experiment measures control-plane dynamics, not
+	// detection accuracy, so it runs at small scale).
+	Leaves, Spines int
+	BytesPerRank   int64
+	// Iterations is the run length per trial (default 14).
+	Iterations int
+	// Onset is the iteration at which the scripted mutation or
+	// corruption lands (default 3).
+	Onset int
+	// Seed roots the randomness.
+	Seed uint64
+}
+
+func (c *DivergenceConfig) setDefaults() {
+	if c.Leaves == 0 {
+		c.Leaves = 8
+	}
+	if c.Spines == 0 {
+		c.Spines = 4
+	}
+	if c.BytesPerRank == 0 {
+		c.BytesPerRank = 4 << 20
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 14
+	}
+	if c.Onset == 0 {
+		c.Onset = 3
+	}
+}
+
+// DivergenceRow is one scenario × posture outcome.
+type DivergenceRow struct {
+	Scenario, Arm string
+	// InnocentQuarantines counts links admin-downed by the loop. The
+	// fabric is fault-free in every scenario, so each one is healthy
+	// hardware lost to a wrong belief.
+	InnocentQuarantines uint64
+	// Withheld counts quarantines the remediator converted into
+	// belief repairs (reconcile-before-quarantine).
+	Withheld uint64
+	// Alerts is the detector's alert count.
+	Alerts int
+	// Converged reports belief == truth == intent at end of run.
+	Converged bool
+	// TimeToReconcile is the longest belief≠truth episode (0 when the
+	// run never diverged; see Converged for the never-closed case).
+	TimeToReconcile sim.Duration
+	// Plane is the control plane's full counter set.
+	Plane control.Stats
+}
+
+// DivergenceResult is the experiment outcome.
+type DivergenceResult struct {
+	Config DivergenceConfig
+	Rows   []DivergenceRow
+}
+
+// divergenceTrial builds one scenario, attaches the monitored system
+// with the closed loop on the runtime's own control plane, and runs it
+// with an optional per-iteration script. The script receives the
+// attached system so scripted operator actions can refresh the
+// predictor baseline the way the remediator's own actions do.
+func divergenceTrial(sc core.Scenario, script func(rt *core.Runtime, sys *core.System, now sim.Time, iter uint32)) (*core.Runtime, *core.System, error) {
+	rt, err := sc.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := core.Attach(core.Config{
+		Net: rt.Net, Stack: rt.Stack, Demand: rt.Coll.Demand(),
+		Job: int(sc.Job), Remediate: &remediate.Config{}, Control: rt.Plane,
+	})
+	if err != nil {
+		rt.Close()
+		return nil, nil, err
+	}
+	rt.StartTraining(func(now sim.Time, iter uint32) {
+		if script != nil {
+			script(rt, sys, now, iter)
+		}
+	}, nil)
+	rt.Run()
+	sys.Flush(rt.Engine.Now())
+	return rt, sys, nil
+}
+
+// divergenceRow reduces one finished trial.
+func divergenceRow(scenario, arm string, rt *core.Runtime, sys *core.System) DivergenceRow {
+	ps := rt.Plane.Stats()
+	rs := sys.Remediator().Stats()
+	return DivergenceRow{
+		Scenario: scenario, Arm: arm,
+		InnocentQuarantines: rs.Quarantines,
+		Withheld:            rs.Reconciliations,
+		Alerts:              len(sys.Events),
+		Converged:           len(rt.Plane.Divergent()) == 0,
+		TimeToReconcile:     ps.MaxDiverged,
+		Plane:               ps,
+	}
+}
+
+// Divergence runs the three scenarios under both postures.
+func Divergence(cfg DivergenceConfig) (*DivergenceResult, error) {
+	cfg.setDefaults()
+	res := &DivergenceResult{Config: cfg}
+	base := core.Scenario{
+		Leaves: cfg.Leaves, Spines: cfg.Spines,
+		BytesPerRank: cfg.BytesPerRank, Iterations: cfg.Iterations,
+		Seed: cfg.Seed,
+	}
+	target := core.LeafSpineLink{LeafOrd: cfg.Leaves / 2, SpineOrd: 1}
+
+	for _, arm := range []struct {
+		name       string
+		unverified bool
+	}{{"verified", false}, {"unverified", true}} {
+		// Scenario 1 — failed push: link F sits admin-down
+		// (pre-existing), and at Onset the operator re-admits it,
+		// refreshing the predictor baseline the way any controller
+		// action does. The push is silently eaten (FailSkip covers the
+		// pre-existing ChangeSet's single push). The verified plane's
+		// read-back catches the lie and re-pushes; the unverified plane
+		// commits belief=up over truth=down, the predictor demands
+		// traffic the dead link cannot carry, and the loop burns a full
+		// detect → confirm → quarantine cycle re-learning what the
+		// read-back would have said for free.
+		sc := base
+		sc.PreExisting = []core.LeafSpineLink{target}
+		sc.Divergence = core.DivergenceSpec{
+			FailSkip: 1, FailPushes: 1, Unverified: arm.unverified,
+		}
+		rt, sys, err := divergenceTrial(sc, func(rt *core.Runtime, sys *core.System, now sim.Time, iter uint32) {
+			if int(iter) == cfg.Onset {
+				rt.Plane.Readmit(now, rt.Link(target))
+				sys.Rebaseline()
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, divergenceRow("failed-push readmit", arm.name, rt, sys))
+		rt.Close()
+
+		// Scenario 2 — stale LSDB: a healthy link's advertisement is
+		// corrupted to "down" mid-run, and the next periodic predictor
+		// refresh (one iteration later) bakes the phantom outage into
+		// the expected shares. No write is involved, so
+		// verify-own-writes never sees it; the verified plane catches
+		// it when the first confirmed deviation triggers
+		// reconciliation, the unverified plane never reconciles and
+		// quarantines the innocent siblings that inherit the phantom
+		// deficit.
+		sc = base
+		sc.Divergence = core.DivergenceSpec{Unverified: arm.unverified}
+		rt, sys, err = divergenceTrial(sc, func(rt *core.Runtime, sys *core.System, now sim.Time, iter uint32) {
+			switch int(iter) {
+			case cfg.Onset:
+				rt.Plane.Inject(fault.Divergence{
+					Kind: fault.DivergeStaleLSDB,
+					At:   now, Link: rt.Link(target), Up: false,
+				})
+			case cfg.Onset + 1:
+				sys.Rebaseline()
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, divergenceRow("stale LSDB advert", arm.name, rt, sys))
+		rt.Close()
+
+		// Scenario 3 — partial rollout: a two-trunk quarantine lands
+		// only its first operation on the fabric. Verification rolls
+		// the stall forward (retry) before committing; the unverified
+		// plane believes both trunks are dark while one still carries
+		// traffic, and the belief never heals.
+		sc = base
+		sc.Trunk = 2
+		sc.PreExisting = []core.LeafSpineLink{
+			{LeafOrd: target.LeafOrd, SpineOrd: target.SpineOrd, Trunk: 0},
+			{LeafOrd: target.LeafOrd, SpineOrd: target.SpineOrd, Trunk: 1},
+		}
+		sc.Divergence = core.DivergenceSpec{PartialOps: 1, Unverified: arm.unverified}
+		rt, sys, err = divergenceTrial(sc, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, divergenceRow("partial rollout", arm.name, rt, sys))
+		rt.Close()
+	}
+	return res, nil
+}
+
+// String renders the comparison table plus per-row plane counters.
+func (r *DivergenceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Belief vs truth — %dx%d fat tree, %d MiB per rank, %d iterations, fault-free fabric\n",
+		r.Config.Leaves, r.Config.Spines, r.Config.BytesPerRank>>20, r.Config.Iterations)
+	fmt.Fprintf(&b, "%-20s %-11s %9s %9s %7s %14s %10s\n",
+		"scenario", "plane", "innocent", "withheld", "alerts", "t-reconcile", "converged")
+	for _, row := range r.Rows {
+		rec := row.TimeToReconcile.String()
+		if !row.Converged {
+			rec = "never"
+		} else if row.TimeToReconcile == 0 {
+			rec = "-"
+		}
+		conv := "yes"
+		if !row.Converged {
+			conv = "NO"
+		}
+		fmt.Fprintf(&b, "%-20s %-11s %9d %9d %7d %14s %10s\n",
+			row.Scenario, row.Arm, row.InnocentQuarantines, row.Withheld,
+			row.Alerts, rec, conv)
+	}
+	for _, row := range r.Rows {
+		p := row.Plane
+		fmt.Fprintf(&b, "plane (%s, %s): changesets=%d committed=%d rolled-back=%d retries=%d mismatches=%d stale-adopted=%d audits=%d episodes=%d/%d\n",
+			row.Scenario, row.Arm, p.ChangeSets, p.Committed, p.RolledBack,
+			p.Retries, p.VerifyMismatches, p.StaleAdopted, p.Audits,
+			p.Reconciled, p.Divergences)
+	}
+	return b.String()
+}
+
+// CSV renders plottable rows.
+func (r *DivergenceResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,arm,innocent_quarantines,withheld,alerts,time_to_reconcile_us,converged\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%.3f,%t\n",
+			row.Scenario, row.Arm, row.InnocentQuarantines, row.Withheld,
+			row.Alerts, float64(row.TimeToReconcile)/float64(sim.Microsecond),
+			row.Converged)
+	}
+	return b.String()
+}

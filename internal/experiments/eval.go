@@ -34,7 +34,8 @@ type EvalOverrides struct {
 var EvalOrder = []string{
 	"fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "preexisting",
 	"headline", "faulttypes", "jitter", "trunks", "clos3", "blocking",
-	"remediate", "resilience", "paralleljobs", "congestion", "ablation",
+	"remediate", "resilience", "paralleljobs", "congestion", "divergence",
+	"ablation",
 }
 
 // EvalExperiments returns the experiment registry under the given
@@ -214,6 +215,17 @@ func EvalExperiments(o EvalOverrides) map[string]func() (fmt.Stringer, error) {
 				cfg.BytesPerRank = o.SizeMB << 20
 			}
 			return Congestion(cfg)
+		},
+		"divergence": func() (fmt.Stringer, error) {
+			// Already small-scale (8×4); Quick only trims the run length.
+			cfg := DivergenceConfig{Seed: o.Seed}
+			if o.Quick {
+				cfg.Iterations = 10
+			}
+			if o.SizeMB > 0 {
+				cfg.BytesPerRank = o.SizeMB << 20
+			}
+			return Divergence(cfg)
 		},
 		"ablation": func() (fmt.Stringer, error) {
 			cfg := AblationConfig{Seed: o.Seed}

@@ -83,6 +83,7 @@ func (tr Trial) Run() (*TrialResult, error) {
 		Net: rt.Net, Stack: rt.Stack, Demand: rt.Coll.Demand(),
 		Kind: tr.Kind, Detect: tr.Detect, Job: int(sc.Job),
 		TracePath: tr.TracePath, TraceLabel: tr.TraceLabel,
+		Control: rt.Plane,
 	}
 	if tr.Remediate {
 		cfg.Remediate = &remediate.Config{}

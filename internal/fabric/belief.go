@@ -1,0 +1,58 @@
+package fabric
+
+import (
+	"flowpulse/internal/topology"
+)
+
+// BeliefFIB is a forwarding table computed from a caller-supplied
+// administrative predicate instead of the live fabric's link state.
+// The control plane uses one to hold its *believed* routing view: the
+// table-build algorithm is the exact code the fabric's own FIB runs,
+// so whenever belief matches truth the candidate sets are
+// byte-identical to Network.LeafUplinkCandidates — and whenever they
+// differ, the divergence is precisely the injected belief error, not
+// an artifact of a second implementation.
+type BeliefFIB struct {
+	fib *fibTable
+	// leafUpInt mirrors fib.leafUp as []int, rebuilt on Recompute, so
+	// the steady-state read path returns a stable slice without
+	// allocating. Callers must not mutate or retain it across a
+	// Recompute (the predictor copies before filtering).
+	leafUpInt [][][]int
+}
+
+// NewBeliefFIB builds the static adjacency for a topology. The dynamic
+// candidate tables are empty until the first Recompute.
+func NewBeliefFIB(topo *topology.Topology) *BeliefFIB {
+	return &BeliefFIB{fib: newFIBTable(topo)}
+}
+
+// Recompute rebuilds every candidate table from the believed
+// administrative link predicate, exactly as the fabric reconverges on
+// a real admin change.
+func (b *BeliefFIB) Recompute(up func(topology.LinkID) bool) {
+	b.fib.recompute(up)
+	if b.leafUpInt == nil {
+		b.leafUpInt = make([][][]int, len(b.fib.leafUp))
+		for lo := range b.fib.leafUp {
+			b.leafUpInt[lo] = make([][]int, len(b.fib.leafUp[lo]))
+		}
+	}
+	for lo := range b.fib.leafUp {
+		for dl, ports := range b.fib.leafUp[lo] {
+			cached := b.leafUpInt[lo][dl][:0]
+			for _, p := range ports {
+				cached = append(cached, int(p))
+			}
+			b.leafUpInt[lo][dl] = cached
+		}
+	}
+}
+
+// LeafUplinkCandidates returns the believed spray set of a leaf for a
+// destination leaf — same contract as Network.LeafUplinkCandidates,
+// evaluated against the believed view.
+func (b *BeliefFIB) LeafUplinkCandidates(leaf, dstLeaf topology.SwitchID) []int {
+	lo, dl := b.fib.leafOrdOf[leaf], b.fib.leafOrdOf[dstLeaf]
+	return b.leafUpInt[lo][dl]
+}

@@ -1,0 +1,80 @@
+// Control-plane divergence faults: errors in what the system
+// *believes* about the fabric rather than in what the links do. A
+// packet-loss model (fault.Model) corrupts the data plane; a
+// Divergence corrupts the control plane's model of the data plane —
+// "The Ghost in the Datacenter" class of failure. They are injected
+// into control.Plane, which owns the believed topology view, and are
+// repaired by verify-own-writes, reconciliation, or the periodic
+// belief-vs-truth audit.
+package fault
+
+import (
+	"fmt"
+
+	"flowpulse/internal/sim"
+	"flowpulse/internal/topology"
+)
+
+// DivergenceKind enumerates the ways belief and truth can split.
+type DivergenceKind uint8
+
+const (
+	// DivergeFailedPush silently drops administrative config pushes:
+	// the controller issues SetLinkAdmin, the switch never applies it.
+	// An unverified control plane commits its intent to belief anyway.
+	DivergeFailedPush DivergenceKind = iota
+	// DivergeStaleLSDB corrupts one switch's link-state advertisement
+	// without any write happening: the belief decays on its own, as
+	// after a flap whose recovery notification was lost.
+	DivergeStaleLSDB
+	// DivergePartialRollout lands only a prefix of a multi-operation
+	// ChangeSet on the fabric — a quarantine of a trunk group that
+	// half-applied.
+	DivergePartialRollout
+)
+
+func (k DivergenceKind) String() string {
+	switch k {
+	case DivergeFailedPush:
+		return "failed-push"
+	case DivergeStaleLSDB:
+		return "stale-lsdb"
+	case DivergePartialRollout:
+		return "partial-rollout"
+	}
+	return fmt.Sprintf("divergence(%d)", k)
+}
+
+// Divergence describes one injectable control-plane fault. Fields are
+// kind-specific; unused fields are ignored.
+type Divergence struct {
+	Kind DivergenceKind
+
+	// Skip and Count drive DivergeFailedPush: let Skip pushes through
+	// untouched, then silently drop the next Count.
+	Skip, Count int
+
+	// At, Link, and Up drive DivergeStaleLSDB: at simulated time At the
+	// advertisement for Link on one of its terminating switches is
+	// overwritten with Up. The corruption lands on the plane's next
+	// tick at or after At.
+	At   sim.Time
+	Link topology.LinkID
+	Up   bool
+
+	// Ops drives DivergePartialRollout: the next ChangeSet with more
+	// than Ops operations lands only its first Ops on the fabric.
+	Ops int
+}
+
+func (d Divergence) String() string {
+	switch d.Kind {
+	case DivergeFailedPush:
+		return fmt.Sprintf("failed-push(skip %d, drop %d)", d.Skip, d.Count)
+	case DivergeStaleLSDB:
+		return fmt.Sprintf("stale-lsdb(link %d -> up=%v at %v)", d.Link, d.Up, sim.Duration(d.At))
+	case DivergePartialRollout:
+		return fmt.Sprintf("partial-rollout(first %d ops)", d.Ops)
+	}
+	return d.Kind.String()
+}

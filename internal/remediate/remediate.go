@@ -1,9 +1,18 @@
-// Package remediate closes the loop that detection (§5.3) opens: a
-// control plane that confirms alerts over consecutive windows,
-// quarantines the localized link (admin-down plus load-model update),
-// re-baselines the predictors, and probes the quarantined link with
-// OAM packets until it has earned re-admission — with BGP-style flap
-// damping so an intermittent link cannot churn the fabric forever.
+// Package remediate closes the loop that detection (§5.3) opens: it
+// confirms alerts over consecutive windows, quarantines the localized
+// link (admin-down plus load-model update), re-baselines the
+// predictors, and probes the quarantined link with OAM packets until
+// it has earned re-admission — with BGP-style flap damping so an
+// intermittent link cannot churn the fabric forever.
+//
+// The remediator never touches the fabric directly: every mutation is
+// a declarative ChangeSet pushed through the control plane
+// (internal/control), which verifies its own writes and reports
+// whether the change committed. Failed commits leave the remediator's
+// state armed so the action retries; and before acting on a confirmed
+// deviation the remediator asks the plane to Reconcile — a deviation
+// that is really a belief≠truth divergence gets the topology view
+// repaired (ActionReconcile) instead of a healthy link quarantined.
 //
 // The remediator is tick-driven: it acts only from Observe (called per
 // localized alert) and Tick (called at every window close), plus
@@ -123,6 +132,10 @@ const (
 	// ActionRestore: a re-admission restored the original collective
 	// plan (workload-level).
 	ActionRestore
+	// ActionReconcile: a confirmed deviation turned out to be
+	// belief≠truth divergence; the control plane repaired its topology
+	// view instead of quarantining a healthy link.
+	ActionReconcile
 )
 
 // String names the action.
@@ -140,6 +153,8 @@ func (k ActionKind) String() string {
 		return "replan"
 	case ActionRestore:
 		return "restore"
+	case ActionReconcile:
+		return "reconcile"
 	}
 	return "unknown"
 }
@@ -186,6 +201,14 @@ type Stats struct {
 	// Corroborations counts confirmations reached via the cross-job
 	// fast path rather than a full K-window streak.
 	Corroborations uint64
+	// Reconciliations counts confirmed deviations resolved by
+	// control-plane reconciliation (belief repair) instead of
+	// quarantine.
+	Reconciliations uint64
+	// FailedCommits counts quarantine/re-admission ChangeSets the
+	// control plane could not verify and commit; the remediator stays
+	// armed and retries.
+	FailedCommits uint64
 }
 
 // streakKey identifies one job's view of one leaf uplink: streaks are
@@ -220,15 +243,28 @@ type quarLink struct {
 	suppLogged  bool
 }
 
-// Fabric is the dataplane surface the remediator drives: admin-down /
-// re-admit and OAM probing. *fabric.Network implements it online; the
-// trace replay substitutes a playback fabric that answers probes from
-// the recorded rounds.
-type Fabric interface {
+// ControlPlane is the mutation surface the remediator drives:
+// ChangeSet-verified admin-down / re-admit, OAM probing, divergence
+// reconciliation, and the plane's own time-based machinery.
+// *control.Plane implements it online; the trace replay substitutes a
+// playback plane that answers probes from the recorded rounds and
+// always commits.
+type ControlPlane interface {
 	Topology() *topology.Topology
-	DisconnectLink(link topology.LinkID)
-	ReconnectLink(link topology.LinkID)
+	// Quarantine pushes admin-down through a verified ChangeSet and
+	// reports whether it committed.
+	Quarantine(now sim.Time, link topology.LinkID) bool
+	// Readmit pushes admin-up through a verified ChangeSet and reports
+	// whether it committed.
+	Readmit(now sim.Time, link topology.LinkID) bool
 	ProbeLink(link topology.LinkID, dir fabric.Direction, size int, onResult func(now sim.Time, delivered bool))
+	// Reconcile reports whether the plane found (and repaired)
+	// belief≠truth divergence — in which case the triggering deviation
+	// is a control-plane fault, not a link fault.
+	Reconcile(now sim.Time) bool
+	// Tick drives the plane's audit and pending injections; the
+	// remediator forwards its own window-close tick.
+	Tick(now sim.Time)
 }
 
 // Remediator is the closed-loop control plane over one network. All
@@ -236,7 +272,7 @@ type Fabric interface {
 // core.System's window-close path).
 type Remediator struct {
 	cfg        Config
-	net        Fabric
+	net        ControlPlane
 	topo       *topology.Topology
 	faults     *predict.FaultSet
 	rebaseline func()
@@ -269,11 +305,11 @@ type Remediator struct {
 	Timeline []Action
 }
 
-// New builds a remediator over a network. faults is the predictors'
-// known-fault set (nil: quarantine only drives the FIB); rebaseline is
-// invoked after every quarantine and re-admission so the load models
-// track the new routing state (nil: no-op).
-func New(net Fabric, faults *predict.FaultSet, rebaseline func(), cfg Config) *Remediator {
+// New builds a remediator over a control plane. faults is the
+// predictors' known-fault set (nil: quarantine only drives the FIB);
+// rebaseline is invoked after every quarantine and re-admission so
+// the load models track the new routing state (nil: no-op).
+func New(net ControlPlane, faults *predict.FaultSet, rebaseline func(), cfg Config) *Remediator {
 	cfg.setDefaults()
 	if rebaseline == nil {
 		rebaseline = func() {}
@@ -376,8 +412,26 @@ func (r *Remediator) Observe(a detect.Alert, v localize.Verdict) {
 		a.LeafOrdinal, a.Uplink, st.count, 100*a.Deviation))
 }
 
-// confirm records one confirmation and quarantines the suspect links.
+// confirm records one confirmation and quarantines the suspect links
+// — unless the control plane's reconciliation finds the deviation is
+// really a belief≠truth divergence, in which case the repaired view
+// (plus a rebaseline against it) is the whole remediation and no link
+// goes down. Reconcile is read-backs over live state: with no
+// divergence injected it finds nothing and this path is inert.
 func (r *Remediator) confirm(a detect.Alert, st *streak, links []topology.LinkID, detail string) {
+	if r.net.Reconcile(a.At) {
+		r.stats.Reconciliations++
+		// Every in-flight streak was measured against the belief the
+		// repair just rewrote — void them all, not just the trigger, or
+		// sibling ports confirmed in the same window batch would sail
+		// past the (now clean) reconcile check into quarantine.
+		r.streaks = map[streakKey]*streak{}
+		r.flags = map[trunkKey]map[uint16]sim.Time{}
+		r.record(Action{At: a.At, Kind: ActionReconcile, Link: links[0],
+			Detail: "belief/truth divergence repaired; quarantine withheld"})
+		r.rebaseline()
+		return
+	}
 	r.stats.Confirmations++
 	r.record(Action{At: a.At, Kind: ActionConfirm, Link: links[0], Detail: detail})
 	delete(r.streaks, streakKey{job: a.Job, leafOrd: a.LeafOrdinal, uplink: a.Uplink})
@@ -428,9 +482,15 @@ func (r *Remediator) uplinkLink(a detect.Alert) (topology.LinkID, bool) {
 	return sw.Ports[p].Link, true
 }
 
-// quarantine admin-downs one link and starts its probing clock.
+// quarantine admin-downs one link through a verified ChangeSet and
+// starts its probing clock. If the plane cannot commit the change the
+// remediator records nothing: the deviation persists, the streak
+// rebuilds, and the quarantine retries at the next confirmation.
 func (r *Remediator) quarantine(link topology.LinkID, now sim.Time) {
-	r.net.DisconnectLink(link)
+	if !r.net.Quarantine(now, link) {
+		r.stats.FailedCommits++
+		return
+	}
 	if r.faults != nil {
 		r.faults.Add(link)
 	}
@@ -467,6 +527,10 @@ func (r *Remediator) RecordWorkload(a Action) {
 // it at every window close; because probes are finite one-shot events,
 // remediation never outlives the training traffic that drives it.
 func (r *Remediator) Tick(now sim.Time) {
+	// The control plane's own time-based machinery (pending divergence
+	// injections, the belief-vs-truth audit) rides the same
+	// window-close clock; with nothing injected this is two compares.
+	r.net.Tick(now)
 	changed := false
 	kept := r.quar[:0]
 	for _, q := range r.quar {
@@ -483,23 +547,27 @@ func (r *Remediator) Tick(now sim.Time) {
 		if q.cleanRounds >= r.cfg.CleanProbes {
 			d := r.dampers[q.link]
 			if d.reusable(now, r.cfg.Reuse, r.cfg.HalfLife) {
-				r.net.ReconnectLink(q.link)
-				if r.faults != nil {
-					r.faults.Remove(q.link)
+				// Readmit through a verified ChangeSet; if the push fails
+				// to commit, the link stays quarantined with its clean
+				// streak intact and the re-admission retries next tick.
+				if r.net.Readmit(now, q.link) {
+					if r.faults != nil {
+						r.faults.Remove(q.link)
+					}
+					delete(r.quarIdx, q.link)
+					r.stats.Readmissions++
+					r.record(Action{
+						At: now, Kind: ActionReadmit, Link: q.link,
+						Detail: fmt.Sprintf("%d clean probe rounds", q.cleanRounds),
+					})
+					if r.OnReadmit != nil {
+						r.OnReadmit(now, q.link)
+					}
+					changed = true
+					continue
 				}
-				delete(r.quarIdx, q.link)
-				r.stats.Readmissions++
-				r.record(Action{
-					At: now, Kind: ActionReadmit, Link: q.link,
-					Detail: fmt.Sprintf("%d clean probe rounds", q.cleanRounds),
-				})
-				if r.OnReadmit != nil {
-					r.OnReadmit(now, q.link)
-				}
-				changed = true
-				continue
-			}
-			if !q.suppLogged {
+				r.stats.FailedCommits++
+			} else if !q.suppLogged {
 				q.suppLogged = true
 				r.stats.SuppressedReadmits++
 				r.record(Action{

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"flowpulse/internal/control"
 	"flowpulse/internal/detect"
 	"flowpulse/internal/fabric"
 	"flowpulse/internal/fault"
@@ -12,6 +13,12 @@ import (
 	"flowpulse/internal/sim"
 	"flowpulse/internal/topology"
 )
+
+// testPlane wraps a fabric in a verified control plane — the production
+// mutation path the remediator drives.
+func testPlane(net *fabric.Network) *control.Plane {
+	return control.New(control.Config{Verify: true}, net)
+}
 
 func testNet(t *testing.T) (*topology.Topology, *fabric.Network, *sim.Engine) {
 	t.Helper()
@@ -42,7 +49,7 @@ func TestConfirmAfterKWindows(t *testing.T) {
 	link := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[0])[0]
 	fs := predict.NewFaultSet()
 	rebaselines := 0
-	r := New(net, fs, func() { rebaselines++ }, fastCfg())
+	r := New(testPlane(net), fs, func() { rebaselines++ }, fastCfg())
 
 	for iter := uint32(1); iter <= 2; iter++ {
 		r.Observe(deficit(0, 1, iter, sim.Time(iter)*1000), blame(link))
@@ -75,7 +82,7 @@ func TestConfirmAfterKWindows(t *testing.T) {
 func TestStreakResetOnGap(t *testing.T) {
 	topo, net, _ := testNet(t)
 	link := topo.TrunkLinks(topo.Spines()[0], topo.Leaves()[1])[0]
-	r := New(net, nil, nil, fastCfg())
+	r := New(testPlane(net), nil, nil, fastCfg())
 
 	// Iterations 1, 2, 4: the gap resets the streak.
 	r.Observe(deficit(1, 0, 1, 100), blame(link))
@@ -95,7 +102,7 @@ func TestStreakResetOnGap(t *testing.T) {
 func TestSurplusAndSpineAlertsIgnored(t *testing.T) {
 	topo, net, _ := testNet(t)
 	link := topo.TrunkLinks(topo.Spines()[0], topo.Leaves()[0])[0]
-	r := New(net, nil, nil, fastCfg())
+	r := New(testPlane(net), nil, nil, fastCfg())
 
 	for iter := uint32(1); iter <= 5; iter++ {
 		a := deficit(0, 0, iter, sim.Time(iter)*100)
@@ -113,7 +120,7 @@ func TestSurplusAndSpineAlertsIgnored(t *testing.T) {
 func TestDuplicateIterationCountsOnce(t *testing.T) {
 	topo, net, _ := testNet(t)
 	link := topo.TrunkLinks(topo.Spines()[2], topo.Leaves()[0])[0]
-	r := New(net, nil, nil, fastCfg())
+	r := New(testPlane(net), nil, nil, fastCfg())
 	// Three alerts within the same iteration are one deviating window.
 	for i := 0; i < 3; i++ {
 		r.Observe(deficit(0, 2, 7, 700), blame(link))
@@ -126,7 +133,7 @@ func TestDuplicateIterationCountsOnce(t *testing.T) {
 func TestIndeterminateHoldsUntilLocalized(t *testing.T) {
 	topo, net, _ := testNet(t)
 	link := topo.TrunkLinks(topo.Spines()[3], topo.Leaves()[2])[0]
-	r := New(net, nil, nil, fastCfg())
+	r := New(testPlane(net), nil, nil, fastCfg())
 
 	for iter := uint32(1); iter <= 4; iter++ {
 		r.Observe(deficit(2, 3, iter, sim.Time(iter)*100), localize.Verdict{Kind: localize.Indeterminate})
@@ -144,7 +151,7 @@ func TestIndeterminateHoldsUntilLocalized(t *testing.T) {
 func TestAlreadyQuarantinedSuspectDropped(t *testing.T) {
 	topo, net, _ := testNet(t)
 	link := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[3])[0]
-	r := New(net, nil, nil, fastCfg())
+	r := New(testPlane(net), nil, nil, fastCfg())
 	for iter := uint32(1); iter <= 3; iter++ {
 		r.Observe(deficit(3, 1, iter, sim.Time(iter)*100), blame(link))
 	}
@@ -176,7 +183,7 @@ func TestProbedReadmission(t *testing.T) {
 	link := topo.TrunkLinks(topo.Spines()[0], topo.Leaves()[0])[0]
 	fs := predict.NewFaultSet()
 	rebaselines := 0
-	r := New(net, fs, func() { rebaselines++ }, fastCfg())
+	r := New(testPlane(net), fs, func() { rebaselines++ }, fastCfg())
 
 	for iter := uint32(1); iter <= 3; iter++ {
 		r.Observe(deficit(0, 0, iter, sim.Time(iter)), blame(link))
@@ -213,7 +220,7 @@ func TestLossyLinkStaysQuarantined(t *testing.T) {
 	topo, net, eng := testNet(t)
 	link := topo.TrunkLinks(topo.Spines()[0], topo.Leaves()[0])[0]
 	net.InjectFault(link, fabric.DirBoth, fault.BlackHole{})
-	r := New(net, nil, nil, fastCfg())
+	r := New(testPlane(net), nil, nil, fastCfg())
 
 	for iter := uint32(1); iter <= 3; iter++ {
 		r.Observe(deficit(0, 0, iter, sim.Time(iter)), blame(link))
@@ -236,7 +243,7 @@ func TestFlapDampingSuppressesThirdReadmit(t *testing.T) {
 	link := topo.TrunkLinks(topo.Spines()[0], topo.Leaves()[0])[0]
 	cfg := fastCfg()
 	cfg.HalfLife = 2 * sim.Millisecond
-	r := New(net, nil, nil, cfg)
+	r := New(testPlane(net), nil, nil, cfg)
 
 	now := sim.Time(0)
 	iter := uint32(0)
@@ -321,7 +328,7 @@ func deficitJob(job uint16, leafOrd, uplink int, iter uint32, at sim.Time) detec
 func TestCrossJobCorroborationConfirmsEarly(t *testing.T) {
 	topo, net, _ := testNet(t)
 	link := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[0])[0]
-	r := New(net, nil, nil, fastCfg())
+	r := New(testPlane(net), nil, nil, fastCfg())
 
 	// Each job alone is below K=3; two 2-window streaks on the same
 	// trunk within the horizon corroborate.
@@ -349,7 +356,7 @@ func TestCorroborationDisabled(t *testing.T) {
 	link := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[0])[0]
 	cfg := fastCfg()
 	cfg.CorroborateWindows = -1
-	r := New(net, nil, nil, cfg)
+	r := New(testPlane(net), nil, nil, cfg)
 
 	for iter := uint32(1); iter <= 2; iter++ {
 		r.Observe(deficitJob(1, 0, 1, iter, sim.Time(iter)*100), blame(link))
@@ -372,7 +379,7 @@ func TestCorroborationDisabled(t *testing.T) {
 func TestCorroborationHorizonExpires(t *testing.T) {
 	topo, net, _ := testNet(t)
 	link := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[0])[0]
-	r := New(net, nil, nil, fastCfg()) // horizon defaults to 2ms
+	r := New(testPlane(net), nil, nil, fastCfg()) // horizon defaults to 2ms
 
 	r.Observe(deficitJob(1, 0, 1, 10, 100), blame(link))
 	r.Observe(deficitJob(1, 0, 1, 11, 200), blame(link)) // job 1 flags at t=200
@@ -389,7 +396,7 @@ func TestCorroborationDistinctTrunksIndependent(t *testing.T) {
 	topo, net, _ := testNet(t)
 	linkA := topo.TrunkLinks(topo.Spines()[1], topo.Leaves()[0])[0]
 	linkB := topo.TrunkLinks(topo.Spines()[2], topo.Leaves()[0])[0]
-	r := New(net, nil, nil, fastCfg())
+	r := New(testPlane(net), nil, nil, fastCfg())
 
 	// Jobs flag different uplinks of the same leaf: no corroboration.
 	r.Observe(deficitJob(1, 0, 1, 10, 100), blame(linkA))

@@ -1,0 +1,177 @@
+package simtest
+
+import "testing"
+
+// TestWithDivergenceEnvelope: the -divergence sweep helper turns
+// remediated single-job fat-tree seeds into normalized divergence
+// specs inside the envelope the convergence oracles rest on, and
+// leaves every other seed untouched.
+func TestWithDivergenceEnvelope(t *testing.T) {
+	forced, plain := 0, 0
+	for seed := uint64(0); seed < 300; seed++ {
+		spec := Generate(seed)
+		got := WithDivergence(spec)
+		if !spec.Work.Remediate || spec.Topo.Kind != FatTree2 || spec.Work.Jobs != 0 {
+			plain++
+			if got != spec {
+				t.Fatalf("seed %d: WithDivergence changed a spec outside the envelope", seed)
+			}
+			continue
+		}
+		forced++
+		d := got.Diverge
+		if !d.Active() {
+			t.Fatalf("seed %d: WithDivergence left a remediated spec without divergence: %s", seed, got.MarshalCompact())
+		}
+		norm := got
+		norm.normalize()
+		if norm != got {
+			t.Fatalf("seed %d: WithDivergence returned a non-normalized spec: %s", seed, got.MarshalCompact())
+		}
+		if got.Work.Resilience || got.Congest.Active() {
+			t.Fatalf("seed %d: divergence spec kept the resilience/congestion twists: %s", seed, got.MarshalCompact())
+		}
+		if got.Work.Iterations < 8 {
+			t.Fatalf("seed %d: divergence spec too short (%d iterations)", seed, got.Work.Iterations)
+		}
+		if d.FailPushes < 1 || d.FailPushes > 2 {
+			t.Fatalf("seed %d: FailPushes %d outside the retry budget", seed, d.FailPushes)
+		}
+		est := int64(estIterTime(&got))
+		if d.AuditPS < est || d.AuditPS > 3*est {
+			t.Fatalf("seed %d: AuditPS %d outside [est, 3·est] (est %d)", seed, d.AuditPS, est)
+		}
+		for i, st := range d.Stale {
+			if st.AtPS == 0 {
+				if st != (StaleFlip{}) {
+					t.Fatalf("seed %d: unused stale slot %d carries fields: %+v", seed, i, st)
+				}
+				continue
+			}
+			// The last flip must leave ≥4 iterations of headroom so the
+			// audit provably runs after it (real iterations are never
+			// shorter than the estimate).
+			if st.AtPS < est || st.AtPS > int64(got.Work.Iterations-4)*est {
+				t.Fatalf("seed %d: stale flip %d at %dps outside [est, (iters-4)·est]", seed, i, st.AtPS)
+			}
+			if st.Leaf >= got.Topo.Leaves || st.Spine >= got.Topo.Spines || st.Trunk >= got.Topo.Trunk {
+				t.Fatalf("seed %d: stale flip %d names a link outside the fabric: %+v", seed, i, st)
+			}
+		}
+	}
+	if forced == 0 || plain == 0 {
+		t.Fatalf("degenerate sample: %d forced, %d plain", forced, plain)
+	}
+}
+
+// TestDivergenceSpecJSONRoundTrip: divergence fields survive the
+// compact repro encoding — a shrunk -divergence failure pasted back
+// into -spec reruns the identical scenario.
+func TestDivergenceSpecJSONRoundTrip(t *testing.T) {
+	ran := 0
+	for seed := uint64(0); seed < 200; seed++ {
+		spec := WithDivergence(Generate(seed))
+		if !spec.Diverge.Active() {
+			continue
+		}
+		ran++
+		back, err := ParseSpec(spec.MarshalCompact())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if back != spec {
+			t.Fatalf("seed %d: round trip changed the spec:\n%s\n%s", seed, spec.MarshalCompact(), back.MarshalCompact())
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no divergence spec in 200 seeds — WithDivergence broken")
+	}
+}
+
+// TestNormalizeClearsDivergenceOutsideEnvelope: divergence cannot
+// escape its envelope — hand-written specs (or shrink candidates) that
+// drop remediation, add a second job, or switch topologies lose the
+// DivergeSpec entirely rather than running injections no oracle
+// covers.
+func TestNormalizeClearsDivergenceOutsideEnvelope(t *testing.T) {
+	var base Spec
+	for seed := uint64(0); seed < 300; seed++ {
+		base = WithDivergence(Generate(seed))
+		if base.Diverge.Active() {
+			break
+		}
+	}
+	if !base.Diverge.Active() {
+		t.Fatal("no divergence spec in 300 seeds — WithDivergence broken")
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"unremediated", func(s *Spec) { s.Work.Remediate = false }},
+		{"two-job", func(s *Spec) { s.Work.Jobs = 2 }},
+		{"clos3", func(s *Spec) { s.Topo.Kind = Clos3 }},
+	}
+	for _, tc := range cases {
+		spec := base
+		tc.mutate(&spec)
+		spec.normalize()
+		if spec.Diverge != (DivergeSpec{}) {
+			t.Errorf("%s: normalize kept divergence outside the envelope: %+v", tc.name, spec.Diverge)
+		}
+	}
+	// Inside the envelope the stale schedule is clamped, not cleared.
+	spec := base
+	spec.Diverge.Stale[0].AtPS = 1 // far below est
+	spec.normalize()
+	if est := int64(estIterTime(&spec)); spec.Diverge.Stale[0].AtPS < est {
+		t.Errorf("normalize left a stale flip before the first iteration: %d < %d", spec.Diverge.Stale[0].AtPS, est)
+	}
+}
+
+// TestDivergenceSeedsRun drives divergence specs through the full
+// oracle set: every ChangeSet must commit through verification, every
+// stale belief must reconverge by the audit, and no healthy link may
+// end the run wrongly admin-down.
+func TestDivergenceSeedsRun(t *testing.T) {
+	want := 3
+	if testing.Short() {
+		want = 1
+	}
+	ran := 0
+	for seed := uint64(0); seed < 300 && ran < want; seed++ {
+		spec := WithDivergence(Generate(seed))
+		if !spec.Diverge.Active() {
+			continue
+		}
+		if res := Run(spec, Options{}); !res.OK() {
+			t.Errorf("seed %d: %v", seed, res.Violations)
+		}
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no divergence spec in 300 seeds — WithDivergence broken")
+	}
+}
+
+// TestDivergenceFingerprintStable: a divergence run's fingerprint
+// (which folds the plane's counters) is deterministic across repeated
+// runs — the property the -divergence repro command rests on.
+func TestDivergenceFingerprintStable(t *testing.T) {
+	var spec Spec
+	found := false
+	for seed := uint64(0); seed < 300; seed++ {
+		spec = WithDivergence(Generate(seed))
+		if spec.Diverge.Active() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no divergence spec in 300 seeds")
+	}
+	a, b := Run(spec, Options{}), Run(spec, Options{})
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("divergence fingerprint unstable: %016x vs %016x", a.Fingerprint, b.Fingerprint)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"math"
 
+	"flowpulse/internal/control"
 	"flowpulse/internal/core"
 	"flowpulse/internal/detect"
 	"flowpulse/internal/fabric"
@@ -75,6 +76,10 @@ type runData struct {
 	timeline    []remediate.Action
 	quarantined []topology.LinkID
 	blamedGroup []topology.LinkID // trunk group of the faulted pair
+	// Divergence runs: the control plane's end-of-run view.
+	divergent  []topology.LinkID // links where belief or intent != truth
+	adminDown  []topology.LinkID // links admin-down on the fabric (truth)
+	planeStats control.Stats
 	// Resilience runs: the goodput report at the 90% recovery target.
 	goodput metrics.GoodputReport
 
@@ -161,6 +166,7 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 			Straggler:     sim.Duration(spec.Congest.StragglerPS),
 			StragglerLeaf: spec.Congest.StragglerLeaf,
 		},
+		Divergence: divergenceScenario(spec),
 	}
 	var refWindows []*telemetry.Window
 	if spec.Work.Predictor == core.SimulationModel {
@@ -193,7 +199,7 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 	}
 	var traceBuf bytes.Buffer
 	sys, err := core.Attach(core.Config{
-		Net: rt.Net, Stack: rt.Stack, Demand: rt.Coll.Demand(),
+		Net: rt.Net, Control: rt.Plane, Stack: rt.Stack, Demand: rt.Coll.Demand(),
 		Kind: spec.Work.Predictor, ReferenceWindows: refWindows,
 		Detect: detCfg, Job: int(sc.Job), Remediate: remCfg,
 		Resilience: resCfg,
@@ -256,8 +262,80 @@ func executeFatTree(spec Spec, opts Options) (*runData, error) {
 		data.goodput = rt.Goodput.Report(0.9)
 	}
 	data.fingerprint = fingerprintFatTree(rt, sys)
-	data.traceViolations = checkTraceReplay(sys.TraceWriter(), &traceBuf)
+	if spec.Diverge.Active() {
+		data.divergent = rt.Plane.Divergent()
+		data.planeStats = rt.Plane.Stats()
+		for id := range rt.Topo.Links {
+			if !rt.Net.LinkAdminUp(topology.LinkID(id)) {
+				data.adminDown = append(data.adminDown, topology.LinkID(id))
+			}
+		}
+		data.fingerprint = fingerprintDivergence(data.fingerprint, rt.Plane)
+	} else {
+		// Offline replay re-derives remediation from the recorded alert
+		// stream; it cannot re-derive the control plane's reconcile
+		// decisions (belief state is not in the trace — DESIGN.md
+		// decision 15), so the replay oracle only runs without
+		// divergence.
+		data.traceViolations = checkTraceReplay(sys.TraceWriter(), &traceBuf)
+	}
 	return data, nil
+}
+
+// divergenceScenario maps a spec's divergence regime onto the scenario
+// knobs (zero when off, so the build path is byte-identical).
+func divergenceScenario(spec Spec) core.DivergenceSpec {
+	d := spec.Diverge
+	if !d.Active() {
+		return core.DivergenceSpec{}
+	}
+	out := core.DivergenceSpec{
+		FailSkip:   d.FailSkip,
+		FailPushes: d.FailPushes,
+		AuditEvery: sim.Duration(d.AuditPS),
+	}
+	for _, st := range d.Stale {
+		if st.AtPS <= 0 {
+			continue
+		}
+		out.Stale = append(out.Stale, core.StaleSpec{
+			At:   sim.Time(st.AtPS),
+			Link: core.LeafSpineLink{LeafOrd: st.Leaf, SpineOrd: st.Spine, Trunk: st.Trunk},
+			Up:   false,
+		})
+	}
+	return out
+}
+
+// fingerprintDivergence folds the control plane's observable state into
+// the replay fingerprint — divergence runs only, so classic seeds keep
+// their historical fingerprints.
+func fingerprintDivergence(base uint64, plane *control.Plane) uint64 {
+	f := newFP()
+	f.u64(base)
+	st := plane.Stats()
+	f.i64(int64(st.ChangeSets))
+	f.i64(int64(st.Committed))
+	f.i64(int64(st.RolledBack))
+	f.i64(int64(st.Pushed))
+	f.i64(int64(st.PushesDropped))
+	f.i64(int64(st.VerifyMismatches))
+	f.i64(int64(st.Retries))
+	f.i64(int64(st.StaleInjected))
+	f.i64(int64(st.StaleAdopted))
+	f.i64(int64(st.Reconciles))
+	f.i64(int64(st.Audits))
+	f.i64(int64(st.AuditRepairs))
+	f.i64(int64(st.Divergences))
+	f.i64(int64(st.Reconciled))
+	f.i64(int64(st.TotalDiverged))
+	for _, ep := range plane.Episodes() {
+		f.i64(int64(ep))
+	}
+	for _, l := range plane.Divergent() {
+		f.i64(int64(l))
+	}
+	return f.sum()
 }
 
 // checkTraceReplay is the record/replay oracle: the execution recorded
@@ -343,7 +421,7 @@ func executeSharedFatTree(spec Spec, opts Options) (*runData, error) {
 	}
 	var traceBuf bytes.Buffer
 	scfg := core.SharedConfig{
-		Net: rt.Net, Stack: rt.Stack,
+		Net: rt.Net, Control: rt.Plane, Stack: rt.Stack,
 		Trace: trace.NewWriter(&traceBuf), TraceLabel: "simtest-shared",
 	}
 	for _, jr := range rt.Jobs {
@@ -460,6 +538,12 @@ func checkOracles(spec Spec, opts Options, d *runData) []string {
 	}
 	if spec.Work.Jobs == 2 {
 		return append(bad, checkSharedOracles(spec, opts, d)...)
+	}
+	if spec.Diverge.Active() {
+		// Divergence runs swap the detection/localization/remediation
+		// oracles (a stale belief legitimately alerts on healthy links
+		// and withholds quarantines) for the convergence pair below.
+		return append(bad, checkDivergenceOracles(spec, d)...)
 	}
 
 	f := spec.Fault
@@ -611,6 +695,40 @@ func checkResilience(spec Spec, d *runData) []string {
 		bad = append(bad, fmt.Sprintf(
 			"resilience: goodput never recovered to 90%% of baseline after the leaf %d / spine %d quarantine (baseline %.4g it/ps, during %.4g)",
 			f.Leaf, f.Spine, d.goodput.Baseline, d.goodput.During))
+	}
+	return bad
+}
+
+// checkDivergenceOracles asserts the control plane's convergence
+// contract under injected belief/truth splits: by end of run the
+// believed topology equals the live one (verify-own-writes repaired
+// every dropped push; reconciliation or the audit adopted every stale
+// advertisement), and no link is administratively down on the fabric
+// without the remediator owning it — i.e. no healthy link was wrongly
+// written down and left stranded.
+func checkDivergenceOracles(spec Spec, d *runData) []string {
+	var bad []string
+	add := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+
+	for _, l := range d.divergent {
+		add("divergence: link %d belief/intent still split from truth at end of run (stats %+v)",
+			l, d.planeStats)
+	}
+	quar := map[topology.LinkID]bool{}
+	for _, l := range d.quarantined {
+		quar[l] = true
+	}
+	for _, l := range d.adminDown {
+		if !quar[l] {
+			add("divergence: link %d is admin-down on the fabric but not quarantined — a wrong write was never rolled back", l)
+		}
+	}
+	if st := d.planeStats; st.RolledBack > 0 {
+		// The envelope pins FailPushes within the retry budget, so every
+		// ChangeSet must commit; a rollback means verify gave up on a
+		// push the injection schedule says should have landed.
+		add("divergence: %d ChangeSets rolled back under an in-budget injection schedule (stats %+v)",
+			st.RolledBack, st)
 	}
 	return bad
 }

@@ -109,6 +109,30 @@ var shrinkSteps = []shrinkStep{
 		s.Work.Resilience = false
 		return true
 	}},
+	{"one-stale-flip", func(s *Spec) bool {
+		if s.Diverge.Stale[1].AtPS <= 0 {
+			return false
+		}
+		s.Diverge.Stale[1] = StaleFlip{}
+		return true
+	}},
+	{"no-failed-pushes", func(s *Spec) bool {
+		if s.Diverge.FailPushes == 0 {
+			return false
+		}
+		s.Diverge.FailSkip, s.Diverge.FailPushes = 0, 0
+		return true
+	}},
+	{"no-divergence", func(s *Spec) bool {
+		// Drop the control-plane faults before the control loop itself:
+		// a bug that survives as a plain remediated run reproduces
+		// without the belief/truth machinery.
+		if !s.Diverge.Active() {
+			return false
+		}
+		s.Diverge = DivergeSpec{}
+		return true
+	}},
 	{"no-remediation", func(s *Spec) bool {
 		if !s.Work.Remediate {
 			return false

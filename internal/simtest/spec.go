@@ -208,6 +208,45 @@ func (c *CongestSpec) Active() bool {
 	return c.IncastGapPS > 0 || c.StormGapPS > 0 || c.StragglerPS > 0
 }
 
+// DivergeSpec is a spec's control-plane fault regime: injected
+// belief/truth splits (see fault.Divergence and core.DivergenceSpec).
+// The zero value is fully off — the classic envelope every existing
+// seed maps to. Specs only gain divergence through WithDivergence (the
+// -divergence sweep), never from Generate, so the scenarios existing
+// seeds produce are untouched. Stale is a fixed-size array (not a
+// slice) so Spec stays comparable for ReproCommand.
+type DivergeSpec struct {
+	// FailSkip/FailPushes inject a failed-push fault: FailSkip
+	// administrative pushes go through, then FailPushes silently drop.
+	// normalize() caps FailPushes at the plane's retry budget, so every
+	// ChangeSet still commits through verify-own-writes — the property
+	// the convergence oracle rests on.
+	FailSkip   int `json:"failSkip,omitempty"`
+	FailPushes int `json:"failPushes,omitempty"`
+	// Stale lists up to two advertise-down corruptions; an entry with
+	// AtPS <= 0 is unused.
+	Stale [2]StaleFlip `json:"stale"`
+	// AuditPS is the periodic belief-vs-truth audit cadence — the
+	// convergence backstop when a stale belief never produces a
+	// confirmable deviation.
+	AuditPS int64 `json:"auditPS,omitempty"`
+}
+
+// StaleFlip schedules one stale-LSDB corruption: at AtPS the named
+// link's advertisement on one endpoint flips to "down" with no write
+// involved.
+type StaleFlip struct {
+	AtPS  int64 `json:"atPS,omitempty"`
+	Leaf  int   `json:"leaf,omitempty"`
+	Spine int   `json:"spine,omitempty"`
+	Trunk int   `json:"trunk,omitempty"`
+}
+
+// Active reports whether any divergence fault is injected.
+func (d *DivergeSpec) Active() bool {
+	return d.FailPushes > 0 || d.Stale[0].AtPS > 0 || d.Stale[1].AtPS > 0
+}
+
 // Spec is one complete fuzz scenario. The zero of every field is
 // meaningful, so a Spec round-trips through JSON losslessly and the
 // compact encoding is the repro format.
@@ -217,6 +256,7 @@ type Spec struct {
 	Work    WorkSpec    `json:"work"`
 	Fault   FaultSpec   `json:"fault"`
 	Congest CongestSpec `json:"congest,omitempty"`
+	Diverge DivergeSpec `json:"diverge,omitempty"`
 }
 
 // Generate derives the Spec for a seed. Every draw comes from named
@@ -543,6 +583,52 @@ func (s *Spec) normalize() {
 		w.Resilience = false
 	}
 
+	// The divergence envelope (see DivergeSpec): control-plane faults
+	// ride the remediated single-job fat tree only — the plane's
+	// Reconcile and audit paths are driven off the remediation tick, so
+	// an unremediated run would never process the injections. The
+	// resilience and congestion twists are shed: a stale belief
+	// re-shapes the predictor's expectations mid-run, which breaks the
+	// assumptions their recovery/false-positive oracles rest on.
+	dv := &s.Diverge
+	if !w.Remediate || t.Kind != FatTree2 || w.Jobs != 0 {
+		*dv = DivergeSpec{}
+	}
+	if dv.Active() {
+		w.Resilience = false
+		s.Congest = CongestSpec{}
+		if w.Iterations < 8 {
+			w.Iterations = 8 // room for a stale flip plus the audit behind it
+		}
+		dv.FailSkip = clamp(dv.FailSkip, 0, 4)
+		// FailPushes ≤ the plane's default retry budget (2): every
+		// ChangeSet commits within one verify loop, so a dropped push is
+		// repaired instantly and only stale-LSDB decay produces
+		// observable divergence episodes.
+		dv.FailPushes = clamp(dv.FailPushes, 0, 2)
+		est := int64(estIterTime(s))
+		for i := range dv.Stale {
+			st := &dv.Stale[i]
+			if st.AtPS <= 0 {
+				*st = StaleFlip{}
+				continue
+			}
+			// Land inside the run with ≥4 iterations of headroom: the
+			// audit below is guaranteed a tick after the corruption, so
+			// belief provably reconverges before the end-of-run oracle.
+			st.AtPS = clamp64(st.AtPS, est, int64(w.Iterations-4)*est)
+			st.Leaf = clamp(st.Leaf, 0, t.Leaves-1)
+			st.Spine = clamp(st.Spine, 0, t.Spines-1)
+			st.Trunk = clamp(st.Trunk, 0, t.Trunk-1)
+		}
+		if dv.AuditPS <= 0 {
+			dv.AuditPS = 2 * est
+		}
+		dv.AuditPS = clamp64(dv.AuditPS, est, 3*est)
+	} else {
+		*dv = DivergeSpec{}
+	}
+
 	// The resilience envelope (see WorkSpec.Resilience): the workload
 	// re-planner rides the control loop on the 2:1 oversubscribed
 	// interleaved ring, under at most a downstream Bernoulli fault —
@@ -705,6 +791,42 @@ func clampF(v, lo, hi float64) float64 {
 		v = hi
 	}
 	return v
+}
+
+// WithDivergence layers control-plane belief/truth faults onto a
+// generated spec — the -divergence sweep of flowpulse-check. Only
+// remediated seeds are inside the envelope (the plane's reconcile and
+// audit paths ride the remediation tick); the rest pass through
+// unchanged. The injection shape is drawn from the spec's own seed on a
+// dedicated stream: a failed-push burst sized within the verify loop's
+// retry budget, one or two stale-LSDB advertise-down flips mid-run, and
+// an audit cadence that guarantees reconvergence before the end-of-run
+// oracles check it.
+func WithDivergence(s Spec) Spec {
+	if !s.Work.Remediate || s.Topo.Kind != FatTree2 || s.Work.Jobs != 0 {
+		return s
+	}
+	rng := sim.NewRNG(s.Seed, "simtest/divergence")
+	d := &s.Diverge
+	d.FailSkip = rng.IntN(3)
+	d.FailPushes = 1 + rng.IntN(2)
+	est := estIterTime(&s)
+	iters := s.Work.Iterations
+	if iters < 8 {
+		iters = 8
+	}
+	n := 1 + rng.IntN(2)
+	for i := 0; i < n; i++ {
+		d.Stale[i] = StaleFlip{
+			AtPS:  int64(est) + int64(rng.UniformDuration(sim.Duration(iters-5)*est)),
+			Leaf:  rng.IntN(s.Topo.Leaves),
+			Spine: rng.IntN(s.Topo.Spines),
+			Trunk: rng.IntN(s.Topo.Trunk),
+		}
+	}
+	d.AuditPS = int64(est) + int64(rng.UniformDuration(2*est))
+	s.normalize()
+	return s
 }
 
 // WithResilience forces the workload re-planner on for specs inside

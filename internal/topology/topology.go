@@ -181,6 +181,18 @@ func (t *Topology) HostsOf(leaf SwitchID) []HostID {
 	return hosts
 }
 
+// SwitchLinks returns the links terminating at a switch, in port
+// order. Control-plane LSDBs are keyed this way: each switch
+// advertises the state of exactly the links it terminates.
+func (t *Topology) SwitchLinks(id SwitchID) []LinkID {
+	ports := t.Switches[id].Ports
+	links := make([]LinkID, len(ports))
+	for i, pd := range ports {
+		links[i] = pd.Link
+	}
+	return links
+}
+
 // TrunkLinks returns the parallel links between a leaf and a spine (or
 // a spine and a core in three-level fabrics), in trunk order. It
 // returns nil if the pair is not adjacent.

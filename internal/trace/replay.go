@@ -146,20 +146,25 @@ func (p *replayPredictor) SenderLoad(int) [][]float64           { return p.sende
 func (p *replayPredictor) PortLoadAt(int, uint32) []float64     { return p.port }
 func (p *replayPredictor) SenderLoadAt(int, uint32) [][]float64 { return p.sender }
 
-// offlineFabric answers the remediator's dataplane calls during
-// replay: admin-down/re-admit are no-ops (there is no fabric), and
-// probes queue until the recorded round result reaches them in the
-// stream — at exactly the position (between ticks) the callbacks fired
-// online.
-type offlineFabric struct {
+// offlinePlane answers the remediator's control-plane calls during
+// replay: quarantine/re-admit ChangeSets commit unconditionally as
+// no-ops (there is no fabric to push to), reconciliation never finds
+// divergence (the recording carries no belief/truth state to
+// re-derive, so divergence runs replay for their data, not their
+// fingerprints — see DESIGN.md decision 15), and probes queue until
+// the recorded round result reaches them in the stream — at exactly
+// the position (between ticks) the callbacks fired online.
+type offlinePlane struct {
 	topo    *topology.Topology
 	pending map[topology.LinkID][]func(sim.Time, bool)
 }
 
-func (f *offlineFabric) Topology() *topology.Topology   { return f.topo }
-func (f *offlineFabric) DisconnectLink(topology.LinkID) {}
-func (f *offlineFabric) ReconnectLink(topology.LinkID)  {}
-func (f *offlineFabric) ProbeLink(link topology.LinkID, _ fabric.Direction, _ int, onResult func(sim.Time, bool)) {
+func (f *offlinePlane) Topology() *topology.Topology              { return f.topo }
+func (f *offlinePlane) Quarantine(sim.Time, topology.LinkID) bool { return true }
+func (f *offlinePlane) Readmit(sim.Time, topology.LinkID) bool    { return true }
+func (f *offlinePlane) Reconcile(sim.Time) bool                   { return false }
+func (f *offlinePlane) Tick(sim.Time)                             {}
+func (f *offlinePlane) ProbeLink(link topology.LinkID, _ fabric.Direction, _ int, onResult func(sim.Time, bool)) {
 	f.pending[link] = append(f.pending[link], onResult)
 }
 
@@ -168,7 +173,7 @@ func (f *offlineFabric) ProbeLink(link topology.LinkID, _ fabric.Direction, _ in
 // remediator only counts them — so the first Lost callbacks report
 // undelivered. Rounds with no queued probes (a what-if override
 // diverged from the recorded quarantine schedule) are ignored.
-func (f *offlineFabric) deliver(p *ProbeRecord) {
+func (f *offlinePlane) deliver(p *ProbeRecord) {
 	cbs := f.pending[p.Link]
 	if len(cbs) == 0 {
 		return
@@ -210,7 +215,7 @@ func Replay(src io.Reader, opts ReplayOptions) (*ReplayResult, error) {
 	fp := newFP()
 
 	faults := predict.NewFaultSet()
-	fab := &offlineFabric{topo: topo, pending: map[topology.LinkID][]func(sim.Time, bool){}}
+	fab := &offlinePlane{topo: topo, pending: map[topology.LinkID][]func(sim.Time, bool){}}
 	if hdr.Remediate != nil && !useLearned {
 		res.Remediator = remediate.New(fab, faults, nil, *hdr.Remediate)
 		res.Remediator.OnAction = func(a remediate.Action) {
