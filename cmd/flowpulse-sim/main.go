@@ -22,17 +22,23 @@
 //	                                               # verify-own-writes re-pushes it
 //	flowpulse-sim -remediate -drop 0 -stale-at 900 # corrupt the LSDB mid-run;
 //	                                               # the audit reconciles it
+//	flowpulse-sim -stream localhost:9465           # live producer: stream the
+//	                                               # trace to flowpulse-serve,
+//	                                               # detection runs server-side
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"time"
 
 	"flowpulse"
+	"flowpulse/internal/serve"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/trace"
 )
@@ -69,6 +75,9 @@ func main() {
 		unverified = flag.Bool("unverified", false, "divergence baseline: the plane trusts every push — no verify-own-writes, no reconciliation, no audit")
 		auditUS    = flag.Int64("audit-every", 0, "divergence: audit belief against truth at this cadence (µs; verified planes only)")
 		tracePath  = flag.String("trace", "", "record the run to this .fpt trace file for offline replay (see flowpulse-trace)")
+		stream     = flag.String("stream", "", "stream the live trace to a flowpulse-serve instance at this host:port (combine with -trace for a local copy)")
+		streamTok  = flag.String("stream-token", "", "producer token for -stream")
+		streamMode = flag.String("stream-mode", "", "serve ingestion mode for -stream (seq|fanout; default seq)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "engine worker shards; results are identical for every value >= 1 (0 = classic single-threaded engine, byte-compatible with older releases)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (shard workers carry pprof shard=N labels)")
@@ -140,6 +149,30 @@ func main() {
 		Threshold:  *threshold,
 		TracePath:  *tracePath,
 		TraceLabel: "flowpulse-sim",
+	}
+	// -stream turns this run into a live producer: the same .fpt frames
+	// that would land in -trace go down a TCP connection to a
+	// flowpulse-serve instance, which detects server-side and reports
+	// parity back when the stream closes.
+	var producer *serve.Producer
+	if *stream != "" {
+		p, err := serve.DialProducer(*stream, *streamTok, *streamMode, "flowpulse-sim", 5*time.Second)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		producer = p
+		monCfg.TracePath = ""
+		monCfg.TraceSink = io.Writer(p)
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			monCfg.TraceSink = io.MultiWriter(f, p)
+		}
 	}
 	if *remediated {
 		monCfg.Remediate = &flowpulse.RemediateConfig{}
@@ -280,7 +313,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace recorded to %s\n", *tracePath)
+		if *tracePath != "" {
+			fmt.Printf("trace recorded to %s\n", *tracePath)
+		}
+	}
+	if producer != nil {
+		st, err := producer.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("streamed to %s: session=%s mode=%s windows=%d events=%d actions=%d fingerprint=%016x parity=%s\n",
+			*stream, st.Session, st.Mode, st.Windows, st.Events, st.Actions, st.Fingerprint, st.Parity)
 	}
 
 	printEvents := func(prefix string, events []flowpulse.Event) {

@@ -18,6 +18,7 @@
 //	flowpulse-trace sweep -at 0.01 a.fpt b.fpt            # one operating point, many traces
 //	flowpulse-trace stat run.fpt                          # header + record counts
 //	flowpulse-trace cat run.fpt                           # dump every record
+//	flowpulse-trace cat -stream localhost:9465 run.fpt    # replay into flowpulse-serve
 package main
 
 import (
@@ -25,12 +26,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"flowpulse/internal/core"
 	"flowpulse/internal/experiments"
 	"flowpulse/internal/metrics"
+	"flowpulse/internal/serve"
 	"flowpulse/internal/sim"
 	"flowpulse/internal/trace"
 )
@@ -46,7 +50,7 @@ commands:
   replay   re-run a recording through detect -> localize -> remediate offline
   sweep    compute ROC points across thresholds from recording(s)
   stat     print header, record counts, and fingerprint
-  cat      dump every record
+  cat      dump every record, or -stream it into a flowpulse-serve instance
 
 Run 'flowpulse-trace <command> -h' for command flags.`
 
@@ -358,14 +362,55 @@ func cmdStat(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// catStream turns a recording into a producer: pipe the raw .fpt bytes
+// to a flowpulse-serve instance and print the session status it
+// returns — the streamed/offline parity check from the command line.
+func catStream(f *os.File, path, addr, token, mode, label string, stdout, stderr io.Writer) int {
+	if label == "" {
+		label = filepath.Base(path)
+	}
+	p, err := serve.DialProducer(addr, token, mode, label, 5*time.Second)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if _, err := io.Copy(p, f); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	st, err := p.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		if st != nil && st.Error != "" {
+			fmt.Fprintf(stderr, "server: %s\n", st.Error)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "streamed %s to %s\n", path, addr)
+	fmt.Fprintf(stdout, "session=%s mode=%s windows=%d events=%d actions=%d\n",
+		st.Session, st.Mode, st.Windows, st.Events, st.Actions)
+	fmt.Fprintf(stdout, "fingerprint: %#016x (trailer %#016x) parity=%s\n",
+		st.Fingerprint, st.TrailerFingerprint, st.Parity)
+	if st.Parity == "mismatch" {
+		return 1
+	}
+	return 0
+}
+
 func cmdCat(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cat", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var (
+		stream = fs.String("stream", "", "instead of dumping, replay the recording into a flowpulse-serve instance at this host:port and print its status")
+		token  = fs.String("token", "", "producer token for -stream")
+		mode   = fs.String("mode", "", "serve ingestion mode for -stream (seq|fanout; default seq)")
+		label  = fs.String("label", "", "session label for -stream (default: the file name)")
+	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: flowpulse-trace cat <trace.fpt>")
+		fmt.Fprintln(stderr, "usage: flowpulse-trace cat [-stream host:port] <trace.fpt>")
 		return 2
 	}
 	f, ok := openTrace(fs.Arg(0), stderr)
@@ -373,6 +418,9 @@ func cmdCat(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer f.Close()
+	if *stream != "" {
+		return catStream(f, fs.Arg(0), *stream, *token, *mode, *label, stdout, stderr)
+	}
 	rd, err := trace.NewReader(f)
 	if err != nil {
 		fmt.Fprintln(stderr, err)

@@ -25,6 +25,7 @@ package flowpulse
 
 import (
 	"fmt"
+	"io"
 
 	"flowpulse/internal/control"
 	"flowpulse/internal/core"
@@ -178,6 +179,12 @@ type MonitorConfig struct {
 	// and threshold sweeps with flowpulse-trace. TraceLabel annotates
 	// the trace header.
 	TracePath, TraceLabel string
+	// TraceSink streams the same .fpt recording to an arbitrary writer
+	// instead of a file — e.g. a serve.Producer connected to a
+	// flowpulse-serve instance, turning the live run into a producer.
+	// Mutually exclusive with TracePath (wrap both in an io.MultiWriter
+	// to get a local copy while streaming).
+	TraceSink io.Writer
 }
 
 // Cluster is a simulated training cluster: fabric, transport,
@@ -225,6 +232,7 @@ func (c *Cluster) Monitor(cfg MonitorConfig) (*Monitor, error) {
 		Resilience: cfg.Resilience,
 		TracePath:  cfg.TracePath,
 		TraceLabel: cfg.TraceLabel,
+		Trace:      sinkWriter(cfg.TraceSink),
 		OnEvent: func(e Event) {
 			if cfg.OnEvent != nil {
 				cfg.OnEvent(e)
@@ -253,6 +261,15 @@ func (c *Cluster) Monitor(cfg MonitorConfig) (*Monitor, error) {
 	return &Monitor{sys: sys}, nil
 }
 
+// sinkWriter wraps a MonitorConfig.TraceSink into the trace writer the
+// core attaches; nil stays nil (tracing off or TracePath-driven).
+func sinkWriter(sink io.Writer) *trace.Writer {
+	if sink == nil {
+		return nil
+	}
+	return trace.NewWriter(sink)
+}
+
 // monitorShared is Monitor's multi-job branch.
 func (c *Cluster) monitorShared(cfg MonitorConfig) (*Monitor, error) {
 	kind := cfg.Predictor
@@ -266,6 +283,7 @@ func (c *Cluster) monitorShared(cfg MonitorConfig) (*Monitor, error) {
 		Net: c.rt.Net, Control: c.rt.Plane, Stack: c.rt.Stack, Remediate: cfg.Remediate,
 		Resilience: cfg.Resilience,
 		TracePath:  cfg.TracePath, TraceLabel: cfg.TraceLabel,
+		Trace:      sinkWriter(cfg.TraceSink),
 	}
 	for _, jr := range c.rt.Jobs {
 		scfg.Jobs = append(scfg.Jobs, core.SharedJobConfig{

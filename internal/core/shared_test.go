@@ -55,8 +55,8 @@ func TestSharedPlaneCleanTwoJobs(t *testing.T) {
 			t.Errorf("job %d: clean run produced %d alerts: %v", job, len(p.Events), p.Events[0].Alert)
 		}
 	}
-	if sys.Plane().UnroutedWindows != 0 {
-		t.Errorf("unrouted windows: %d", sys.Plane().UnroutedWindows)
+	if sys.Plane().UnroutedWindows() != 0 {
+		t.Errorf("unrouted windows: %d", sys.Plane().UnroutedWindows())
 	}
 }
 

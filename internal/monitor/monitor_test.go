@@ -167,8 +167,8 @@ func TestPlaneRoutesWindowsPerJob(t *testing.T) {
 			t.Errorf("job %d: %d windows, want 1", job, pipe.Windows)
 		}
 	}
-	if plane.UnroutedWindows != 1 {
-		t.Errorf("unrouted windows = %d, want 1 (job 7 has no pipeline)", plane.UnroutedWindows)
+	if plane.UnroutedWindows() != 1 {
+		t.Errorf("unrouted windows = %d, want 1 (job 7 has no pipeline)", plane.UnroutedWindows())
 	}
 	if plane.Pipeline(1) != pipes[1] || plane.Pipeline(7) != nil {
 		t.Error("Pipeline lookup wrong")

@@ -26,6 +26,13 @@ type PipelineConfig struct {
 	// OnWindow receives every closed window after scoring but before
 	// the observer sees it.
 	OnWindow func(ws WindowScore)
+	// NoHistory drops per-window retention: Scores and Events stay
+	// empty (and windows are not cloned), so memory stays flat however
+	// long the pipeline runs. Long-running consumers (flowpulse-serve)
+	// set it and take detections through OnEvent/Subscribe instead;
+	// IterationScores is unavailable with it. Callbacks must not retain
+	// the window past the call.
+	NoHistory bool
 }
 
 // Pipeline is one job's window-analysis chain. It is fed closed
@@ -72,12 +79,36 @@ func (p *Pipeline) Subscribe(fn func(e Event)) {
 
 // OnWindow is the window-close path: score, detect, localize, then let
 // the observer (learned model) see the window and the remediator tick.
+// The window is cloned before anything retains it; callers may reuse
+// its storage after the call.
 func (p *Pipeline) OnWindow(w *telemetry.Window) {
+	if p.cfg.NoHistory {
+		// Nothing retains the window, so nothing needs the clone.
+		p.OnOwnedWindow(w)
+		return
+	}
+	p.process(w.Clone())
+}
+
+// OnOwnedWindow is OnWindow for callers that own (and reuse) the
+// window's storage: the pipeline neither clones nor retains it, so the
+// hot ingestion path stays allocation-free. Only valid with NoHistory
+// set; stages and callbacks see the caller's storage and must be done
+// with it when they return.
+func (p *Pipeline) OnOwnedWindow(w *telemetry.Window) {
+	if !p.cfg.NoHistory {
+		panic("monitor: OnOwnedWindow without PipelineConfig.NoHistory")
+	}
+	p.process(w)
+}
+
+func (p *Pipeline) process(wc *telemetry.Window) {
 	p.Windows++
-	wc := w.Clone()
 	score, ok := p.cfg.Detect.Score(wc)
 	ws := WindowScore{Window: wc, Score: score, Scored: ok}
-	p.Scores = append(p.Scores, ws)
+	if !p.cfg.NoHistory {
+		p.Scores = append(p.Scores, ws)
+	}
 	if p.cfg.OnWindow != nil {
 		p.cfg.OnWindow(ws)
 	}
@@ -105,7 +136,9 @@ func (p *Pipeline) OnWindow(w *telemetry.Window) {
 		if haveSenders {
 			e.Verdict = p.cfg.Localize.Localize(a, wc, senders)
 		}
-		p.Events = append(p.Events, e)
+		if !p.cfg.NoHistory {
+			p.Events = append(p.Events, e)
+		}
 		if p.cfg.OnEvent != nil {
 			p.cfg.OnEvent(e)
 		}

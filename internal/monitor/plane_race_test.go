@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flowpulse/internal/detect"
+	"flowpulse/internal/telemetry"
+)
+
+// countingDetect is a DetectStage that just counts windows — enough to
+// observe per-job isolation under the race detector.
+type countingDetect struct{ windows atomic.Int64 }
+
+func (d *countingDetect) Score(w *telemetry.Window) (float64, bool) {
+	d.windows.Add(1)
+	return 0, true
+}
+func (d *countingDetect) Check(w *telemetry.Window) []detect.Alert { return nil }
+
+// TestPlaneConcurrentAttachDetach is the serve-shaped workload: one
+// feeder goroutine per job streaming windows through the demux while
+// another goroutine churns attach/detach on a disjoint set of job ids.
+// Run under -race (CI does); the assertions check that every window
+// either reached its own job's pipeline or was counted unrouted, and
+// that no window ever crossed into another job's pipeline.
+func TestPlaneConcurrentAttachDetach(t *testing.T) {
+	const (
+		feeders       = 8
+		churned       = 4 // job ids that attach/detach mid-flight
+		winsPerFeeder = 500
+	)
+	p := NewDetachedPlane()
+
+	dets := make([]*countingDetect, feeders)
+	for j := 0; j < feeders; j++ {
+		dets[j] = &countingDetect{}
+		pipe := NewPipeline(PipelineConfig{Detect: dets[j], NoHistory: true})
+		if err := p.AttachJob(uint16(j), pipe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AttachJob(0, NewPipeline(PipelineConfig{Detect: &countingDetect{}, NoHistory: true})); err == nil {
+		t.Fatal("double attach not rejected")
+	}
+
+	var wg sync.WaitGroup
+	// Churner: attach/detach job ids 100..100+churned while windows fly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 200; round++ {
+			for c := 0; c < churned; c++ {
+				job := uint16(100 + c)
+				if err := p.AttachJob(job, NewPipeline(PipelineConfig{Detect: &countingDetect{}, NoHistory: true})); err != nil {
+					t.Errorf("attach %d: %v", job, err)
+					return
+				}
+			}
+			for c := 0; c < churned; c++ {
+				if p.DetachJob(uint16(100+c)) == nil {
+					t.Errorf("detach %d: not attached", 100+c)
+					return
+				}
+			}
+		}
+	}()
+	// Feeders: each job id has exactly one feeder (the per-pipeline
+	// SPSC discipline the Plane documents), so per-pipeline state needs
+	// no locks — the demux map is what's under test.
+	for j := 0; j < feeders; j++ {
+		wg.Add(1)
+		go func(job uint16) {
+			defer wg.Done()
+			w := &telemetry.Window{Job: job, LeafOrdinal: 0, PortBytes: []int64{1, 2}}
+			for i := 0; i < winsPerFeeder; i++ {
+				w.Iter = uint32(i + 1)
+				p.Route(w)
+			}
+		}(uint16(j))
+	}
+	// A stray feeder for a never-attached job: all its windows must
+	// count as unrouted, none may be misattributed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := &telemetry.Window{Job: 999, PortBytes: []int64{1}}
+		for i := 0; i < winsPerFeeder; i++ {
+			p.Route(w)
+		}
+	}()
+	wg.Wait()
+
+	for j, d := range dets {
+		if got := d.windows.Load(); got != winsPerFeeder {
+			t.Errorf("job %d saw %d windows, want %d", j, got, winsPerFeeder)
+		}
+	}
+	if got := p.UnroutedWindows(); got != winsPerFeeder {
+		t.Errorf("unrouted = %d, want %d", got, winsPerFeeder)
+	}
+	if got := len(p.Jobs()); got != feeders {
+		t.Errorf("jobs after churn = %d, want %d", got, feeders)
+	}
+}

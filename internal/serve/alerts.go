@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"sync"
+)
+
+// hub fans finished NDJSON alert lines out to /alerts subscribers.
+// Publishers never block: a subscriber that falls behind its buffer
+// has lines dropped (and counted), because a stalled curl must not
+// backpressure the ingestion path.
+type hub struct {
+	mu      sync.Mutex
+	subs    map[chan []byte]*subState
+	closed  bool
+	dropped int64
+}
+
+type subState struct{ dropped int64 }
+
+func newHub() *hub {
+	return &hub{subs: map[chan []byte]*subState{}}
+}
+
+// subscribe registers a new consumer. The returned cancel func must be
+// called when the consumer goes away.
+func (h *hub) subscribe(buffer int) (<-chan []byte, func()) {
+	ch := make(chan []byte, buffer)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	h.subs[ch] = &subState{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// publish delivers one line to every subscriber. line must not be
+// mutated afterwards (callers hand over a fresh copy).
+func (h *hub) publish(line []byte) {
+	h.mu.Lock()
+	for ch, st := range h.subs {
+		select {
+		case ch <- line:
+		default:
+			st.dropped++
+			h.dropped++
+		}
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) close() {
+	h.mu.Lock()
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+	h.mu.Unlock()
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Producer is the client side of the TCP stream protocol: dial,
+// preamble, then write raw .fpt bytes (it implements io.Writer, so a
+// trace.Writer can point straight at it). Close half-closes the write
+// side and reads back the server's one-line JSON status.
+type Producer struct {
+	conn net.Conn
+}
+
+// DialProducer connects to a flowpulse-serve TCP listener and sends
+// the preamble. mode "" defaults server-side to sequential.
+func DialProducer(addr, token, mode, label string, timeout time.Duration) (*Producer, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	pre := "FPS1"
+	if token != "" {
+		pre += " token=" + token
+	}
+	if mode != "" {
+		pre += " mode=" + mode
+	}
+	if label != "" {
+		pre += " label=" + label
+	}
+	if _, err := io.WriteString(conn, pre+"\n"); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: preamble: %w", err)
+	}
+	return &Producer{conn: conn}, nil
+}
+
+// Write streams raw trace bytes to the server.
+func (p *Producer) Write(b []byte) (int, error) { return p.conn.Write(b) }
+
+// Close half-closes the stream, waits for the server's status line,
+// and returns it. The producer's own write errors surface here too.
+func (p *Producer) Close() (*SessionStatus, error) {
+	defer p.conn.Close()
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := p.conn.(closeWriter); ok {
+		if err := cw.CloseWrite(); err != nil {
+			return nil, fmt.Errorf("serve: close write: %w", err)
+		}
+	}
+	var st SessionStatus
+	if err := json.NewDecoder(p.conn).Decode(&st); err != nil {
+		return nil, fmt.Errorf("serve: reading status: %w", err)
+	}
+	if st.Error != "" {
+		return &st, fmt.Errorf("serve: server reported: %s", st.Error)
+	}
+	return &st, nil
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// HTTPHandler serves the operational surface:
+//
+//	GET  /healthz  — liveness ("ok", or "draining" with 503)
+//	GET  /metrics  — Prometheus text exposition
+//	GET  /alerts   — streaming NDJSON alert subscription
+//	POST /ingest   — one .fpt stream as the (chunked) request body;
+//	                 ?mode=seq|fanout, ?label=...; auth via
+//	                 Authorization: Bearer <token> or X-FlowPulse-Token
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/alerts", s.handleAlerts)
+	mux.HandleFunc("/ingest", s.handleIngest)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ch, cancel := s.hub.subscribe(256)
+	defer cancel()
+	for {
+		select {
+		case line, ok := <-ch:
+			if !ok {
+				return // hub closed: drain
+			}
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) authorized(r *http.Request) bool {
+	if s.cfg.Token == "" {
+		return true
+	}
+	if tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); ok && tok == s.cfg.Token {
+		return true
+	}
+	return r.Header.Get("X-FlowPulse-Token") == s.cfg.Token
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a .fpt stream", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.authorized(r) {
+		s.met.authFailures.Add(1)
+		http.Error(w, "bad token", http.StatusUnauthorized)
+		return
+	}
+	st, err := s.IngestStream(r.Body, r.URL.Query().Get("mode"), r.URL.Query().Get("label"))
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil && st == nil {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	if st.Error != "" {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+	}
+	json.NewEncoder(w).Encode(st)
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"flowpulse/internal/trace"
+)
+
+// TestRingSPSCOrder pushes records through a tiny ring from a producer
+// goroutine while the consumer pops — capacity 4 forces wraparound and
+// constant full-ring backpressure — and checks order and integrity.
+func TestRingSPSCOrder(t *testing.T) {
+	const n = 10000
+	r := newRing(4)
+	done := make(chan error, 1)
+	go func() {
+		next := uint32(1)
+		for got := 0; got < n; {
+			e := r.peek()
+			if e == nil {
+				runtime.Gosched()
+				continue
+			}
+			if e.win.Iter != next {
+				done <- fmt.Errorf("iter %d, want %d", e.win.Iter, next)
+				return
+			}
+			next++
+			got++
+			r.pop()
+		}
+		done <- nil
+	}()
+	for i := 1; i <= n; i++ {
+		e := r.reserve()
+		e.win.Iter = uint32(i)
+		e.rec = trace.Record{Kind: trace.KindWindow, Window: &e.win}
+		r.push()
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if r.depth() != 0 {
+		t.Fatalf("depth %d after drain", r.depth())
+	}
+}
+
+// TestRingSizesToPowerOfTwo: capacity rounds up so the mask works.
+func TestRingSizesToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 1}, {3, 4}, {256, 256}, {257, 512}} {
+		if got := len(newRing(tc.in).slots); got != tc.want {
+			t.Errorf("newRing(%d) -> %d slots, want %d", tc.in, got, tc.want)
+		}
+	}
+}

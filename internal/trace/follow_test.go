@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"flowpulse/internal/detect"
+	"flowpulse/internal/monitor"
+	"flowpulse/internal/remediate"
+	"flowpulse/internal/sim"
+	"flowpulse/internal/telemetry"
+	"flowpulse/internal/topology"
+)
+
+// faucet serves data[:cut] and then reports io.EOF until open() widens
+// the cut — a growing file, as a follow Reader sees one.
+type faucet struct {
+	data []byte
+	cut  int
+	pos  int
+}
+
+func (f *faucet) Read(p []byte) (int, error) {
+	if f.pos >= f.cut {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[f.pos:f.cut])
+	f.pos += n
+	return n, nil
+}
+
+func (f *faucet) open() { f.cut = len(f.data) }
+
+// followFixture records a trace exercising every record kind, with
+// prediction snapshots (XOR-cache state spans frames, so a torn frame
+// that corrupted resume state would surface as a value mismatch).
+func followFixture(t *testing.T) []byte {
+	t.Helper()
+	win := telemetry.Window{
+		LeafOrdinal: 1, Iter: 1,
+		OpenedAt: sim.Time(10 * sim.Microsecond), ClosedAt: sim.Time(60 * sim.Microsecond),
+		Packets:   7,
+		PortBytes: []int64{1000, 2000}, AggPortBytes: []int64{1000, 2000},
+		SenderBytes: [][]int64{{400, 600}, {900, 1100}},
+		CEBytes:     64,
+	}
+	win2 := win
+	win2.Iter = 2
+	win2.OpenedAt, win2.ClosedAt = win.ClosedAt, sim.Time(110*sim.Microsecond)
+	win2.PortBytes = []int64{1100, 1900}
+	return record(t, testHeader(), func(w *Writer) {
+		w.Window(&win, true, []float64{1500, 1500}, [][]float64{{500, 500}, {1000, 1000}})
+		w.Window(&win2, true, []float64{1500, 1500}, [][]float64{{480, 520}, {990, 1010}})
+		w.Event(monitor.Event{Alert: detect.Alert{
+			LeafOrdinal: 1, Level: topology.Leaf, Uplink: 0, Iter: 2,
+			Predicted: 1500, Observed: 1000, Deviation: -0.33,
+			At: sim.Time(150 * sim.Microsecond),
+		}})
+		w.Action(remediate.Action{Kind: remediate.ActionQuarantine, Link: topology.LinkID(2), At: sim.Time(200 * sim.Microsecond)})
+		w.ProbeRound(sim.Time(210*sim.Microsecond), 3, 10, 1)
+		w.Fault(FaultRecord{Kind: "drop", LeafOrd: 1, SpineOrd: 0, Rate: 0.5, OnsetIter: 1})
+	})
+}
+
+// drain reads records until the reader runs out of bytes, returning
+// the terminal error (ErrAwaitMore or io.EOF).
+func drain(t *testing.T, r *Reader, into *[]*Record) error {
+	t.Helper()
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			if err != ErrAwaitMore && err != io.EOF {
+				t.Fatalf("Next: %v", err)
+			}
+			return err
+		}
+		*into = append(*into, rec)
+	}
+}
+
+// TestFollowTornAtEveryByteOffset is the satellite guarantee: a stream
+// cut at ANY byte offset — inside the magic, the header, any frame's
+// length prefix, payload, or CRC — is a torn tail, not corruption. The
+// follow Reader reports ErrAwaitMore (or a clean io.EOF exactly at a
+// frame boundary), then resumes when the rest arrives and decodes the
+// identical record sequence.
+func TestFollowTornAtEveryByteOffset(t *testing.T) {
+	raw := followFixture(t)
+	wantHdr, want := readAll(t, raw)
+
+	for cut := 0; cut <= len(raw); cut++ {
+		f := &faucet{data: raw, cut: cut}
+		r := NewFollowReader(f)
+		var got []*Record
+
+		err := drain(t, r, &got)
+		if cut < len(raw) && err == io.EOF {
+			// io.EOF before the end is legal only at a frame boundary —
+			// follow callers retry on either signal. Everything staged
+			// must have been consumed.
+			if r.Buffered() != 0 {
+				t.Fatalf("cut %d: io.EOF with %d staged bytes", cut, r.Buffered())
+			}
+		}
+		// Torn mid-stream must not be sticky: retrying without new bytes
+		// reports the same torn state.
+		if err == ErrAwaitMore {
+			if _, err2 := r.Next(); err2 != ErrAwaitMore {
+				t.Fatalf("cut %d: retry without bytes: %v", cut, err2)
+			}
+		}
+
+		f.open()
+		if err := drain(t, r, &got); err != io.EOF {
+			t.Fatalf("cut %d: terminal error %v, want io.EOF", cut, err)
+		}
+		if !reflect.DeepEqual(r.Header(), wantHdr) {
+			t.Fatalf("cut %d: header diverged", cut)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: %d records, want %d", cut, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("cut %d: record %d diverged:\n got %+v\nwant %+v", cut, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFollowReaderCorruptionStillFatal: follow mode forgives short
+// reads, never bad bytes — a CRC mismatch is sticky even with retries.
+func TestFollowReaderCorruptionStillFatal(t *testing.T) {
+	raw := followFixture(t)
+	frames := splitFrames(t, raw)
+	raw[frames[0]+3] ^= 0x40 // flip a bit in the first window frame
+	r := NewFollowReader(bytes.NewReader(raw))
+	var err error
+	for {
+		if _, err = r.Next(); err != nil {
+			break
+		}
+	}
+	if err == ErrAwaitMore || err == io.EOF {
+		t.Fatalf("corruption reported as %v", err)
+	}
+	if _, err2 := r.Next(); err2 != err {
+		t.Fatalf("corruption not sticky: %v then %v", err, err2)
+	}
+}
+
+// TestNextIntoReusesSlots: NextInto decodes windows into caller-owned
+// storage — same values as Next, same backing record per (job, leaf)
+// on every visit.
+func TestNextIntoReusesSlots(t *testing.T) {
+	raw := followFixture(t)
+	_, want := readAll(t, raw)
+
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := map[uint64]*WindowRecord{}
+	var seen []*WindowRecord
+	var gotWins []WindowRecord
+	for {
+		rec, err := r.NextInto(func(job uint16, leafOrd int) *WindowRecord {
+			k := cacheKey(job, leafOrd)
+			if slots[k] == nil {
+				slots[k] = &WindowRecord{}
+			}
+			return slots[k]
+		})
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Kind == KindWindow {
+			seen = append(seen, rec.Window)
+			// Snapshot the values before the slot is overwritten.
+			cp := *rec.Window
+			cp.PortBytes = append([]int64(nil), cp.PortBytes...)
+			gotWins = append(gotWins, cp)
+		}
+	}
+
+	var wantWins []*WindowRecord
+	for _, rec := range want {
+		if rec.Kind == KindWindow {
+			wantWins = append(wantWins, rec.Window)
+		}
+	}
+	if len(gotWins) != len(wantWins) {
+		t.Fatalf("%d windows, want %d", len(gotWins), len(wantWins))
+	}
+	for i := range gotWins {
+		if gotWins[i].Iter != wantWins[i].Iter || !reflect.DeepEqual(gotWins[i].PortBytes, wantWins[i].PortBytes) {
+			t.Fatalf("window %d diverged: got iter %d ports %v, want iter %d ports %v",
+				i, gotWins[i].Iter, gotWins[i].PortBytes, wantWins[i].Iter, wantWins[i].PortBytes)
+		}
+	}
+	if len(seen) < 2 || seen[0] != seen[1] {
+		t.Fatalf("slot not reused: %p vs %p", seen[0], seen[1])
+	}
+}

@@ -1,9 +1,9 @@
 package trace
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -13,52 +13,144 @@ import (
 	"flowpulse/internal/topology"
 )
 
+// ErrAwaitMore reports a torn tail frame on a follow-mode Reader: the
+// source ran out of bytes in the middle of a frame (or before the
+// header completed). A short read is not corruption — the Reader keeps
+// every byte it has staged, and the same call can be retried once more
+// bytes arrive (a growing file re-read past EOF, a reconnected pipe).
+// Non-follow Readers keep the historical behavior and report a torn
+// tail as a truncation error.
+var ErrAwaitMore = errors.New("trace: stream ends mid-frame (awaiting more bytes)")
+
 // Reader decodes a trace stream record by record. It validates the
 // magic and header up front, rebuilds the recorded topology (so link
 // and switch IDs in decoded records resolve exactly as they did
 // online), verifies every frame's CRC, and skips record kinds newer
 // than it knows (the frame length makes any record skippable).
+//
+// A Reader built with NewFollowReader additionally tolerates torn
+// tail frames: when the source ends mid-frame, Next returns
+// ErrAwaitMore instead of a truncation error, and decoding resumes
+// exactly where it stopped once the source yields more bytes.
 type Reader struct {
-	br   *bufio.Reader
+	src    io.Reader
+	follow bool
+	err    error // sticky: corruption, not torn tails
+
 	hdr  *Header
 	topo *topology.Topology
 
+	// Framing state: stash[off:] holds bytes read from src but not yet
+	// consumed (the prefix is dead space reclaimed before the next
+	// refill); pending is the finished frame (length prefix + payload
+	// + CRC) still occupying the stash front, consumed lazily so the
+	// returned payload stays valid while the caller decodes it.
+	stash     []byte
+	off       int
+	pending   int
+	magicDone bool
+
 	lastTime sim.Time
 	caches   map[uint64]*predCache
-	buf      []byte
+	scratch  Record
 }
 
 // NewReader wraps r, reads the magic and header, and rebuilds the
-// recorded topology.
+// recorded topology. The source must already hold a complete header;
+// use NewFollowReader to decode a stream that is still being written.
 func NewReader(r io.Reader) (*Reader, error) {
-	rd := &Reader{br: bufio.NewReaderSize(r, 1<<16), caches: make(map[uint64]*predCache)}
-	var magic [8]byte
-	if _, err := io.ReadFull(rd.br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	rd := &Reader{src: r, caches: make(map[uint64]*predCache)}
+	if err := rd.ensureHeader(); err != nil {
+		return nil, err
 	}
-	if !bytes.Equal(magic[:], Magic[:]) {
-		return nil, fmt.Errorf("trace: bad magic %q (not a .fpt trace)", magic)
+	return rd, nil
+}
+
+// NewFollowReader wraps a source that may not yet hold a complete
+// trace: the magic and header are decoded lazily by the first Next
+// call that finds them complete, and any read that runs out of bytes
+// mid-frame returns ErrAwaitMore instead of failing. Callers retry
+// after the source grows (os.File reads return fresh bytes after a
+// previous EOF) or block in r's own Read (net.Conn).
+func NewFollowReader(r io.Reader) *Reader {
+	return &Reader{src: r, follow: true, caches: make(map[uint64]*predCache)}
+}
+
+// Header returns the trace header (nil on a follow Reader that has not
+// yet seen a complete header).
+func (r *Reader) Header() *Header { return r.hdr }
+
+// Topo returns the topology rebuilt from the header; link and switch
+// IDs in decoded records belong to it.
+func (r *Reader) Topo() *topology.Topology { return r.topo }
+
+// Buffered returns how many staged bytes the Reader holds beyond the
+// last consumed frame — non-zero after ErrAwaitMore exactly when the
+// stream ended inside a frame.
+func (r *Reader) Buffered() int { return len(r.stash) - r.off - r.pending }
+
+// staged returns the unconsumed byte view.
+func (r *Reader) staged() []byte { return r.stash[r.off:] }
+
+// ensureHeader decodes the magic and header once. In follow mode an
+// incomplete prefix returns ErrAwaitMore and keeps all staged bytes.
+func (r *Reader) ensureHeader() error {
+	if r.hdr != nil || r.err != nil {
+		if r.err != nil {
+			return r.err
+		}
+		return nil
 	}
-	payload, err := rd.readFrame()
+	if !r.magicDone {
+		if err := r.fillTo(len(Magic)); err != nil {
+			if err == ErrAwaitMore || err == io.EOF {
+				if r.follow {
+					return ErrAwaitMore
+				}
+				if len(r.staged()) == 0 {
+					return r.fail(fmt.Errorf("trace: reading magic: %w", io.EOF))
+				}
+				return r.fail(fmt.Errorf("trace: reading magic: %w", io.ErrUnexpectedEOF))
+			}
+			return r.fail(fmt.Errorf("trace: reading magic: %w", err))
+		}
+		if !bytes.Equal(r.staged()[:len(Magic)], Magic[:]) {
+			return r.fail(fmt.Errorf("trace: bad magic %q (not a .fpt trace)", r.staged()[:len(Magic)]))
+		}
+		r.consume(len(Magic))
+		r.magicDone = true
+	}
+	payload, err := r.readFrame()
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		if err == ErrAwaitMore {
+			return err
+		}
+		if err == io.EOF {
+			// A clean frame boundary, but the header frame itself has
+			// not arrived yet: still awaiting in follow mode.
+			if r.follow {
+				return ErrAwaitMore
+			}
+			err = io.ErrUnexpectedEOF
+		}
+		return r.fail(fmt.Errorf("trace: reading header: %w", err))
 	}
 	d := dec{b: payload}
 	if k := d.kind(); k != KindHeader {
-		return nil, fmt.Errorf("trace: first record kind %d, want header", k)
+		return r.fail(fmt.Errorf("trace: first record kind %d, want header", k))
 	}
 	h := decodeHeader(&d)
 	if err := d.done(); err != nil {
-		return nil, err
+		return r.fail(err)
 	}
 	if h.FormatVersion < 1 || h.FormatVersion > Version {
-		return nil, fmt.Errorf("trace: format version %d unsupported (reader speaks ≤ %d)", h.FormatVersion, Version)
+		return r.fail(fmt.Errorf("trace: format version %d unsupported (reader speaks ≤ %d)", h.FormatVersion, Version))
 	}
 	// Bound the fabric before building it, so a corrupt header cannot
 	// drive a giant allocation (same spirit as maxFrame).
 	for _, dim := range [...]int{h.Leaves, h.Spines, h.HostsPerLeaf, h.Trunk} {
 		if dim < 0 || dim > maxTopoDim {
-			return nil, fmt.Errorf("trace: header topology dimension %d out of range", dim)
+			return r.fail(fmt.Errorf("trace: header topology dimension %d out of range", dim))
 		}
 	}
 	topo, err := topology.NewFatTree(topology.FatTreeConfig{
@@ -69,35 +161,60 @@ func NewReader(r io.Reader) (*Reader, error) {
 		LinkRateBPS:  h.LinkRateBPS,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("trace: rebuilding recorded topology: %w", err)
+		return r.fail(fmt.Errorf("trace: rebuilding recorded topology: %w", err))
 	}
-	rd.hdr = h
-	rd.topo = topo
-	return rd, nil
+	r.hdr = h
+	r.topo = topo
+	return nil
 }
 
-// Header returns the trace header.
-func (r *Reader) Header() *Header { return r.hdr }
-
-// Topo returns the topology rebuilt from the header; link and switch
-// IDs in decoded records belong to it.
-func (r *Reader) Topo() *topology.Topology { return r.topo }
+// WindowSlot supplies reusable window storage to NextInto: given the
+// window's routing key it returns the WindowRecord to decode into
+// (slices are grown as needed and fully overwritten, so a slot reused
+// for the same stream reaches a steady state with zero allocations).
+// Returning nil falls back to a freshly allocated record.
+type WindowSlot func(job uint16, leafOrd int) *WindowRecord
 
 // Next returns the next record, or io.EOF after the last one. Records
-// with kinds this reader does not know are skipped.
+// with kinds this reader does not know are skipped. On a follow
+// Reader, a torn tail frame returns ErrAwaitMore (retry when the
+// source has more bytes).
 func (r *Reader) Next() (*Record, error) {
+	rec, err := r.NextInto(nil)
+	if err != nil {
+		return nil, err
+	}
+	out := rec
+	return &out, nil
+}
+
+// NextInto is Next with caller-owned window storage: window records
+// decode into the slot the dest callback picks (see WindowSlot), other
+// kinds allocate as usual. The returned Record is valid until the next
+// call. dest == nil behaves like Next.
+func (r *Reader) NextInto(dest WindowSlot) (Record, error) {
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	if err := r.ensureHeader(); err != nil {
+		return Record{}, err
+	}
 	for {
 		payload, err := r.readFrame()
+		if err == io.EOF || err == ErrAwaitMore {
+			return Record{}, err
+		}
 		if err != nil {
-			return nil, err
+			return Record{}, r.fail(err)
 		}
 		d := dec{b: payload}
-		rec := &Record{Kind: d.kind()}
+		rec := &r.scratch
+		*rec = Record{Kind: d.kind()}
 		switch rec.Kind {
 		case KindHeader:
-			return nil, fmt.Errorf("trace: duplicate header record")
+			return Record{}, r.fail(fmt.Errorf("trace: duplicate header record"))
 		case KindWindow:
-			rec.Window = r.decodeWindow(&d)
+			rec.Window = r.decodeWindow(&d, dest)
 		case KindEvent:
 			rec.Event, r.lastTime = decodeEvent(&d, r.topo, r.lastTime)
 		case KindAction:
@@ -112,41 +229,115 @@ func (r *Reader) Next() (*Record, error) {
 			continue // newer kind than this reader: skip by frame
 		}
 		if err := d.done(); err != nil {
-			return nil, err
+			return Record{}, r.fail(err)
 		}
-		return rec, nil
+		return *rec, nil
 	}
 }
 
-// readFrame reads one uvarint-length-prefixed, CRC32C-suffixed frame
-// into the reusable buffer.
-func (r *Reader) readFrame() ([]byte, error) {
-	n, err := binary.ReadUvarint(r.br)
-	if err == io.EOF {
-		return nil, io.EOF
+// fail makes a real decode error sticky (torn tails are not errors in
+// follow mode and never stick).
+func (r *Reader) fail(err error) error {
+	if r.err == nil {
+		r.err = err
 	}
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading frame length: %w", err)
+	return r.err
+}
+
+// readFrame stages one uvarint-length-prefixed, CRC32C-suffixed frame
+// and returns its payload, which stays valid until the next call.
+func (r *Reader) readFrame() ([]byte, error) {
+	if r.pending > 0 {
+		r.consume(r.pending)
+		r.pending = 0
+	}
+	var n uint64
+	var w int
+	for {
+		n, w = binary.Uvarint(r.staged())
+		if w > 0 {
+			break
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("trace: frame length overflows uvarint")
+		}
+		// Not enough staged bytes for the length prefix yet.
+		if err := r.fillTo(len(r.staged()) + 1); err != nil {
+			if err == io.EOF && len(r.staged()) == 0 {
+				return nil, io.EOF // clean end at a frame boundary
+			}
+			return r.torn(err)
+		}
 	}
 	if n == 0 || n > maxFrame {
 		return nil, fmt.Errorf("trace: frame length %d out of range", n)
 	}
-	if uint64(cap(r.buf)) < n {
-		r.buf = make([]byte, n)
+	total := w + int(n) + 4
+	if err := r.fillTo(total); err != nil {
+		return r.torn(err)
 	}
-	buf := r.buf[:n]
-	if _, err := io.ReadFull(r.br, buf); err != nil {
-		return nil, fmt.Errorf("trace: truncated frame: %w", err)
-	}
-	var crc [4]byte
-	if _, err := io.ReadFull(r.br, crc[:]); err != nil {
-		return nil, fmt.Errorf("trace: truncated frame checksum: %w", err)
-	}
-	if got, want := crc32.Checksum(buf, castagnoli), binary.LittleEndian.Uint32(crc[:]); got != want {
+	frame := r.staged()[:total]
+	payload := frame[w : w+int(n)]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(frame[w+int(n):]); got != want {
 		return nil, fmt.Errorf("trace: frame CRC mismatch (corrupt record)")
 	}
-	return buf, nil
+	r.pending = total
+	return payload, nil
 }
+
+// torn maps an out-of-bytes condition mid-frame: resumable in follow
+// mode, a truncation error otherwise.
+func (r *Reader) torn(err error) ([]byte, error) {
+	if err == io.EOF || err == ErrAwaitMore {
+		if r.follow {
+			return nil, ErrAwaitMore
+		}
+		return nil, fmt.Errorf("trace: truncated frame: %w", io.ErrUnexpectedEOF)
+	}
+	return nil, fmt.Errorf("trace: truncated frame: %w", err)
+}
+
+// fillTo reads from src until the staged view holds at least total
+// bytes. It returns io.EOF (every byte read so far stays staged) when
+// the source runs dry first.
+func (r *Reader) fillTo(total int) error {
+	for len(r.staged()) < total {
+		// Reclaim the consumed prefix before growing or reading, so
+		// steady-state framing reuses one buffer.
+		if r.off > 0 {
+			k := copy(r.stash, r.stash[r.off:])
+			r.stash = r.stash[:k]
+			r.off = 0
+		}
+		// Grow capacity in chunks and read whatever is available, not
+		// just the remainder, to amortize syscalls on network sources.
+		want := total
+		if min := len(r.stash) + 4096; want < min {
+			want = min
+		}
+		if cap(r.stash) < want {
+			grown := make([]byte, len(r.stash), want)
+			copy(grown, r.stash)
+			r.stash = grown
+		}
+		k, err := r.src.Read(r.stash[len(r.stash):cap(r.stash)])
+		if k > 0 {
+			r.stash = r.stash[: len(r.stash)+k]
+			continue
+		}
+		if err == nil {
+			continue // a zero-byte read with no error: try again
+		}
+		if err == io.EOF {
+			return io.EOF
+		}
+		return err
+	}
+	return nil
+}
+
+// consume drops the first n staged bytes.
+func (r *Reader) consume(n int) { r.off += n }
 
 func (r *Reader) cache(job uint16, leafOrd int) *predCache {
 	k := cacheKey(job, leafOrd)
@@ -158,17 +349,60 @@ func (r *Reader) cache(job uint16, leafOrd int) *predCache {
 	return c
 }
 
-func (r *Reader) decodeWindow(d *dec) *WindowRecord {
-	w := &WindowRecord{}
-	w.Job = uint16(d.u())
-	w.LeafOrd = int(d.u())
+// Slice-reuse helpers for NextInto: grow-only, fully overwritten by
+// the decoders below.
+func i64Slice(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int64, n)
+}
+
+func f64Slice(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func i64Rows(s [][]int64, n int) [][]int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([][]int64, n)
+	copy(out, s[:cap(s)])
+	return out
+}
+
+func f64Rows(s [][]float64, n int) [][]float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([][]float64, n)
+	copy(out, s[:cap(s)])
+	return out
+}
+
+func (r *Reader) decodeWindow(d *dec, dest WindowSlot) *WindowRecord {
+	job := uint16(d.u())
+	leafOrd := int(d.u())
+	var w *WindowRecord
+	if dest != nil {
+		w = dest(job, leafOrd)
+	}
+	if w == nil {
+		w = &WindowRecord{}
+	}
+	w.Job = job
+	w.LeafOrd = leafOrd
 	w.Iter = uint32(d.u())
 	w.ClosedAt = r.lastTime + sim.Time(d.i())
 	w.OpenedAt = w.ClosedAt + sim.Time(d.i())
 	w.Packets = d.i()
+	w.CEBytes = 0
 
 	nPorts := d.count(1)
-	w.PortBytes = make([]int64, nPorts)
+	w.PortBytes = i64Slice(w.PortBytes, nPorts)
 	var prev int64
 	for i := range w.PortBytes {
 		prev += d.i()
@@ -177,16 +411,18 @@ func (r *Reader) decodeWindow(d *dec) *WindowRecord {
 
 	switch mode := d.kind(); mode {
 	case aggSame:
-		w.AggPortBytes = append([]int64(nil), w.PortBytes...)
+		w.AggPortBytes = i64Slice(w.AggPortBytes, nPorts)
+		copy(w.AggPortBytes, w.PortBytes)
 	case aggDelta:
-		w.AggPortBytes = make([]int64, nPorts)
+		w.AggPortBytes = i64Slice(w.AggPortBytes, nPorts)
 		for i := range w.AggPortBytes {
 			w.AggPortBytes[i] = w.PortBytes[i] + d.i()
 		}
 	case aggAbsent:
+		w.AggPortBytes = nil
 	case aggExplicit:
 		n := d.count(1)
-		w.AggPortBytes = make([]int64, n)
+		w.AggPortBytes = i64Slice(w.AggPortBytes, n)
 		prev = 0
 		for i := range w.AggPortBytes {
 			prev += d.i()
@@ -197,10 +433,10 @@ func (r *Reader) decodeWindow(d *dec) *WindowRecord {
 	}
 
 	nRows := d.count(1)
-	w.SenderBytes = make([][]int64, nRows)
+	w.SenderBytes = i64Rows(w.SenderBytes, nRows)
 	for i := 0; i < nRows && d.err == nil; i++ {
 		n := d.count(1)
-		row := make([]int64, n)
+		row := i64Slice(w.SenderBytes[i], n)
 		prev = 0
 		for j := range row {
 			prev += d.i()
@@ -210,6 +446,10 @@ func (r *Reader) decodeWindow(d *dec) *WindowRecord {
 	}
 
 	w.Ready = d.bit()
+	if !w.Ready {
+		w.PortPred = w.PortPred[:0]
+		w.SenderPred = w.SenderPred[:0]
+	}
 	if w.Ready && d.err == nil {
 		c := r.cache(w.Job, w.LeafOrd)
 		nPort := d.count(1)
@@ -217,7 +457,7 @@ func (r *Reader) decodeWindow(d *dec) *WindowRecord {
 			return w
 		}
 		c.size(nPort, len(c.sender))
-		w.PortPred = make([]float64, nPort)
+		w.PortPred = f64Slice(w.PortPred, nPort)
 		for i := range w.PortPred {
 			bits := d.u() ^ c.port[i]
 			c.port[i] = bits
@@ -231,7 +471,7 @@ func (r *Reader) decodeWindow(d *dec) *WindowRecord {
 		}
 		c.size(nPort, nPred)
 		nPredRows := d.count(1)
-		w.SenderPred = make([][]float64, nPredRows)
+		w.SenderPred = f64Rows(w.SenderPred, nPredRows)
 		k := 0
 		for i := 0; i < nPredRows && d.err == nil; i++ {
 			n := d.count(1)
@@ -239,7 +479,7 @@ func (r *Reader) decodeWindow(d *dec) *WindowRecord {
 				d.fail("trace: sender prediction rows exceed declared count %d", nPred)
 				return w
 			}
-			row := make([]float64, n)
+			row := f64Slice(w.SenderPred[i], n)
 			for j := range row {
 				bits := d.u() ^ c.sender[k]
 				c.sender[k] = bits

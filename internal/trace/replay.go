@@ -31,6 +31,12 @@ type ReplayOptions struct {
 	// FirstIter/LastIter clip the replay to an iteration range
 	// (0: open end).
 	FirstIter, LastIter uint32
+	// NoHistory drops per-window retention (Scores, Events, Actions,
+	// recorded streams): the replay keeps only fingerprints, counters
+	// and callbacks. Long-running consumers (flowpulse-serve sessions)
+	// set it so memory stays flat however long the stream runs;
+	// ReplayResult.Samples and Sweep are unavailable with it.
+	NoHistory bool
 }
 
 // JobReplay is one job's offline pipeline after a replay.
@@ -56,6 +62,19 @@ type ReplayResult struct {
 	Events      []monitor.Event
 	Actions     []remediate.Action
 	Fingerprint uint64
+
+	// BucketFingerprint is the order-insensitive variant: events fold
+	// into one FNV-64a stream per (job, leaf) bucket — the subsequence
+	// order a sharded consumer preserves — and the per-bucket sums XOR
+	// together. flowpulse-serve's fan-out ingestion path, which
+	// processes (job, leaf) streams on concurrent shards, reproduces
+	// exactly this sum; when all events came from a single bucket it
+	// equals Fingerprint. Actions never fold here (fan-out streams run
+	// without a remediator).
+	BucketFingerprint uint64
+
+	// EventCount and ActionCount survive NoHistory replays.
+	EventCount, ActionCount int
 
 	// Remediator is the offline control plane (nil when the recording
 	// ran without one, or under the learned-predictor counterfactual).
@@ -128,23 +147,54 @@ func sameFaultSite(a, b *FaultRecord) bool {
 	return a.LeafOrd == b.LeafOrd && a.SpineOrd == b.SpineOrd && a.Trunk == b.Trunk && a.Upstream == b.Upstream
 }
 
-// replayPredictor serves the recorded per-window prediction snapshot.
-// It implements IterPredictor so the detector takes the same
+// SnapshotPredictor serves a per-window recorded prediction snapshot.
+// It implements predict.IterPredictor so the detector takes the same
 // iteration-aligned code path it took online; every method answers
 // from the window currently being replayed, which is exactly the
-// snapshot the online detector consumed for it.
-type replayPredictor struct {
+// snapshot the online detector consumed for it. The offline replay and
+// flowpulse-serve's fan-out buckets both drive their pipelines with
+// one.
+type SnapshotPredictor struct {
 	ready  bool
 	port   []float64
 	sender [][]float64
 }
 
-func (p *replayPredictor) Name() string                         { return "recorded" }
-func (p *replayPredictor) Ready(int) bool                       { return p.ready }
-func (p *replayPredictor) PortLoad(int) []float64               { return p.port }
-func (p *replayPredictor) SenderLoad(int) [][]float64           { return p.sender }
-func (p *replayPredictor) PortLoadAt(int, uint32) []float64     { return p.port }
-func (p *replayPredictor) SenderLoadAt(int, uint32) [][]float64 { return p.sender }
+// Set loads the snapshot recorded with the window about to be fed.
+func (p *SnapshotPredictor) Set(ready bool, port []float64, sender [][]float64) {
+	p.ready, p.port, p.sender = ready, port, sender
+}
+
+func (p *SnapshotPredictor) Name() string                         { return "recorded" }
+func (p *SnapshotPredictor) Ready(int) bool                       { return p.ready }
+func (p *SnapshotPredictor) PortLoad(int) []float64               { return p.port }
+func (p *SnapshotPredictor) SenderLoad(int) [][]float64           { return p.sender }
+func (p *SnapshotPredictor) PortLoadAt(int, uint32) []float64     { return p.port }
+func (p *SnapshotPredictor) SenderLoadAt(int, uint32) [][]float64 { return p.sender }
+
+// StreamFP accumulates the alert/remediation stream fingerprint: the
+// same FNV-64a fold the online Writer seals into the trailer and the
+// offline replay reproduces. flowpulse-serve folds one per (job, leaf)
+// bucket on its fan-out path.
+type StreamFP struct {
+	s fpState
+	n uint64
+}
+
+// NewStreamFP returns an empty fingerprint accumulator.
+func NewStreamFP() StreamFP { return StreamFP{s: newFP()} }
+
+// Event folds one localized detection.
+func (f *StreamFP) Event(e *monitor.Event) { fpEvent(&f.s, e); f.n++ }
+
+// Action folds one remediation action.
+func (f *StreamFP) Action(a *remediate.Action) { fpAction(&f.s, a); f.n++ }
+
+// Sum returns the fingerprint so far.
+func (f *StreamFP) Sum() uint64 { return f.s.h }
+
+// Count returns how many events and actions folded in.
+func (f *StreamFP) Count() uint64 { return f.n }
 
 // offlinePlane answers the remediator's control-plane calls during
 // replay: quarantine/re-admit ChangeSets commit unconditionally as
@@ -187,18 +237,35 @@ func (f *offlinePlane) deliver(p *ProbeRecord) {
 // replayJob is one job's offline stack while the stream is replayed.
 type replayJob struct {
 	jr      *JobReplay
-	pred    *replayPredictor // nil under the learned counterfactual
-	learned *predict.Learned // nil unless Predictor == "learned"
+	pred    *SnapshotPredictor // nil under the learned counterfactual
+	learned *predict.Learned   // nil unless Predictor == "learned"
+	win     telemetry.Window   // reused per fed window
 }
 
-// Replay runs a recorded trace back through the detect → localize →
-// remediate stack offline, entirely without the fabric.
-func Replay(src io.Reader, opts ReplayOptions) (*ReplayResult, error) {
-	rd, err := NewReader(src)
-	if err != nil {
-		return nil, err
-	}
-	hdr, topo := rd.Header(), rd.Topo()
+// Replayer re-drives the detect → localize → remediate stack from
+// decoded trace records, one Feed call at a time — the incremental
+// core of Replay that flowpulse-serve runs against live streams. Feed
+// records in stream order; Result seals the fingerprints.
+type Replayer struct {
+	hdr  *Header
+	topo *topology.Topology
+	opts ReplayOptions
+
+	res     *ReplayResult
+	fp      fpState
+	buckets map[uint64]*StreamFP
+	fab     *offlinePlane
+	jobs    map[uint16]*replayJob
+
+	// OnEvent and OnAction, when set, observe the offline stream as it
+	// is re-derived (flowpulse-serve routes them to its alert hub).
+	OnEvent  func(e monitor.Event)
+	OnAction func(a remediate.Action)
+}
+
+// NewReplayer builds the offline stack for a decoded header. topo must
+// be the topology rebuilt from that header (Reader.Topo).
+func NewReplayer(hdr *Header, topo *topology.Topology, opts ReplayOptions) (*Replayer, error) {
 	if len(hdr.Jobs) == 0 {
 		return nil, fmt.Errorf("trace: header lists no jobs")
 	}
@@ -211,20 +278,32 @@ func Replay(src io.Reader, opts ReplayOptions) (*ReplayResult, error) {
 		return nil, fmt.Errorf("trace: unknown replay predictor %q (want recorded or learned)", opts.Predictor)
 	}
 
-	res := &ReplayResult{Header: hdr, Topo: topo}
-	fp := newFP()
+	rp := &Replayer{
+		hdr:     hdr,
+		topo:    topo,
+		opts:    opts,
+		res:     &ReplayResult{Header: hdr, Topo: topo},
+		fp:      newFP(),
+		buckets: map[uint64]*StreamFP{},
+		fab:     &offlinePlane{topo: topo, pending: map[topology.LinkID][]func(sim.Time, bool){}},
+		jobs:    make(map[uint16]*replayJob, len(hdr.Jobs)),
+	}
 
 	faults := predict.NewFaultSet()
-	fab := &offlinePlane{topo: topo, pending: map[topology.LinkID][]func(sim.Time, bool){}}
 	if hdr.Remediate != nil && !useLearned {
-		res.Remediator = remediate.New(fab, faults, nil, *hdr.Remediate)
-		res.Remediator.OnAction = func(a remediate.Action) {
-			fpAction(&fp, &a)
-			res.Actions = append(res.Actions, a)
+		rp.res.Remediator = remediate.New(rp.fab, faults, nil, *hdr.Remediate)
+		rp.res.Remediator.OnAction = func(a remediate.Action) {
+			fpAction(&rp.fp, &a)
+			rp.res.ActionCount++
+			if !opts.NoHistory {
+				rp.res.Actions = append(rp.res.Actions, a)
+			}
+			if rp.OnAction != nil {
+				rp.OnAction(a)
+			}
 		}
 	}
 
-	jobs := make(map[uint16]*replayJob, len(hdr.Jobs))
 	for _, jh := range hdr.Jobs {
 		dcfg := detect.Config{
 			Threshold:         jh.Threshold,
@@ -241,43 +320,157 @@ func Replay(src io.Reader, opts ReplayOptions) (*ReplayResult, error) {
 			j.learned = predict.NewLearned(len(topo.Leaves()), predict.LearnedConfig{})
 			pred = j.learned
 		} else {
-			j.pred = &replayPredictor{}
+			j.pred = &SnapshotPredictor{}
 			pred = j.pred
 		}
 		det := detect.New(topo, pred, dcfg)
 		det.SetKnownFaults(faults)
 		pc := monitor.PipelineConfig{
-			Pred:     pred,
-			Detect:   det,
-			Localize: localize.New(topo, det.Threshold(), 0),
+			Pred:      pred,
+			Detect:    det,
+			Localize:  localize.New(topo, det.Threshold(), 0),
+			NoHistory: opts.NoHistory,
 			OnEvent: func(e monitor.Event) {
-				fpEvent(&fp, &e)
-				res.Events = append(res.Events, e)
+				fpEvent(&rp.fp, &e)
+				bk := cacheKey(e.Alert.Job, e.Alert.LeafOrdinal)
+				b := rp.buckets[bk]
+				if b == nil {
+					b = &StreamFP{s: newFP()}
+					rp.buckets[bk] = b
+				}
+				b.Event(&e)
+				rp.res.EventCount++
+				if !rp.opts.NoHistory {
+					rp.res.Events = append(rp.res.Events, e)
+				}
+				if rp.OnEvent != nil {
+					rp.OnEvent(e)
+				}
 			},
 		}
 		if j.learned != nil {
 			pc.Observer = j.learned
 		}
-		if res.Remediator != nil {
-			pc.Remediate = res.Remediator
+		if rp.res.Remediator != nil {
+			pc.Remediate = rp.res.Remediator
 		}
 		j.jr.Pipeline = monitor.NewPipeline(pc)
-		if jobs[jh.Job] != nil {
+		if rp.jobs[jh.Job] != nil {
 			return nil, fmt.Errorf("trace: duplicate job %d in header", jh.Job)
 		}
-		jobs[jh.Job] = j
-		res.Jobs = append(res.Jobs, j.jr)
+		rp.jobs[jh.Job] = j
+		rp.res.Jobs = append(rp.res.Jobs, j.jr)
 	}
-	// A single-system recording routes every window through its one
-	// pipeline, exactly as core.System's collector does online; a
-	// shared-plane recording demuxes by job id.
-	route := func(job uint16) *replayJob {
-		if hdr.Shared {
-			return jobs[job]
-		}
-		return jobs[hdr.Jobs[0].Job]
-	}
+	return rp, nil
+}
 
+// route resolves the pipeline for one window's job id. A single-system
+// recording routes every window through its one pipeline, exactly as
+// core.System's collector does online; a shared-plane recording
+// demuxes by job id.
+func (rp *Replayer) route(job uint16) *replayJob {
+	if rp.hdr.Shared {
+		return rp.jobs[job]
+	}
+	return rp.jobs[rp.hdr.Jobs[0].Job]
+}
+
+// Feed advances the offline stack by one decoded record. Window
+// storage may be reused by the caller between calls (NextInto slots):
+// the pipeline clones what it retains.
+func (rp *Replayer) Feed(rec *Record) error {
+	switch rec.Kind {
+	case KindWindow:
+		wr := rec.Window
+		if rp.opts.FirstIter > 0 && wr.Iter < rp.opts.FirstIter {
+			return nil
+		}
+		if rp.opts.LastIter > 0 && wr.Iter > rp.opts.LastIter {
+			return nil
+		}
+		j := rp.route(wr.Job)
+		if j == nil {
+			return fmt.Errorf("trace: window for job %d not in header", wr.Job)
+		}
+		if wr.LeafOrd < 0 || wr.LeafOrd >= len(rp.topo.Leaves()) {
+			return fmt.Errorf("trace: window leaf ordinal %d out of range", wr.LeafOrd)
+		}
+		if j.pred != nil {
+			j.pred.Set(wr.Ready, wr.PortPred, wr.SenderPred)
+		}
+		if wr.Iter > j.jr.MaxIter {
+			j.jr.MaxIter = wr.Iter
+		}
+		j.win = telemetry.Window{
+			Leaf:         rp.topo.Leaves()[wr.LeafOrd],
+			LeafOrdinal:  wr.LeafOrd,
+			Job:          wr.Job,
+			Iter:         wr.Iter,
+			PortBytes:    wr.PortBytes,
+			SenderBytes:  wr.SenderBytes,
+			Packets:      wr.Packets,
+			CEBytes:      wr.CEBytes,
+			AggPortBytes: wr.AggPortBytes,
+			OpenedAt:     wr.OpenedAt,
+			ClosedAt:     wr.ClosedAt,
+		}
+		j.jr.Pipeline.OnWindow(&j.win)
+		rp.res.Windows++
+	case KindProbe:
+		rp.fab.deliver(rec.Probe)
+	case KindEvent:
+		if !rp.opts.NoHistory {
+			rp.res.RecordedEvents = append(rp.res.RecordedEvents, rec.Event)
+		}
+	case KindAction:
+		if !rp.opts.NoHistory {
+			rp.res.RecordedActions = append(rp.res.RecordedActions, rec.Action)
+		}
+	case KindFault:
+		rp.res.Faults = append(rp.res.Faults, rec.Fault)
+	case KindTrailer:
+		rp.res.Trailer = rec.Trailer
+	}
+	return nil
+}
+
+// Fingerprint returns the offline event/action fingerprint so far.
+func (rp *Replayer) Fingerprint() uint64 { return rp.fp.h }
+
+// BucketFingerprint returns the order-insensitive per-(job, leaf)
+// combined fingerprint so far (see ReplayResult.BucketFingerprint).
+func (rp *Replayer) BucketFingerprint() uint64 {
+	var x uint64
+	for _, b := range rp.buckets {
+		if b.Count() > 0 {
+			x ^= b.Sum()
+		}
+	}
+	return x
+}
+
+// Trailer returns the decoded trailer, nil before it streams in.
+func (rp *Replayer) Trailer() *Trailer { return rp.res.Trailer }
+
+// Result seals and returns the replay outcome. The Replayer may keep
+// being fed afterwards; Result reflects everything fed so far.
+func (rp *Replayer) Result() *ReplayResult {
+	rp.res.Fingerprint = rp.fp.h
+	rp.res.BucketFingerprint = rp.BucketFingerprint()
+	return rp.res
+}
+
+// Replay runs a recorded trace back through the detect → localize →
+// remediate stack offline, entirely without the fabric.
+func Replay(src io.Reader, opts ReplayOptions) (*ReplayResult, error) {
+	rd, err := NewReader(src)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := NewReplayer(rd.Header(), rd.Topo(), opts)
+	if err != nil {
+		return nil, err
+	}
 	for {
 		rec, err := rd.Next()
 		if err == io.EOF {
@@ -286,56 +479,9 @@ func Replay(src io.Reader, opts ReplayOptions) (*ReplayResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		switch rec.Kind {
-		case KindWindow:
-			wr := rec.Window
-			if opts.FirstIter > 0 && wr.Iter < opts.FirstIter {
-				continue
-			}
-			if opts.LastIter > 0 && wr.Iter > opts.LastIter {
-				continue
-			}
-			j := route(wr.Job)
-			if j == nil {
-				return nil, fmt.Errorf("trace: window for job %d not in header", wr.Job)
-			}
-			if wr.LeafOrd < 0 || wr.LeafOrd >= len(topo.Leaves()) {
-				return nil, fmt.Errorf("trace: window leaf ordinal %d out of range", wr.LeafOrd)
-			}
-			if j.pred != nil {
-				j.pred.ready = wr.Ready
-				j.pred.port = wr.PortPred
-				j.pred.sender = wr.SenderPred
-			}
-			if wr.Iter > j.jr.MaxIter {
-				j.jr.MaxIter = wr.Iter
-			}
-			j.jr.Pipeline.OnWindow(&telemetry.Window{
-				Leaf:         topo.Leaves()[wr.LeafOrd],
-				LeafOrdinal:  wr.LeafOrd,
-				Job:          wr.Job,
-				Iter:         wr.Iter,
-				PortBytes:    wr.PortBytes,
-				SenderBytes:  wr.SenderBytes,
-				Packets:      wr.Packets,
-				CEBytes:      wr.CEBytes,
-				AggPortBytes: wr.AggPortBytes,
-				OpenedAt:     wr.OpenedAt,
-				ClosedAt:     wr.ClosedAt,
-			})
-			res.Windows++
-		case KindProbe:
-			fab.deliver(rec.Probe)
-		case KindEvent:
-			res.RecordedEvents = append(res.RecordedEvents, rec.Event)
-		case KindAction:
-			res.RecordedActions = append(res.RecordedActions, rec.Action)
-		case KindFault:
-			res.Faults = append(res.Faults, rec.Fault)
-		case KindTrailer:
-			res.Trailer = rec.Trailer
+		if err := rp.Feed(rec); err != nil {
+			return nil, err
 		}
 	}
-	res.Fingerprint = fp.h
-	return res, nil
+	return rp.Result(), nil
 }
